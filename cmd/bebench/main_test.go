@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestRunDispatch(t *testing.T) {
+	// Each experiment id must dispatch; e10 is the cheapest full one.
+	if err := run("e10"); err != nil {
+		t.Errorf("e10: %v", err)
+	}
+	if err := run("e7"); err != nil {
+		t.Errorf("e7: %v", err)
+	}
+	if err := run("nope"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}

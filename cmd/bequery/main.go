@@ -1,0 +1,214 @@
+// Command bequery is the interactive front end to the bounded-evaluation
+// engine: it parses a document declaring a relational schema, an access
+// schema, and queries, then checks/plans/explains/runs them.
+//
+// Usage:
+//
+//	bequery -file doc.bq [-data dir] -query Q0 [-mode explain|check|plan|run|specialize]
+//	bequery -demo accidents -query Q0 -mode run [-save dir]
+//
+// With -demo, a built-in workload (accidents | social) supplies schema,
+// constraints, data and the named query, so no file is needed. With -data,
+// a directory of <Relation>.tsv files (see internal/load) provides the
+// instance for a -file document; -save exports the demo instance in the
+// same format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/load"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "input document (relations, constraints, queries)")
+		dataDir = flag.String("data", "", "directory of <Relation>.tsv files to load with -file")
+		saveDir = flag.String("save", "", "export the loaded instance as TSV into this directory")
+		demo    = flag.String("demo", "", "built-in workload: accidents | social")
+		query   = flag.String("query", "", "query name to operate on")
+		mode    = flag.String("mode", "explain", "explain | check | plan | run | baseline | specialize")
+		k       = flag.Int("k", 2, "parameter budget for specialize")
+		days    = flag.Int("days", 20, "accidents demo: days of data")
+		people  = flag.Int("people", 2000, "social demo: people")
+	)
+	flag.Parse()
+	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people); err != nil {
+		fmt.Fprintln(os.Stderr, "bequery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, dataDir, saveDir, demo, query, mode string, k, days, people int) error {
+	eng, queries, params, err := setup(file, demo, days, people)
+	if err != nil {
+		return err
+	}
+	if dataDir != "" {
+		d, err := load.LoadInstance(eng.Schema, dataDir)
+		if err != nil {
+			return err
+		}
+		if err := eng.Load(d); err != nil {
+			return err
+		}
+	}
+	if saveDir != "" {
+		if eng.Instance() == nil {
+			return fmt.Errorf("-save needs an instance (use -demo or -data)")
+		}
+		if err := load.SaveInstance(eng.Instance(), saveDir); err != nil {
+			return err
+		}
+		fmt.Printf("saved %d tuples to %s\n", eng.Instance().Size(), saveDir)
+	}
+	if query == "" {
+		fmt.Println("available queries:")
+		for name := range queries {
+			fmt.Println("  " + name)
+		}
+		return nil
+	}
+	q, ok := queries[query]
+	if !ok {
+		return fmt.Errorf("no query named %q", query)
+	}
+	switch mode {
+	case "explain":
+		out, err := eng.Explain(q, params[query])
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "check":
+		res, err := eng.IsCovered(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Explain())
+	case "plan":
+		p, b, err := eng.Plan(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(p)
+		fmt.Println(b)
+	case "run":
+		res, err := eng.ExecuteAuto(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("answered via %s; fetched=%d scanned=%d rows=%d\n",
+			res.Mode, res.Fetched, res.Scanned, len(res.Rows))
+		for i, row := range res.Rows {
+			if i == 20 {
+				fmt.Printf("... %d more\n", len(res.Rows)-20)
+				break
+			}
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			fmt.Println("  " + strings.Join(cells, "\t"))
+		}
+	case "baseline":
+		res, err := eng.Baseline(q, eval.HashJoin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline (hash-join): scanned=%d rows=%d\n", res.Scanned, len(res.Rows))
+	case "specialize":
+		ps := params[query]
+		if len(ps) == 0 {
+			return fmt.Errorf("query %s declares no parameters (use params(...) in the document)", query)
+		}
+		res, err := eng.Specialize(q, ps, k)
+		if err != nil {
+			return err
+		}
+		if !res.Found {
+			fmt.Println("not specializable:", res.Reason)
+			return nil
+		}
+		fmt.Printf("specializable with %v (minimum=%v, %d subsets tried)\n", res.Params, res.Minimum, res.Tried)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func setup(file, demo string, days, people int) (*core.Engine, map[string]*cq.CQ, map[string][]string, error) {
+	queries := map[string]*cq.CQ{}
+	params := map[string][]string{}
+	switch {
+	case file != "":
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		doc, err := parser.Parse(string(raw))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng, err := core.New(doc.Schema, doc.Access, core.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, q := range doc.Queries {
+			if !q.IsCQ() {
+				continue // the CLI operates on CQ rules; UCQs via the API
+			}
+			queries[q.Name] = q.Subs[0]
+			params[q.Name] = q.Params
+		}
+		return eng, queries, params, nil
+	case demo == "accidents":
+		acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+			Days: days, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := eng.Load(acc.Instance); err != nil {
+			return nil, nil, nil, err
+		}
+		queries["Q0"] = workload.Q0()
+		q51, ps := workload.Q51()
+		queries["Q51"] = q51
+		params["Q51"] = ps
+		return eng, queries, params, nil
+	case demo == "social":
+		soc, err := workload.GenerateSocial(workload.SocialConfig{
+			People: people, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng, err := core.New(soc.Schema, soc.Access, core.Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := eng.Load(soc.Instance); err != nil {
+			return nil, nil, nil, err
+		}
+		queries["GraphSearch"] = workload.GraphSearchQuery(1, "NYC", "cycling")
+		for _, q := range workload.PatternQueries(1) {
+			queries[q.Label] = q
+		}
+		return eng, queries, params, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("provide -file or -demo accidents|social")
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+func TestSetupFromDocument(t *testing.T) {
+	eng, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := queries["Q0"]; !ok {
+		t.Fatal("Q0 missing from parsed document")
+	}
+	if got := params["Q51"]; len(got) != 2 {
+		t.Fatalf("Q51 params = %v", got)
+	}
+	res, err := eng.IsCovered(queries["Q0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("Q0 from the document must be covered:\n%s", res.Explain())
+	}
+}
+
+func TestRunModesAgainstDocumentWithData(t *testing.T) {
+	// Generate data matching the document schema and save it as TSV.
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 3, AccidentsPerDay: 5, MaxVehicles: 3, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := load.SaveInstance(acc.Instance, dir); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join("testdata", "accidents.bq")
+	for _, mode := range []string{"check", "plan", "explain", "run", "baseline"} {
+		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0); err != nil {
+		t.Errorf("specialize: %v", err)
+	}
+}
+
+func TestRunDemoModes(t *testing.T) {
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0); err != nil {
+		t.Errorf("demo accidents: %v", err)
+	}
+	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200); err != nil {
+		t.Errorf("demo social: %v", err)
+	}
+	// Save/export path.
+	dir := t.TempDir()
+	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0); err != nil {
+		t.Errorf("save: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", "", "", "explain", 1, 0, 0); err == nil {
+		t.Error("no input source must error")
+	}
+	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0); err == nil {
+		t.Error("unknown query must error")
+	}
+	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0); err == nil {
+		t.Error("specialize without params must error")
+	}
+	// Listing queries (empty -query) is not an error.
+	if err := run("", "", "", "accidents", "", "run", 1, 1, 0); err != nil {
+		t.Errorf("query listing: %v", err)
+	}
+}

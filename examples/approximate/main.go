@@ -1,0 +1,142 @@
+// Approximate answering: envelopes (Section 4).
+//
+// When a query is not boundedly evaluable and cannot be specialized,
+// upper and lower envelopes give boundedly evaluable approximations with
+// constant error bounds: Ql(D) ⊆ Q(D) ⊆ Qu(D) with |Qu(D) − Q(D)| ≤ Nu
+// and |Q(D) − Ql(D)| ≤ Nl. This example walks Example 4.1's Q1 end to
+// end — finding both envelopes, executing them as bounded plans, and
+// verifying the sandwich and the error bounds against the exact answer.
+//
+// Run: go run ./examples/approximate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func main() {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R",
+		[]schema.Attribute{"A"}, []schema.Attribute{"B"}, 3))
+
+	// Example 4.1's Q1: bounded but not boundedly evaluable.
+	q := &cq.CQ{
+		Label: "Q1", Free: []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("w"), cq.Var("x")),
+			cq.NewAtom("R", cq.Var("y"), cq.Var("w")),
+			cq.NewAtom("R", cq.Var("x"), cq.Var("z")),
+		},
+		Eqs: []cq.Eq{{L: cq.Var("w"), R: cq.Const(value.NewInt(1))}},
+	}
+	eng, err := core.New(s, a, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", q)
+	if _, _, err := eng.Plan(q); err != nil {
+		fmt.Println("not boundedly evaluable — searching for envelopes instead")
+	}
+
+	up, err := eng.UpperEnvelope(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, err := eng.LowerEnvelope(q, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !up.Found || !lo.Found {
+		log.Fatalf("envelopes should exist for Q1 (upper=%v lower=%v)", up.Found, lo.Found)
+	}
+	fmt.Println("\nupper envelope Qu:", up.Qu, " Nu ≤", up.Nu)
+	fmt.Println("lower envelope Ql:", lo.Ql, " Nl ≤", lo.Nl)
+
+	// Load data satisfying A and verify the sandwich empirically.
+	d := buildInstance(s)
+	if err := eng.Load(d); err != nil {
+		log.Fatal(err)
+	}
+	exact, err := eng.Baseline(q, eval.ScanJoin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	upTbl, upStats, err := eng.Execute(up.Qu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loTbl, loStats, err := eng.Execute(lo.Ql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n|D| = %d tuples\n", d.Size())
+	fmt.Printf("exact   |Q(D)|  = %d (computed by full scan, %d tuples read)\n",
+		len(exact.Rows), exact.Scanned)
+	fmt.Printf("upper   |Qu(D)| = %d (bounded plan, %d fetched)\n", upTbl.Len(), upStats.Fetched)
+	fmt.Printf("lower   |Ql(D)| = %d (bounded plan, %d fetched)\n", loTbl.Len(), loStats.Fetched)
+
+	over := diff(upTbl.Rows, exact.Rows)
+	under := diff(exact.Rows, loTbl.Rows)
+	fmt.Printf("\n|Qu(D) − Q(D)| = %d  (bound Nu = %d)  ok=%v\n", over, up.Nu, int64(over) <= up.Nu)
+	fmt.Printf("|Q(D) − Ql(D)| = %d  (bound Nl = %d)  ok=%v\n", under, lo.Nl, int64(under) <= lo.Nl)
+	if containsAll(upTbl.Rows, exact.Rows) && containsAll(exact.Rows, loTbl.Rows) {
+		fmt.Println("sandwich Ql(D) ⊆ Q(D) ⊆ Qu(D) verified")
+	} else {
+		fmt.Println("ERROR: sandwich violated")
+	}
+}
+
+func buildInstance(s *schema.Schema) *data.Instance {
+	rng := rand.New(rand.NewSource(11))
+	d := data.NewInstance(s)
+	used := map[int64]int{}
+	for i := 0; i < 4000; i++ {
+		a := int64(rng.Intn(2000))
+		if used[a] >= 3 { // honor R(A -> B, 3)
+			continue
+		}
+		used[a]++
+		d.MustInsert("R", value.NewInt(a), value.NewInt(int64(rng.Intn(2000))))
+	}
+	// Make node 1 interesting: it has successors and predecessors.
+	d.MustInsert("R", value.NewInt(1), value.NewInt(42))
+	d.MustInsert("R", value.NewInt(42), value.NewInt(1))
+	return d
+}
+
+func diff(a, b []data.Tuple) int {
+	have := map[value.Key]bool{}
+	for _, t := range b {
+		have[t.Key()] = true
+	}
+	n := 0
+	for _, t := range a {
+		if !have[t.Key()] {
+			n++
+		}
+	}
+	return n
+}
+
+func containsAll(sup, sub []data.Tuple) bool {
+	have := map[value.Key]bool{}
+	for _, t := range sup {
+		have[t.Key()] = true
+	}
+	for _, t := range sub {
+		if !have[t.Key()] {
+			return false
+		}
+	}
+	return true
+}

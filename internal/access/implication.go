@@ -1,0 +1,104 @@
+package access
+
+import (
+	"sort"
+)
+
+// Implies reports whether constraint c1 makes c2 redundant — both the
+// cardinality half and the index half:
+//
+//   - cardinality: if X2 ⊇ X1 and Y2 ⊆ X2 ∪ Y1, then any X2-value fixes an
+//     X1-value, so there are at most N1 distinct Y1-projections and hence
+//     at most N1 distinct Y2-projections; with N1 ≤ N2 the bound of c2
+//     follows from c1.
+//   - index: the index on X1 for Y1 can answer fetch(X2, R, Y2) when the
+//     extra key attributes X2 \ X1 are retrievable for filtering, i.e.
+//     X2 ⊆ X1 ∪ Y1, and the requested Y2 are available, i.e.
+//     Y2 ⊆ X1 ∪ Y1 (look up the X1-part, filter the bucket on the
+//     X2-extras, project Y2). The bucket scan stays within N1 entries.
+//
+// Both constraints must be over one relation and constant-form (general
+// s(·) bounds are not compared).
+func Implies(c1, c2 Constraint) bool {
+	if c1.Rel != c2.Rel || !c1.Card.IsConst() || !c2.Card.IsConst() {
+		return false
+	}
+	if c1.Card.Const > c2.Card.Const {
+		return false
+	}
+	// X1 ⊆ X2 (cardinality side) and X2 ⊆ X1 ∪ Y1 (index side).
+	for _, a := range c1.X {
+		if !attrIn(c2.X, a) {
+			return false
+		}
+	}
+	for _, a := range c2.X {
+		if !attrIn(c1.X, a) && !attrIn(c1.Y, a) {
+			return false
+		}
+	}
+	// Y2 ⊆ X1 ∪ Y1 (retrievable) — note Y2 ⊆ X2 ∪ Y1 then follows for the
+	// cardinality side since X1 ⊆ X2.
+	for _, a := range c2.Y {
+		if !attrIn(c1.X, a) && !attrIn(c1.Y, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize removes constraints implied by others, keeping the earliest
+// (declaration-order) representative of each implication class. The result
+// admits the same covered queries up to index emulation and carries fewer
+// indices to maintain — the practical payoff of pruning a Discover output.
+func (a *Schema) Minimize() *Schema {
+	n := len(a.Constraints)
+	drop := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if drop[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || drop[j] {
+				continue
+			}
+			if Implies(a.Constraints[i], a.Constraints[j]) {
+				// Avoid dropping both of a mutually-implying pair: the
+				// earlier one wins.
+				if Implies(a.Constraints[j], a.Constraints[i]) && j < i {
+					continue
+				}
+				drop[j] = true
+			}
+		}
+	}
+	var kept []Constraint
+	for i, c := range a.Constraints {
+		if !drop[i] {
+			kept = append(kept, c)
+		}
+	}
+	return NewSchema(kept...)
+}
+
+// SortedBySpecificity orders constraints by (relation, |X|, bound, text),
+// which puts the cheapest (smallest-bound) indexes first — the order the
+// coverage analysis prefers when several constraints index one atom.
+func (a *Schema) SortedBySpecificity() *Schema {
+	out := append([]Constraint(nil), a.Constraints...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := out[i], out[j]
+		if ci.Rel != cj.Rel {
+			return ci.Rel < cj.Rel
+		}
+		bi, bj := ci.Card.Bound(1<<20), cj.Card.Bound(1<<20)
+		if bi != bj {
+			return bi < bj
+		}
+		if len(ci.X) != len(cj.X) {
+			return len(ci.X) < len(cj.X)
+		}
+		return ci.String() < cj.String()
+	})
+	return NewSchema(out...)
+}

@@ -1,0 +1,133 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func attrs(as ...schema.Attribute) []schema.Attribute { return as }
+
+func TestImpliesBasics(t *testing.T) {
+	key := NewConstraint("R", attrs("A"), attrs("B", "C"), 1)
+	wider := NewConstraint("R", attrs("A"), attrs("B"), 5)
+	if !Implies(key, wider) {
+		t.Error("a key on A for B,C implies A -> B with any larger bound")
+	}
+	if Implies(wider, key) {
+		t.Error("the wide constraint cannot imply the key (bound too large)")
+	}
+	// Composite X: R(A B -> C, 2) is implied by R(A -> B C, 1): X2={A,B} ⊇
+	// X1={A}; X2 ⊆ X1∪Y1 = {A,B,C}; Y2={C} ⊆ {A,B,C}; 1 ≤ 2.
+	composite := NewConstraint("R", attrs("A", "B"), attrs("C"), 2)
+	keyABC := NewConstraint("R", attrs("A"), attrs("B", "C"), 1)
+	if !Implies(keyABC, composite) {
+		t.Error("A -> BC key implies AB -> C")
+	}
+	// The reverse fails: X1={A,B} ⊄ X2={A}.
+	if Implies(composite, keyABC) {
+		t.Error("AB -> C cannot imply A -> BC")
+	}
+}
+
+func TestImpliesGuards(t *testing.T) {
+	c1 := NewConstraint("R", attrs("A"), attrs("B"), 1)
+	c2 := NewConstraint("S", attrs("A"), attrs("B"), 5)
+	if Implies(c1, c2) {
+		t.Error("different relations never imply")
+	}
+	// Y2 not retrievable from c1's index.
+	c3 := NewConstraint("R", attrs("A"), attrs("C"), 5)
+	if Implies(c1, c3) {
+		t.Error("C is not in X1 ∪ Y1; the index cannot serve it")
+	}
+	// X2 has an attribute the index cannot filter on.
+	c4 := NewConstraint("R", attrs("A", "C"), attrs("B"), 5)
+	if Implies(c1, c4) {
+		t.Error("C is not retrievable for filtering")
+	}
+	// General-form constraints are never compared.
+	logC := Constraint{Rel: "R", X: attrs("A"), Y: attrs("B"), Card: LogCard()}
+	if Implies(logC, c1) || Implies(c1, logC) {
+		t.Error("general-form constraints are not compared")
+	}
+}
+
+func TestMinimizeSchema(t *testing.T) {
+	a := NewSchema(
+		NewConstraint("R", attrs("A"), attrs("B", "C"), 1), // key
+		NewConstraint("R", attrs("A"), attrs("B"), 5),      // implied
+		NewConstraint("R", attrs("A", "B"), attrs("C"), 3), // implied
+		NewConstraint("R", attrs("B"), attrs("A"), 4),      // independent
+	)
+	m := a.Minimize()
+	if len(m.Constraints) != 2 {
+		t.Fatalf("minimized to %d constraints, want 2: %v", len(m.Constraints), m)
+	}
+	if m.Constraints[0].Card.Const != 1 {
+		t.Errorf("the key must survive: %v", m)
+	}
+	if m.Constraints[1].X[0] != "B" {
+		t.Errorf("the independent constraint must survive: %v", m)
+	}
+}
+
+func TestMinimizeKeepsOneOfEquals(t *testing.T) {
+	c := NewConstraint("R", attrs("A"), attrs("B"), 2)
+	a := NewSchema(c, c) // duplicate
+	m := a.Minimize()
+	if len(m.Constraints) != 1 {
+		t.Fatalf("duplicates should collapse to one: %v", m)
+	}
+}
+
+func TestSortedBySpecificity(t *testing.T) {
+	a := NewSchema(
+		NewConstraint("R", attrs("A"), attrs("B"), 100),
+		NewConstraint("R", attrs("C"), attrs("B"), 1),
+		NewConstraint("Q", attrs("A"), attrs("B"), 50),
+	)
+	s := a.SortedBySpecificity()
+	if s.Constraints[0].Rel != "Q" {
+		t.Errorf("relations sort first: %v", s.Constraints)
+	}
+	if s.Constraints[1].Card.Const != 1 || s.Constraints[2].Card.Const != 100 {
+		t.Errorf("tight bounds first within a relation: %v", s.Constraints)
+	}
+	// Original untouched.
+	if a.Constraints[0].Card.Const != 100 {
+		t.Error("SortedBySpecificity must not mutate the receiver")
+	}
+}
+
+func TestMinimizePreservesSatisfaction(t *testing.T) {
+	// Any instance satisfying the minimized schema's survivors also
+	// satisfies the implied ones (soundness of Implies) — spot-check.
+	s := schema.MustNew(schema.MustRelation("R", "A", "B", "C"))
+	a := NewSchema(
+		NewConstraint("R", attrs("A"), attrs("B", "C"), 1),
+		NewConstraint("R", attrs("A"), attrs("B"), 5),
+	)
+	m := a.Minimize()
+	d := instanceWithKey(s)
+	okFull, err := Satisfies(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMin, err := Satisfies(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okFull != okMin {
+		t.Errorf("satisfaction diverged: full=%v min=%v", okFull, okMin)
+	}
+}
+
+func instanceWithKey(s *schema.Schema) *data.Instance {
+	d := data.NewInstance(s)
+	d.MustInsert("R", value.NewInt(1), value.NewInt(10), value.NewInt(100))
+	d.MustInsert("R", value.NewInt(2), value.NewInt(20), value.NewInt(200))
+	return d
+}

@@ -1,0 +1,266 @@
+// Package ainstance implements reasoning over A-instances: valuations
+// θ(T_Q) of a CQ's tableau that satisfy an access schema A.
+//
+// Following the proofs of Lemmas 3.2 and 3.3, A-satisfiability and
+// A-containment reduce to enumerating valuations of the tableau up to
+// isomorphism: each variable is mapped either to a constant appearing in
+// the queries or to one of a bounded number of fresh constants, enumerated
+// as canonical set partitions (restricted-growth style) so isomorphic
+// valuations are visited once. Both problems are intractable in general
+// (NP-complete and Πᵖ₂-complete); the enumeration is exponential in the
+// number of tableau variables, so a configurable variable cap guards it.
+package ainstance
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// DefaultMaxVars caps tableau variables for enumeration. Beyond it the
+// procedures return ErrTooLarge rather than running for years; decision
+// procedures over hand-written queries stay far below it.
+const DefaultMaxVars = 10
+
+// ErrTooLarge reports that a query has too many tableau variables for
+// exhaustive A-instance enumeration.
+type ErrTooLarge struct {
+	Vars, Max int
+}
+
+func (e ErrTooLarge) Error() string {
+	return fmt.Sprintf("ainstance: tableau has %d variables, enumeration capped at %d", e.Vars, e.Max)
+}
+
+// Options configures enumeration.
+type Options struct {
+	// MaxVars overrides DefaultMaxVars when positive.
+	MaxVars int
+}
+
+func (o Options) maxVars() int {
+	if o.MaxVars > 0 {
+		return o.MaxVars
+	}
+	return DefaultMaxVars
+}
+
+// Visit calls fn for every canonical A-instance θ(T_Q) of q under a: every
+// valuation of the tableau variables (up to isomorphism, with candidate
+// constants drawn from q, extraConsts, and fresh values) whose instance
+// satisfies a. fn receives the instance and the valuated head θ(u); if fn
+// returns false the enumeration stops early.
+//
+// Unsatisfiable queries (conflicting equalities) have no A-instances.
+func Visit(q *cq.CQ, a *access.Schema, s *schema.Schema, extraConsts []value.Value, opt Options,
+	fn func(inst *data.Instance, head data.Tuple) bool) error {
+
+	c := q.Canonicalize()
+	if c.Unsat {
+		return nil
+	}
+	vars := c.Vars()
+	if len(vars) > opt.maxVars() {
+		return ErrTooLarge{Vars: len(vars), Max: opt.maxVars()}
+	}
+
+	// Candidate named constants: those in the query plus caller-supplied.
+	known := q.Constants()
+	for _, v := range extraConsts {
+		dup := false
+		for _, w := range known {
+			if v == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			known = append(known, v)
+		}
+	}
+	fresh := freshConstants(len(vars), known)
+
+	assign := make(map[string]value.Value, len(vars))
+	stop := false
+	var rec func(i, freshUsed int) error
+	rec = func(i, freshUsed int) error {
+		if stop {
+			return nil
+		}
+		if i == len(vars) {
+			inst, head, err := build(c, s, assign)
+			if err != nil {
+				return err
+			}
+			ok, err := access.Satisfies(a, inst)
+			if err != nil {
+				return err
+			}
+			if ok && !fn(inst, head) {
+				stop = true
+			}
+			return nil
+		}
+		v := vars[i]
+		for _, k := range known {
+			assign[v] = k
+			if err := rec(i+1, freshUsed); err != nil {
+				return err
+			}
+		}
+		// Restricted growth: reuse any fresh constant already in play, or
+		// introduce the next one — never skip ahead.
+		for f := 0; f <= freshUsed && f < len(fresh); f++ {
+			assign[v] = fresh[f]
+			nu := freshUsed
+			if f == freshUsed {
+				nu++
+			}
+			if err := rec(i+1, nu); err != nil {
+				return err
+			}
+		}
+		delete(assign, v)
+		return nil
+	}
+	return rec(0, 0)
+}
+
+// freshConstants manufactures n constants distinct from every known one.
+func freshConstants(n int, known []value.Value) []value.Value {
+	out := make([]value.Value, 0, n)
+	next := 0
+	for len(out) < n {
+		cand := value.NewString(fmt.Sprintf("⋆%d", next)) // ⋆0, ⋆1, ...
+		next++
+		clash := false
+		for _, k := range known {
+			if k == cand {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// build materializes θ(T_Q) as an instance of s and the valuated head.
+func build(c *cq.Canonical, s *schema.Schema, assign map[string]value.Value) (*data.Instance, data.Tuple, error) {
+	inst := data.NewInstance(s)
+	valuate := func(t cq.Term) (value.Value, error) {
+		if !t.IsVar() {
+			return t.C, nil
+		}
+		v, ok := assign[t.V]
+		if !ok {
+			return value.Value{}, fmt.Errorf("ainstance: unassigned variable %s", t.V)
+		}
+		return v, nil
+	}
+	for _, a := range c.Atoms {
+		row := make([]value.Value, len(a.Args))
+		for j, t := range a.Args {
+			v, err := valuate(t)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[j] = v
+		}
+		if err := inst.Insert(a.Rel, row...); err != nil {
+			return nil, nil, err
+		}
+	}
+	head := make(data.Tuple, len(c.Head))
+	for i, t := range c.Head {
+		v, err := valuate(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		head[i] = v
+	}
+	return inst, head, nil
+}
+
+// Satisfiable decides A-satisfiability of a CQ (Lemma 3.2, NP-complete):
+// is there an instance D |= A with Q(D) nonempty?
+func Satisfiable(q *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	found := false
+	err := Visit(q, a, s, nil, opt, func(*data.Instance, data.Tuple) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// Contained decides A-containment q1 ⊑A q2 (Lemma 3.3, Πᵖ₂-complete):
+// q1 is not A-satisfiable, or every A-instance θ(T_Q1) has
+// θ(u1) ∈ q2(θ(T_Q1)).
+func Contained(q1, q2 *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	if len(q1.Free) != len(q2.Free) {
+		return false, nil
+	}
+	return ContainedInUCQ(q1, []*cq.CQ{q2}, a, s, opt)
+}
+
+// ContainedInUCQ decides q1 ⊑A (q2_1 ∪ ... ∪ q2_n). The union is checked
+// per A-instance, which is strictly more general than per-sub-query
+// containment (Example 3.5 of the paper).
+func ContainedInUCQ(q1 *cq.CQ, union []*cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	var extra []value.Value
+	for _, q2 := range union {
+		extra = append(extra, q2.Constants()...)
+	}
+	contained := true
+	err := Visit(q1, a, s, extra, opt, func(inst *data.Instance, head data.Tuple) bool {
+		for _, q2 := range union {
+			if len(q2.Free) != len(q1.Free) {
+				continue
+			}
+			res, evalErr := eval.CQ(q2, inst, eval.ScanJoin)
+			if evalErr != nil {
+				continue
+			}
+			if res.Contains(head) {
+				return true // this A-instance is fine; keep going
+			}
+		}
+		contained = false
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return contained, nil
+}
+
+// UCQContained decides ⋃q1 ⊑A ⋃q2: every sub-query of the left side is
+// A-contained in the right-side union.
+func UCQContained(left, right []*cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	for _, q := range left {
+		ok, err := ContainedInUCQ(q, right, a, s, opt)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equivalent decides A-equivalence q1 ≡A q2.
+func Equivalent(q1, q2 *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	ok, err := Contained(q1, q2, a, s, opt)
+	if err != nil || !ok {
+		return false, err
+	}
+	return Contained(q2, q1, a, s, opt)
+}

@@ -1,0 +1,296 @@
+package ainstance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value { return value.NewInt(i) }
+func attrs(as ...schema.Attribute) []schema.Attribute {
+	return as
+}
+
+// Example 3.1(2): A2 = {R2(A -> B, 1)},
+// Q2(x) = ∃x1,x2 (R2(x,x1) ∧ R2(x,x2) ∧ x1=1 ∧ x2=2).
+// Q2 is classically satisfiable but NOT A-satisfiable.
+func TestExample31_2_ASatisfiability(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R2", "A", "B"))
+	a2 := access.NewSchema(access.NewConstraint("R2", attrs("A"), attrs("B"), 1))
+	q2 := &cq.CQ{
+		Label: "Q2",
+		Free:  []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R2", cq.Var("x"), cq.Var("x1")),
+			cq.NewAtom("R2", cq.Var("x"), cq.Var("x2")),
+		},
+		Eqs: []cq.Eq{
+			{L: cq.Var("x1"), R: cq.Const(iv(1))},
+			{L: cq.Var("x2"), R: cq.Const(iv(2))},
+		},
+	}
+	if !q2.Satisfiable() {
+		t.Fatal("Q2 is classically satisfiable")
+	}
+	ok, err := Satisfiable(q2, a2, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Q2 must NOT be A2-satisfiable (the key constraint forbids (x,1),(x,2))")
+	}
+	// Without the constraint it is A-satisfiable.
+	ok, err = Satisfiable(q2, access.NewSchema(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Q2 must be satisfiable under the empty access schema")
+	}
+}
+
+// Example 3.1(3): A3 = {R3(∅ -> C, 1), R3(AB -> C, N)};
+// Q3(x,y) ≡A3 Q3'(x,x) = R3(1,1,x) ∧ R3(x,x,x).
+func TestExample31_3_AEquivalence(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R3", "A", "B", "C"))
+	a3 := access.NewSchema(
+		access.NewConstraint("R3", nil, attrs("C"), 1),
+		access.NewConstraint("R3", attrs("A", "B"), attrs("C"), 5),
+	)
+	q3 := &cq.CQ{
+		Label: "Q3",
+		Free:  []string{"x", "y"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R3", cq.Var("x1"), cq.Var("x2"), cq.Var("x")),
+			cq.NewAtom("R3", cq.Var("z1"), cq.Var("z2"), cq.Var("y")),
+			cq.NewAtom("R3", cq.Var("x"), cq.Var("y"), cq.Var("z3")),
+		},
+		Eqs: []cq.Eq{
+			{L: cq.Var("x1"), R: cq.Const(iv(1))},
+			{L: cq.Var("x2"), R: cq.Const(iv(1))},
+		},
+	}
+	q3p := &cq.CQ{
+		Label: "Q3p",
+		Free:  []string{"x", "x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R3", cq.Const(iv(1)), cq.Const(iv(1)), cq.Var("x")),
+			cq.NewAtom("R3", cq.Var("x"), cq.Var("x"), cq.Var("x")),
+		},
+	}
+	// Classically the two are NOT equivalent...
+	if cq.Equivalent(q3, q3p) {
+		t.Error("Q3 and Q3' must differ classically")
+	}
+	// ...but they are A3-equivalent (the ∅ -> C constraint forces x=y=z3).
+	ok, err := Equivalent(q3, q3p, a3, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Q3 ≡A3 Q3' must hold (Example 3.1(3))")
+	}
+}
+
+// Example 3.5 (first part): under A = {R(∅ -> X, 2)} with Qc forcing
+// {0,1} ⊆ R, Q ⊑A Q1 ∪ Q2 although Q ⋢A Q1 and Q ⋢A Q2.
+func TestExample35_UnionContainment(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("R", "X"),
+		schema.MustRelation("S", "A", "B"),
+	)
+	a := access.NewSchema(access.NewConstraint("R", nil, attrs("X"), 2))
+	// Qc() = R(1) ∧ R(0); Qψ(x,y) = S(x,y) ∧ R(y).
+	base := []cq.Atom{
+		cq.NewAtom("R", cq.Const(iv(1))),
+		cq.NewAtom("R", cq.Const(iv(0))),
+		cq.NewAtom("S", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", cq.Var("y")),
+	}
+	q := &cq.CQ{Label: "Q", Free: []string{"x"}, Atoms: base}
+	q1 := &cq.CQ{Label: "Q1", Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("S", cq.Var("x"), cq.Var("y")), cq.NewAtom("R", cq.Var("y"))},
+		Eqs:   []cq.Eq{{L: cq.Var("y"), R: cq.Const(iv(1))}}}
+	q2 := &cq.CQ{Label: "Q2", Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("S", cq.Var("x"), cq.Var("y")), cq.NewAtom("R", cq.Var("y"))},
+		Eqs:   []cq.Eq{{L: cq.Var("y"), R: cq.Const(iv(0))}}}
+
+	inUnion, err := ContainedInUCQ(q, []*cq.CQ{q1, q2}, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inUnion {
+		t.Error("Q ⊑A Q1 ∪ Q2 must hold (R is forced to be exactly {0,1})")
+	}
+	in1, err := Contained(q, q1, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := Contained(q, q2, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1 || in2 {
+		t.Errorf("Q must not be A-contained in either disjunct alone: in1=%v in2=%v", in1, in2)
+	}
+	// Sanity: without the cardinality bound the union containment fails
+	// (y may take a third value).
+	noCard := access.NewSchema()
+	inUnion, err = ContainedInUCQ(q, []*cq.CQ{q1, q2}, noCard, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inUnion {
+		t.Error("without R(∅->X,2) the union containment must fail")
+	}
+}
+
+func TestAContainmentRefinesClassical(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	// Classical containment implies A-containment for any A.
+	q1 := &cq.CQ{Free: []string{"x"}, Atoms: []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", cq.Var("y"), cq.Var("z")),
+	}}
+	q2 := &cq.CQ{Free: []string{"x"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 3))
+	ok, err := Contained(q1, q2, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("classical containment must carry over to A-containment")
+	}
+	ok, err = Contained(q2, q1, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("reverse containment must fail")
+	}
+}
+
+func TestUnsatisfiableContainedInAnything(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema()
+	unsat := &cq.CQ{Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))},
+		Eqs:   []cq.Eq{{L: cq.Var("y"), R: cq.Const(iv(1))}, {L: cq.Var("y"), R: cq.Const(iv(2))}}}
+	q := &cq.CQ{Free: []string{"x"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("x"))}}
+	ok, err := Contained(unsat, q, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("A-unsatisfiable query is A-contained in everything")
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema()
+	q1 := &cq.CQ{Free: []string{"x"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	q2 := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	ok, err := Contained(q1, q2, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("arity mismatch cannot be contained")
+	}
+}
+
+func TestTooManyVariables(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema()
+	var atoms []cq.Atom
+	for i := 0; i < 8; i++ {
+		atoms = append(atoms, cq.NewAtom("R", cq.Var(varName(2*i)), cq.Var(varName(2*i+1))))
+	}
+	q := &cq.CQ{Free: []string{varName(0)}, Atoms: atoms}
+	_, err := Satisfiable(q, a, s, Options{MaxVars: 5})
+	var tooLarge ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if tooLarge.Vars != 16 || tooLarge.Max != 5 {
+		t.Errorf("ErrTooLarge fields = %+v", tooLarge)
+	}
+}
+
+func varName(i int) string { return "v" + string(rune('a'+i)) }
+
+func TestVisitEnumeratesIsomorphismClasses(t *testing.T) {
+	// Q(x,y) :- R(x,y): A-instances up to isomorphism, with no query
+	// constants in play, are {x=y} and {x≠y}: exactly 2 visits.
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema()
+	q := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	count := 0
+	err := Visit(q, a, s, nil, Options{}, func(inst *data.Instance, head data.Tuple) bool {
+		count++
+		if inst.Size() != 1 {
+			t.Errorf("each A-instance should hold the single valuated atom, size=%d", inst.Size())
+		}
+		if len(head) != 2 {
+			t.Errorf("head arity = %d", len(head))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("visited %d canonical A-instances, want 2", count)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema()
+	q := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	count := 0
+	err := Visit(q, a, s, nil, Options{}, func(*data.Instance, data.Tuple) bool {
+		count++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("early stop should visit once, visited %d", count)
+	}
+}
+
+func TestVisitRespectsCardinality(t *testing.T) {
+	// Q() :- R(x,1), R(x,2): with R(A -> B, 1) no A-instance exists where
+	// x is shared; but valuations where the two atoms use *different* x do
+	// not exist (same variable). So zero visits.
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 1))
+	q := &cq.CQ{Atoms: []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Const(iv(1))),
+		cq.NewAtom("R", cq.Var("x"), cq.Const(iv(2))),
+	}}
+	count := 0
+	if err := Visit(q, a, s, nil, Options{}, func(*data.Instance, data.Tuple) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("no A-instance should satisfy the key constraint, visited %d", count)
+	}
+	// Bound 2 admits it.
+	a2 := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 2))
+	count = 0
+	if err := Visit(q, a2, s, nil, Options{}, func(*data.Instance, data.Tuple) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("bound 2 should admit A-instances")
+	}
+}

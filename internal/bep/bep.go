@@ -1,0 +1,236 @@
+// Package bep decides the bounded evaluability problem (BEP, Section 3):
+// given a query Q and an access schema A, is Q boundedly evaluable under A?
+//
+// BEP is EXPSPACE-complete for CQ (Theorem 3.4) and undecidable for FO, so
+// no implementation can be both complete and practical. This checker
+// implements the strategy the paper itself recommends: decide the covered
+// fragment exactly (PTIME, Theorem 3.11) and search for an A-equivalent
+// covered rewriting using sound transformations —
+//
+//  1. the FD chase with bound-1 constraints (captures Examples 3.1(2) and
+//     3.1(3)'s variable merging, and detects A-unsatisfiable queries,
+//     which are boundedly evaluable via the empty plan);
+//  2. elimination of A-redundant atoms (classical containment first, full
+//     A-containment à la Lemma 3.3 as a fallback for small queries).
+//
+// Verdicts are three-valued: Bounded (with the covered witness query),
+// NotCovered (no rewriting in our closure is covered — sound "unknown"),
+// and BoundedEmpty (A-unsatisfiable).
+package bep
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/ainstance"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Verdict classifies the checker's outcome.
+type Verdict int
+
+const (
+	// Bounded: the query is boundedly evaluable; Witness is covered and
+	// A-equivalent to the input.
+	Bounded Verdict = iota
+	// BoundedEmpty: the query is A-unsatisfiable, hence boundedly
+	// evaluable via the empty plan.
+	BoundedEmpty
+	// Unknown: not covered after every rewrite in the checker's closure.
+	// The query may still be boundedly evaluable (BEP is EXPSPACE-complete;
+	// this is the price of a practical checker).
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Bounded:
+		return "bounded"
+	case BoundedEmpty:
+		return "bounded (A-unsatisfiable, empty plan)"
+	case Unknown:
+		return "unknown (not covered after rewrites)"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Options tunes the checker.
+type Options struct {
+	// UseAContainment enables the expensive A-containment fallback when
+	// testing atom redundancy (A-instance enumeration). Classical
+	// containment is always tried first.
+	UseAContainment bool
+	// AInstance configures the enumeration when UseAContainment is set.
+	AInstance ainstance.Options
+	// Cover configures the coverage checks.
+	Cover cover.Options
+}
+
+// Decision is the full outcome of a BEP check.
+type Decision struct {
+	Verdict Verdict
+	// Input is the query as given.
+	Input *cq.CQ
+	// Witness is the A-equivalent covered query certifying boundedness
+	// (equal to the normalized input when it is covered as-is). Nil for
+	// Unknown verdicts.
+	Witness *cq.CQ
+	// Cover is the covered-check result for Witness (Bounded) or for the
+	// final rewriting attempt (Unknown — its diagnostics say what failed).
+	Cover *cover.Result
+	// Rewrites lists the transformations applied, in order.
+	Rewrites []string
+}
+
+// Decide runs the BEP checker on a CQ.
+func Decide(q *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*Decision, error) {
+	dec := &Decision{Input: q}
+
+	// Fast path: already covered?
+	res, err := cover.Check(q, a, s, opt.Cover)
+	if err != nil {
+		return nil, err
+	}
+	if res.Covered {
+		dec.Verdict = Bounded
+		dec.Witness = res.Analysis.Q
+		dec.Cover = res
+		return dec, nil
+	}
+
+	// Rewrite 1: FD chase with bound-1 constraints.
+	cr, err := chase(q, a, s)
+	if err != nil {
+		return nil, err
+	}
+	cur := cr.Q
+	if cr.Unsat {
+		dec.Verdict = BoundedEmpty
+		dec.Witness = cur
+		dec.Rewrites = append(dec.Rewrites, "chase: derived contradiction (A-unsatisfiable)")
+		return dec, nil
+	}
+	if cr.Changed {
+		dec.Rewrites = append(dec.Rewrites, "chase: merged variables via bound-1 constraints")
+	}
+
+	// Rewrite 2: drop A-redundant atoms.
+	cur, dropped, err := dropRedundantAtoms(cur, a, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	dec.Rewrites = append(dec.Rewrites, dropped...)
+
+	res, err = cover.Check(cur, a, s, opt.Cover)
+	if err != nil {
+		return nil, err
+	}
+	dec.Cover = res
+	if res.Covered {
+		dec.Verdict = Bounded
+		dec.Witness = res.Analysis.Q
+		return dec, nil
+	}
+
+	// Last resort: A-unsatisfiable queries are bounded via the empty plan.
+	if opt.UseAContainment {
+		sat, err := ainstance.Satisfiable(cur, a, s, opt.AInstance)
+		if err == nil && !sat {
+			dec.Verdict = BoundedEmpty
+			dec.Witness = cur
+			dec.Rewrites = append(dec.Rewrites, "A-satisfiability check: no A-instance exists")
+			return dec, nil
+		}
+	}
+	dec.Verdict = Unknown
+	return dec, nil
+}
+
+// dropRedundantAtoms removes atoms whose deletion preserves A-equivalence.
+// Removing a conjunct always relaxes (Q ⊑ Q-atom on all instances), so the
+// test is Q-atom ⊑A Q: first by the classical Homomorphism Theorem (sound
+// for any A), then optionally by A-containment.
+func dropRedundantAtoms(q *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*cq.CQ, []string, error) {
+	cur := q.DropDuplicateAtoms()
+	var log []string
+	for {
+		removed := false
+		for i := range cur.Atoms {
+			cand := cur.Clone()
+			atom := cand.Atoms[i]
+			cand.Atoms = append(cand.Atoms[:i:i], cand.Atoms[i+1:]...)
+			if err := cand.Validate(s); err != nil {
+				continue // removal would break safety
+			}
+			ok := cq.Contains(cand, cur)
+			if !ok && opt.UseAContainment {
+				var cErr error
+				ok, cErr = ainstance.Contained(cand, cur, a, s, opt.AInstance)
+				if cErr != nil {
+					ok = false // enumeration too large: keep the atom
+				}
+			}
+			if ok {
+				log = append(log, fmt.Sprintf("dropped A-redundant atom %s", atom))
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur, log, nil
+		}
+	}
+}
+
+// UCQDecision is the outcome for a union of CQs.
+type UCQDecision struct {
+	Verdict Verdict
+	// Subs are the per-sub-query decisions (after rewriting).
+	Subs []*Decision
+	// Union is the covered-UCQ check over the rewritten sub-queries
+	// (Lemma 3.6: bounded iff A-equivalent to a union of bounded subs).
+	Union *cover.UCQResult
+}
+
+// DecideUCQ runs the checker on a UCQ following Lemma 3.6: rewrite each
+// sub-query, then check that each is covered or dominated by covered ones.
+func DecideUCQ(qs []*cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*UCQDecision, error) {
+	out := &UCQDecision{}
+	var rewritten []*cq.CQ
+	allEmpty := true
+	for _, q := range qs {
+		d, err := Decide(q, a, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		out.Subs = append(out.Subs, d)
+		if d.Verdict == BoundedEmpty {
+			continue // contributes nothing; drop from the union
+		}
+		allEmpty = false
+		w := d.Witness
+		if w == nil {
+			w = q
+		}
+		rewritten = append(rewritten, w)
+	}
+	if allEmpty {
+		out.Verdict = BoundedEmpty
+		return out, nil
+	}
+	ures, err := cover.CheckUCQ(rewritten, a, s, opt.Cover)
+	if err != nil {
+		return nil, err
+	}
+	out.Union = ures
+	if ures.Covered {
+		out.Verdict = Bounded
+	} else {
+		out.Verdict = Unknown
+	}
+	return out, nil
+}

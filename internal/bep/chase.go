@@ -1,0 +1,199 @@
+package bep
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// chaseResult is the outcome of chasing a CQ with the functional
+// dependencies induced by bound-1 access constraints.
+type chaseResult struct {
+	// Q is the rewritten query (variables merged, constants propagated).
+	Q *cq.CQ
+	// Unsat reports that the chase derived a contradiction (two distinct
+	// constants must be equal), so the query is A-unsatisfiable.
+	Unsat bool
+	// Changed reports whether the chase altered the query.
+	Changed bool
+}
+
+// chase applies the classical FD chase to q's tableau using every access
+// constraint R(X -> Y, 1): such a constraint asserts that any two R-tuples
+// agreeing on X agree on Y (it is a functional dependency X -> Y with an
+// index attached). The special case R(∅ -> Y, 1) equates the Y-attributes
+// of ALL R-atoms, which is exactly what justifies the rewriting of
+// Example 3.1(3) in the paper.
+//
+// The result is A-equivalent to q on every instance satisfying the
+// constraints (soundness of the chase), which is what BEP needs.
+func chase(q *cq.CQ, a *access.Schema, s *schema.Schema) (*chaseResult, error) {
+	n := q.Normalize()
+	// Union-find over variable names, with constant pinning.
+	parent := make(map[string]string)
+	pinned := make(map[string]value.Value)
+	var find func(v string) string
+	find = func(v string) string {
+		p, ok := parent[v]
+		if !ok {
+			parent[v] = v
+			return v
+		}
+		if p == v {
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	unsat := false
+	union := func(x, y string) bool {
+		rx, ry := find(x), find(y)
+		if rx == ry {
+			return false
+		}
+		if ry < rx {
+			rx, ry = ry, rx
+		}
+		parent[ry] = rx
+		cx, okx := pinned[rx]
+		cy, oky := pinned[ry]
+		switch {
+		case okx && oky && cx != cy:
+			unsat = true
+		case oky && !okx:
+			pinned[rx] = cy
+		}
+		delete(pinned, ry)
+		return true
+	}
+	for _, v := range n.Vars() {
+		parent[v] = v
+	}
+	for _, e := range n.Eqs {
+		switch {
+		case e.L.IsVar() && e.R.IsVar():
+			union(e.L.V, e.R.V)
+		case e.L.IsVar():
+			r := find(e.L.V)
+			if c, ok := pinned[r]; ok && c != e.R.C {
+				unsat = true
+			}
+			pinned[r] = e.R.C
+		case e.R.IsVar():
+			r := find(e.R.V)
+			if c, ok := pinned[r]; ok && c != e.L.C {
+				unsat = true
+			}
+			pinned[r] = e.L.C
+		}
+	}
+
+	// FD chase rounds: for each bound-1 constraint and each pair of atoms
+	// of its relation agreeing on X (under current classes), merge Y.
+	type fd struct {
+		rel  string
+		xpos []int
+		ypos []int
+	}
+	var fds []fd
+	for _, c := range a.Constraints {
+		if !c.Card.IsConst() || c.Card.Const != 1 {
+			continue
+		}
+		rs, ok := s.Relation(c.Rel)
+		if !ok {
+			return nil, fmt.Errorf("bep: constraint on unknown relation %s", c.Rel)
+		}
+		xpos, err := rs.Positions(c.X)
+		if err != nil {
+			return nil, err
+		}
+		ypos, err := rs.Positions(c.Y)
+		if err != nil {
+			return nil, err
+		}
+		fds = append(fds, fd{rel: c.Rel, xpos: xpos, ypos: ypos})
+	}
+	sameClassOrConst := func(u, v string) bool {
+		ru, rv := find(u), find(v)
+		if ru == rv {
+			return true
+		}
+		cu, oku := pinned[ru]
+		cv, okv := pinned[rv]
+		return oku && okv && cu == cv
+	}
+	changed := false
+	for round := true; round && !unsat; {
+		round = false
+		for _, f := range fds {
+			for i := range n.Atoms {
+				if n.Atoms[i].Rel != f.rel {
+					continue
+				}
+				for j := i + 1; j < len(n.Atoms); j++ {
+					if n.Atoms[j].Rel != f.rel {
+						continue
+					}
+					agree := true
+					for _, p := range f.xpos {
+						if !sameClassOrConst(n.Atoms[i].Args[p].V, n.Atoms[j].Args[p].V) {
+							agree = false
+							break
+						}
+					}
+					if !agree {
+						continue
+					}
+					for _, p := range f.ypos {
+						if union(n.Atoms[i].Args[p].V, n.Atoms[j].Args[p].V) {
+							round = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if unsat {
+		return &chaseResult{Q: n, Unsat: true, Changed: true}, nil
+	}
+
+	// Rebuild the query over class representatives, pinning constants.
+	sub := make(map[string]cq.Term)
+	for _, v := range n.Vars() {
+		r := find(v)
+		if c, ok := pinned[r]; ok && !isFree(n, v) {
+			sub[v] = cq.Const(c)
+		} else if r != v {
+			sub[v] = cq.Var(r)
+		}
+	}
+	out := n.Substitute(sub)
+	// Re-add the pinning equalities for classes containing free variables
+	// (Substitute keeps free variables as variables).
+	out.Eqs = nil
+	emitted := make(map[string]bool)
+	for _, v := range n.Vars() {
+		r := find(v)
+		if c, ok := pinned[r]; ok && isFree(n, v) && !emitted[find(v)] {
+			emitted[r] = true
+			out.Eqs = append(out.Eqs, cq.Eq{L: cq.Var(r), R: cq.Const(c)})
+		}
+	}
+	out = out.Normalize().DropDuplicateAtoms()
+	return &chaseResult{Q: out, Changed: changed}, nil
+}
+
+func isFree(q *cq.CQ, v string) bool {
+	for _, f := range q.Free {
+		if f == v {
+			return true
+		}
+	}
+	return false
+}

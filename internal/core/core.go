@@ -1,0 +1,286 @@
+// Package core is the public face of the bounded-evaluation system: one
+// Engine that ties together the paper's pipeline —
+//
+//	check coverage (Theorem 3.11)    →  IsCovered
+//	decide bounded evaluability      →  CheckBounded (BEP)
+//	synthesize a bounded query plan  →  Plan
+//	execute with access accounting   →  Execute / ExecuteAuto
+//	approximate when not bounded     →  UpperEnvelope / LowerEnvelope (UEP/LEP)
+//	specialize parameterized queries →  Specialize (QSP)
+//
+// This is the strategy the paper's Conclusion prescribes: maintain an
+// access schema A; for each query, compute exact answers by accessing a
+// bounded amount of data when Q is covered/bounded, and otherwise fall
+// back to envelopes or user-driven specialization.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/bep"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/envelope"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/specialize"
+)
+
+// Options configures an Engine; the zero value is sensible.
+type Options struct {
+	Cover      cover.Options
+	BEP        bep.Options
+	Envelope   envelope.Options
+	Specialize specialize.Options
+	Plan       plan.BuildOptions
+}
+
+// Engine couples a relational schema, an access schema, and (after Load)
+// an indexed instance.
+type Engine struct {
+	Schema *schema.Schema
+	Access *access.Schema
+	Opts   Options
+
+	instance *data.Instance
+	indexed  *access.Indexed
+}
+
+// New builds an engine, validating the access schema against the
+// relational schema.
+func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
+	if err := a.Validate(s); err != nil {
+		return nil, err
+	}
+	return &Engine{Schema: s, Access: a, Opts: opts}, nil
+}
+
+// Load attaches an instance: it builds every index in A and verifies
+// D |= A, failing with the list of violations otherwise.
+func (e *Engine) Load(d *data.Instance) error {
+	ix, viols, err := access.BuildIndexed(e.Access, d)
+	if err != nil {
+		return err
+	}
+	if len(viols) > 0 {
+		return fmt.Errorf("core: instance violates the access schema: %v (first of %d)", viols[0], len(viols))
+	}
+	e.instance = d
+	e.indexed = ix
+	return nil
+}
+
+// Instance returns the loaded instance, or nil.
+func (e *Engine) Instance() *data.Instance { return e.instance }
+
+// IsCovered runs the PTIME covered-query check with diagnostics.
+func (e *Engine) IsCovered(q *cq.CQ) (*cover.Result, error) {
+	return cover.Check(q, e.Access, e.Schema, e.Opts.Cover)
+}
+
+// IsCoveredUCQ runs the UCQ/∃FO⁺ covered check (covered or dominated subs).
+func (e *Engine) IsCoveredUCQ(qs []*cq.CQ) (*cover.UCQResult, error) {
+	return cover.CheckUCQ(qs, e.Access, e.Schema, e.Opts.Cover)
+}
+
+// CheckBounded runs the BEP checker (coverage + A-equivalent rewrites).
+func (e *Engine) CheckBounded(q *cq.CQ) (*bep.Decision, error) {
+	return bep.Decide(q, e.Access, e.Schema, e.Opts.BEP)
+}
+
+// Plan synthesizes a boundedly evaluable plan for q, going through the BEP
+// checker so that A-equivalent rewrites (chase, redundant-atom drops) are
+// applied when the query is not covered as written. The returned Bound is
+// the static worst-case access bound over every D |= A.
+func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+	dec, err := e.CheckBounded(q)
+	if err != nil {
+		return nil, plan.Bound{}, err
+	}
+	switch dec.Verdict {
+	case bep.Bounded, bep.BoundedEmpty:
+		var p *plan.Plan
+		if dec.Verdict == bep.BoundedEmpty {
+			// The chase derived a contradiction: the empty plan answers Q
+			// on every instance satisfying A.
+			p = plan.Empty(q.Label, q.Free)
+		} else {
+			res, err := e.IsCovered(dec.Witness)
+			if err != nil {
+				return nil, plan.Bound{}, err
+			}
+			p, err = plan.Build(res, e.Opts.Plan)
+			if err != nil {
+				return nil, plan.Bound{}, err
+			}
+			p = plan.Optimize(p)
+		}
+		p.Label = q.Label
+		sizeHint := 0
+		if e.instance != nil {
+			sizeHint = e.instance.Size()
+		}
+		b, err := plan.AccessBound(p, sizeHint)
+		if err != nil {
+			return nil, plan.Bound{}, err
+		}
+		return p, b, nil
+	default:
+		return nil, plan.Bound{}, &NotBoundedError{Decision: dec}
+	}
+}
+
+// NotBoundedError reports that no bounded plan could be built; the
+// embedded BEP decision carries the coverage diagnostics.
+type NotBoundedError struct {
+	Decision *bep.Decision
+}
+
+func (e *NotBoundedError) Error() string {
+	msg := "core: query is not boundedly evaluable under the access schema"
+	if e.Decision != nil && e.Decision.Cover != nil {
+		msg += ":\n" + e.Decision.Cover.Explain()
+	}
+	return msg
+}
+
+// Execute answers q through its bounded plan. Load must have been called.
+func (e *Engine) Execute(q *cq.CQ) (*plan.Table, *plan.ExecStats, error) {
+	if e.indexed == nil {
+		return nil, nil, fmt.Errorf("core: no instance loaded")
+	}
+	p, _, err := e.Plan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Execute(p, e.indexed)
+}
+
+// Mode says how ExecuteAuto answered a query.
+type Mode int
+
+const (
+	// ViaBoundedPlan: a boundedly evaluable plan was used.
+	ViaBoundedPlan Mode = iota
+	// ViaFullScan: the query was not boundedly evaluable; the conventional
+	// evaluator answered it by scanning.
+	ViaFullScan
+)
+
+func (m Mode) String() string {
+	if m == ViaBoundedPlan {
+		return "bounded plan"
+	}
+	return "full scan"
+}
+
+// AutoResult is ExecuteAuto's outcome.
+type AutoResult struct {
+	Mode Mode
+	// Rows is the answer set.
+	Rows []data.Tuple
+	// Fetched counts tuples retrieved via indices (bounded path).
+	Fetched int64
+	// Scanned counts tuples read by the fallback evaluator (scan path).
+	Scanned int64
+}
+
+// ExecuteAuto implements the Conclusion's strategy: bounded plan when
+// possible, conventional evaluation otherwise.
+func (e *Engine) ExecuteAuto(q *cq.CQ) (*AutoResult, error) {
+	if e.instance == nil {
+		return nil, fmt.Errorf("core: no instance loaded")
+	}
+	tbl, stats, err := e.Execute(q)
+	if err == nil {
+		return &AutoResult{Mode: ViaBoundedPlan, Rows: tbl.Rows, Fetched: stats.Fetched}, nil
+	}
+	var nb *NotBoundedError
+	if !asNotBounded(err, &nb) {
+		return nil, err
+	}
+	res, err := eval.CQ(q, e.instance, eval.HashJoin)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoResult{Mode: ViaFullScan, Rows: res.Rows, Scanned: res.Scanned}, nil
+}
+
+func asNotBounded(err error, target **NotBoundedError) bool {
+	for err != nil {
+		if nb, ok := err.(*NotBoundedError); ok {
+			*target = nb
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Baseline answers q with the conventional evaluator (for comparisons).
+func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
+	if e.instance == nil {
+		return nil, fmt.Errorf("core: no instance loaded")
+	}
+	return eval.CQ(q, e.instance, mode)
+}
+
+// UpperEnvelope searches for a covered relaxation of q (UEP).
+func (e *Engine) UpperEnvelope(q *cq.CQ) (*envelope.Upper, error) {
+	return envelope.FindUpper(q, e.Access, e.Schema, e.Opts.Envelope)
+}
+
+// LowerEnvelope searches for a covered, A-satisfiable k-expansion (LEP).
+func (e *Engine) LowerEnvelope(q *cq.CQ, k int) (*envelope.Lower, error) {
+	return envelope.FindLower(q, e.Access, e.Schema, k, e.Opts.Envelope)
+}
+
+// Specialize solves QSP for q with parameter set X and budget k.
+func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, error) {
+	return specialize.Decide(q, e.Access, e.Schema, X, k, e.Opts.Specialize)
+}
+
+// Explain renders a one-stop report: coverage, BEP verdict, plan and bound
+// (when bounded), and envelope/specialization hints otherwise.
+func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
+	res, err := e.IsCovered(q)
+	if err != nil {
+		return "", err
+	}
+	out := "query: " + q.String() + "\n" + res.Explain()
+	dec, err := e.CheckBounded(q)
+	if err != nil {
+		return "", err
+	}
+	out += "BEP verdict: " + dec.Verdict.String() + "\n"
+	for _, r := range dec.Rewrites {
+		out += "  rewrite: " + r + "\n"
+	}
+	if dec.Verdict == bep.Bounded || dec.Verdict == bep.BoundedEmpty {
+		p, b, err := e.Plan(q)
+		if err != nil {
+			return "", err
+		}
+		out += p.String() + "\n" + b.String() + "\n"
+		return out, nil
+	}
+	if up, err := e.UpperEnvelope(q); err == nil && up.Found {
+		out += "upper envelope: " + up.Qu.String() + fmt.Sprintf("  (Nu ≤ %d)\n", up.Nu)
+	}
+	if lo, err := e.LowerEnvelope(q, 2); err == nil && lo.Found {
+		out += "lower envelope: " + lo.Ql.String() + fmt.Sprintf("  (Nl ≤ %d)\n", lo.Nl)
+	}
+	if len(params) > 0 {
+		if sp, err := e.Specialize(q, params, len(params)); err == nil && sp.Found {
+			out += fmt.Sprintf("specializable with parameters %v\n", sp.Params)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func newAccidentEngine(t *testing.T) *Engine {
+	t.Helper()
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 10, AccidentsPerDay: 20, MaxVehicles: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(acc.Schema, acc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(acc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEndToEndQ0(t *testing.T) {
+	e := newAccidentEngine(t)
+	q := workload.Q0()
+
+	res, err := e.IsCovered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("Q0 must be covered:\n%s", res.Explain())
+	}
+	p, bound, err := e.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FetchCount() == 0 || bound.Fetched <= 0 {
+		t.Errorf("plan should fetch: %s / %s", p, bound)
+	}
+	got, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Baseline(q, eval.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(want.Rows) {
+		t.Fatalf("bounded=%d baseline=%d rows", got.Len(), len(want.Rows))
+	}
+	if stats.Fetched > bound.Fetched {
+		t.Errorf("execution fetched %d > static bound %d", stats.Fetched, bound.Fetched)
+	}
+}
+
+func TestExecuteAutoBoundedPath(t *testing.T) {
+	e := newAccidentEngine(t)
+	res, err := e.ExecuteAuto(workload.Q0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ViaBoundedPlan {
+		t.Fatalf("Q0 must go through the bounded plan, got %v", res.Mode)
+	}
+	if res.Fetched == 0 {
+		t.Error("bounded path must report fetches")
+	}
+}
+
+func TestExecuteAutoFallback(t *testing.T) {
+	e := newAccidentEngine(t)
+	q, _ := workload.Q51() // unparameterized: not bounded
+	res, err := e.ExecuteAuto(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ViaFullScan {
+		t.Fatalf("Q51 must fall back to scanning, got %v", res.Mode)
+	}
+	if res.Scanned == 0 {
+		t.Error("scan path must report scanned tuples")
+	}
+	// Agreement with direct baseline.
+	want, err := e.Baseline(q, eval.ScanJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Errorf("fallback rows = %d, baseline = %d", len(res.Rows), len(want.Rows))
+	}
+}
+
+func TestLoadRejectsViolatingInstance(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []schema.Attribute{"A"}, []schema.Attribute{"B"}, 1))
+	e, err := New(s, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.NewInstance(s)
+	d.MustInsert("R", value.NewInt(1), value.NewInt(10))
+	d.MustInsert("R", value.NewInt(1), value.NewInt(20))
+	if err := e.Load(d); err == nil {
+		t.Fatal("violating instance must be rejected")
+	}
+}
+
+func TestNewRejectsBadAccessSchema(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A"))
+	bad := access.NewSchema(access.NewConstraint("T", nil, []schema.Attribute{"A"}, 1))
+	if _, err := New(s, bad, Options{}); err == nil {
+		t.Fatal("constraints on unknown relations must be rejected")
+	}
+}
+
+func TestExplainBoundedQuery(t *testing.T) {
+	e := newAccidentEngine(t)
+	out, err := e.Explain(workload.Q0(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"covered: true", "BEP verdict: bounded", "plan Q0", "access bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnboundedQueryShowsAlternatives(t *testing.T) {
+	e := newAccidentEngine(t)
+	q, params := workload.Q51()
+	out, err := e.Explain(q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unknown") {
+		t.Errorf("Q51 should be reported not bounded:\n%s", out)
+	}
+	if !strings.Contains(out, "specializable with parameters [date]") {
+		t.Errorf("Explain should surface the QSP result:\n%s", out)
+	}
+}
+
+func TestEngineWithoutInstance(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{Days: 1, AccidentsPerDay: 2, MaxVehicles: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(acc.Schema, acc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static analyses work without data.
+	if _, err := e.IsCovered(workload.Q0()); err != nil {
+		t.Errorf("IsCovered should not need an instance: %v", err)
+	}
+	if _, _, err := e.Plan(workload.Q0()); err != nil {
+		t.Errorf("Plan should not need an instance: %v", err)
+	}
+	// Execution does.
+	if _, _, err := e.Execute(workload.Q0()); err == nil {
+		t.Error("Execute without Load must fail")
+	}
+	if _, err := e.ExecuteAuto(workload.Q0()); err == nil {
+		t.Error("ExecuteAuto without Load must fail")
+	}
+}
+
+func TestPlanGoesThroughRewrites(t *testing.T) {
+	// The A-unsatisfiable Q2 of Example 3.1(2) gets an empty plan via BEP.
+	s := schema.MustNew(schema.MustRelation("R2", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R2", []schema.Attribute{"A"}, []schema.Attribute{"B"}, 1))
+	e, err := New(s, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &cq.CQ{
+		Label: "Q2", Free: []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R2", cq.Var("x"), cq.Var("x1")),
+			cq.NewAtom("R2", cq.Var("x"), cq.Var("x2")),
+		},
+		Eqs: []cq.Eq{
+			{L: cq.Var("x1"), R: cq.Const(value.NewInt(1))},
+			{L: cq.Var("x2"), R: cq.Const(value.NewInt(2))},
+		},
+	}
+	p, b, err := e.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fetched != 0 || b.Output != 0 {
+		t.Errorf("empty plan bound = %v", b)
+	}
+	d := data.NewInstance(s)
+	d.MustInsert("R2", value.NewInt(1), value.NewInt(1))
+	if err := e.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("A-unsatisfiable query must answer empty: %v", tbl.Rows)
+	}
+	_ = p
+}
+
+func TestSpecializeViaEngine(t *testing.T) {
+	e := newAccidentEngine(t)
+	q, params := workload.Q51()
+	res, err := e.Specialize(q, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Params[0] != "date" {
+		t.Fatalf("engine QSP = %+v", res)
+	}
+}
+
+func TestGraphSearchEndToEnd(t *testing.T) {
+	soc, err := workload.GenerateSocial(workload.SocialConfig{People: 500, MaxFriends: 20, MaxLikes: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(soc.Schema, soc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(soc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.GraphSearchQuery(7, "NYC", "cycling")
+	got, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Baseline(q, eval.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(want.Rows) {
+		t.Fatalf("bounded=%d baseline=%d", got.Len(), len(want.Rows))
+	}
+	if stats.Fetched >= want.Scanned {
+		t.Errorf("personalized search should touch far less data: fetched=%d scanned=%d",
+			stats.Fetched, want.Scanned)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bep"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/posfo"
+	"repro/internal/ucq"
+)
+
+// CheckBoundedUCQ runs the BEP checker on a union (Lemma 3.6).
+func (e *Engine) CheckBoundedUCQ(u *ucq.UCQ) (*bep.UCQDecision, error) {
+	return bep.DecideUCQ(u.Subs, e.Access, e.Schema, e.Opts.BEP)
+}
+
+// PlanUCQ synthesizes the bounded plan of a covered UCQ and its static
+// bound; the plan conforms to the UCQ grammar of Section 2 (unions only as
+// the trailing operations).
+func (e *Engine) PlanUCQ(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
+	res, err := u.Covered(e.Access, e.Schema, e.Opts.Cover)
+	if err != nil {
+		return nil, plan.Bound{}, err
+	}
+	if !res.Covered {
+		return nil, plan.Bound{}, fmt.Errorf("core: UCQ %s is not covered by the access schema", u.Label)
+	}
+	p, err := plan.BuildUCQ(res, e.Opts.Plan)
+	if err != nil {
+		return nil, plan.Bound{}, err
+	}
+	p.Label = u.Label
+	if err := p.ConformsTo(plan.LangUCQ); err != nil {
+		return nil, plan.Bound{}, fmt.Errorf("core: internal: %w", err)
+	}
+	sizeHint := 0
+	if e.instance != nil {
+		sizeHint = e.instance.Size()
+	}
+	b, err := plan.AccessBound(p, sizeHint)
+	if err != nil {
+		return nil, plan.Bound{}, err
+	}
+	return p, b, nil
+}
+
+// ExecuteUCQ answers a covered UCQ through its bounded plan.
+func (e *Engine) ExecuteUCQ(u *ucq.UCQ) (*plan.Table, *plan.ExecStats, error) {
+	if e.indexed == nil {
+		return nil, nil, fmt.Errorf("core: no instance loaded")
+	}
+	p, _, err := e.PlanUCQ(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Execute(p, e.indexed)
+}
+
+// ExecuteAutoUCQ answers a UCQ via its bounded plan when covered, falling
+// back to conventional union evaluation otherwise.
+func (e *Engine) ExecuteAutoUCQ(u *ucq.UCQ) (*AutoResult, error) {
+	if e.instance == nil {
+		return nil, fmt.Errorf("core: no instance loaded")
+	}
+	res, err := u.Covered(e.Access, e.Schema, e.Opts.Cover)
+	if err != nil {
+		return nil, err
+	}
+	if res.Covered {
+		tbl, stats, err := e.ExecuteUCQ(u)
+		if err != nil {
+			return nil, err
+		}
+		return &AutoResult{Mode: ViaBoundedPlan, Rows: tbl.Rows, Fetched: stats.Fetched}, nil
+	}
+	r, err := u.Eval(e.instance, eval.HashJoin)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoResult{Mode: ViaFullScan, Rows: r.Rows, Scanned: r.Scanned}, nil
+}
+
+// ExecutePosFO answers an ∃FO⁺ query by normalizing it to a UCQ first
+// ("a query in ∃FO⁺ is equivalent to a query in UCQ", Section 3.1).
+func (e *Engine) ExecutePosFO(q *posfo.Query) (*AutoResult, error) {
+	subs, err := q.ToUCQ()
+	if err != nil {
+		return nil, err
+	}
+	u, err := ucq.New(q.Label, subs...)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteAutoUCQ(u)
+}
+
+// CoverageReport tallies BEP verdicts over a workload (the E4-style
+// "how much of this application is boundedly evaluable" summary).
+type CoverageReport struct {
+	Total int
+	// Covered counts queries covered as written.
+	Covered int
+	// Rewritten counts queries bounded only via an A-equivalent rewrite.
+	Rewritten int
+	// Empty counts A-unsatisfiable queries (bounded via the empty plan).
+	Empty int
+	// Unknown counts queries the checker could not bound.
+	Unknown int
+}
+
+// Bounded returns how many queries are boundedly evaluable.
+func (r CoverageReport) Bounded() int { return r.Covered + r.Rewritten + r.Empty }
+
+// Rate returns the bounded fraction in [0, 1].
+func (r CoverageReport) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Bounded()) / float64(r.Total)
+}
+
+// ClassifyWorkload runs the BEP checker over every query and tallies the
+// verdicts.
+func (e *Engine) ClassifyWorkload(qs []*cq.CQ) (CoverageReport, error) {
+	var r CoverageReport
+	for _, q := range qs {
+		r.Total++
+		res, err := e.IsCovered(q)
+		if err != nil {
+			return r, err
+		}
+		if res.Covered {
+			r.Covered++
+			continue
+		}
+		dec, err := e.CheckBounded(q)
+		if err != nil {
+			return r, err
+		}
+		switch dec.Verdict {
+		case bep.Bounded:
+			r.Rewritten++
+		case bep.BoundedEmpty:
+			r.Empty++
+		default:
+			r.Unknown++
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,483 @@
+// Package cover implements the paper's effective syntax for boundedly
+// evaluable queries: the cov(Q,A) fixpoint (Lemma 3.9), covered CQ queries
+// (Section 3.2, Theorem 3.11), and covered UCQ/∃FO⁺ queries with dominated
+// sub-queries (Lemma 3.6, Corollary 3.13, Theorem 3.14).
+//
+// Checking whether a CQ is covered is PTIME in |Q|, |A| and |R|; the
+// UCQ/∃FO⁺ check is Πᵖ₂-complete and uses A-instance enumeration for its
+// dominance condition.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/ainstance"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// UseEqOnly disables the eq⁺ closure when extending cov, falling back
+	// to plain eq. The paper argues for eq⁺ (Example 3.8); this switch
+	// exists for the ablation benchmark and should stay false in real use.
+	UseEqOnly bool
+	// AInstance configures dominance checks for UCQ coverage.
+	AInstance ainstance.Options
+}
+
+// Application records one firing of the cov fixpoint: constraint
+// Constraint applied to atom AtomIdx of the normalized query, reading
+// X-position variables XVars and covering Y-position variables YVars.
+// The plan builder replays these to synthesize fetch operations.
+type Application struct {
+	ConstraintIdx int
+	Constraint    access.Constraint
+	AtomIdx       int
+	XVars         []string
+	YVars         []string
+}
+
+func (ap Application) String() string {
+	return fmt.Sprintf("apply %s to atom #%d (X=%v, Y=%v)",
+		ap.Constraint, ap.AtomIdx, ap.XVars, ap.YVars)
+}
+
+// Analysis is the result of running the cov(Q,A) fixpoint over a CQ.
+type Analysis struct {
+	// Q is the normalized query the analysis ran on.
+	Q *cq.CQ
+	// Schema and Access are the inputs.
+	Schema *schema.Schema
+	Access *access.Schema
+	// Covered is cov(Q,A) as a set.
+	Covered map[string]bool
+	// ConstantVars are the paper's constant variables (eq-class pinned).
+	ConstantVars map[string]bool
+	// DataIndependent are var(Qdi): variables whose eq-class touches no
+	// relation atom.
+	DataIndependent map[string]bool
+	// Applications is the fixpoint firing order.
+	Applications []Application
+	// Eq and EqPlus are the equality closures of the normalized query.
+	Eq, EqPlus *cq.EqClasses
+	// Occurs counts occurrences per variable (head + atoms + equalities).
+	Occurs map[string]int
+}
+
+// InCov reports whether v ∈ cov(Q,A).
+func (an *Analysis) InCov(v string) bool { return an.Covered[v] }
+
+// CoveredList returns cov(Q,A) sorted.
+func (an *Analysis) CoveredList() []string {
+	out := make([]string, 0, len(an.Covered))
+	for v := range an.Covered {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze computes cov(Q,A) by the monotone fixpoint of Section 3.2:
+// starting from var(Qdi), a constraint R(X -> Y, N) applies to an atom
+// R(x̄, ȳ, z̄) when all X-position variables are covered or constant
+// variables and the application would add something new; it then adds
+// eq⁺(x) for the constant X-position variables and eq⁺(y) for each
+// Y-position variable. Per Lemma 3.9 the fixpoint is order-independent;
+// we fire constraints in declaration order for determinism.
+func Analyze(q *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*Analysis, error) {
+	n := q.Normalize()
+	for _, atom := range n.Atoms {
+		if _, ok := s.Relation(atom.Rel); !ok {
+			return nil, fmt.Errorf("cover: query uses unknown relation %s", atom.Rel)
+		}
+	}
+	an := &Analysis{
+		Q:               n,
+		Schema:          s,
+		Access:          a,
+		Covered:         make(map[string]bool),
+		ConstantVars:    make(map[string]bool),
+		DataIndependent: make(map[string]bool),
+		Eq:              n.EqClasses(),
+		EqPlus:          n.EqClassesPlus(),
+		Occurs:          n.OccurrenceCount(),
+	}
+	closure := an.EqPlus
+	if opt.UseEqOnly {
+		closure = an.Eq
+	}
+	for _, v := range n.Vars() {
+		if an.Eq.IsConstantVar(v) {
+			an.ConstantVars[v] = true
+		}
+		if !an.Eq.DataDependent(v, n) {
+			an.DataIndependent[v] = true
+			an.Covered[v] = true // cov(Qdi, A) = var(Qdi)
+		}
+	}
+
+	// Precompute, per (constraint, atom) pair, the X- and Y-position
+	// variables; skip pairs whose relations mismatch.
+	type site struct {
+		ci, ai int
+		xv, yv []string
+	}
+	var sites []site
+	for ci, c := range a.Constraints {
+		for ai, atom := range n.Atoms {
+			if atom.Rel != c.Rel {
+				continue
+			}
+			rs, ok := s.Relation(c.Rel)
+			if !ok {
+				return nil, fmt.Errorf("cover: constraint on unknown relation %s", c.Rel)
+			}
+			xpos, err := rs.Positions(c.X)
+			if err != nil {
+				return nil, err
+			}
+			ypos, err := rs.Positions(c.Y)
+			if err != nil {
+				return nil, err
+			}
+			st := site{ci: ci, ai: ai}
+			for _, p := range xpos {
+				st.xv = append(st.xv, atom.Args[p].V)
+			}
+			for _, p := range ypos {
+				st.yv = append(st.yv, atom.Args[p].V)
+			}
+			sites = append(sites, st)
+		}
+	}
+
+	addClass := func(v string) bool {
+		added := false
+		for _, w := range closure.ClassOf(v) {
+			if !an.Covered[w] {
+				an.Covered[w] = true
+				added = true
+			}
+		}
+		return added
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, st := range sites {
+			// Applicability: every X-position variable covered or constant.
+			ok := true
+			for _, x := range st.xv {
+				if !an.Covered[x] && !an.ConstantVars[x] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Would this application add anything?
+			adds := false
+			for _, x := range st.xv {
+				if an.ConstantVars[x] && !an.Covered[x] {
+					adds = true
+				}
+			}
+			for _, y := range st.yv {
+				if !an.Covered[y] {
+					adds = true
+				}
+			}
+			if !adds {
+				continue
+			}
+			for _, x := range st.xv {
+				if an.ConstantVars[x] {
+					addClass(x)
+				}
+			}
+			for _, y := range st.yv {
+				addClass(y)
+			}
+			an.Applications = append(an.Applications, Application{
+				ConstraintIdx: st.ci,
+				Constraint:    a.Constraints[st.ci],
+				AtomIdx:       st.ai,
+				XVars:         append([]string(nil), st.xv...),
+				YVars:         append([]string(nil), st.yv...),
+			})
+			changed = true
+		}
+	}
+	return an, nil
+}
+
+// AtomIndexing describes how condition (c) of covered queries fares for one
+// atom: the constraint that indexes it, or the reason none does.
+type AtomIndexing struct {
+	AtomIdx       int
+	Indexed       bool
+	ConstraintIdx int // valid when Indexed
+	Reason        string
+}
+
+// Result is the outcome of a covered-query check with diagnostics.
+type Result struct {
+	Covered  bool
+	Analysis *Analysis
+	// UncoveredFree lists free variables outside cov (condition a).
+	UncoveredFree []string
+	// BadUncovered lists non-covered variables violating condition (b):
+	// constant variables or variables occurring more than once.
+	BadUncovered []string
+	// Atoms holds the condition (c) verdict per atom of the normalized query.
+	Atoms []AtomIndexing
+}
+
+// Explain renders a human-readable account of the check.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "covered: %v\n", r.Covered)
+	fmt.Fprintf(&b, "cov(Q,A) = {%s}\n", strings.Join(r.Analysis.CoveredList(), ", "))
+	if len(r.UncoveredFree) > 0 {
+		fmt.Fprintf(&b, "free variables not covered: %v\n", r.UncoveredFree)
+	}
+	if len(r.BadUncovered) > 0 {
+		fmt.Fprintf(&b, "non-covered variables violating condition (b): %v\n", r.BadUncovered)
+	}
+	for _, ai := range r.Atoms {
+		if ai.Indexed {
+			fmt.Fprintf(&b, "atom #%d %s indexed by %s\n", ai.AtomIdx,
+				r.Analysis.Q.Atoms[ai.AtomIdx], r.Analysis.Access.Constraints[ai.ConstraintIdx])
+		} else {
+			fmt.Fprintf(&b, "atom #%d %s NOT indexed: %s\n", ai.AtomIdx,
+				r.Analysis.Q.Atoms[ai.AtomIdx], ai.Reason)
+		}
+	}
+	return b.String()
+}
+
+// Check decides whether the CQ q is covered by a (Theorem 3.11(3), PTIME),
+// returning full diagnostics.
+func Check(q *cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*Result, error) {
+	an, err := Analyze(q, a, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Covered: true, Analysis: an}
+	n := an.Q
+
+	// Condition (a): free variables covered.
+	for _, v := range dedupStrings(n.Free) {
+		if !an.Covered[v] {
+			res.UncoveredFree = append(res.UncoveredFree, v)
+			res.Covered = false
+		}
+	}
+	// Condition (b): non-covered variables are non-constant and occur once.
+	for _, v := range n.Vars() {
+		if an.Covered[v] {
+			continue
+		}
+		if an.ConstantVars[v] || an.Occurs[v] > 1 {
+			res.BadUncovered = append(res.BadUncovered, v)
+			res.Covered = false
+		}
+	}
+	// Condition (c): every relation atom indexed by some constraint.
+	for ai := range n.Atoms {
+		ix := an.indexAtom(ai)
+		res.Atoms = append(res.Atoms, ix)
+		if !ix.Indexed {
+			res.Covered = false
+		}
+	}
+	return res, nil
+}
+
+// indexAtom searches for a constraint R(Y1 -> Y2, N) indexing atom ai:
+// all Y1-position variables covered, and every variable of the atom except
+// bound once-occurring ones sits at a position in Y1 ∪ Y2. When several
+// constraints qualify, the tightest (smallest cardinality bound) wins, so
+// the synthesized plan's verification fetches stay as small as possible.
+func (an *Analysis) indexAtom(ai int) AtomIndexing {
+	atom := an.Q.Atoms[ai]
+	rs, _ := an.Schema.Relation(atom.Rel)
+	var firstReason string
+	best, bestBound := -1, 0
+	for ci, c := range an.Access.Constraints {
+		if c.Rel != atom.Rel {
+			continue
+		}
+		reason := an.tryIndex(atom, rs, c)
+		if reason == "" {
+			// Evaluate general-form bounds pessimistically (large |D|).
+			b := c.Card.Bound(1 << 20)
+			if best < 0 || b < bestBound {
+				best, bestBound = ci, b
+			}
+			continue
+		}
+		if firstReason == "" {
+			firstReason = fmt.Sprintf("%s: %s", c, reason)
+		}
+	}
+	if best >= 0 {
+		return AtomIndexing{AtomIdx: ai, Indexed: true, ConstraintIdx: best}
+	}
+	if firstReason == "" {
+		firstReason = "no constraint on relation " + atom.Rel
+	}
+	return AtomIndexing{AtomIdx: ai, Indexed: false, Reason: firstReason}
+}
+
+func (an *Analysis) tryIndex(atom cq.Atom, rs schema.Relation, c access.Constraint) string {
+	// (c)(a): Y1-position variables must be covered.
+	for _, a := range c.X {
+		p := rs.AttrIndex(a)
+		v := atom.Args[p].V
+		if !an.Covered[v] && !an.ConstantVars[v] {
+			return fmt.Sprintf("X-position variable %s not covered", v)
+		}
+	}
+	// (c)(b): every variable except bound singletons at a Y1 ∪ Y2 position.
+	freeSet := make(map[string]bool)
+	for _, f := range an.Q.Free {
+		freeSet[f] = true
+	}
+	for p, t := range atom.Args {
+		v := t.V
+		if !freeSet[v] && an.Occurs[v] == 1 {
+			continue // bound variable occurring once: excluded
+		}
+		if !c.Covers(rs.Attrs[p]) {
+			return fmt.Sprintf("variable %s at attribute %s outside X ∪ Y", v, rs.Attrs[p])
+		}
+	}
+	return ""
+}
+
+func dedupStrings(xs []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SubStatus classifies a CQ sub-query inside a covered-UCQ check.
+type SubStatus int
+
+const (
+	// SubCovered: the sub-query is itself covered.
+	SubCovered SubStatus = iota
+	// SubDominated: not covered, but every A-instance's head answer is
+	// produced by some covered sub-query (condition (b) of the ∃FO⁺
+	// covered definition).
+	SubDominated
+	// SubUncovered: neither; the UCQ is not covered.
+	SubUncovered
+)
+
+func (s SubStatus) String() string {
+	switch s {
+	case SubCovered:
+		return "covered"
+	case SubDominated:
+		return "dominated"
+	case SubUncovered:
+		return "uncovered"
+	default:
+		return fmt.Sprintf("substatus(%d)", int(s))
+	}
+}
+
+// UCQResult is the outcome of a covered check over a UCQ / ∃FO⁺ query
+// (given as its CQ sub-queries).
+type UCQResult struct {
+	Covered bool
+	Subs    []SubStatus
+	// SubResults holds the per-sub CQ diagnostics.
+	SubResults []*Result
+}
+
+// CheckUCQ decides whether the union q1 ∪ ... ∪ qk is covered by a:
+// each sub-query is covered, or dominated — for all its A-instances
+// θ(T_Qi) there is a covered sub-query Qj with θ(u) ∈ Qj(θ(T_Qi))
+// (Πᵖ₂-complete, Theorem 3.14).
+func CheckUCQ(qs []*cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (*UCQResult, error) {
+	res := &UCQResult{Covered: true}
+	var covered []*cq.CQ
+	for _, q := range qs {
+		r, err := Check(q, a, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.SubResults = append(res.SubResults, r)
+		if r.Covered {
+			res.Subs = append(res.Subs, SubCovered)
+			covered = append(covered, q)
+		} else {
+			res.Subs = append(res.Subs, SubUncovered) // may upgrade below
+		}
+	}
+	for i, q := range qs {
+		if res.Subs[i] == SubCovered {
+			continue
+		}
+		dom, err := dominated(q, covered, a, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		if dom {
+			res.Subs[i] = SubDominated
+		} else {
+			res.Covered = false
+		}
+	}
+	return res, nil
+}
+
+// dominated checks condition (b): for all A-instances θ(T_Q) of q, some
+// covered query in js answers θ(u).
+func dominated(q *cq.CQ, js []*cq.CQ, a *access.Schema, s *schema.Schema, opt Options) (bool, error) {
+	if len(js) == 0 {
+		return false, nil
+	}
+	var extra []value.Value
+	for _, j := range js {
+		extra = append(extra, j.Constants()...)
+	}
+	ok := true
+	err := ainstance.Visit(q, a, s, extra, opt.AInstance, func(inst *data.Instance, head data.Tuple) bool {
+		for _, j := range js {
+			if len(j.Free) != len(q.Free) {
+				continue
+			}
+			r, evalErr := eval.CQ(j, inst, eval.ScanJoin)
+			if evalErr != nil {
+				continue
+			}
+			if r.Contains(head) {
+				return true
+			}
+		}
+		ok = false
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}

@@ -1,0 +1,296 @@
+// Package cq implements conjunctive queries (CQ, a.k.a. SPC): queries built
+// from relation atoms and equality atoms, closed under conjunction and
+// existential quantification (Section 2 of the paper).
+//
+// A CQ is stored in the paper's assumed normal form candidates are reduced
+// to by Normalize: only variables appear in relation atoms, constants occur
+// in equality atoms, and every query is safe (each variable is equal to a
+// variable occurring in a relation atom or to a constant).
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Term is a variable or a constant. The zero Term is invalid.
+type Term struct {
+	// V is the variable name; empty iff the term is a constant.
+	V string
+	// C is the constant payload when V is empty.
+	C value.Value
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{V: name} }
+
+// Const returns a constant term.
+func Const(v value.Value) Term { return Term{C: v} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.V != "" }
+
+// String renders variables bare and constants quoted per value.Value.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.V
+	}
+	return t.C.String()
+}
+
+// Atom is a relation atom R(t1, ..., tk).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds a relation atom.
+func NewAtom(rel string, args ...Term) Atom {
+	return Atom{Rel: rel, Args: append([]Term(nil), args...)}
+}
+
+// Clone deep-copies the atom.
+func (a Atom) Clone() Atom { return Atom{Rel: a.Rel, Args: append([]Term(nil), a.Args...)} }
+
+// Equal reports structural equality.
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e.g. "Vehicle(vid, dri, xa)".
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eq is an equality atom between two terms (x = y or x = c).
+type Eq struct {
+	L, R Term
+}
+
+// String renders e.g. "x = 1".
+func (e Eq) String() string { return e.L.String() + " = " + e.R.String() }
+
+// CQ is a conjunctive query Q(x̄) = ∃ȳ (atoms ∧ equalities).
+type CQ struct {
+	// Label is a display name such as "Q0"; it has no semantics.
+	Label string
+	// Free is x̄, the tuple of free variables, in output order. Repeats are
+	// allowed (Q(x, x) is legal).
+	Free []string
+	// Atoms are the relation atoms.
+	Atoms []Atom
+	// Eqs are the equality atoms.
+	Eqs []Eq
+}
+
+// Clone deep-copies the query.
+func (q *CQ) Clone() *CQ {
+	c := &CQ{
+		Label: q.Label,
+		Free:  append([]string(nil), q.Free...),
+		Eqs:   append([]Eq(nil), q.Eqs...),
+	}
+	c.Atoms = make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		c.Atoms[i] = a.Clone()
+	}
+	return c
+}
+
+// Vars returns var(Q): every variable occurring in Q (free, in relation
+// atoms, or in equality atoms), sorted.
+func (q *CQ) Vars() []string {
+	set := make(map[string]bool)
+	for _, v := range q.Free {
+		set[v] = true
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				set[t.V] = true
+			}
+		}
+	}
+	for _, e := range q.Eqs {
+		if e.L.IsVar() {
+			set[e.L.V] = true
+		}
+		if e.R.IsVar() {
+			set[e.R.V] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AtomVars returns the variables occurring in relation atoms, as a set.
+func (q *CQ) AtomVars() map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				set[t.V] = true
+			}
+		}
+	}
+	return set
+}
+
+// Constants returns every constant mentioned in Q, sorted and deduplicated.
+func (q *CQ) Constants() []value.Value {
+	set := make(map[value.Value]bool)
+	add := func(t Term) {
+		if !t.IsVar() {
+			set[t.C] = true
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, e := range q.Eqs {
+		add(e.L)
+		add(e.R)
+	}
+	out := make([]value.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// OccurrenceCount counts, per variable, its occurrences across the head,
+// relation atoms, and equality atoms. The covered-query condition (b) of
+// Section 3.2 excludes bound variables "that only occur once in Q"; this is
+// the count it refers to.
+func (q *CQ) OccurrenceCount() map[string]int {
+	n := make(map[string]int)
+	for _, v := range q.Free {
+		n[v]++
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				n[t.V]++
+			}
+		}
+	}
+	for _, e := range q.Eqs {
+		if e.L.IsVar() {
+			n[e.L.V]++
+		}
+		if e.R.IsVar() {
+			n[e.R.V]++
+		}
+	}
+	return n
+}
+
+// Size is |Q|: total term occurrences, for complexity accounting.
+func (q *CQ) Size() int {
+	n := len(q.Free)
+	for _, a := range q.Atoms {
+		n += 1 + len(a.Args)
+	}
+	n += 2 * len(q.Eqs)
+	return n
+}
+
+// Validate checks q against a relational schema: every atom's relation
+// exists with matching arity, and the query is safe after normalization.
+func (q *CQ) Validate(s *schema.Schema) error {
+	for _, a := range q.Atoms {
+		rs, ok := s.Relation(a.Rel)
+		if !ok {
+			return fmt.Errorf("cq: %s: unknown relation %s", q.Label, a.Rel)
+		}
+		if len(a.Args) != rs.Arity() {
+			return fmt.Errorf("cq: %s: atom %s has arity %d, schema wants %d",
+				q.Label, a, len(a.Args), rs.Arity())
+		}
+	}
+	for _, e := range q.Eqs {
+		if !e.L.IsVar() && !e.R.IsVar() {
+			return fmt.Errorf("cq: %s: equality %s has no variable", q.Label, e)
+		}
+	}
+	n := q.Normalize()
+	if unsafe := n.unsafeVars(); len(unsafe) > 0 {
+		return fmt.Errorf("cq: %s is unsafe: variable(s) %v not tied to a relation atom or constant",
+			q.Label, unsafe)
+	}
+	return nil
+}
+
+// unsafeVars returns variables violating safety: vars whose eq⁺ class
+// contains neither a relation-atom variable nor a constant. Must be called
+// on a normalized query.
+func (q *CQ) unsafeVars() []string {
+	cls := q.EqClassesPlus()
+	atomVars := q.AtomVars()
+	var out []string
+	for _, v := range q.Vars() {
+		ok := false
+		if !cls.ConstOf(v).IsNull() || cls.HasConflict(v) {
+			ok = true
+		} else {
+			for _, w := range cls.ClassOf(v) {
+				if atomVars[w] {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the rule form: "Q0(xa) :- Accident(aid, d, t), d = "...".".
+func (q *CQ) String() string {
+	label := q.Label
+	if label == "" {
+		label = "Q"
+	}
+	var b strings.Builder
+	b.WriteString(label)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(q.Free, ", "))
+	b.WriteString(") :- ")
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, e := range q.Eqs {
+		parts = append(parts, e.String())
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "true")
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package cq
+
+import (
+	"fmt"
+)
+
+// Normalize returns an equivalent CQ in the paper's assumed form: relation
+// atoms contain only variables, with constants hoisted into fresh variables
+// constrained by equality atoms ("we assume w.l.o.g. that only variables
+// appear in relation atoms of Q, while constants are in equality atoms").
+//
+// Fresh variables are named "_cN" with N chosen to avoid collisions. The
+// receiver is not modified. Normalizing an already-normalized query returns
+// an identical copy.
+func (q *CQ) Normalize() *CQ {
+	out := q.Clone()
+	used := make(map[string]bool)
+	for _, v := range q.Vars() {
+		used[v] = true
+	}
+	next := 0
+	fresh := func() string {
+		for {
+			name := fmt.Sprintf("_c%d", next)
+			next++
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	for i := range out.Atoms {
+		for j, t := range out.Atoms[i].Args {
+			if t.IsVar() {
+				continue
+			}
+			v := fresh()
+			out.Atoms[i].Args[j] = Var(v)
+			out.Eqs = append(out.Eqs, Eq{L: Var(v), R: t})
+		}
+	}
+	return out
+}
+
+// IsNormalized reports whether relation atoms contain only variables.
+func (q *CQ) IsNormalized() bool {
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Substitute returns a copy of q with variables renamed or replaced by
+// constants per sub. Variables absent from sub are kept. Head variables
+// mapped to constants are an error for callers to avoid; Substitute keeps
+// them as-is in Free (Free is a variable list) and callers that specialize
+// head variables should use specialized query types instead.
+func (q *CQ) Substitute(sub map[string]Term) *CQ {
+	out := q.Clone()
+	apply := func(t Term) Term {
+		if t.IsVar() {
+			if r, ok := sub[t.V]; ok {
+				return r
+			}
+		}
+		return t
+	}
+	for i := range out.Atoms {
+		for j := range out.Atoms[i].Args {
+			out.Atoms[i].Args[j] = apply(out.Atoms[i].Args[j])
+		}
+	}
+	for i := range out.Eqs {
+		out.Eqs[i].L = apply(out.Eqs[i].L)
+		out.Eqs[i].R = apply(out.Eqs[i].R)
+	}
+	for i, v := range out.Free {
+		if r, ok := sub[v]; ok && r.IsVar() {
+			out.Free[i] = r.V
+		}
+	}
+	return out
+}
+
+// RenameApart returns a copy of q with every variable prefixed, so that two
+// queries can be combined without capture.
+func (q *CQ) RenameApart(prefix string) *CQ {
+	sub := make(map[string]Term)
+	for _, v := range q.Vars() {
+		sub[v] = Var(prefix + v)
+	}
+	return q.Substitute(sub)
+}
+
+// DropDuplicateAtoms returns a copy of q with structurally equal relation
+// atoms and equality atoms deduplicated.
+func (q *CQ) DropDuplicateAtoms() *CQ {
+	out := q.Clone()
+	var atoms []Atom
+	for _, a := range out.Atoms {
+		dup := false
+		for _, b := range atoms {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			atoms = append(atoms, a)
+		}
+	}
+	out.Atoms = atoms
+	var eqs []Eq
+	for _, e := range out.Eqs {
+		dup := false
+		for _, f := range eqs {
+			if e == f || (e.L == f.R && e.R == f.L) {
+				dup = true
+				break
+			}
+		}
+		if !dup && e.L != e.R {
+			eqs = append(eqs, e)
+		}
+	}
+	out.Eqs = eqs
+	return out
+}

@@ -1,0 +1,155 @@
+// Package data implements database instances: named relation instances
+// holding tuples of values, with set semantics.
+//
+// An Instance is the "big dataset D" of the paper. Its size |D| is the total
+// number of tuples. Relations enforce set semantics (duplicate tuples are
+// ignored on insert), matching the paper's set-based query semantics.
+package data
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Tuple is one row of a relation instance.
+type Tuple []value.Value
+
+// Key returns the injective encoding of the whole tuple.
+func (t Tuple) Key() value.Key { return value.KeyOf(t...) }
+
+// Project returns the sub-tuple at the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Relation is an instance of a relation schema: a set of tuples.
+type Relation struct {
+	Schema schema.Relation
+	tuples []Tuple
+	seen   map[value.Key]bool
+}
+
+// NewRelation returns an empty instance of rs.
+func NewRelation(rs schema.Relation) *Relation {
+	return &Relation{Schema: rs, seen: make(map[value.Key]bool)}
+}
+
+// Insert adds t under set semantics. It reports whether the tuple was new
+// and errors if the arity mismatches the schema.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.Schema.Arity() {
+		return false, fmt.Errorf("data: relation %s expects arity %d, got %d",
+			r.Schema.Name, r.Schema.Arity(), len(t))
+	}
+	k := t.Key()
+	if r.seen[k] {
+		return false, nil
+	}
+	r.seen[k] = true
+	r.tuples = append(r.tuples, t.Clone())
+	return true, nil
+}
+
+// MustInsert inserts values as a tuple and panics on error; for fixtures.
+func (r *Relation) MustInsert(vals ...value.Value) {
+	if _, err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether tuple t is present.
+func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples exposes the backing tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Instance is a database instance D of a relational schema R.
+type Instance struct {
+	Schema *schema.Schema
+	rels   map[string]*Relation
+}
+
+// NewInstance returns an empty instance of s, with one (empty) relation
+// instance per relation schema.
+func NewInstance(s *schema.Schema) *Instance {
+	ins := &Instance{Schema: s, rels: make(map[string]*Relation)}
+	for _, rs := range s.Relations() {
+		ins.rels[rs.Name] = NewRelation(rs)
+	}
+	return ins
+}
+
+// Relation returns the instance of the named relation, or nil if the schema
+// has no such relation.
+func (d *Instance) Relation(name string) *Relation { return d.rels[name] }
+
+// Insert adds a tuple to the named relation.
+func (d *Instance) Insert(rel string, vals ...value.Value) error {
+	r := d.rels[rel]
+	if r == nil {
+		return fmt.Errorf("data: instance has no relation %s", rel)
+	}
+	_, err := r.Insert(Tuple(vals))
+	return err
+}
+
+// MustInsert is Insert that panics on error; for fixtures and tests.
+func (d *Instance) MustInsert(rel string, vals ...value.Value) {
+	if err := d.Insert(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Size is |D|: the total number of tuples across all relations.
+func (d *Instance) Size() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns every constant appearing in D, sorted, without
+// duplicates. This is adom(D) less the query constants (callers add those).
+func (d *Instance) ActiveDomain() []value.Value {
+	set := make(map[value.Value]bool)
+	for _, r := range d.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]value.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

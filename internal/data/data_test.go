@@ -1,0 +1,137 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func ints(xs ...int64) Tuple {
+	t := make(Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = value.NewInt(x)
+	}
+	return t
+}
+
+func TestInsertSetSemantics(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	fresh, err := r.Insert(ints(1, 2))
+	if err != nil || !fresh {
+		t.Fatalf("first insert: fresh=%v err=%v", fresh, err)
+	}
+	fresh, err = r.Insert(ints(1, 2))
+	if err != nil || fresh {
+		t.Fatalf("duplicate insert: fresh=%v err=%v", fresh, err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestInsertArityCheck(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	if _, err := r.Insert(ints(1)); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A"))
+	r.MustInsert(value.NewInt(7))
+	if !r.Contains(ints(7)) {
+		t.Error("Contains(7) should be true")
+	}
+	if r.Contains(ints(8)) {
+		t.Error("Contains(8) should be false")
+	}
+}
+
+func TestTupleProjectAndEqual(t *testing.T) {
+	tup := Tuple{value.NewInt(1), value.NewString("x"), value.NewInt(3)}
+	p := tup.Project([]int{2, 0})
+	if !p.Equal(Tuple{value.NewInt(3), value.NewInt(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+	if tup.Equal(p) {
+		t.Error("tuples of different arity must not be equal")
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	tup := ints(1, 2)
+	c := tup.Clone()
+	c[0] = value.NewInt(99)
+	if tup[0] != value.NewInt(1) {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A"))
+	tup := ints(1)
+	if _, err := r.Insert(tup); err != nil {
+		t.Fatal(err)
+	}
+	tup[0] = value.NewInt(2)
+	if !r.Contains(ints(1)) {
+		t.Error("relation must store a copy, not alias caller memory")
+	}
+}
+
+func TestInstance(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("R", "A"),
+		schema.MustRelation("S", "B", "C"),
+	)
+	d := NewInstance(s)
+	d.MustInsert("R", value.NewInt(1))
+	d.MustInsert("S", value.NewInt(2), value.NewInt(3))
+	d.MustInsert("S", value.NewInt(2), value.NewInt(3)) // dup, ignored
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	if err := d.Insert("T", value.NewInt(0)); err == nil {
+		t.Error("unknown relation must error")
+	}
+	if d.Relation("R").Len() != 1 {
+		t.Error("R should have 1 tuple")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	d := NewInstance(s)
+	d.MustInsert("R", value.NewInt(2), value.NewInt(1))
+	d.MustInsert("R", value.NewInt(1), value.NewString("z"))
+	got := d.ActiveDomain()
+	want := []value.Value{value.NewInt(1), value.NewInt(2), value.NewString("z")}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveDomain = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ActiveDomain[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetSemanticsQuick(t *testing.T) {
+	// Property: Len equals the number of distinct inserted tuples.
+	f := func(xs []int64) bool {
+		r := NewRelation(schema.MustRelation("R", "A"))
+		distinct := make(map[int64]bool)
+		for _, x := range xs {
+			distinct[x] = true
+			if _, err := r.Insert(ints(x)); err != nil {
+				return false
+			}
+		}
+		return r.Len() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

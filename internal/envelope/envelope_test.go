@@ -1,0 +1,258 @@
+package envelope
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/ainstance"
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value                          { return value.NewInt(i) }
+func attrs(as ...schema.Attribute) []schema.Attribute { return as }
+
+// Example 4.1 fixtures: R(A,B), A = {R(A -> B, N)}.
+func ex41() (*schema.Schema, *access.Schema) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 3))
+	return s, a
+}
+
+// Q1(x) = ∃y,z,w (R(w,x) ∧ R(y,w) ∧ R(x,z) ∧ w=1): bounded, not boundedly
+// evaluable, has both envelopes.
+func q1() *cq.CQ {
+	return &cq.CQ{
+		Label: "Q41_1", Free: []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("w"), cq.Var("x")),
+			cq.NewAtom("R", cq.Var("y"), cq.Var("w")),
+			cq.NewAtom("R", cq.Var("x"), cq.Var("z")),
+		},
+		Eqs: []cq.Eq{{L: cq.Var("w"), R: cq.Const(iv(1))}},
+	}
+}
+
+// Q2(x,y) = ∃w (R(w,x) ∧ R(y,w) ∧ w=1): not bounded, no envelopes.
+func q2() *cq.CQ {
+	return &cq.CQ{
+		Label: "Q41_2", Free: []string{"x", "y"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("w"), cq.Var("x")),
+			cq.NewAtom("R", cq.Var("y"), cq.Var("w")),
+		},
+		Eqs: []cq.Eq{{L: cq.Var("w"), R: cq.Const(iv(1))}},
+	}
+}
+
+func TestBoundednessLemma42(t *testing.T) {
+	s, a := ex41()
+	b1, err := Bounded(q1(), a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1 {
+		t.Error("Q1 must be bounded (its only free variable x is covered)")
+	}
+	b2, err := Bounded(q2(), a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 {
+		t.Error("Q2 must NOT be bounded (free y is not covered)")
+	}
+}
+
+func TestExample41UpperEnvelope(t *testing.T) {
+	s, a := ex41()
+	up, err := FindUpper(q1(), a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Found {
+		t.Fatalf("Q1 must have an upper envelope: %s", up.Reason)
+	}
+	// The paper's Qu keeps R(w,x) and R(x,z), dropping R(y,w).
+	if len(up.Qu.Atoms) != 2 {
+		t.Errorf("Qu should keep 2 atoms (drop R(y,w)): %s", up.Qu)
+	}
+	// The envelope must itself contain the query classically relaxed:
+	// Q1 ⊆ Qu since Qu is a relaxation.
+	if !cq.Contains(q1(), up.Qu) {
+		t.Error("Q ⊑ Qu must hold for a relaxation")
+	}
+	if up.Nu <= 0 {
+		t.Errorf("Nu = %d, want positive constant", up.Nu)
+	}
+}
+
+func TestExample41LowerEnvelope(t *testing.T) {
+	s, a := ex41()
+	lo, err := FindLower(q1(), a, s, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Found {
+		t.Fatalf("Q1 must have a 1-expansion lower envelope: %s", lo.Reason)
+	}
+	if lo.Added != 1 {
+		t.Errorf("paper's Ql is a 1-expansion; got %d additions", lo.Added)
+	}
+	// Ql ⊆ Q1 classically (expansions add conjuncts).
+	if !cq.Contains(lo.Ql, q1()) {
+		t.Errorf("Ql ⊑ Q must hold for an expansion: %s", lo.Ql)
+	}
+	if lo.Nl <= 0 {
+		t.Errorf("Nl = %d, want positive constant", lo.Nl)
+	}
+}
+
+func TestExample41NoEnvelopesForQ2(t *testing.T) {
+	s, a := ex41()
+	up, err := FindUpper(q2(), a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Found {
+		t.Errorf("Q2 must have no upper envelope; found %s", up.Qu)
+	}
+	lo, err := FindLower(q2(), a, s, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Found {
+		t.Errorf("Q2 must have no lower envelope; found %s", lo.Ql)
+	}
+}
+
+// Example 4.5: Q(x,y) = R(1,x,y) under A = {R(A->B,N), R(B->C,1)}:
+// no strict covered expansion exists (the original atom can never be
+// indexed), but the atom-split rewrite yields a covered, A-equivalent
+// Q'(x,y) = ∃z1,z2 (R(1,x,z1) ∧ R(z2,x,y)).
+func TestExample45SplitRewrite(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B", "C"))
+	a := access.NewSchema(
+		access.NewConstraint("R", attrs("A"), attrs("B"), 3),
+		access.NewConstraint("R", attrs("B"), attrs("C"), 1),
+	)
+	q := &cq.CQ{
+		Label: "Q45", Free: []string{"x", "y"},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Const(iv(1)), cq.Var("x"), cq.Var("y"))},
+	}
+	// Strict search fails.
+	strict, err := FindLower(q, a, s, 2, Options{DisableSplitRewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Found {
+		t.Fatalf("no strict k-expansion should be covered (the original atom is unindexable); found %s", strict.Ql)
+	}
+	// Split rewrite succeeds and is exact.
+	lo, err := FindLower(q, a, s, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Found {
+		t.Fatalf("Example 4.5 split rewrite must be found: %s", lo.Reason)
+	}
+	if !lo.Exact {
+		t.Error("the split rewrite is A-equivalent, so Exact must be set")
+	}
+	if len(lo.Ql.Atoms) != 2 {
+		t.Errorf("Q' should have 2 atoms: %s", lo.Ql)
+	}
+}
+
+func TestUpperOnCoveredQueryIsItself(t *testing.T) {
+	// A covered query's best relaxation is the full atom set.
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 2))
+	q := &cq.CQ{
+		Label: "QC", Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("c"), cq.Var("x"))},
+		Eqs:   []cq.Eq{{L: cq.Var("c"), R: cq.Const(iv(1))}},
+	}
+	up, err := FindUpper(q, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Found || len(up.Qu.Atoms) != 1 {
+		t.Fatalf("covered query should be its own envelope: %+v", up)
+	}
+}
+
+func TestOutputBound(t *testing.T) {
+	s, a := ex41()
+	// Q1's head variable x is fetched from the pinned w with N=3: bound 3.
+	b, err := OutputBound(q1(), a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Errorf("OutputBound(Q1) = %d, want 3", b)
+	}
+	// A Boolean query has bound 1 (empty head product).
+	qb := &cq.CQ{Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("u"), cq.Var("v"))}}
+	b, err = OutputBound(qb, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 {
+		t.Errorf("OutputBound(boolean) = %d, want 1", b)
+	}
+}
+
+func TestLowerRequiresASatisfiability(t *testing.T) {
+	// A query whose only covered expansion would be A-unsatisfiable is
+	// rejected (LEP requires A-satisfiable envelopes to rule out the
+	// trivial empty query).
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 1))
+	// Q(x) :- R(c,x), R(d,x), c=1, d=1, x=2 ... and a second pinned
+	// variable forcing (1,2) and (1,3)-style conflicts via expansions is
+	// contrived; instead verify directly that an A-unsatisfiable covered
+	// query is not accepted as its own lower envelope.
+	q := &cq.CQ{
+		Label: "QU", Free: []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("c"), cq.Var("x")),
+			cq.NewAtom("R", cq.Var("c"), cq.Var("x2")),
+		},
+		Eqs: []cq.Eq{
+			{L: cq.Var("c"), R: cq.Const(iv(1))},
+			{L: cq.Var("x"), R: cq.Const(iv(2))},
+			{L: cq.Var("x2"), R: cq.Const(iv(3))},
+		},
+	}
+	lo, err := FindLower(q, a, s, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Found {
+		t.Errorf("A-unsatisfiable query must not be its own lower envelope: %s", lo.Ql)
+	}
+}
+
+func TestRelaxationKeepsSafety(t *testing.T) {
+	s, a := ex41()
+	// Q(x) :- R(x,y): dropping the only atom would orphan free x; the
+	// search must never produce an unsafe relaxation.
+	q := &cq.CQ{Free: []string{"x"}, Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))}}
+	up, err := FindUpper(q, a, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x is not covered (nothing pins A-values), so Q is unbounded: no envelope.
+	if up.Found {
+		t.Errorf("unbounded query must have no upper envelope: %s", up.Qu)
+	}
+}
+
+func TestLowerEnvelopeAInstanceOptionsRespected(t *testing.T) {
+	s, a := ex41()
+	_, err := FindLower(q1(), a, s, 1, Options{AInstance: ainstance.Options{MaxVars: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

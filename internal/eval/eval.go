@@ -1,0 +1,324 @@
+// Package eval is the conventional (unbounded) query evaluator used as the
+// paper's baseline: it computes exact answers by scanning relations, the
+// way an RDBMS without applicable indices would.
+//
+// Two modes are provided. ScanJoin is a pure nested-loop evaluator — the
+// pessimistic stand-in for the paper's "MySQL took 14 hours" comparator.
+// HashJoin builds per-atom hash tables on the join columns — a fair
+// conventional baseline. Both count every tuple they read, so experiments
+// can report data accessed alongside wall-clock time.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/value"
+)
+
+// Mode selects the join strategy.
+type Mode int
+
+const (
+	// ScanJoin evaluates by backtracking nested-loop scans.
+	ScanJoin Mode = iota
+	// HashJoin evaluates left-to-right with hash tables on shared columns.
+	HashJoin
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ScanJoin:
+		return "scan-join"
+	case HashJoin:
+		return "hash-join"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Result is the answer set Q(D) plus access accounting.
+type Result struct {
+	// Rows is Q(D), deduplicated and sorted for determinism.
+	Rows []data.Tuple
+	// Scanned counts tuples read from D during evaluation.
+	Scanned int64
+}
+
+// Contains reports whether the result holds the given tuple.
+func (r *Result) Contains(t data.Tuple) bool {
+	k := t.Key()
+	for _, row := range r.Rows {
+		if row.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CQ evaluates q over d.
+func CQ(q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
+	c := q.Canonicalize()
+	if c.Unsat {
+		return &Result{}, nil
+	}
+	switch mode {
+	case ScanJoin:
+		return scanEval(c, d)
+	case HashJoin:
+		return hashEval(c, d)
+	default:
+		return nil, fmt.Errorf("eval: unknown mode %v", mode)
+	}
+}
+
+// UCQ evaluates a union of CQs, merging answer sets.
+func UCQ(qs []*cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
+	res := &Result{}
+	seen := make(map[value.Key]bool)
+	for _, q := range qs {
+		r, err := CQ(q, d, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Scanned += r.Scanned
+		for _, row := range r.Rows {
+			k := row.Key()
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	sortRows(res.Rows)
+	return res, nil
+}
+
+func sortRows(rows []data.Tuple) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k].Less(b[k])
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// emitHead materializes the head tuple under a complete assignment.
+func emitHead(c *cq.Canonical, assign map[string]value.Value) (data.Tuple, bool) {
+	out := make(data.Tuple, len(c.Head))
+	for i, t := range c.Head {
+		if t.IsVar() {
+			v, ok := assign[t.V]
+			if !ok {
+				return nil, false
+			}
+			out[i] = v
+		} else {
+			out[i] = t.C
+		}
+	}
+	return out, true
+}
+
+// scanEval backtracks over atoms with nested loops.
+func scanEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
+	res := &Result{}
+	seen := make(map[value.Key]bool)
+	assign := make(map[string]value.Value)
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(c.Atoms) {
+			row, ok := emitHead(c, assign)
+			if !ok {
+				return fmt.Errorf("eval: unsafe head variable (query not validated?)")
+			}
+			k := row.Key()
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, row)
+			}
+			return nil
+		}
+		a := c.Atoms[i]
+		rel := d.Relation(a.Rel)
+		if rel == nil {
+			return fmt.Errorf("eval: instance has no relation %s", a.Rel)
+		}
+		for _, tup := range rel.Tuples() {
+			res.Scanned++
+			var bound []string
+			ok := true
+			for j, arg := range a.Args {
+				if arg.IsVar() {
+					if cur, has := assign[arg.V]; has {
+						if cur != tup[j] {
+							ok = false
+							break
+						}
+					} else {
+						assign[arg.V] = tup[j]
+						bound = append(bound, arg.V)
+					}
+				} else if arg.C != tup[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(assign, v)
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sortRows(res.Rows)
+	return res, nil
+}
+
+// binding is one row of the intermediate table in hashEval.
+type binding struct {
+	cols []string
+	vals []value.Value
+}
+
+func (b binding) lookup(v string) (value.Value, bool) {
+	for i, c := range b.cols {
+		if c == v {
+			return b.vals[i], true
+		}
+	}
+	return value.Value{}, false
+}
+
+// hashEval joins atoms left to right using hash tables keyed on the
+// variables shared with the accumulated bindings.
+func hashEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
+	res := &Result{}
+	cur := []binding{{}}
+	for _, a := range c.Atoms {
+		rel := d.Relation(a.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("eval: instance has no relation %s", a.Rel)
+		}
+		// Shared variables between the atom and the accumulated columns,
+		// plus constant positions, form the probe key.
+		curCols := map[string]bool{}
+		if len(cur) > 0 {
+			for _, col := range cur[0].cols {
+				curCols[col] = true
+			}
+		}
+		var keyPos []int
+		var keyVar []string
+		for j, arg := range a.Args {
+			if arg.IsVar() && curCols[arg.V] {
+				keyPos = append(keyPos, j)
+				keyVar = append(keyVar, arg.V)
+			}
+		}
+		// Build: bucket tuples passing constant and intra-atom equality checks.
+		table := make(map[value.Key][]data.Tuple)
+		for _, tup := range rel.Tuples() {
+			res.Scanned++
+			if !atomLocalMatch(a, tup) {
+				continue
+			}
+			k := value.KeyOfAt(tup, keyPos)
+			table[k] = append(table[k], tup)
+		}
+		// New columns this atom introduces.
+		var newVars []string
+		var newPos []int
+		seenVar := map[string]bool{}
+		for j, arg := range a.Args {
+			if arg.IsVar() && !curCols[arg.V] && !seenVar[arg.V] {
+				seenVar[arg.V] = true
+				newVars = append(newVars, arg.V)
+				newPos = append(newPos, j)
+			}
+		}
+		var next []binding
+		for _, b := range cur {
+			kvals := make([]value.Value, len(keyVar))
+			for i, v := range keyVar {
+				kvals[i], _ = b.lookup(v)
+			}
+			for _, tup := range table[value.KeyOf(kvals...)] {
+				nb := binding{
+					cols: append(append([]string(nil), b.cols...), newVars...),
+					vals: append([]value.Value(nil), b.vals...),
+				}
+				for _, p := range newPos {
+					nb.vals = append(nb.vals, tup[p])
+				}
+				next = append(next, nb)
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	seen := make(map[value.Key]bool)
+	for _, b := range cur {
+		row := make(data.Tuple, len(c.Head))
+		ok := true
+		for i, t := range c.Head {
+			if t.IsVar() {
+				v, has := b.lookup(t.V)
+				if !has {
+					ok = false
+					break
+				}
+				row[i] = v
+			} else {
+				row[i] = t.C
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("eval: unsafe head variable (query not validated?)")
+		}
+		k := row.Key()
+		if !seen[k] {
+			seen[k] = true
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	sortRows(res.Rows)
+	return res, nil
+}
+
+// atomLocalMatch checks constant arguments and repeated variables within a
+// single atom against a tuple.
+func atomLocalMatch(a cq.Atom, tup data.Tuple) bool {
+	firstPos := make(map[string]int, len(a.Args))
+	for j, arg := range a.Args {
+		if !arg.IsVar() {
+			if arg.C != tup[j] {
+				return false
+			}
+			continue
+		}
+		if p, ok := firstPos[arg.V]; ok {
+			if tup[p] != tup[j] {
+				return false
+			}
+		} else {
+			firstPos[arg.V] = j
+		}
+	}
+	return true
+}

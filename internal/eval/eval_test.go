@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value { return value.NewInt(i) }
+
+func graphInstance(edges [][2]int64) *data.Instance {
+	s := schema.MustNew(schema.MustRelation("E", "src", "dst"))
+	d := data.NewInstance(s)
+	for _, e := range edges {
+		d.MustInsert("E", iv(e[0]), iv(e[1]))
+	}
+	return d
+}
+
+func bothModes(t *testing.T, q *cq.CQ, d *data.Instance) (*Result, *Result) {
+	t.Helper()
+	rs, err := CQ(q, d, ScanJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := CQ(q, d, HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, rh
+}
+
+func sameRows(a, b *Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingleAtom(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {2, 3}})
+	q := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 2 || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestPathJoin(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {2, 3}, {3, 4}, {9, 9}})
+	// Q(x,z) :- E(x,y), E(y,z)
+	q := &cq.CQ{Free: []string{"x", "z"}, Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("E", cq.Var("y"), cq.Var("z")),
+	}}
+	rs, rh := bothModes(t, q, d)
+	// Paths: 1-2-3, 2-3-4, 9-9-9.
+	if len(rs.Rows) != 3 || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestConstantsViaEqualities(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {1, 3}, {2, 3}})
+	// Q(y) :- E(x,y), x=1
+	q := &cq.CQ{Free: []string{"y"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))},
+		Eqs:   []cq.Eq{{L: cq.Var("x"), R: cq.Const(iv(1))}}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 2 || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestConstantsInAtoms(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {2, 2}})
+	// Q(y) :- E(1,y): constant directly in the atom (Normalize handles it).
+	q := &cq.CQ{Free: []string{"y"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Const(iv(1)), cq.Var("y"))}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != iv(2) || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 1}, {1, 2}, {3, 3}})
+	// Q(x) :- E(x,x): self-loops.
+	q := &cq.CQ{Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("x"))}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 2 || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestBooleanQuery(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}})
+	q := &cq.CQ{Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 1 || len(rs.Rows[0]) != 0 || !sameRows(rs, rh) {
+		t.Fatalf("boolean true: scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+	empty := graphInstance(nil)
+	rs2, err := CQ(q, empty, ScanJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.Rows) != 0 {
+		t.Fatal("boolean false should have no rows")
+	}
+}
+
+func TestUnsatisfiableQueryEmpty(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}})
+	q := &cq.CQ{Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))},
+		Eqs:   []cq.Eq{{L: cq.Var("x"), R: cq.Const(iv(1))}, {L: cq.Var("x"), R: cq.Const(iv(2))}}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 0 || len(rh.Rows) != 0 {
+		t.Fatal("unsatisfiable query must return empty")
+	}
+}
+
+func TestConstantHead(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}})
+	// Q(x) :- E(y,z), x=7: head pinned to a constant.
+	q := &cq.CQ{Free: []string{"x"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("y"), cq.Var("z"))},
+		Eqs:   []cq.Eq{{L: cq.Var("x"), R: cq.Const(iv(7))}}}
+	rs, rh := bothModes(t, q, d)
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != iv(7) || !sameRows(rs, rh) {
+		t.Fatalf("scan=%v hash=%v", rs.Rows, rh.Rows)
+	}
+}
+
+func TestUnknownRelationError(t *testing.T) {
+	d := graphInstance(nil)
+	q := &cq.CQ{Atoms: []cq.Atom{cq.NewAtom("Ghost", cq.Var("x"))}}
+	if _, err := CQ(q, d, ScanJoin); err == nil {
+		t.Error("scan: unknown relation must error")
+	}
+	if _, err := CQ(q, d, HashJoin); err == nil {
+		t.Error("hash: unknown relation must error")
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {3, 4}})
+	q1 := &cq.CQ{Free: []string{"y"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Const(iv(1)), cq.Var("y"))}}
+	q2 := &cq.CQ{Free: []string{"y"},
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.Const(iv(3)), cq.Var("y"))}}
+	r, err := UCQ([]*cq.CQ{q1, q2}, d, HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("union rows = %v", r.Rows)
+	}
+	// Overlapping unions deduplicate.
+	r2, err := UCQ([]*cq.CQ{q1, q1}, d, HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rows) != 1 {
+		t.Fatalf("self-union rows = %v", r2.Rows)
+	}
+}
+
+func TestScannedAccounting(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}, {2, 3}, {3, 4}})
+	q := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))}}
+	rs, err := CQ(q, d, ScanJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Scanned != 3 {
+		t.Errorf("single-atom scan should read each tuple once: %d", rs.Scanned)
+	}
+}
+
+func TestResultContains(t *testing.T) {
+	d := graphInstance([][2]int64{{1, 2}})
+	q := &cq.CQ{Free: []string{"x", "y"}, Atoms: []cq.Atom{cq.NewAtom("E", cq.Var("x"), cq.Var("y"))}}
+	r, err := CQ(q, d, ScanJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(data.Tuple{iv(1), iv(2)}) {
+		t.Error("Contains(1,2) should hold")
+	}
+	if r.Contains(data.Tuple{iv(2), iv(1)}) {
+		t.Error("Contains(2,1) should not hold")
+	}
+}
+
+// Property: scan-join and hash-join agree on random path queries over
+// random small graphs.
+func TestModesAgreeQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var edges [][2]int64
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int64{int64(raw[i] % 8), int64(raw[i+1] % 8)})
+		}
+		d := graphInstance(edges)
+		q := &cq.CQ{Free: []string{"x", "z"}, Atoms: []cq.Atom{
+			cq.NewAtom("E", cq.Var("x"), cq.Var("y")),
+			cq.NewAtom("E", cq.Var("y"), cq.Var("z")),
+		}}
+		rs, err := CQ(q, d, ScanJoin)
+		if err != nil {
+			return false
+		}
+		rh, err := CQ(q, d, HashJoin)
+		if err != nil {
+			return false
+		}
+		return sameRows(rs, rh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,458 @@
+// Package fo implements full first-order logic queries: formulas built
+// from atomic formulas with ∧, ∨, ¬, ∃ and ∀ (Section 2 of the paper),
+// evaluated under the active-domain semantics.
+//
+// BEP, UEP, LEP and QSP are all undecidable for FO (Table 1), so no
+// decision procedures live here; the package provides the substrate the
+// paper's FO-level definitions need — evaluation, specialization of
+// parameterized FO queries (Section 5), and detection of the ∃FO⁺ fragment
+// for handoff to the decidable machinery.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/posfo"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Formula is a node of an FO formula tree.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom is a relation atom.
+type Atom struct {
+	Rel  string
+	Args []cq.Term
+}
+
+func (Atom) isFormula() {}
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eq is t1 = t2.
+type Eq struct{ L, R cq.Term }
+
+func (Eq) isFormula()       {}
+func (e Eq) String() string { return e.L.String() + " = " + e.R.String() }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+func (Not) isFormula()       {}
+func (n Not) String() string { return "¬(" + n.F.String() + ")" }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+func (And) isFormula()       {}
+func (a And) String() string { return "(" + a.L.String() + " ∧ " + a.R.String() + ")" }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+func (Or) isFormula()       {}
+func (o Or) String() string { return "(" + o.L.String() + " ∨ " + o.R.String() + ")" }
+
+// Exists is ∃v (body).
+type Exists struct {
+	Var  string
+	Body Formula
+}
+
+func (Exists) isFormula()       {}
+func (e Exists) String() string { return "∃" + e.Var + " " + e.Body.String() }
+
+// ForAll is ∀v (body).
+type ForAll struct {
+	Var  string
+	Body Formula
+}
+
+func (ForAll) isFormula()       {}
+func (f ForAll) String() string { return "∀" + f.Var + " " + f.Body.String() }
+
+// Query is a named FO query with a free-variable tuple.
+type Query struct {
+	Label string
+	Free  []string
+	Body  Formula
+}
+
+func (q *Query) String() string {
+	return fmt.Sprintf("%s(%s) :- %s", q.Label, strings.Join(q.Free, ", "), q.Body)
+}
+
+// FreeVars computes the free variables of a formula.
+func FreeVars(f Formula) []string {
+	set := make(map[string]bool)
+	var walk func(f Formula, bound map[string]bool)
+	walk = func(f Formula, bound map[string]bool) {
+		switch n := f.(type) {
+		case Atom:
+			for _, t := range n.Args {
+				if t.IsVar() && !bound[t.V] {
+					set[t.V] = true
+				}
+			}
+		case Eq:
+			for _, t := range []cq.Term{n.L, n.R} {
+				if t.IsVar() && !bound[t.V] {
+					set[t.V] = true
+				}
+			}
+		case Not:
+			walk(n.F, bound)
+		case And:
+			walk(n.L, bound)
+			walk(n.R, bound)
+		case Or:
+			walk(n.L, bound)
+			walk(n.R, bound)
+		case Exists:
+			nb := copyBound(bound)
+			nb[n.Var] = true
+			walk(n.Body, nb)
+		case ForAll:
+			nb := copyBound(bound)
+			nb[n.Var] = true
+			walk(n.Body, nb)
+		}
+	}
+	walk(f, map[string]bool{})
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyBound(b map[string]bool) map[string]bool {
+	nb := make(map[string]bool, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// Validate checks arities and that every declared free variable is free in
+// the body (or absent, which is allowed for parameterized shells).
+func (q *Query) Validate(s *schema.Schema) error {
+	var check func(f Formula) error
+	check = func(f Formula) error {
+		switch n := f.(type) {
+		case Atom:
+			rs, ok := s.Relation(n.Rel)
+			if !ok {
+				return fmt.Errorf("fo: %s: unknown relation %s", q.Label, n.Rel)
+			}
+			if len(n.Args) != rs.Arity() {
+				return fmt.Errorf("fo: %s: atom %s has arity %d, schema wants %d",
+					q.Label, n, len(n.Args), rs.Arity())
+			}
+			return nil
+		case Eq:
+			return nil
+		case Not:
+			return check(n.F)
+		case And:
+			if err := check(n.L); err != nil {
+				return err
+			}
+			return check(n.R)
+		case Or:
+			if err := check(n.L); err != nil {
+				return err
+			}
+			return check(n.R)
+		case Exists:
+			return check(n.Body)
+		case ForAll:
+			return check(n.Body)
+		default:
+			return fmt.Errorf("fo: %s: unknown node %T", q.Label, f)
+		}
+	}
+	return check(q.Body)
+}
+
+// Eval computes Q(D) under active-domain semantics: free variables and
+// quantifiers range over adom(D) ∪ constants(Q). The cost is
+// O(|adom|^(free+quantifier depth)) — this is the brute-force baseline, as
+// the paper's negative results demand.
+func (q *Query) Eval(d *data.Instance) ([]data.Tuple, error) {
+	declared := make(map[string]bool, len(q.Free))
+	for _, v := range q.Free {
+		declared[v] = true
+	}
+	for _, v := range FreeVars(q.Body) {
+		if !declared[v] {
+			return nil, fmt.Errorf("fo: %s: variable %s is free in the body but not declared in the head", q.Label, v)
+		}
+	}
+	dom := activeDomain(q, d)
+	assign := make(map[string]value.Value)
+	var out []data.Tuple
+	seen := make(map[value.Key]bool)
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(q.Free) {
+			ok, err := holds(q.Body, d, dom, assign)
+			if err != nil {
+				return err
+			}
+			if ok {
+				row := make(data.Tuple, len(q.Free))
+				for j, v := range q.Free {
+					row[j] = assign[v]
+				}
+				if k := row.Key(); !seen[k] {
+					seen[k] = true
+					out = append(out, row)
+				}
+			}
+			return nil
+		}
+		v := q.Free[i]
+		if _, fixed := assign[v]; fixed {
+			return enumerate(i + 1)
+		}
+		for _, c := range dom {
+			assign[v] = c
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(assign, v)
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k].Less(out[j][k])
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+func activeDomain(q *Query, d *data.Instance) []value.Value {
+	dom := d.ActiveDomain()
+	set := make(map[value.Value]bool, len(dom))
+	for _, v := range dom {
+		set[v] = true
+	}
+	var walk func(f Formula)
+	walk = func(f Formula) {
+		switch n := f.(type) {
+		case Atom:
+			for _, t := range n.Args {
+				if !t.IsVar() && !set[t.C] {
+					set[t.C] = true
+					dom = append(dom, t.C)
+				}
+			}
+		case Eq:
+			for _, t := range []cq.Term{n.L, n.R} {
+				if !t.IsVar() && !set[t.C] {
+					set[t.C] = true
+					dom = append(dom, t.C)
+				}
+			}
+		case Not:
+			walk(n.F)
+		case And:
+			walk(n.L)
+			walk(n.R)
+		case Or:
+			walk(n.L)
+			walk(n.R)
+		case Exists:
+			walk(n.Body)
+		case ForAll:
+			walk(n.Body)
+		}
+	}
+	walk(q.Body)
+	sort.Slice(dom, func(i, j int) bool { return dom[i].Less(dom[j]) })
+	return dom
+}
+
+func holds(f Formula, d *data.Instance, dom []value.Value, assign map[string]value.Value) (bool, error) {
+	switch n := f.(type) {
+	case Atom:
+		rel := d.Relation(n.Rel)
+		if rel == nil {
+			return false, fmt.Errorf("fo: instance has no relation %s", n.Rel)
+		}
+		row := make(data.Tuple, len(n.Args))
+		for i, t := range n.Args {
+			if t.IsVar() {
+				v, ok := assign[t.V]
+				if !ok {
+					return false, fmt.Errorf("fo: unbound variable %s (formula not closed under assignment)", t.V)
+				}
+				row[i] = v
+			} else {
+				row[i] = t.C
+			}
+		}
+		return rel.Contains(row), nil
+	case Eq:
+		l, err := termValue(n.L, assign)
+		if err != nil {
+			return false, err
+		}
+		r, err := termValue(n.R, assign)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Not:
+		ok, err := holds(n.F, d, dom, assign)
+		return !ok, err
+	case And:
+		ok, err := holds(n.L, d, dom, assign)
+		if err != nil || !ok {
+			return false, err
+		}
+		return holds(n.R, d, dom, assign)
+	case Or:
+		ok, err := holds(n.L, d, dom, assign)
+		if err != nil || ok {
+			return ok, err
+		}
+		return holds(n.R, d, dom, assign)
+	case Exists:
+		old, had := assign[n.Var]
+		for _, c := range dom {
+			assign[n.Var] = c
+			ok, err := holds(n.Body, d, dom, assign)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				restore(assign, n.Var, old, had)
+				return true, nil
+			}
+		}
+		restore(assign, n.Var, old, had)
+		return false, nil
+	case ForAll:
+		old, had := assign[n.Var]
+		for _, c := range dom {
+			assign[n.Var] = c
+			ok, err := holds(n.Body, d, dom, assign)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				restore(assign, n.Var, old, had)
+				return false, nil
+			}
+		}
+		restore(assign, n.Var, old, had)
+		return true, nil
+	default:
+		return false, fmt.Errorf("fo: unknown node %T", f)
+	}
+}
+
+func restore(assign map[string]value.Value, v string, old value.Value, had bool) {
+	if had {
+		assign[v] = old
+	} else {
+		delete(assign, v)
+	}
+}
+
+func termValue(t cq.Term, assign map[string]value.Value) (value.Value, error) {
+	if !t.IsVar() {
+		return t.C, nil
+	}
+	v, ok := assign[t.V]
+	if !ok {
+		return value.Value{}, fmt.Errorf("fo: unbound variable %s", t.V)
+	}
+	return v, nil
+}
+
+// Specialize builds the specialized FO query Q(x̄ = c̄) of Section 5:
+// the body conjoined with x = c for each parameter.
+func (q *Query) Specialize(vals map[string]value.Value) *Query {
+	body := q.Body
+	keys := make([]string, 0, len(vals))
+	for p := range vals {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		body = And{L: body, R: Eq{L: cq.Var(p), R: cq.Const(vals[p])}}
+	}
+	return &Query{Label: q.Label + "_spec", Free: append([]string(nil), q.Free...), Body: body}
+}
+
+// AsPositive attempts to view the query as ∃FO⁺ (no ¬, no ∀). It returns
+// the positive query for handoff to the decidable analyses, or false when
+// the query genuinely uses negation or universal quantification.
+func (q *Query) AsPositive() (*posfo.Query, bool) {
+	var conv func(f Formula) (posfo.Formula, bool)
+	conv = func(f Formula) (posfo.Formula, bool) {
+		switch n := f.(type) {
+		case Atom:
+			return posfo.Atom{Rel: n.Rel, Args: n.Args}, true
+		case Eq:
+			return posfo.Eq{L: n.L, R: n.R}, true
+		case And:
+			l, ok := conv(n.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := conv(n.R)
+			if !ok {
+				return nil, false
+			}
+			return posfo.And{Fs: []posfo.Formula{l, r}}, true
+		case Or:
+			l, ok := conv(n.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := conv(n.R)
+			if !ok {
+				return nil, false
+			}
+			return posfo.Or{Fs: []posfo.Formula{l, r}}, true
+		case Exists:
+			b, ok := conv(n.Body)
+			if !ok {
+				return nil, false
+			}
+			return posfo.Exists{Vars: []string{n.Var}, Body: b}, true
+		default:
+			return nil, false
+		}
+	}
+	body, ok := conv(q.Body)
+	if !ok {
+		return nil, false
+	}
+	return &posfo.Query{Label: q.Label, Free: append([]string(nil), q.Free...), Body: body}, true
+}

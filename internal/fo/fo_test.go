@@ -1,0 +1,188 @@
+package fo
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value { return value.NewInt(i) }
+
+func graph(edges [][2]int64) *data.Instance {
+	s := schema.MustNew(schema.MustRelation("E", "src", "dst"))
+	d := data.NewInstance(s)
+	for _, e := range edges {
+		d.MustInsert("E", iv(e[0]), iv(e[1]))
+	}
+	return d
+}
+
+func atomE(a, b cq.Term) Atom { return Atom{Rel: "E", Args: []cq.Term{a, b}} }
+
+func TestEvalAtomAndExists(t *testing.T) {
+	d := graph([][2]int64{{1, 2}, {2, 3}})
+	// Q(x) :- ∃y E(x,y)
+	q := &Query{Label: "Q", Free: []string{"x"},
+		Body: Exists{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))}}
+	rows, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEvalNegation(t *testing.T) {
+	d := graph([][2]int64{{1, 2}, {2, 3}})
+	// Sinks: Q(x) :- (∃y E(y,x)) ∧ ¬∃z E(x,z)
+	q := &Query{Label: "Sinks", Free: []string{"x"},
+		Body: And{
+			L: Exists{Var: "y", Body: atomE(cq.Var("y"), cq.Var("x"))},
+			R: Not{F: Exists{Var: "z", Body: atomE(cq.Var("x"), cq.Var("z"))}},
+		}}
+	rows, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iv(3) {
+		t.Fatalf("sinks = %v, want [3]", rows)
+	}
+}
+
+func TestEvalForAll(t *testing.T) {
+	d := graph([][2]int64{{1, 1}, {1, 2}, {1, 3}})
+	// Q(x) :- ∀y (∃u E(y,u) ∨ ∃v E(v,y)) → trivially true for every adom
+	// element here; instead test a universal source: x reaches every node:
+	// Q(x) :- ∀y E(x,y).
+	q := &Query{Label: "Universal", Free: []string{"x"},
+		Body: ForAll{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))}}
+	rows, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// adom = {1,2,3}; only x=1 has edges to all of 1,2,3.
+	if len(rows) != 1 || rows[0][0] != iv(1) {
+		t.Fatalf("universal sources = %v, want [1]", rows)
+	}
+}
+
+func TestEvalEqualityAndConstants(t *testing.T) {
+	d := graph([][2]int64{{1, 2}})
+	// Q(x) :- x = 9 (constant outside adom(D) must still be considered).
+	q := &Query{Label: "QEq", Free: []string{"x"},
+		Body: Eq{L: cq.Var("x"), R: cq.Const(iv(9))}}
+	rows, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iv(9) {
+		t.Fatalf("rows = %v, want [9]", rows)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := And{
+		L: Exists{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))},
+		R: ForAll{Var: "z", Body: Or{L: atomE(cq.Var("z"), cq.Var("w")), R: Eq{L: cq.Var("x"), R: cq.Var("w")}}},
+	}
+	got := FreeVars(f)
+	want := []string{"w", "x"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("FreeVars = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("E", "src", "dst"))
+	bad := &Query{Label: "B", Body: Atom{Rel: "F", Args: nil}}
+	if err := bad.Validate(s); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	badAr := &Query{Label: "B2", Body: Atom{Rel: "E", Args: []cq.Term{cq.Var("x")}}}
+	if err := badAr.Validate(s); err == nil {
+		t.Error("bad arity must fail")
+	}
+	good := &Query{Label: "G", Free: []string{"x"},
+		Body: Not{F: Exists{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))}}}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("good query rejected: %v", err)
+	}
+}
+
+func TestSpecialize(t *testing.T) {
+	d := graph([][2]int64{{1, 2}, {3, 4}})
+	q := &Query{Label: "Q", Free: []string{"x", "y"},
+		Body: atomE(cq.Var("x"), cq.Var("y"))}
+	spec := q.Specialize(map[string]value.Value{"x": iv(1)})
+	rows, err := spec.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iv(1) || rows[0][1] != iv(2) {
+		t.Fatalf("specialized rows = %v", rows)
+	}
+}
+
+func TestAsPositive(t *testing.T) {
+	pos := &Query{Label: "P", Free: []string{"x"},
+		Body: Exists{Var: "y", Body: Or{
+			L: atomE(cq.Var("x"), cq.Var("y")),
+			R: atomE(cq.Var("y"), cq.Var("x")),
+		}}}
+	pq, ok := pos.AsPositive()
+	if !ok {
+		t.Fatal("positive query must convert")
+	}
+	subs, err := pq.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Errorf("UCQ subs = %d, want 2", len(subs))
+	}
+	neg := &Query{Label: "N", Free: []string{"x"},
+		Body: Not{F: atomE(cq.Var("x"), cq.Var("x"))}}
+	if _, ok := neg.AsPositive(); ok {
+		t.Error("negated query must not convert")
+	}
+	univ := &Query{Label: "U", Free: []string{"x"},
+		Body: ForAll{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))}}
+	if _, ok := univ.AsPositive(); ok {
+		t.Error("universal query must not convert")
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	d := graph([][2]int64{{1, 2}})
+	// Body references w which is neither free nor quantified.
+	q := &Query{Label: "QW", Free: []string{"x"},
+		Body: And{L: atomE(cq.Var("x"), cq.Var("x")), R: atomE(cq.Var("w"), cq.Var("x"))}}
+	if _, err := q.Eval(d); err == nil {
+		t.Error("unbound variable must surface as an error")
+	}
+}
+
+func TestBooleanQuery(t *testing.T) {
+	d := graph([][2]int64{{1, 2}})
+	q := &Query{Label: "B",
+		Body: Exists{Var: "x", Body: Exists{Var: "y", Body: atomE(cq.Var("x"), cq.Var("y"))}}}
+	rows, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 0 {
+		t.Fatalf("boolean true should be one empty row: %v", rows)
+	}
+	empty := graph(nil)
+	rows, err = q.Eval(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("boolean false should be empty: %v", rows)
+	}
+}

@@ -1,0 +1,87 @@
+// Package index implements the hash indices that back access constraints.
+//
+// An access constraint R(X -> Y, N) requires "an index on X for Y that,
+// given an X-value ā, retrieves D_Y(X = ā)". Index is exactly that: it maps
+// each X-value to the set of distinct Y-projections of matching tuples.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Index is a hash index on attributes X for attributes Y over one relation
+// instance. Buckets hold distinct Y-projections (set semantics), so the
+// bucket size for key ā is exactly |D_Y(X = ā)| from the paper.
+type Index struct {
+	Rel  string
+	X, Y []schema.Attribute
+
+	xpos, ypos []int
+	buckets    map[value.Key][]data.Tuple
+}
+
+// Build constructs the index on X for Y over r. Empty X is allowed (the
+// paper's R(∅ -> Y, N) form): all tuples share the single empty key.
+func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
+	xpos, err := r.Schema.Positions(x)
+	if err != nil {
+		return nil, fmt.Errorf("index: bad X: %w", err)
+	}
+	ypos, err := r.Schema.Positions(y)
+	if err != nil {
+		return nil, fmt.Errorf("index: bad Y: %w", err)
+	}
+	idx := &Index{
+		Rel:     r.Schema.Name,
+		X:       append([]schema.Attribute(nil), x...),
+		Y:       append([]schema.Attribute(nil), y...),
+		xpos:    xpos,
+		ypos:    ypos,
+		buckets: make(map[value.Key][]data.Tuple),
+	}
+	dedup := make(map[value.Key]bool)
+	for _, t := range r.Tuples() {
+		k := value.KeyOfAt(t, xpos)
+		proj := t.Project(ypos)
+		dk := k + "\x00" + value.Key(proj.Key())
+		if dedup[dk] {
+			continue
+		}
+		dedup[dk] = true
+		idx.buckets[k] = append(idx.buckets[k], proj)
+	}
+	return idx, nil
+}
+
+// Fetch returns the distinct Y-projections D_Y(X = ā) for the X-value ā.
+// The returned slice is shared; callers must not mutate it.
+func (ix *Index) Fetch(xvals []value.Value) []data.Tuple {
+	return ix.buckets[value.KeyOf(xvals...)]
+}
+
+// FetchKey is Fetch with a pre-encoded key, avoiding re-encoding in hot loops.
+func (ix *Index) FetchKey(k value.Key) []data.Tuple { return ix.buckets[k] }
+
+// MaxGroup returns the largest bucket size: max over ā of |D_Y(X = ā)|.
+// This is the quantity a cardinality constraint bounds.
+func (ix *Index) MaxGroup() int {
+	m := 0
+	for _, b := range ix.buckets {
+		if len(b) > m {
+			m = len(b)
+		}
+	}
+	return m
+}
+
+// Groups returns the number of distinct X-values present.
+func (ix *Index) Groups() int { return len(ix.buckets) }
+
+// String identifies the index, e.g. "index on Accident(date -> aid)".
+func (ix *Index) String() string {
+	return fmt.Sprintf("index on %s(%v -> %v)", ix.Rel, ix.X, ix.Y)
+}

@@ -1,0 +1,134 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func buildRel(t *testing.T, rows [][]int64) *data.Relation {
+	t.Helper()
+	r := data.NewRelation(schema.MustRelation("R", "A", "B", "C"))
+	for _, row := range rows {
+		vals := make([]value.Value, len(row))
+		for i, x := range row {
+			vals[i] = value.NewInt(x)
+		}
+		r.MustInsert(vals...)
+	}
+	return r
+}
+
+func TestBuildAndFetch(t *testing.T) {
+	r := buildRel(t, [][]int64{{1, 10, 100}, {1, 20, 100}, {2, 30, 200}})
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Fetch([]value.Value{value.NewInt(1)})
+	if len(got) != 2 {
+		t.Fatalf("Fetch(A=1) returned %d tuples, want 2", len(got))
+	}
+	if got := ix.Fetch([]value.Value{value.NewInt(9)}); len(got) != 0 {
+		t.Errorf("Fetch(A=9) = %v, want empty", got)
+	}
+}
+
+func TestFetchReturnsDistinctYProjections(t *testing.T) {
+	// Two tuples with same (A,B) but different C: D_B(A=1) has ONE element.
+	r := buildRel(t, [][]int64{{1, 10, 100}, {1, 10, 200}})
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Fetch([]value.Value{value.NewInt(1)}); len(got) != 1 {
+		t.Errorf("distinct Y-projection count = %d, want 1", len(got))
+	}
+}
+
+func TestEmptyXIndex(t *testing.T) {
+	// R(∅ -> C, N): single bucket keyed by the empty key.
+	r := buildRel(t, [][]int64{{1, 10, 100}, {2, 20, 100}, {3, 30, 300}})
+	ix, err := Build(r, nil, []schema.Attribute{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Fetch(nil)
+	if len(got) != 2 { // distinct C values: 100, 300
+		t.Errorf("Fetch(∅) = %d tuples, want 2", len(got))
+	}
+	if ix.Groups() != 1 {
+		t.Errorf("Groups = %d, want 1", ix.Groups())
+	}
+}
+
+func TestMaxGroup(t *testing.T) {
+	r := buildRel(t, [][]int64{{1, 10, 0}, {1, 20, 0}, {1, 30, 0}, {2, 40, 0}})
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.MaxGroup() != 3 {
+		t.Errorf("MaxGroup = %d, want 3", ix.MaxGroup())
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	r := buildRel(t, [][]int64{{1, 2, 100}, {1, 3, 200}, {2, 2, 300}})
+	ix, err := Build(r, []schema.Attribute{"A", "B"}, []schema.Attribute{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Fetch([]value.Value{value.NewInt(1), value.NewInt(2)})
+	if len(got) != 1 || got[0][0] != value.NewInt(100) {
+		t.Errorf("Fetch(1,2) = %v", got)
+	}
+}
+
+func TestBadAttributes(t *testing.T) {
+	r := buildRel(t, nil)
+	if _, err := Build(r, []schema.Attribute{"Z"}, nil); err == nil {
+		t.Error("unknown X attribute must error")
+	}
+	if _, err := Build(r, nil, []schema.Attribute{"Z"}); err == nil {
+		t.Error("unknown Y attribute must error")
+	}
+}
+
+func TestKeyIndexProperty(t *testing.T) {
+	// Property: for an index on A for B, Fetch(a) returns exactly the distinct
+	// B-values of rows whose A equals a.
+	f := func(rows []struct{ A, B int8 }) bool {
+		r := data.NewRelation(schema.MustRelation("R", "A", "B", "C"))
+		want := make(map[int8]map[int8]bool)
+		for _, row := range rows {
+			r.MustInsert(value.NewInt(int64(row.A)), value.NewInt(int64(row.B)), value.NewInt(0))
+			if want[row.A] == nil {
+				want[row.A] = make(map[int8]bool)
+			}
+			want[row.A][row.B] = true
+		}
+		ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+		if err != nil {
+			return false
+		}
+		for a, bs := range want {
+			got := ix.Fetch([]value.Value{value.NewInt(int64(a))})
+			if len(got) != len(bs) {
+				return false
+			}
+			for _, tup := range got {
+				if !bs[int8(tup[0].Int())] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package load persists database instances as TSV files, one file per
+// relation, so users can bring their own data to the engine (the paper's
+// experiments load the published UK accident tables the same way).
+//
+// Format: <dir>/<Relation>.tsv with a header row naming the attributes in
+// schema order, then one row per tuple. Values are typed by shape: a field
+// of digits (with optional sign) is an integer, anything else a string.
+// Tabs and newlines inside string values are escaped as \t, \n, and \\.
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// SaveInstance writes every relation of d into dir (created if needed).
+func SaveInstance(d *data.Instance, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	for _, rs := range d.Schema.Relations() {
+		if err := saveRelation(d.Relation(rs.Name), filepath.Join(dir, rs.Name+".tsv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveRelation(r *data.Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	header := make([]string, len(r.Schema.Attrs))
+	for i, a := range r.Schema.Attrs {
+		header[i] = string(a)
+	}
+	if _, err := w.WriteString(strings.Join(header, "\t") + "\n"); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		cells := make([]string, len(t))
+		for i, v := range t {
+			cells[i] = encodeValue(v)
+		}
+		if _, err := w.WriteString(strings.Join(cells, "\t") + "\n"); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// LoadInstance reads an instance of s from dir. Every relation of the
+// schema must have its TSV file; headers are validated against the schema.
+func LoadInstance(s *schema.Schema, dir string) (*data.Instance, error) {
+	d := data.NewInstance(s)
+	for _, rs := range s.Relations() {
+		path := filepath.Join(dir, rs.Name+".tsv")
+		if err := loadRelation(d, rs, path); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func loadRelation(d *data.Instance, rs schema.Relation, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("load: %s: %w", path, err)
+		}
+		return fmt.Errorf("load: %s: missing header", path)
+	}
+	lineNo++
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) != rs.Arity() {
+		return fmt.Errorf("load: %s: header has %d columns, schema wants %d", path, len(header), rs.Arity())
+	}
+	for i, h := range header {
+		if schema.Attribute(h) != rs.Attrs[i] {
+			return fmt.Errorf("load: %s: header column %d is %q, schema wants %q", path, i, h, rs.Attrs[i])
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if len(cells) != rs.Arity() {
+			return fmt.Errorf("load: %s:%d: %d fields, want %d", path, lineNo, len(cells), rs.Arity())
+		}
+		row := make([]value.Value, len(cells))
+		for i, c := range cells {
+			v, err := decodeValue(c)
+			if err != nil {
+				return fmt.Errorf("load: %s:%d: %w", path, lineNo, err)
+			}
+			row[i] = v
+		}
+		if err := d.Insert(rs.Name, row...); err != nil {
+			return fmt.Errorf("load: %s:%d: %w", path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// encodeValue renders a value for a TSV cell. Integers are bare digits;
+// strings are prefixed with "s:" when they could be mistaken for integers
+// or contain escapes, otherwise written verbatim with escaping.
+func encodeValue(v value.Value) string {
+	switch v.Kind() {
+	case value.Int:
+		return fmt.Sprintf("%d", v.Int())
+	case value.String:
+		s := v.Str()
+		escaped := escape(s)
+		if looksInt(s) || strings.HasPrefix(s, "s:") || escaped != s {
+			return "s:" + escaped
+		}
+		return s
+	default:
+		return "s:"
+	}
+}
+
+func decodeValue(cell string) (value.Value, error) {
+	if strings.HasPrefix(cell, "s:") {
+		s, err := unescape(cell[2:])
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewString(s), nil
+	}
+	if looksInt(cell) {
+		var n int64
+		if _, err := fmt.Sscanf(cell, "%d", &n); err != nil {
+			return value.Value{}, fmt.Errorf("bad integer %q", cell)
+		}
+		return value.NewInt(n), nil
+	}
+	return value.NewString(cell), nil
+}
+
+func looksInt(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '-' || s[0] == '+' {
+		if len(s) == 1 {
+			return false
+		}
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}

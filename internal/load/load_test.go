@@ -1,0 +1,126 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func TestRoundTripAccidents(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 3, AccidentsPerDay: 10, MaxVehicles: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveInstance(acc.Instance, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(acc.Schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != acc.Instance.Size() {
+		t.Fatalf("round trip size %d, want %d", got.Size(), acc.Instance.Size())
+	}
+	for _, rs := range acc.Schema.Relations() {
+		want := acc.Instance.Relation(rs.Name)
+		have := got.Relation(rs.Name)
+		if have.Len() != want.Len() {
+			t.Errorf("%s: %d vs %d tuples", rs.Name, have.Len(), want.Len())
+		}
+		for _, tup := range want.Tuples() {
+			if !have.Contains(tup) {
+				t.Errorf("%s: missing tuple %v after round trip", rs.Name, tup)
+			}
+		}
+	}
+}
+
+func TestValueEncodingEdgeCases(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A"))
+	d, err := LoadInstance(s, writeTSV(t, "R.tsv", "A\n42\ns:42\nplain\ns:tab\\there\n-7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Relation("R")
+	cases := []value.Value{
+		value.NewInt(42),
+		value.NewString("42"),
+		value.NewString("plain"),
+		value.NewString("tab\there"),
+		value.NewInt(-7),
+	}
+	for _, c := range cases {
+		if !r.Contains([]value.Value{c}) {
+			t.Errorf("missing %v after load", c)
+		}
+	}
+	if r.Len() != len(cases) {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func writeTSV(t *testing.T, name, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	cases := []struct {
+		name, content, want string
+	}{
+		{"missing header", "", "missing header"},
+		{"wrong header width", "A\n", "header has 1 columns"},
+		{"wrong header name", "A\tC\n", `header column 1 is "C"`},
+		{"ragged row", "A\tB\n1\n", "1 fields, want 2"},
+		{"bad escape", "A\tB\n1\ts:bad\\q\n", "unknown escape"},
+		{"dangling escape", "A\tB\n1\ts:bad\\\n", "dangling escape"},
+	}
+	for _, c := range cases {
+		dir := writeTSV(t, "R.tsv", c.content)
+		_, err := LoadInstance(s, dir)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.want)
+		}
+	}
+	// Missing file entirely.
+	if _, err := LoadInstance(s, t.TempDir()); err == nil {
+		t.Error("missing relation file must error")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(raw string, n int64) bool {
+		for _, v := range []value.Value{value.NewString(raw), value.NewInt(n)} {
+			cell := encodeValue(v)
+			if strings.ContainsAny(cell, "\t\n") {
+				return false // must be TSV-safe
+			}
+			back, err := decodeValue(cell)
+			if err != nil || back != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

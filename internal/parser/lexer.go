@@ -1,0 +1,199 @@
+// Package parser implements a text syntax for the system's three inputs:
+// relational schemas, access schemas, and queries.
+//
+//	# comments run to end of line
+//	relation Accident(aid, district, date)
+//	constraint Accident(date -> aid, 610)
+//	constraint Accident(∅ -> district, log)      # ∅ or empty X; log/sqrt/N
+//	query Q0(xa) :- Accident(aid, "Queen's Park", "1/5/2005"),
+//	                Casualty(cid, aid, class, vid), Vehicle(vid, dri, xa).
+//	query QU(x) params(d) :- R(x, d) | S(x, d).  # ∃FO⁺ bodies: , & |  ( )
+//
+// Bare identifiers in query bodies are variables; quoted strings and
+// numbers are constants. Multiple query rules may share a head name to
+// form a UCQ.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokArrow  // ->
+	tokEquals // =
+	tokDot    // .
+	tokPipe   // |
+	tokAmp    // &
+	tokTurn   // :-
+	tokEmpty  // ∅
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokArrow:
+		return "->"
+	case tokEquals:
+		return "="
+	case tokDot:
+		return "."
+	case tokPipe:
+		return "|"
+	case tokAmp:
+		return "&"
+	case tokTurn:
+		return ":-"
+	case tokEmpty:
+		return "∅"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexError reports a lexical problem with its line number.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e lexError) Error() string { return fmt.Sprintf("parser: line %d: %s", e.line, e.msg) }
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case r == '=':
+			toks = append(toks, token{tokEquals, "=", line})
+			i++
+		case r == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case r == '|':
+			toks = append(toks, token{tokPipe, "|", line})
+			i++
+		case r == '&':
+			toks = append(toks, token{tokAmp, "&", line})
+			i++
+		case r == '∅':
+			toks = append(toks, token{tokEmpty, "∅", line})
+			i++
+		case r == '-':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "->", line})
+				i += 2
+			} else if i+1 < len(rs) && unicode.IsDigit(rs[i+1]) {
+				j := i + 1
+				for j < len(rs) && unicode.IsDigit(rs[j]) {
+					j++
+				}
+				toks = append(toks, token{tokNumber, string(rs[i:j]), line})
+				i = j
+			} else {
+				return nil, lexError{line, "unexpected '-'"}
+			}
+		case r == ':':
+			if i+1 < len(rs) && rs[i+1] == '-' {
+				toks = append(toks, token{tokTurn, ":-", line})
+				i += 2
+			} else {
+				return nil, lexError{line, "unexpected ':'"}
+			}
+		case r == '"':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < len(rs) {
+				if rs[j] == '\\' && j+1 < len(rs) {
+					sb.WriteRune(rs[j+1])
+					j += 2
+					continue
+				}
+				if rs[j] == '"' {
+					closed = true
+					j++
+					break
+				}
+				if rs[j] == '\n' {
+					line++
+				}
+				sb.WriteRune(rs[j])
+				j++
+			}
+			if !closed {
+				return nil, lexError{line, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), line})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j]), line})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j]), line})
+			i = j
+		default:
+			return nil, lexError{line, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,477 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/posfo"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Query is one parsed query: its ∃FO⁺ form, its UCQ expansion, and the
+// declared parameter set (Section 5).
+type Query struct {
+	Name   string
+	Free   []string
+	Params []string
+	// PosFO is the body as written.
+	PosFO *posfo.Query
+	// Subs is the UCQ expansion (one CQ for plain conjunctive rules).
+	Subs []*cq.CQ
+}
+
+// IsCQ reports whether the query is a single conjunctive rule.
+func (q *Query) IsCQ() bool { return len(q.Subs) == 1 }
+
+// Document is a fully parsed input: schema, access schema, and queries.
+type Document struct {
+	Schema  *schema.Schema
+	Access  *access.Schema
+	Queries []*Query
+}
+
+// Query looks a parsed query up by name.
+func (d *Document) Query(name string) (*Query, bool) {
+	for _, q := range d.Queries {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("parser: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, got %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+// Parse parses a full document and validates it: the schema is consistent,
+// every constraint refers to schema relations, and every query validates.
+// Query rules sharing a head name are merged into one UCQ.
+func Parse(input string) (*Document, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	doc := &Document{Schema: &schema.Schema{}, Access: access.NewSchema()}
+	type rawRule struct {
+		name   string
+		free   []string
+		params []string
+		body   posfo.Formula
+	}
+	var rules []rawRule
+	for !p.atEOF() {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected declaration keyword, got %q", t.text)
+		}
+		switch t.text {
+		case "relation":
+			rel, err := p.parseRelation()
+			if err != nil {
+				return nil, err
+			}
+			if err := doc.Schema.Add(rel); err != nil {
+				return nil, err
+			}
+		case "constraint":
+			c, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			doc.Access.Constraints = append(doc.Access.Constraints, c)
+		case "query":
+			name, free, params, body, err := p.parseQueryRule()
+			if err != nil {
+				return nil, err
+			}
+			rules = append(rules, rawRule{name: name, free: free, params: params, body: body})
+		default:
+			return nil, p.errf(t, "unknown declaration %q (want relation, constraint, or query)", t.text)
+		}
+	}
+	if err := doc.Access.Validate(doc.Schema); err != nil {
+		return nil, err
+	}
+	// Merge rules by head name into UCQs.
+	byName := map[string]*Query{}
+	for _, r := range rules {
+		q, ok := byName[r.name]
+		if !ok {
+			q = &Query{Name: r.name, Free: r.free, Params: r.params,
+				PosFO: &posfo.Query{Label: r.name, Free: r.free, Body: r.body}}
+			byName[r.name] = q
+			doc.Queries = append(doc.Queries, q)
+			continue
+		}
+		if len(q.Free) != len(r.free) {
+			return nil, fmt.Errorf("parser: query %s: rules disagree on arity (%d vs %d)",
+				r.name, len(q.Free), len(r.free))
+		}
+		// Align the later rule's free variables with the first rule's.
+		sub := make(map[string]cq.Term, len(r.free))
+		aligned := r.body
+		for i, v := range r.free {
+			if v != q.Free[i] {
+				sub[v] = cq.Var(q.Free[i])
+			}
+		}
+		if len(sub) > 0 {
+			aligned = substFormula(aligned, sub)
+		}
+		q.PosFO.Body = posfo.Or{Fs: []posfo.Formula{q.PosFO.Body, aligned}}
+		q.Params = mergeParams(q.Params, r.params)
+	}
+	for _, q := range doc.Queries {
+		if err := q.PosFO.Validate(doc.Schema); err != nil {
+			return nil, err
+		}
+		subs, err := q.PosFO.ToUCQ()
+		if err != nil {
+			return nil, err
+		}
+		q.Subs = subs
+	}
+	return doc, nil
+}
+
+func mergeParams(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range append(append([]string(nil), a...), b...) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func substFormula(f posfo.Formula, sub map[string]cq.Term) posfo.Formula {
+	mapTerm := func(t cq.Term) cq.Term {
+		if t.IsVar() {
+			if r, ok := sub[t.V]; ok {
+				return r
+			}
+		}
+		return t
+	}
+	switch n := f.(type) {
+	case posfo.Atom:
+		args := make([]cq.Term, len(n.Args))
+		for i, t := range n.Args {
+			args[i] = mapTerm(t)
+		}
+		return posfo.Atom{Rel: n.Rel, Args: args}
+	case posfo.Eq:
+		return posfo.Eq{L: mapTerm(n.L), R: mapTerm(n.R)}
+	case posfo.And:
+		fs := make([]posfo.Formula, len(n.Fs))
+		for i, s := range n.Fs {
+			fs[i] = substFormula(s, sub)
+		}
+		return posfo.And{Fs: fs}
+	case posfo.Or:
+		fs := make([]posfo.Formula, len(n.Fs))
+		for i, s := range n.Fs {
+			fs[i] = substFormula(s, sub)
+		}
+		return posfo.Or{Fs: fs}
+	case posfo.Exists:
+		return posfo.Exists{Vars: n.Vars, Body: substFormula(n.Body, sub)}
+	default:
+		return f
+	}
+}
+
+// parseRelation parses Name(attr, attr, ...) after the keyword.
+func (p *parser) parseRelation() (schema.Relation, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return schema.Relation{}, err
+	}
+	var attrs []schema.Attribute
+	for {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return schema.Relation{}, err
+		}
+		attrs = append(attrs, schema.Attribute(a.text))
+		t := p.next()
+		if t.kind == tokRParen {
+			break
+		}
+		if t.kind != tokComma {
+			return schema.Relation{}, p.errf(t, "expected , or ) in relation declaration")
+		}
+	}
+	return schema.NewRelation(name.text, attrs...)
+}
+
+// parseConstraint parses Rel(X1 X2 -> Y1 Y2, card) after the keyword.
+// X may be ∅ or empty; card is a number, "log", or "sqrt".
+func (p *parser) parseConstraint() (access.Constraint, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return access.Constraint{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return access.Constraint{}, err
+	}
+	var xs, ys []schema.Attribute
+	// X side: idents (optionally comma-separated) until ->, or ∅.
+	for {
+		t := p.peek()
+		if t.kind == tokArrow {
+			p.next()
+			break
+		}
+		if t.kind == tokEmpty {
+			p.next()
+			continue
+		}
+		if t.kind == tokIdent {
+			xs = append(xs, schema.Attribute(p.next().text))
+			continue
+		}
+		if t.kind == tokComma && len(xs) > 0 {
+			p.next()
+			continue
+		}
+		return access.Constraint{}, p.errf(t, "expected attribute, ∅ or -> in constraint")
+	}
+	// Y side: idents until comma.
+	for {
+		t := p.peek()
+		if t.kind == tokComma {
+			p.next()
+			break
+		}
+		if t.kind == tokIdent {
+			ys = append(ys, schema.Attribute(p.next().text))
+			continue
+		}
+		return access.Constraint{}, p.errf(t, "expected attribute or , before cardinality")
+	}
+	// Cardinality.
+	t := p.next()
+	var card access.Cardinality
+	switch {
+	case t.kind == tokNumber:
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return access.Constraint{}, p.errf(t, "bad bound %q", t.text)
+		}
+		card = access.ConstCard(n)
+	case t.kind == tokIdent && t.text == "log":
+		card = access.LogCard()
+	case t.kind == tokIdent && t.text == "sqrt":
+		card = access.SqrtCard()
+	default:
+		return access.Constraint{}, p.errf(t, "expected numeric bound, log, or sqrt")
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return access.Constraint{}, err
+	}
+	return access.Constraint{Rel: name.text, X: xs, Y: ys, Card: card}, nil
+}
+
+// parseQueryRule parses Name(v, ...) [params(v, ...)] :- body .
+func (p *parser) parseQueryRule() (string, []string, []string, posfo.Formula, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return "", nil, nil, nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", nil, nil, nil, err
+	}
+	var free []string
+	if p.peek().kind == tokRParen {
+		p.next()
+	} else {
+		for {
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return "", nil, nil, nil, err
+			}
+			free = append(free, v.text)
+			t := p.next()
+			if t.kind == tokRParen {
+				break
+			}
+			if t.kind != tokComma {
+				return "", nil, nil, nil, p.errf(t, "expected , or ) in query head")
+			}
+		}
+	}
+	var params []string
+	if p.peek().kind == tokIdent && p.peek().text == "params" {
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return "", nil, nil, nil, err
+		}
+		for {
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return "", nil, nil, nil, err
+			}
+			params = append(params, v.text)
+			t := p.next()
+			if t.kind == tokRParen {
+				break
+			}
+			if t.kind != tokComma {
+				return "", nil, nil, nil, p.errf(t, "expected , or ) in params list")
+			}
+		}
+	}
+	if _, err := p.expect(tokTurn); err != nil {
+		return "", nil, nil, nil, err
+	}
+	body, err := p.parseOr()
+	if err != nil {
+		return "", nil, nil, nil, err
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+	}
+	return name.text, free, params, body, nil
+}
+
+// parseOr := parseAnd ('|' parseAnd)*
+func (p *parser) parseOr() (posfo.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []posfo.Formula{l}
+	for p.peek().kind == tokPipe {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return posfo.Or{Fs: fs}, nil
+}
+
+// parseAnd := parseUnit ((',' | '&') parseUnit)*
+func (p *parser) parseAnd() (posfo.Formula, error) {
+	l, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	fs := []posfo.Formula{l}
+	for p.peek().kind == tokComma || p.peek().kind == tokAmp {
+		p.next()
+		r, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return posfo.And{Fs: fs}, nil
+}
+
+// parseUnit := '(' parseOr ')' | Atom | term '=' term
+func (p *parser) parseUnit() (posfo.Formula, error) {
+	t := p.peek()
+	if t.kind == tokLParen {
+		p.next()
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if t.kind == tokIdent && p.toks[p.pos+1].kind == tokLParen {
+		// Relation atom.
+		p.next()
+		p.next() // (
+		var args []cq.Term
+		if p.peek().kind == tokRParen {
+			p.next()
+			return posfo.Atom{Rel: t.text}, nil
+		}
+		for {
+			tm, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, tm)
+			nt := p.next()
+			if nt.kind == tokRParen {
+				break
+			}
+			if nt.kind != tokComma {
+				return nil, p.errf(nt, "expected , or ) in atom")
+			}
+		}
+		return posfo.Atom{Rel: t.text, Args: args}, nil
+	}
+	// Equality.
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return nil, err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return posfo.Eq{L: l, R: r}, nil
+}
+
+func (p *parser) parseTerm() (cq.Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return cq.Var(t.text), nil
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return cq.Term{}, p.errf(t, "bad number %q", t.text)
+		}
+		return cq.Const(value.NewInt(n)), nil
+	case tokString:
+		return cq.Const(value.NewString(t.text)), nil
+	default:
+		return cq.Term{}, p.errf(t, "expected term, got %s %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,211 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+const accidentDoc = `
+# Example 1.1 of the paper.
+relation Accident(aid, district, date)
+relation Casualty(cid, aid, class, vid)
+relation Vehicle(vid, driver, age)
+
+constraint Accident(date -> aid, 610)
+constraint Casualty(aid -> vid, 192)
+constraint Accident(aid -> district date, 1)
+constraint Vehicle(vid -> driver age, 1)
+
+query Q0(xa) :- Accident(aid, "Queen's Park", "1/5/2005"),
+                Casualty(cid, aid, class, vid),
+                Vehicle(vid, dri, xa).
+`
+
+func TestParseAccidentDocument(t *testing.T) {
+	doc, err := Parse(accidentDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema.Len() != 3 {
+		t.Errorf("relations = %d", doc.Schema.Len())
+	}
+	if len(doc.Access.Constraints) != 4 {
+		t.Errorf("constraints = %d", len(doc.Access.Constraints))
+	}
+	c0 := doc.Access.Constraints[0]
+	if c0.Rel != "Accident" || c0.Card.Const != 610 {
+		t.Errorf("psi1 = %v", c0)
+	}
+	q, ok := doc.Query("Q0")
+	if !ok {
+		t.Fatal("Q0 missing")
+	}
+	if !q.IsCQ() {
+		t.Errorf("Q0 should be a single CQ, got %d subs", len(q.Subs))
+	}
+	sub := q.Subs[0]
+	if len(sub.Atoms) != 3 || len(sub.Free) != 1 || sub.Free[0] != "xa" {
+		t.Errorf("Q0 CQ = %s", sub)
+	}
+	// The quoted district is a constant.
+	found := false
+	for _, c := range sub.Constants() {
+		if c == value.NewString("Queen's Park") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("district constant missing: %v", sub.Constants())
+	}
+}
+
+func TestParseUCQByRepetition(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+relation S(A, B)
+query QU(x) :- R(x, y).
+query QU(z) :- S(z, y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := doc.Query("QU")
+	if !ok {
+		t.Fatal("QU missing")
+	}
+	if len(q.Subs) != 2 {
+		t.Fatalf("subs = %d, want 2", len(q.Subs))
+	}
+	// Head alignment: the second rule's z is renamed to x.
+	if q.Subs[1].Free[0] != "x" {
+		t.Errorf("second sub head = %v, want x", q.Subs[1].Free)
+	}
+}
+
+func TestParseDisjunctiveBody(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+relation S(A, B)
+query QD(x) :- R(x, y), (S(x, z) | S(z, x)).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := doc.Query("QD")
+	if len(q.Subs) != 2 {
+		t.Fatalf("DNF subs = %d, want 2", len(q.Subs))
+	}
+	for _, s := range q.Subs {
+		if len(s.Atoms) != 2 {
+			t.Errorf("each disjunct should keep the R atom: %s", s)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+query QP(x) params(d, e) :- R(x, d), R(d, e).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := doc.Query("QP")
+	if len(q.Params) != 2 || q.Params[0] != "d" || q.Params[1] != "e" {
+		t.Errorf("params = %v", q.Params)
+	}
+}
+
+func TestParseGeneralCardinalities(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+constraint R(A -> B, log)
+constraint R(B -> A, sqrt)
+constraint R(∅ -> B, 5)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := doc.Access.Constraints
+	if cs[0].Card.IsConst() || cs[0].Card.Name != "log" {
+		t.Errorf("c0 = %v", cs[0])
+	}
+	if cs[1].Card.Name != "sqrt" {
+		t.Errorf("c1 = %v", cs[1])
+	}
+	if len(cs[2].X) != 0 || cs[2].Card.Const != 5 {
+		t.Errorf("c2 = %v", cs[2])
+	}
+}
+
+func TestParseEqualitiesAndNumbers(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+query QE(x) :- R(x, y), y = 42, x = x2, x2 = -7.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := doc.Query("QE")
+	sub := q.Subs[0]
+	if len(sub.Eqs) != 3 {
+		t.Fatalf("eqs = %v", sub.Eqs)
+	}
+	if sub.Eqs[0].R.C != value.NewInt(42) {
+		t.Errorf("eq0 = %v", sub.Eqs[0])
+	}
+	if sub.Eqs[2].R.C != value.NewInt(-7) {
+		t.Errorf("eq2 = %v", sub.Eqs[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown keyword", `table R(A)`, "unknown declaration"},
+		{"bad constraint rel", "relation R(A, B)\nconstraint T(A -> B, 1)", "unknown relation"},
+		{"bad query rel", "relation R(A, B)\nquery Q(x) :- T(x, y).", "unknown relation"},
+		{"bad arity", "relation R(A, B)\nquery Q(x) :- R(x).", "arity"},
+		{"arity clash", "relation R(A, B)\nquery Q(x) :- R(x, y).\nquery Q(x, y) :- R(x, y).", "arity"},
+		{"unterminated string", `relation R(A)` + "\n" + `query Q(x) :- R("oops.`, "unterminated"},
+		{"unsafe head", "relation R(A, B)\nquery Q(w) :- R(x, y).", "unsafe"},
+		{"dup relation", "relation R(A)\nrelation R(B)", "duplicate"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	doc, err := Parse("# leading comment\n\nrelation R(A, B) # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema.Len() != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestBooleanQueryHead(t *testing.T) {
+	doc, err := Parse(`
+relation R(A, B)
+query QB() :- R(x, y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := doc.Query("QB")
+	if len(q.Free) != 0 || len(q.Subs[0].Free) != 0 {
+		t.Errorf("boolean head = %v", q.Free)
+	}
+}

@@ -1,0 +1,395 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/cq"
+)
+
+// BuildOptions tunes plan synthesis.
+type BuildOptions struct {
+	// LowerJoins expands every natural join into the paper's primitive
+	// grammar (ρ, ×, σ, π) instead of emitting JoinOp. Semantically
+	// identical; the ablation benchmark measures the cost.
+	LowerJoins bool
+}
+
+// Empty returns the plan that answers an A-unsatisfiable query: a single
+// EmptyOp producing no rows over the given head columns.
+func Empty(label string, outCols []string) *Plan {
+	return &Plan{
+		Label:   label,
+		Steps:   []Op{EmptyOp{Cols: append([]string(nil), outCols...)}},
+		OutCols: append([]string(nil), outCols...),
+	}
+}
+
+// NotCoveredError reports that plan synthesis was asked for a query that
+// is not covered; the embedded diagnostics say why.
+type NotCoveredError struct {
+	Result *cover.Result
+}
+
+func (e *NotCoveredError) Error() string {
+	return "plan: query is not covered by the access schema:\n" + e.Result.Explain()
+}
+
+// Build synthesizes a boundedly evaluable query plan for a covered CQ,
+// following the constructive proof of Theorem 3.11: replay the cov(Q,A)
+// fixpoint as fetches to enumerate candidate values for covered variables,
+// then verify every relation atom through its indexing constraint, and
+// finally project onto the head.
+//
+// A-unsatisfiable queries (conflicting equalities) yield the empty plan.
+// Non-covered queries yield NotCoveredError with diagnostics.
+func Build(res *cover.Result, opt BuildOptions) (*Plan, error) {
+	an := res.Analysis
+	q := an.Q
+	p := &Plan{Label: q.Label, OutCols: append([]string(nil), q.Free...)}
+	b := &builder{plan: p, opt: opt}
+
+	// Unsatisfiable: the empty plan answers the query on every D |= A.
+	if q.Canonicalize().Unsat {
+		b.emit(EmptyOp{Cols: append([]string(nil), q.Free...)})
+		return p, nil
+	}
+	if !res.Covered {
+		return nil, &NotCoveredError{Result: res}
+	}
+
+	cls := an.EqPlus
+	rep := cls.Root
+
+	// Seed: the unit table, extended with one constant column per pinned
+	// class that the query mentions.
+	acc := b.emit(unitOp{})
+	seeded := map[string]bool{}
+	for _, v := range neededVars(q) {
+		r := rep(v)
+		if seeded[r] || !cls.IsConstantVar(v) {
+			continue
+		}
+		seeded[r] = true
+		cstep := b.emit(ConstOp{Col: r, Val: cls.ConstOf(v)})
+		acc = b.join(acc, cstep, sharedCols(b.cols(acc), b.cols(cstep)))
+	}
+	accCols := func() map[string]bool { return b.colSet(acc) }
+
+	// Phase 1: replay the fixpoint applications as fetches, extending the
+	// accumulated table with candidate values for each covered class.
+	for _, ap := range an.Applications {
+		xreps := make([]string, len(ap.XVars))
+		for i, x := range ap.XVars {
+			xreps[i] = rep(x)
+		}
+		yreps := make([]string, len(ap.YVars))
+		for i, y := range ap.YVars {
+			yreps[i] = rep(y)
+		}
+		// Skip applications that add no new column (they only widened cov
+		// through eq⁺; values are already constrained elsewhere).
+		have := accCols()
+		anyNew := false
+		for _, y := range yreps {
+			if !have[y] {
+				anyNew = true
+			}
+		}
+		for i, x := range ap.XVars {
+			if an.ConstantVars[x] && !have[xreps[i]] {
+				// Pinned classes were all seeded above.
+				return nil, fmt.Errorf("plan: internal: pinned class %s not seeded", xreps[i])
+			}
+		}
+		if !anyNew {
+			continue
+		}
+		xt := b.emit(ProjectOp{Input: acc, Cols: dedup(xreps)})
+		ft := b.emit(FetchOp{
+			Input:      xt,
+			Constraint: ap.Constraint,
+			XCols:      xreps,
+			YOut:       yreps,
+		})
+		acc = b.join(acc, ft, sharedCols(b.cols(acc), b.cols(ft)))
+	}
+
+	// Phase 2: verify every atom through its indexing constraint
+	// (semijoin). This also binds nothing new: it filters the candidate
+	// combinations down to those witnessed by real tuples.
+	for _, ai := range res.Atoms {
+		atom := q.Atoms[ai.AtomIdx]
+		c := an.Access.Constraints[ai.ConstraintIdx]
+		rs, _ := an.Schema.Relation(atom.Rel)
+		xreps := make([]string, len(c.X))
+		for i, a := range c.X {
+			xreps[i] = rep(atom.Args[rs.AttrIndex(a)].V)
+		}
+		yout := make([]string, len(c.Y))
+		freeSet := map[string]bool{}
+		for _, f := range q.Free {
+			freeSet[f] = true
+		}
+		for i, a := range c.Y {
+			v := atom.Args[rs.AttrIndex(a)].V
+			if !freeSet[v] && an.Occurs[v] == 1 {
+				yout[i] = "" // unconstrained singleton: drop
+			} else {
+				yout[i] = rep(v)
+			}
+		}
+		xt := b.emit(ProjectOp{Input: acc, Cols: dedup(xreps)})
+		ft := b.emit(FetchOp{Input: xt, Constraint: c, XCols: xreps, YOut: yout})
+		keep := b.cols(acc)
+		acc = b.join(acc, ft, sharedCols(keep, b.cols(ft)))
+		// Drop any throwaway columns the verification introduced.
+		if len(b.cols(acc)) != len(keep) {
+			acc = b.emit(ProjectOp{Input: acc, Cols: keep})
+		}
+	}
+
+	// Phase 3: project onto the head, renaming class representatives back
+	// to the free variable names (repeats allowed, e.g. Q(x, x)).
+	heads := make([]string, len(q.Free))
+	for i, f := range q.Free {
+		heads[i] = rep(f)
+	}
+	b.emit(ProjectOp{Input: acc, Cols: heads, As: append([]string(nil), q.Free...)})
+	return p, nil
+}
+
+// BuildUCQ synthesizes a plan for a covered UCQ: per Lemma 3.6 the union of
+// the covered sub-queries' plans answers the whole query (dominated
+// sub-queries contribute no additional answers on instances satisfying A).
+func BuildUCQ(ures *cover.UCQResult, opt BuildOptions) (*Plan, error) {
+	if !ures.Covered {
+		return nil, fmt.Errorf("plan: UCQ is not covered by the access schema")
+	}
+	p := &Plan{}
+	b := &builder{plan: p, opt: opt}
+	last := -1
+	for i, st := range ures.Subs {
+		if st != cover.SubCovered {
+			continue
+		}
+		sub, err := Build(ures.SubResults[i], opt)
+		if err != nil {
+			return nil, err
+		}
+		if p.Label == "" {
+			p.Label = sub.Label
+			p.OutCols = sub.OutCols
+		}
+		// Splice the sub-plan with shifted step indices.
+		offset := len(p.Steps)
+		for _, op := range sub.Steps {
+			b.emit(shiftOp(op, offset))
+		}
+		end := len(p.Steps) - 1
+		if last >= 0 {
+			last = b.emit(UnionOp{L: last, R: end})
+		} else {
+			last = end
+		}
+	}
+	if last < 0 {
+		return nil, fmt.Errorf("plan: UCQ has no covered sub-queries")
+	}
+	return p, nil
+}
+
+// unitOp produces the unit table; it is an internal seed, rendered as {()}.
+type unitOp struct{}
+
+func (unitOp) String() string { return "{()}" }
+func (unitOp) inputs() []int  { return nil }
+
+type builder struct {
+	plan *Plan
+	opt  BuildOptions
+	// colsOf tracks the column list of each emitted step.
+	colsOf [][]string
+}
+
+func (b *builder) emit(op Op) int {
+	b.plan.Steps = append(b.plan.Steps, op)
+	b.colsOf = append(b.colsOf, b.deriveCols(op))
+	return len(b.plan.Steps) - 1
+}
+
+func (b *builder) cols(i int) []string { return b.colsOf[i] }
+
+func (b *builder) colSet(i int) map[string]bool {
+	m := make(map[string]bool)
+	for _, c := range b.colsOf[i] {
+		m[c] = true
+	}
+	return m
+}
+
+func (b *builder) deriveCols(op Op) []string {
+	switch o := op.(type) {
+	case unitOp:
+		return nil
+	case ConstOp:
+		return []string{o.Col}
+	case EmptyOp:
+		return append([]string(nil), o.Cols...)
+	case FetchOp:
+		return o.outCols()
+	case ProjectOp:
+		if o.As != nil {
+			return append([]string(nil), o.As...)
+		}
+		return append([]string(nil), o.Cols...)
+	case SelectOp:
+		return b.cols(o.Input)
+	case ProductOp:
+		return append(append([]string(nil), b.cols(o.L)...), b.cols(o.R)...)
+	case JoinOp:
+		l := b.cols(o.L)
+		ls := make(map[string]bool, len(l))
+		for _, c := range l {
+			ls[c] = true
+		}
+		out := append([]string(nil), l...)
+		for _, c := range b.cols(o.R) {
+			if !ls[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	case UnionOp, DiffOp:
+		return b.cols(op.inputs()[0])
+	case RenameOp:
+		cols := append([]string(nil), b.cols(o.Input)...)
+		for i, f := range o.From {
+			for j, c := range cols {
+				if c == f {
+					cols[j] = o.To[i]
+				}
+			}
+		}
+		return cols
+	default:
+		return nil
+	}
+}
+
+// join emits a natural join of steps l and r on their shared columns —
+// either as JoinOp or, under LowerJoins, as the primitive ρ/×/σ/π sequence
+// of the paper's plan grammar.
+func (b *builder) join(l, r int, shared []string) int {
+	if !b.opt.LowerJoins {
+		return b.emit(JoinOp{L: l, R: r})
+	}
+	rcols := b.cols(r)
+	// Rename shared columns on the right to temporaries.
+	var from, to []string
+	for _, c := range rcols {
+		if contains(shared, c) {
+			from = append(from, c)
+			to = append(to, "_j_"+c)
+		}
+	}
+	rr := r
+	if len(from) > 0 {
+		rr = b.emit(RenameOp{Input: r, From: from, To: to})
+	}
+	prod := b.emit(ProductOp{L: l, R: rr})
+	var conds []EqCond
+	for i := range from {
+		conds = append(conds, EqCond{L: from[i], R: to[i]})
+	}
+	sel := prod
+	if len(conds) > 0 {
+		sel = b.emit(SelectOp{Input: prod, Conds: conds})
+	}
+	// Keep the natural-join column layout: left columns then right extras.
+	keep := append([]string(nil), b.cols(l)...)
+	for _, c := range rcols {
+		if !contains(shared, c) && !contains(keep, c) {
+			keep = append(keep, c)
+		}
+	}
+	return b.emit(ProjectOp{Input: sel, Cols: keep})
+}
+
+func shiftOp(op Op, k int) Op {
+	switch o := op.(type) {
+	case FetchOp:
+		o.Input += k
+		return o
+	case ProjectOp:
+		o.Input += k
+		return o
+	case SelectOp:
+		o.Input += k
+		return o
+	case ProductOp:
+		o.L += k
+		o.R += k
+		return o
+	case JoinOp:
+		o.L += k
+		o.R += k
+		return o
+	case UnionOp:
+		o.L += k
+		o.R += k
+		return o
+	case DiffOp:
+		o.L += k
+		o.R += k
+		return o
+	case RenameOp:
+		o.Input += k
+		return o
+	default:
+		return op
+	}
+}
+
+// neededVars lists variables whose values the plan must materialize:
+// everything mentioned in atoms or the head, plus equality-only variables.
+func neededVars(q *cq.CQ) []string {
+	return q.Vars()
+}
+
+func dedup(xs []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sharedCols(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	var out []string
+	for _, c := range b {
+		if set[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if x == y {
+			return true
+		}
+	}
+	return false
+}

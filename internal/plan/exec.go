@@ -1,0 +1,319 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/value"
+)
+
+// ExecStats accounts for the data a plan execution touched. For a boundedly
+// evaluable plan, Fetched is at most the plan's static AccessBound no
+// matter how large the instance is — that is the paper's headline property.
+type ExecStats struct {
+	// Fetched counts tuples retrieved from D via indices (|D_Q|).
+	Fetched int64
+	// FetchKeys counts distinct index lookups performed.
+	FetchKeys int64
+	// OpsRun counts executed plan steps.
+	OpsRun int
+	// MaxIntermediate is the largest intermediate table size.
+	MaxIntermediate int
+}
+
+// Execute runs the plan against an indexed instance. Every FetchOp must be
+// backed by a constraint present in ix.
+func Execute(p *Plan, ix *access.Indexed) (*Table, *ExecStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &ExecStats{}
+	results := make([]*Table, len(p.Steps))
+	for i, op := range p.Steps {
+		t, err := execOp(op, results, ix, stats)
+		if err != nil {
+			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
+		}
+		results[i] = t
+		stats.OpsRun++
+		if t.Len() > stats.MaxIntermediate {
+			stats.MaxIntermediate = t.Len()
+		}
+	}
+	return results[len(results)-1], stats, nil
+}
+
+func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats) (*Table, error) {
+	switch o := op.(type) {
+	case unitOp:
+		return Unit(), nil
+	case ConstOp:
+		t := NewTable(o.Col)
+		t.Add(data.Tuple{o.Val})
+		return t, nil
+	case EmptyOp:
+		return NewTable(o.Cols...), nil
+	case FetchOp:
+		return execFetch(o, results[o.Input], ix, stats)
+	case ProjectOp:
+		return execProject(o, results[o.Input])
+	case SelectOp:
+		return execSelect(o, results[o.Input])
+	case ProductOp:
+		return execProduct(results[o.L], results[o.R])
+	case JoinOp:
+		return execJoin(results[o.L], results[o.R])
+	case UnionOp:
+		return execUnion(results[o.L], results[o.R])
+	case DiffOp:
+		return execDiff(results[o.L], results[o.R])
+	case RenameOp:
+		return execRename(o, results[o.Input])
+	default:
+		return nil, fmt.Errorf("unknown operation %T", op)
+	}
+}
+
+func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats) (*Table, error) {
+	idx := ix.IndexFor(o.Constraint)
+	if idx == nil {
+		return nil, fmt.Errorf("no index for constraint %s", o.Constraint)
+	}
+	if len(o.XCols) != len(o.Constraint.X) {
+		return nil, fmt.Errorf("fetch has %d X columns for %d X attributes", len(o.XCols), len(o.Constraint.X))
+	}
+	if len(o.YOut) != len(o.Constraint.Y) {
+		return nil, fmt.Errorf("fetch has %d Y names for %d Y attributes", len(o.YOut), len(o.Constraint.Y))
+	}
+	xpos, err := in.ColIndexes(o.XCols)
+	if err != nil {
+		return nil, err
+	}
+	outCols := o.outCols()
+	out := NewTable(outCols...)
+
+	// Plan Y emission: for each Y attribute, either a check against an
+	// existing column (equated) or a fresh output position.
+	type yAction struct {
+		skip     bool
+		checkPos int // >= 0: must equal this output position
+	}
+	actions := make([]yAction, len(o.YOut))
+	posOf := make(map[string]int, len(outCols))
+	for i, c := range outCols {
+		posOf[c] = i
+	}
+	nextPos := len(o.XCols)
+	for i, name := range o.YOut {
+		if name == "" {
+			actions[i] = yAction{skip: true, checkPos: -1}
+			continue
+		}
+		if p, seen := posOf[name]; seen {
+			// Equated with an X column or an earlier Y attribute: check.
+			actions[i] = yAction{checkPos: p}
+		} else {
+			actions[i] = yAction{checkPos: -1}
+			posOf[name] = nextPos
+			nextPos++
+		}
+	}
+
+	seenKeys := make(map[value.Key]bool)
+	for _, row := range in.Rows {
+		key := value.KeyOfAt(row, xpos)
+		if seenKeys[key] {
+			continue
+		}
+		seenKeys[key] = true
+		bucket := idx.FetchKey(key)
+		stats.FetchKeys++
+		stats.Fetched += int64(len(bucket))
+		for _, proj := range bucket {
+			outRow := make(data.Tuple, len(outCols))
+			for i, p := range xpos {
+				outRow[i] = row[p]
+			}
+			ok := true
+			cursor := len(o.XCols)
+			for i, act := range actions {
+				v := proj[i]
+				switch {
+				case act.skip:
+				case act.checkPos >= 0:
+					if outRow[act.checkPos].IsNull() {
+						outRow[act.checkPos] = v
+					} else if outRow[act.checkPos] != v {
+						ok = false
+					}
+				default:
+					outRow[cursor] = v
+					cursor++
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				out.Add(outRow)
+			}
+		}
+	}
+	return out, nil
+}
+
+func execProject(o ProjectOp, in *Table) (*Table, error) {
+	pos, err := in.ColIndexes(o.Cols)
+	if err != nil {
+		return nil, err
+	}
+	cols := o.Cols
+	if o.As != nil {
+		if len(o.As) != len(o.Cols) {
+			return nil, fmt.Errorf("project rename arity mismatch")
+		}
+		cols = o.As
+	}
+	out := NewTable(cols...)
+	for _, row := range in.Rows {
+		out.Add(row.Project(pos))
+	}
+	return out, nil
+}
+
+func execSelect(o SelectOp, in *Table) (*Table, error) {
+	type cond struct {
+		l, r int // r == -1 means constant comparison
+		c    value.Value
+	}
+	conds := make([]cond, len(o.Conds))
+	for i, ec := range o.Conds {
+		l := in.ColIndex(ec.L)
+		if l < 0 {
+			return nil, fmt.Errorf("select: no column %q", ec.L)
+		}
+		if ec.R != "" {
+			r := in.ColIndex(ec.R)
+			if r < 0 {
+				return nil, fmt.Errorf("select: no column %q", ec.R)
+			}
+			conds[i] = cond{l: l, r: r}
+		} else {
+			conds[i] = cond{l: l, r: -1, c: ec.C}
+		}
+	}
+	out := NewTable(in.Cols...)
+	for _, row := range in.Rows {
+		ok := true
+		for _, c := range conds {
+			if c.r >= 0 {
+				if row[c.l] != row[c.r] {
+					ok = false
+					break
+				}
+			} else if row[c.l] != c.c {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+func execProduct(l, r *Table) (*Table, error) {
+	for _, c := range r.Cols {
+		if l.ColIndex(c) >= 0 {
+			return nil, fmt.Errorf("product: duplicate column %q (rename first)", c)
+		}
+	}
+	out := NewTable(append(append([]string(nil), l.Cols...), r.Cols...)...)
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			out.Add(append(append(data.Tuple{}, lr...), rr...))
+		}
+	}
+	return out, nil
+}
+
+func execJoin(l, r *Table) (*Table, error) {
+	// Shared columns become the hash key; right-only columns extend rows.
+	var sharedL, sharedR, extraR []int
+	var extraCols []string
+	for j, c := range r.Cols {
+		if i := l.ColIndex(c); i >= 0 {
+			sharedL = append(sharedL, i)
+			sharedR = append(sharedR, j)
+		} else {
+			extraR = append(extraR, j)
+			extraCols = append(extraCols, c)
+		}
+	}
+	out := NewTable(append(append([]string(nil), l.Cols...), extraCols...)...)
+	table := make(map[value.Key][]data.Tuple, r.Len())
+	for _, rr := range r.Rows {
+		k := value.KeyOfAt(rr, sharedR)
+		table[k] = append(table[k], rr)
+	}
+	for _, lr := range l.Rows {
+		k := value.KeyOfAt(lr, sharedL)
+		for _, rr := range table[k] {
+			row := append(append(data.Tuple{}, lr...), rr.Project(extraR)...)
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+func execUnion(l, r *Table) (*Table, error) {
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("union: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
+	}
+	out := NewTable(l.Cols...)
+	for _, row := range l.Rows {
+		out.Add(row)
+	}
+	for _, row := range r.Rows {
+		out.Add(row)
+	}
+	return out, nil
+}
+
+func execDiff(l, r *Table) (*Table, error) {
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("difference: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
+	}
+	drop := make(map[value.Key]bool, r.Len())
+	for _, row := range r.Rows {
+		drop[row.Key()] = true
+	}
+	out := NewTable(l.Cols...)
+	for _, row := range l.Rows {
+		if !drop[row.Key()] {
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+func execRename(o RenameOp, in *Table) (*Table, error) {
+	if len(o.From) != len(o.To) {
+		return nil, fmt.Errorf("rename arity mismatch")
+	}
+	cols := append([]string(nil), in.Cols...)
+	for i, f := range o.From {
+		p := in.ColIndex(f)
+		if p < 0 {
+			return nil, fmt.Errorf("rename: no column %q", f)
+		}
+		cols[p] = o.To[i]
+	}
+	out := NewTable(cols...)
+	for _, row := range in.Rows {
+		out.Add(row)
+	}
+	return out, nil
+}

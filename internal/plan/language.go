@@ -1,0 +1,71 @@
+package plan
+
+import "fmt"
+
+// Language identifies the query class whose plan grammar (Section 2,
+// "Boundedly evaluable queries") a plan must conform to:
+//
+//   - CQ:    each δ is fetch, π, σ, × or ρ;
+//   - UCQ:   additionally ∪, but only as the LAST k−1 operations;
+//   - ∃FO⁺:  fetch, π, σ, ×, ∪ or ρ anywhere;
+//   - FO:    additionally set difference −.
+type Language int
+
+const (
+	LangCQ Language = iota
+	LangUCQ
+	LangPosFO
+	LangFO
+)
+
+func (l Language) String() string {
+	switch l {
+	case LangCQ:
+		return "CQ"
+	case LangUCQ:
+		return "UCQ"
+	case LangPosFO:
+		return "∃FO⁺"
+	case LangFO:
+		return "FO"
+	default:
+		return fmt.Sprintf("language(%d)", int(l))
+	}
+}
+
+// ConformsTo verifies the plan against the language's operation grammar.
+// Leaf operations ({a}, the unit seed, and the empty plan) are allowed
+// everywhere; JoinOp counts as the σ∘× it abbreviates.
+func (p *Plan) ConformsTo(l Language) error {
+	lastUnionBlock := len(p.Steps)
+	// For UCQ: find where the trailing ∪-block starts.
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		if _, ok := p.Steps[i].(UnionOp); ok {
+			lastUnionBlock = i
+		} else {
+			break
+		}
+	}
+	for i, op := range p.Steps {
+		switch op.(type) {
+		case ConstOp, EmptyOp, unitOp, FetchOp, ProjectOp, SelectOp, ProductOp, JoinOp, RenameOp:
+			// Allowed in every language.
+		case UnionOp:
+			switch l {
+			case LangCQ:
+				return fmt.Errorf("plan: step T%d is ∪, not allowed in %s plans", i, l)
+			case LangUCQ:
+				if i < lastUnionBlock {
+					return fmt.Errorf("plan: step T%d is ∪ before the trailing union block (UCQ grammar)", i)
+				}
+			}
+		case DiffOp:
+			if l != LangFO {
+				return fmt.Errorf("plan: step T%d is −, only allowed in FO plans", i)
+			}
+		default:
+			return fmt.Errorf("plan: step T%d has unknown operation %T", i, op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/value"
+)
+
+// Op is one plan operation δ_i. Inputs reference earlier steps by index
+// (the paper's T_j with j < i).
+type Op interface {
+	// String renders the operation in the paper's notation.
+	String() string
+	// inputs lists referenced step indices, for validation.
+	inputs() []int
+}
+
+// ConstOp is δ = {a}: a one-row, one-column table holding a constant.
+type ConstOp struct {
+	Col string
+	Val value.Value
+}
+
+func (o ConstOp) String() string { return fmt.Sprintf("{%s} as %s", o.Val, o.Col) }
+func (o ConstOp) inputs() []int  { return nil }
+
+// EmptyOp produces an empty table with the given columns. It is the plan
+// for A-unsatisfiable queries ("a query plan for empty query suffices",
+// Example 3.1(2)).
+type EmptyOp struct {
+	Cols []string
+}
+
+func (o EmptyOp) String() string { return fmt.Sprintf("∅(%s)", strings.Join(o.Cols, ", ")) }
+func (o EmptyOp) inputs() []int  { return nil }
+
+// FetchOp is δ = fetch(X ∈ T_j, R, Y): for each (distinct) row of the
+// input, look up the index of Constraint and emit the X-values extended
+// with each fetched Y-projection.
+//
+// XCols names the input columns corresponding to Constraint.X, in order.
+// YOut names the output column for each attribute of Constraint.Y; when a
+// YOut name duplicates an X column or an earlier YOut (the query equates
+// them), the fetched value is required to match instead of producing a
+// duplicate column. An empty YOut entry drops that attribute.
+type FetchOp struct {
+	Input      int
+	Constraint access.Constraint
+	XCols      []string
+	YOut       []string
+}
+
+func (o FetchOp) String() string {
+	return fmt.Sprintf("fetch(%s ∈ T%d, %s, %s)",
+		strings.Join(o.XCols, " "), o.Input, o.Constraint.Rel, o.Constraint)
+}
+func (o FetchOp) inputs() []int { return []int{o.Input} }
+
+// outCols computes the output column list: X columns then fresh Y names.
+func (o FetchOp) outCols() []string {
+	out := append([]string(nil), o.XCols...)
+	have := make(map[string]bool, len(out))
+	for _, c := range out {
+		have[c] = true
+	}
+	for _, y := range o.YOut {
+		if y == "" || have[y] {
+			continue
+		}
+		have[y] = true
+		out = append(out, y)
+	}
+	return out
+}
+
+// ProjectOp is δ = π_Y(T_j) with optional renaming: output column i is
+// input column Cols[i], renamed to As[i] when As is non-nil. Repeats are
+// allowed (to materialize heads like Q(x, x)).
+type ProjectOp struct {
+	Input int
+	Cols  []string
+	As    []string
+}
+
+func (o ProjectOp) String() string {
+	cols := o.Cols
+	if o.As != nil {
+		parts := make([]string, len(o.Cols))
+		for i := range o.Cols {
+			parts[i] = o.Cols[i] + "→" + o.As[i]
+		}
+		cols = parts
+	}
+	return fmt.Sprintf("π[%s](T%d)", strings.Join(cols, ", "), o.Input)
+}
+func (o ProjectOp) inputs() []int { return []int{o.Input} }
+
+// EqCond is one selection predicate: column L equals column R (when R is
+// set) or constant C (when R is empty).
+type EqCond struct {
+	L, R string
+	C    value.Value
+}
+
+func (c EqCond) String() string {
+	if c.R != "" {
+		return c.L + " = " + c.R
+	}
+	return c.L + " = " + c.C.String()
+}
+
+// SelectOp is δ = σ_C(T_j) for a conjunction of equality conditions.
+type SelectOp struct {
+	Input int
+	Conds []EqCond
+}
+
+func (o SelectOp) String() string {
+	parts := make([]string, len(o.Conds))
+	for i, c := range o.Conds {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("σ[%s](T%d)", strings.Join(parts, " ∧ "), o.Input)
+}
+func (o SelectOp) inputs() []int { return []int{o.Input} }
+
+// ProductOp is δ = T_j × T_k. Column names must be disjoint.
+type ProductOp struct {
+	L, R int
+}
+
+func (o ProductOp) String() string { return fmt.Sprintf("T%d × T%d", o.L, o.R) }
+func (o ProductOp) inputs() []int  { return []int{o.L, o.R} }
+
+// JoinOp is the natural join T_j ⋈ T_k on shared column names. It is not a
+// primitive of the paper's plan grammar but the standard σ(×) fusion; the
+// builder can lower it to ρ/×/σ/π (see BuildOptions.LowerJoins), and the
+// ablation benchmark measures the difference.
+type JoinOp struct {
+	L, R int
+}
+
+func (o JoinOp) String() string { return fmt.Sprintf("T%d ⋈ T%d", o.L, o.R) }
+func (o JoinOp) inputs() []int  { return []int{o.L, o.R} }
+
+// UnionOp is δ = T_j ∪ T_k. Column counts must agree.
+type UnionOp struct {
+	L, R int
+}
+
+func (o UnionOp) String() string { return fmt.Sprintf("T%d ∪ T%d", o.L, o.R) }
+func (o UnionOp) inputs() []int  { return []int{o.L, o.R} }
+
+// DiffOp is δ = T_j − T_k. Column counts must agree.
+type DiffOp struct {
+	L, R int
+}
+
+func (o DiffOp) String() string { return fmt.Sprintf("T%d − T%d", o.L, o.R) }
+func (o DiffOp) inputs() []int  { return []int{o.L, o.R} }
+
+// RenameOp is δ = ρ(T_j), renaming columns From[i] to To[i].
+type RenameOp struct {
+	Input    int
+	From, To []string
+}
+
+func (o RenameOp) String() string {
+	parts := make([]string, len(o.From))
+	for i := range o.From {
+		parts[i] = o.From[i] + "→" + o.To[i]
+	}
+	return fmt.Sprintf("ρ[%s](T%d)", strings.Join(parts, ", "), o.Input)
+}
+func (o RenameOp) inputs() []int { return []int{o.Input} }
+
+// Plan is a full query plan ξ(Q,R): an operation sequence whose last step
+// is the query answer.
+type Plan struct {
+	// Label names the query the plan answers.
+	Label string
+	Steps []Op
+	// OutCols documents the final table's column names (the free variables).
+	OutCols []string
+}
+
+// Validate checks step references are acyclic (strictly backward).
+func (p *Plan) Validate() error {
+	for i, op := range p.Steps {
+		for _, j := range op.inputs() {
+			if j < 0 || j >= i {
+				return fmt.Errorf("plan: step T%d references T%d (must be earlier)", i, j)
+			}
+		}
+	}
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("plan: empty plan")
+	}
+	return nil
+}
+
+// FetchCount returns the number of fetch operations.
+func (p *Plan) FetchCount() int {
+	n := 0
+	for _, op := range p.Steps {
+		if _, ok := op.(FetchOp); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the plan as the paper's T1 = δ1, ..., Tn = δn list.
+func (p *Plan) String() string {
+	var b strings.Builder
+	label := p.Label
+	if label == "" {
+		label = "ξ"
+	}
+	fmt.Fprintf(&b, "plan %s:\n", label)
+	for i, op := range p.Steps {
+		fmt.Fprintf(&b, "  T%d = %s\n", i, op)
+	}
+	fmt.Fprintf(&b, "  answer: T%d(%s)", len(p.Steps)-1, strings.Join(p.OutCols, ", "))
+	return b.String()
+}
+
+// BoundedlyEvaluable reports whether the plan is boundedly evaluable under
+// the access schema embedded in its fetch ops (definition in Section 2):
+// every fetch is backed by a constraint (true by construction here) and the
+// plan length is at most exponential in the input sizes — we check the much
+// stronger practical bound maxLen.
+func (p *Plan) BoundedlyEvaluable(maxLen int) bool {
+	return len(p.Steps) <= maxLen
+}

@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/value"
+)
+
+func TestOptimizeDropsDeadSteps(t *testing.T) {
+	// T0 = {1}, T1 = {2} (dead), T2 = π(T0).
+	p := &Plan{
+		Label: "opt",
+		Steps: []Op{
+			ConstOp{Col: "a", Val: value.NewInt(1)},
+			ConstOp{Col: "b", Val: value.NewInt(2)},
+			ProjectOp{Input: 0, Cols: []string{"a"}},
+		},
+		OutCols: []string{"a"},
+	}
+	o := Optimize(p)
+	if len(o.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(o.Steps))
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Execution equivalence.
+	ix := emptyIndexed(t)
+	before, _, err := Execute(p, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := Execute(o, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Len() != after.Len() || before.Rows[0][0] != after.Rows[0][0] {
+		t.Errorf("optimization changed the answer: %v vs %v", before.Rows, after.Rows)
+	}
+}
+
+func emptyIndexed(t *testing.T) *access.Indexed {
+	t.Helper()
+	d := accidentInstance(t, 1, 1, 1)
+	ix, _, err := access.BuildIndexed(psi(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestOptimizeQ0PlanEquivalent(t *testing.T) {
+	res, err := cover.Check(q0(), psi(), accidentSchema(), cover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(res, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Optimize(p)
+	if len(o.Steps) > len(p.Steps) {
+		t.Fatal("optimization must not grow the plan")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := accidentInstance(t, 3, 6, 2)
+	ix, _, err := access.BuildIndexed(psi(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, _, err := Execute(p, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go2, _, err := Execute(o, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSet(t, gp, go2.Rows)
+	// Bound analysis still works and cannot worsen.
+	bp, err := AccessBound(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := AccessBound(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo.Fetched > bp.Fetched {
+		t.Errorf("optimized bound worse: %d > %d", bo.Fetched, bp.Fetched)
+	}
+}
+
+func TestOptimizeKeepsChains(t *testing.T) {
+	// Every step feeds the next: nothing to drop.
+	p := &Plan{
+		Steps: []Op{
+			ConstOp{Col: "a", Val: value.NewInt(1)},
+			ProjectOp{Input: 0, Cols: []string{"a"}},
+			SelectOp{Input: 1, Conds: []EqCond{{L: "a", C: value.NewInt(1)}}},
+		},
+		OutCols: []string{"a"},
+	}
+	o := Optimize(p)
+	if len(o.Steps) != 3 {
+		t.Errorf("chain plan should be untouched: %d steps", len(o.Steps))
+	}
+}

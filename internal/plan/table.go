@@ -1,0 +1,81 @@
+// Package plan implements the paper's query plans (Section 2): sequences
+// ξ(Q,R): T1 = δ1, ..., Tn = δn of operations over intermediate tables,
+// where δ is {a}, fetch(X ∈ Tj, R, Y), π, σ, ×, ∪, − or ρ. It synthesizes
+// boundedly evaluable plans from covered queries (Theorem 3.11), executes
+// them against indexed instances with precise access accounting, and
+// derives the static worst-case access bound that makes a plan "bounded".
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/value"
+)
+
+// Table is an intermediate result T_i: named columns over rows with set
+// semantics (duplicate rows are not stored).
+type Table struct {
+	Cols []string
+	Rows []data.Tuple
+	seen map[value.Key]bool
+}
+
+// NewTable returns an empty table with the given columns.
+func NewTable(cols ...string) *Table {
+	return &Table{Cols: append([]string(nil), cols...), seen: make(map[value.Key]bool)}
+}
+
+// Unit returns the zero-column table holding the single empty row — the
+// identity for products and the seed of plan construction.
+func Unit() *Table {
+	t := NewTable()
+	t.Add(data.Tuple{})
+	return t
+}
+
+// Add inserts a row under set semantics, reporting whether it was new.
+func (t *Table) Add(row data.Tuple) bool {
+	k := row.Key()
+	if t.seen == nil {
+		t.seen = make(map[value.Key]bool)
+	}
+	if t.seen[k] {
+		return false
+	}
+	t.seen[k] = true
+	t.Rows = append(t.Rows, row)
+	return true
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColIndexes resolves several columns, erroring on a missing one.
+func (t *Table) ColIndexes(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		p := t.ColIndex(n)
+		if p < 0 {
+			return nil, fmt.Errorf("plan: table has no column %q (cols %v)", n, t.Cols)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// String renders a compact header + row count, for plan traces.
+func (t *Table) String() string {
+	return fmt.Sprintf("(%s)[%d rows]", strings.Join(t.Cols, ", "), t.Len())
+}

@@ -1,0 +1,248 @@
+// Package posfo implements positive existential FO queries (∃FO⁺, a.k.a.
+// SPJU): formulas built from relation atoms and equality atoms, closed
+// under ∧, ∨ and ∃ (Section 2 of the paper).
+//
+// Every ∃FO⁺ query is equivalent to a UCQ; ToUCQ performs the DNF expansion
+// and yields the CQ sub-queries that the coverage, envelope and
+// specialization analyses consume ("for a query Q in ∃FO⁺, a CQ sub-query
+// of Q is a CQ sub-query in the UCQ equivalence of Q").
+package posfo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Formula is a node of an ∃FO⁺ formula tree.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom is a relation atom.
+type Atom struct {
+	Rel  string
+	Args []cq.Term
+}
+
+func (Atom) isFormula() {}
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eq is an equality atom t1 = t2.
+type Eq struct {
+	L, R cq.Term
+}
+
+func (Eq) isFormula()       {}
+func (e Eq) String() string { return e.L.String() + " = " + e.R.String() }
+
+// And is conjunction of one or more formulas.
+type And struct {
+	Fs []Formula
+}
+
+func (And) isFormula() {}
+func (a And) String() string {
+	parts := make([]string, len(a.Fs))
+	for i, f := range a.Fs {
+		parts[i] = maybeParen(f)
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Or is disjunction of one or more formulas.
+type Or struct {
+	Fs []Formula
+}
+
+func (Or) isFormula() {}
+func (o Or) String() string {
+	parts := make([]string, len(o.Fs))
+	for i, f := range o.Fs {
+		parts[i] = maybeParen(f)
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Exists is existential quantification ∃v̄ (body). In the CQ translation
+// every non-free variable is existential, so Exists mainly documents
+// scoping; ToUCQ validates that quantified variables are not free.
+type Exists struct {
+	Vars []string
+	Body Formula
+}
+
+func (Exists) isFormula() {}
+func (e Exists) String() string {
+	return "∃" + strings.Join(e.Vars, ",") + " (" + e.Body.String() + ")"
+}
+
+func maybeParen(f Formula) string {
+	switch f.(type) {
+	case Or, And:
+		return "(" + f.String() + ")"
+	default:
+		return f.String()
+	}
+}
+
+// Query is a named ∃FO⁺ query with a free-variable tuple.
+type Query struct {
+	Label string
+	Free  []string
+	Body  Formula
+}
+
+// String renders the rule form.
+func (q *Query) String() string {
+	return fmt.Sprintf("%s(%s) :- %s", q.Label, strings.Join(q.Free, ", "), q.Body)
+}
+
+// MaxDisjuncts caps the DNF expansion; ∃FO⁺ → UCQ can be exponential.
+const MaxDisjuncts = 4096
+
+// ToUCQ converts the query to its UCQ equivalent: a slice of CQ
+// sub-queries. Quantified variables must not clash with free variables.
+func (q *Query) ToUCQ() ([]*cq.CQ, error) {
+	free := make(map[string]bool)
+	for _, v := range q.Free {
+		free[v] = true
+	}
+	disjuncts, err := dnf(q.Body, free)
+	if err != nil {
+		return nil, fmt.Errorf("posfo: %s: %w", q.Label, err)
+	}
+	out := make([]*cq.CQ, len(disjuncts))
+	for i, d := range disjuncts {
+		out[i] = &cq.CQ{
+			Label: fmt.Sprintf("%s_%d", q.Label, i+1),
+			Free:  append([]string(nil), q.Free...),
+			Atoms: d.atoms,
+			Eqs:   d.eqs,
+		}
+	}
+	return out, nil
+}
+
+// conj is one DNF disjunct under construction.
+type conj struct {
+	atoms []cq.Atom
+	eqs   []cq.Eq
+}
+
+func (c conj) clone() conj {
+	return conj{
+		atoms: append([]cq.Atom(nil), c.atoms...),
+		eqs:   append([]cq.Eq(nil), c.eqs...),
+	}
+}
+
+// dnf expands f into disjuncts.
+func dnf(f Formula, free map[string]bool) ([]conj, error) {
+	switch n := f.(type) {
+	case Atom:
+		return []conj{{atoms: []cq.Atom{cq.NewAtom(n.Rel, n.Args...)}}}, nil
+	case Eq:
+		return []conj{{eqs: []cq.Eq{{L: n.L, R: n.R}}}}, nil
+	case And:
+		acc := []conj{{}}
+		for _, sub := range n.Fs {
+			ds, err := dnf(sub, free)
+			if err != nil {
+				return nil, err
+			}
+			var next []conj
+			for _, a := range acc {
+				for _, d := range ds {
+					m := a.clone()
+					m.atoms = append(m.atoms, d.atoms...)
+					m.eqs = append(m.eqs, d.eqs...)
+					next = append(next, m)
+					if len(next) > MaxDisjuncts {
+						return nil, fmt.Errorf("DNF expansion exceeds %d disjuncts", MaxDisjuncts)
+					}
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	case Or:
+		var acc []conj
+		for _, sub := range n.Fs {
+			ds, err := dnf(sub, free)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, ds...)
+			if len(acc) > MaxDisjuncts {
+				return nil, fmt.Errorf("DNF expansion exceeds %d disjuncts", MaxDisjuncts)
+			}
+		}
+		return acc, nil
+	case Exists:
+		for _, v := range n.Vars {
+			if free[v] {
+				return nil, fmt.Errorf("quantified variable %s is free in the query", v)
+			}
+		}
+		return dnf(n.Body, free)
+	default:
+		return nil, fmt.Errorf("unknown formula node %T", f)
+	}
+}
+
+// Validate checks relation arities against the schema and that the UCQ
+// conversion succeeds with safe sub-queries.
+func (q *Query) Validate(s *schema.Schema) error {
+	var check func(f Formula) error
+	check = func(f Formula) error {
+		switch n := f.(type) {
+		case Atom:
+			rs, ok := s.Relation(n.Rel)
+			if !ok {
+				return fmt.Errorf("posfo: %s: unknown relation %s", q.Label, n.Rel)
+			}
+			if len(n.Args) != rs.Arity() {
+				return fmt.Errorf("posfo: %s: atom %s has arity %d, schema wants %d",
+					q.Label, n, len(n.Args), rs.Arity())
+			}
+		case And:
+			for _, sub := range n.Fs {
+				if err := check(sub); err != nil {
+					return err
+				}
+			}
+		case Or:
+			for _, sub := range n.Fs {
+				if err := check(sub); err != nil {
+					return err
+				}
+			}
+		case Exists:
+			return check(n.Body)
+		}
+		return nil
+	}
+	if err := check(q.Body); err != nil {
+		return err
+	}
+	subs, err := q.ToUCQ()
+	if err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		if err := sub.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

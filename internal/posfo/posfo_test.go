@@ -1,0 +1,157 @@
+package posfo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value { return value.NewInt(i) }
+
+func testSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("R", "A", "B"),
+		schema.MustRelation("S", "A", "B"),
+	)
+}
+
+func TestToUCQSimpleUnion(t *testing.T) {
+	// Q(x) :- R(x,y) ∨ S(x,y)
+	q := &Query{
+		Label: "QU", Free: []string{"x"},
+		Body: Exists{Vars: []string{"y"}, Body: Or{Fs: []Formula{
+			Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+			Atom{Rel: "S", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+		}}},
+	}
+	subs, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(subs))
+	}
+	if subs[0].Atoms[0].Rel != "R" || subs[1].Atoms[0].Rel != "S" {
+		t.Errorf("unexpected disjuncts: %v, %v", subs[0], subs[1])
+	}
+}
+
+func TestToUCQDistributesAndOverOr(t *testing.T) {
+	// R(x,y) ∧ (S(x,z) ∨ S(z,x)): two disjuncts, each with 2 atoms.
+	q := &Query{
+		Label: "QD", Free: []string{"x"},
+		Body: And{Fs: []Formula{
+			Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+			Or{Fs: []Formula{
+				Atom{Rel: "S", Args: []cq.Term{cq.Var("x"), cq.Var("z")}},
+				Atom{Rel: "S", Args: []cq.Term{cq.Var("z"), cq.Var("x")}},
+			}},
+		}},
+	}
+	subs, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(subs))
+	}
+	for _, sub := range subs {
+		if len(sub.Atoms) != 2 {
+			t.Errorf("each disjunct needs both atoms: %v", sub)
+		}
+	}
+}
+
+func TestToUCQNestedOrBlowup(t *testing.T) {
+	// (a1 ∨ a2) ∧ (a3 ∨ a4): 4 disjuncts.
+	mk := func(rel string) Formula {
+		return Atom{Rel: rel, Args: []cq.Term{cq.Var("x"), cq.Var("y")}}
+	}
+	q := &Query{
+		Label: "QB", Free: []string{"x"},
+		Body: And{Fs: []Formula{
+			Or{Fs: []Formula{mk("R"), mk("S")}},
+			Or{Fs: []Formula{mk("R"), mk("S")}},
+		}},
+	}
+	subs, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 4 {
+		t.Errorf("disjuncts = %d, want 4", len(subs))
+	}
+}
+
+func TestToUCQEqualities(t *testing.T) {
+	q := &Query{
+		Label: "QE", Free: []string{"x"},
+		Body: And{Fs: []Formula{
+			Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+			Eq{L: cq.Var("y"), R: cq.Const(iv(5))},
+		}},
+	}
+	subs, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || len(subs[0].Eqs) != 1 {
+		t.Fatalf("equalities should survive: %v", subs)
+	}
+}
+
+func TestQuantifiedFreeClash(t *testing.T) {
+	q := &Query{
+		Label: "QC", Free: []string{"x"},
+		Body: Exists{Vars: []string{"x"}, Body: Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Var("y")}}},
+	}
+	if _, err := q.ToUCQ(); err == nil {
+		t.Error("quantifying a free variable must error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema()
+	good := &Query{
+		Label: "QV", Free: []string{"x"},
+		Body: Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Const(iv(1))}},
+	}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("good query rejected: %v", err)
+	}
+	badRel := &Query{Label: "QR", Body: Atom{Rel: "T", Args: nil}}
+	if err := badRel.Validate(s); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	badArity := &Query{Label: "QA", Body: Atom{Rel: "R", Args: []cq.Term{cq.Var("x")}}}
+	if err := badArity.Validate(s); err == nil {
+		t.Error("bad arity must fail")
+	}
+	unsafe := &Query{Label: "QS", Free: []string{"x"},
+		Body: Atom{Rel: "R", Args: []cq.Term{cq.Var("y"), cq.Var("z")}}}
+	if err := unsafe.Validate(s); err == nil {
+		t.Error("unsafe free variable must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := &Query{
+		Label: "QS", Free: []string{"x"},
+		Body: Or{Fs: []Formula{
+			And{Fs: []Formula{
+				Atom{Rel: "R", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+				Eq{L: cq.Var("y"), R: cq.Const(iv(1))},
+			}},
+			Atom{Rel: "S", Args: []cq.Term{cq.Var("x"), cq.Var("y")}},
+		}},
+	}
+	out := q.String()
+	for _, want := range []string{"QS(x)", "∨", "∧", "y = 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q: %s", want, out)
+		}
+	}
+}

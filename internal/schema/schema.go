@@ -1,0 +1,175 @@
+// Package schema defines relational schemas: named relation schemas with
+// fixed attribute lists, collected into a relational schema R.
+//
+// This mirrors Section 2 of the paper: "A relational schema R consists of a
+// collection of relation schemas (R1, ..., Rn), where each relation schema
+// Ri has a fixed set of attributes."
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute names a column of a relation schema.
+type Attribute string
+
+// Relation is a single relation schema: a name and an ordered attribute list.
+type Relation struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// NewRelation builds a relation schema, validating that attribute names are
+// nonempty and distinct.
+func NewRelation(name string, attrs ...Attribute) (Relation, error) {
+	if name == "" {
+		return Relation{}, fmt.Errorf("schema: relation name must be nonempty")
+	}
+	seen := make(map[Attribute]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return Relation{}, fmt.Errorf("schema: relation %s has an empty attribute name", name)
+		}
+		if seen[a] {
+			return Relation{}, fmt.Errorf("schema: relation %s repeats attribute %s", name, a)
+		}
+		seen[a] = true
+	}
+	return Relation{Name: name, Attrs: append([]Attribute(nil), attrs...)}, nil
+}
+
+// MustRelation is NewRelation that panics on error; for fixtures and tests.
+func MustRelation(name string, attrs ...Attribute) Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of attribute a, or -1 if absent.
+func (r Relation) AttrIndex(a Attribute) int {
+	for i, b := range r.Attrs {
+		if a == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttrs reports whether every attribute in as belongs to r.
+func (r Relation) HasAttrs(as []Attribute) bool {
+	for _, a := range as {
+		if r.AttrIndex(a) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions maps attributes to their column positions. It returns an error
+// if any attribute is missing.
+func (r Relation) Positions(as []Attribute) ([]int, error) {
+	out := make([]int, len(as))
+	for i, a := range as {
+		p := r.AttrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("schema: relation %s has no attribute %s", r.Name, a)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// String renders the schema declaration, e.g. "Accident(aid, district, date)".
+func (r Relation) String() string {
+	parts := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		parts[i] = string(a)
+	}
+	return r.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Schema is a relational schema R: an ordered collection of relation schemas.
+// The zero Schema is empty and ready to use.
+type Schema struct {
+	rels  map[string]Relation
+	order []string
+}
+
+// New builds a schema from relation schemas, rejecting duplicates.
+func New(rels ...Relation) (*Schema, error) {
+	s := &Schema{}
+	for _, r := range rels {
+		if err := s.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error; for fixtures and tests.
+func MustNew(rels ...Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add inserts a relation schema. Adding a name twice is an error.
+func (s *Schema) Add(r Relation) error {
+	if s.rels == nil {
+		s.rels = make(map[string]Relation)
+	}
+	if _, dup := s.rels[r.Name]; dup {
+		return fmt.Errorf("schema: duplicate relation %s", r.Name)
+	}
+	s.rels[r.Name] = r
+	s.order = append(s.order, r.Name)
+	return nil
+}
+
+// Relation looks up a relation schema by name.
+func (s *Schema) Relation(name string) (Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Relations returns all relation schemas in insertion order.
+func (s *Schema) Relations() []Relation {
+	out := make([]Relation, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.rels[n])
+	}
+	return out
+}
+
+// Len returns the number of relation schemas.
+func (s *Schema) Len() int { return len(s.order) }
+
+// Size is |R| as used in the paper's complexity statements: the total
+// number of attributes across all relation schemas plus the relation count.
+func (s *Schema) Size() int {
+	n := len(s.order)
+	for _, name := range s.order {
+		n += len(s.rels[name].Attrs)
+	}
+	return n
+}
+
+// String renders one relation declaration per line.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, name := range s.order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(s.rels[name].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty relation name must be rejected")
+	}
+	if _, err := NewRelation("R", "A", "A"); err == nil {
+		t.Error("duplicate attribute must be rejected")
+	}
+	if _, err := NewRelation("R", "A", ""); err == nil {
+		t.Error("empty attribute must be rejected")
+	}
+	r, err := NewRelation("R", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 2 {
+		t.Errorf("arity = %d, want 2", r.Arity())
+	}
+}
+
+func TestAttrIndexAndPositions(t *testing.T) {
+	r := MustRelation("Vehicle", "vid", "driver", "age")
+	if got := r.AttrIndex("driver"); got != 1 {
+		t.Errorf("AttrIndex(driver) = %d, want 1", got)
+	}
+	if got := r.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d, want -1", got)
+	}
+	pos, err := r.Positions([]Attribute{"age", "vid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[0] != 2 || pos[1] != 0 {
+		t.Errorf("Positions = %v", pos)
+	}
+	if _, err := r.Positions([]Attribute{"ghost"}); err == nil {
+		t.Error("missing attribute must error")
+	}
+}
+
+func TestHasAttrs(t *testing.T) {
+	r := MustRelation("R", "A", "B", "C")
+	if !r.HasAttrs([]Attribute{"A", "C"}) {
+		t.Error("HasAttrs(A,C) should be true")
+	}
+	if r.HasAttrs([]Attribute{"A", "D"}) {
+		t.Error("HasAttrs(A,D) should be false")
+	}
+	if !r.HasAttrs(nil) {
+		t.Error("HasAttrs(nil) should be true (empty X in R(∅→Y,N))")
+	}
+}
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := MustNew(
+		MustRelation("Accident", "aid", "district", "date"),
+		MustRelation("Casualty", "cid", "aid", "class", "vid"),
+	)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, ok := s.Relation("Accident"); !ok {
+		t.Error("Accident should resolve")
+	}
+	if _, ok := s.Relation("Vehicle"); ok {
+		t.Error("Vehicle should not resolve")
+	}
+	if err := s.Add(MustRelation("Accident", "x")); err == nil {
+		t.Error("duplicate relation must be rejected")
+	}
+}
+
+func TestSchemaOrderAndSize(t *testing.T) {
+	s := MustNew(MustRelation("B", "x"), MustRelation("A", "y", "z"))
+	rels := s.Relations()
+	if rels[0].Name != "B" || rels[1].Name != "A" {
+		t.Errorf("insertion order not preserved: %v", rels)
+	}
+	// |R| = 2 relations + 3 attributes.
+	if s.Size() != 5 {
+		t.Errorf("Size = %d, want 5", s.Size())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := MustNew(MustRelation("R", "A", "B"))
+	if got := s.String(); !strings.Contains(got, "R(A, B)") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestZeroSchemaUsable(t *testing.T) {
+	var s Schema
+	if s.Len() != 0 || s.Size() != 0 {
+		t.Error("zero schema should be empty")
+	}
+	if err := s.Add(MustRelation("R", "A")); err != nil {
+		t.Fatalf("Add on zero schema: %v", err)
+	}
+	if _, ok := s.Relation("R"); !ok {
+		t.Error("R should resolve after Add")
+	}
+}

@@ -1,0 +1,262 @@
+package specialize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func iv(i int64) value.Value                          { return value.NewInt(i) }
+func sv(s string) value.Value                         { return value.NewString(s) }
+func attrs(as ...schema.Attribute) []schema.Attribute { return as }
+
+func accidentSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("Accident", "aid", "district", "date"),
+		schema.MustRelation("Casualty", "cid", "aid", "class", "vid"),
+		schema.MustRelation("Vehicle", "vid", "driver", "age"),
+	)
+}
+
+func psi() *access.Schema {
+	return access.NewSchema(
+		access.NewConstraint("Accident", attrs("date"), attrs("aid"), 610),
+		access.NewConstraint("Casualty", attrs("aid"), attrs("vid"), 192),
+		access.NewConstraint("Accident", attrs("aid"), attrs("district", "date"), 1),
+		access.NewConstraint("Vehicle", attrs("vid"), attrs("driver", "age"), 1),
+	)
+}
+
+// q51 is Example 5.1's parameterized query: Q(xa) over the accident schema
+// with parameters {date, district}.
+func q51() *cq.CQ {
+	return &cq.CQ{
+		Label: "Q51", Free: []string{"xa"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("Accident", cq.Var("aid"), cq.Var("district"), cq.Var("date")),
+			cq.NewAtom("Casualty", cq.Var("cid"), cq.Var("aid"), cq.Var("class"), cq.Var("vid")),
+			cq.NewAtom("Vehicle", cq.Var("vid"), cq.Var("dri"), cq.Var("xa")),
+		},
+	}
+}
+
+// Example 5.1: instantiating date alone makes Q boundedly evaluable;
+// district alone does not.
+func TestExample51DateSuffices(t *testing.T) {
+	res, err := Decide(q51(), psi(), accidentSchema(), []string{"date", "district"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("Q51 must be boundedly specializable with one parameter: %s", res.Reason)
+	}
+	if len(res.Params) != 1 || res.Params[0] != "date" {
+		t.Errorf("chosen parameters = %v, want [date]", res.Params)
+	}
+	if !res.Minimum {
+		t.Error("exact search result must be marked minimum")
+	}
+}
+
+func TestExample51DistrictAloneFails(t *testing.T) {
+	res, err := Decide(q51(), psi(), accidentSchema(), []string{"district"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("district alone must not suffice (paper remark); got %v", res.Params)
+	}
+	if res.Reason == "" {
+		t.Error("failure must carry a reason")
+	}
+}
+
+func TestAlreadyCoveredNeedsNoParams(t *testing.T) {
+	q := q51()
+	q.Eqs = []cq.Eq{
+		{L: cq.Var("date"), R: cq.Const(sv("1/5/2005"))},
+	}
+	res, err := Decide(q, psi(), accidentSchema(), []string{"district"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Params) != 0 {
+		t.Errorf("pre-specialized query needs no parameters: %+v", res)
+	}
+}
+
+func TestUnknownParameterRejected(t *testing.T) {
+	if _, err := Decide(q51(), psi(), accidentSchema(), []string{"ghost"}, 1, Options{}); err == nil {
+		t.Error("unknown parameter must error")
+	}
+}
+
+func TestInstantiateConcrete(t *testing.T) {
+	q := q51()
+	spec := Instantiate(q, map[string]value.Value{
+		"date":     sv("1/5/2005"),
+		"district": sv("Queen's Park"),
+	})
+	if len(spec.Eqs) != 2 {
+		t.Fatalf("expected 2 added equalities: %v", spec.Eqs)
+	}
+	// Instantiated query is Q0 of Example 1.1 modulo formulation.
+	if !strings.Contains(spec.String(), `"1/5/2005"`) {
+		t.Errorf("instantiation missing date: %s", spec)
+	}
+}
+
+func TestWithParamsFreshConstantsDistinct(t *testing.T) {
+	q := q51()
+	g := WithParams(q, []string{"date", "district"})
+	consts := g.Constants()
+	if len(consts) != 2 {
+		t.Fatalf("two fresh constants expected: %v", consts)
+	}
+	if consts[0] == consts[1] {
+		t.Error("fresh constants must be pairwise distinct")
+	}
+}
+
+// Example 5.2 (MSC encoding, scaled down): relations Ri(A,B1,B2,B3) with
+// key constraints both ways; the Boolean query needs one y_i per "set" and
+// choosing which y's to instantiate is set cover. With n=3 sets where set 1
+// alone covers everything reachable, the minimum is 1.
+func TestExample52SetCoverShape(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("R1", "A", "B1", "B2", "B3"),
+		schema.MustRelation("R2", "A", "B1", "B2", "B3"),
+	)
+	var cs []access.Constraint
+	for _, r := range []string{"R1", "R2"} {
+		cs = append(cs,
+			access.NewConstraint(r, attrs("A"), attrs("B1", "B2", "B3"), 1),
+			access.NewConstraint(r, attrs("B1"), attrs("A"), 1),
+			access.NewConstraint(r, attrs("B2"), attrs("A"), 1),
+			access.NewConstraint(r, attrs("B3"), attrs("A"), 1),
+		)
+	}
+	a := access.NewSchema(cs...)
+	// Q() = R1(1,1,1,1) ∧ R2(1,1,1,1) ∧ R1(y1,z11,z12,z13) ∧ R2(y2,z21,z22,z23)
+	q := &cq.CQ{
+		Label: "Q52",
+		Atoms: []cq.Atom{
+			cq.NewAtom("R1", cq.Const(iv(1)), cq.Const(iv(1)), cq.Const(iv(1)), cq.Const(iv(1))),
+			cq.NewAtom("R2", cq.Const(iv(1)), cq.Const(iv(1)), cq.Const(iv(1)), cq.Const(iv(1))),
+			cq.NewAtom("R1", cq.Var("y1"), cq.Var("z11"), cq.Var("z12"), cq.Var("z13")),
+			cq.NewAtom("R2", cq.Var("y2"), cq.Var("z21"), cq.Var("z22"), cq.Var("z23")),
+		},
+	}
+	// Instantiating y1 covers z11..z13 via R1(A -> B*, 1); y2 likewise.
+	// Both y's are needed: minimum is 2.
+	res, err := Decide(q, a, s, []string{"y1", "y2"}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("Q52 must be specializable with both parameters: %s", res.Reason)
+	}
+	if len(res.Params) != 2 {
+		t.Errorf("minimum should be 2 (one per relation): %v", res.Params)
+	}
+	// k=1 must fail.
+	res1, err := Decide(q, a, s, []string{"y1", "y2"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Found {
+		t.Errorf("k=1 must fail; got %v", res1.Params)
+	}
+}
+
+func TestGreedyAgreesOnEasyInstance(t *testing.T) {
+	res, err := Decide(q51(), psi(), accidentSchema(), []string{"date", "district"}, 2, Options{Greedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("greedy must also find a solution: %s", res.Reason)
+	}
+	for _, p := range res.Params {
+		if p != "date" && p != "district" {
+			t.Errorf("unexpected parameter %s", p)
+		}
+	}
+}
+
+func TestCheckSatisfiableCondition(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", attrs("A"), attrs("B"), 1))
+	// A2-unsatisfiable query: specialization is pointless (condition b).
+	q := &cq.CQ{
+		Label: "QS", Free: []string{"x"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("R", cq.Var("x"), cq.Var("u")),
+			cq.NewAtom("R", cq.Var("x"), cq.Var("v")),
+		},
+		Eqs: []cq.Eq{
+			{L: cq.Var("u"), R: cq.Const(iv(1))},
+			{L: cq.Var("v"), R: cq.Const(iv(2))},
+		},
+	}
+	res, err := Decide(q, a, s, []string{"x"}, 1, Options{CheckSatisfiable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("A-unsatisfiable query must be rejected under CheckSatisfiable")
+	}
+}
+
+func TestDecideUCQSharedParams(t *testing.T) {
+	s := accidentSchema()
+	a := psi()
+	q1 := q51()
+	q2 := &cq.CQ{
+		Label: "Q51b", Free: []string{"dri"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("Accident", cq.Var("aid"), cq.Var("district"), cq.Var("date")),
+			cq.NewAtom("Casualty", cq.Var("cid"), cq.Var("aid"), cq.Var("class"), cq.Var("vid")),
+			cq.NewAtom("Vehicle", cq.Var("vid"), cq.Var("dri"), cq.Var("age")),
+		},
+	}
+	res, err := DecideUCQ([]*cq.CQ{q1, q2}, a, s, []string{"date", "district"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Params) != 1 || res.Params[0] != "date" {
+		t.Errorf("UCQ specialization = %+v, want [date]", res)
+	}
+}
+
+func TestProposition54(t *testing.T) {
+	s := accidentSchema()
+	full := access.NewSchema(
+		access.NewConstraint("Accident", attrs("aid"), attrs("district", "date"), 1),
+		access.NewConstraint("Casualty", attrs("cid"), attrs("aid", "class", "vid"), 1),
+		access.NewConstraint("Vehicle", attrs("vid"), attrs("driver", "age"), 1),
+	)
+	q := q51()
+	allVars := q.Vars()
+	if !FullyParameterizable(q, full, s, allVars) {
+		t.Error("Prop 5.4 guarantee should apply: A covers R and all vars are parameters")
+	}
+	if FullyParameterizable(q, psi(), s, allVars) {
+		t.Error("psi does not cover R (Casualty cid/class), guarantee must not apply")
+	}
+	if FullyParameterizable(q, full, s, []string{"date"}) {
+		t.Error("partial parameter set voids the guarantee")
+	}
+	// And the guarantee is real: instantiating all variables always covers.
+	res, err := Decide(q, full, s, allVars, len(allVars), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Errorf("fully parameterized query under covering A must specialize: %s", res.Reason)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ucq gives unions of conjunctive queries (UCQ) a first-class
+// type: Q = Q1 ∪ ... ∪ Qk with all sub-queries sharing one head arity
+// (Section 2 of the paper). It wraps the per-sub-query machinery —
+// validation, classical and A-containment, coverage, bounded plans, and
+// evaluation — behind one surface.
+package ucq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/ainstance"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// UCQ is a union of CQ sub-queries.
+type UCQ struct {
+	Label string
+	Subs  []*cq.CQ
+}
+
+// New builds a UCQ from sub-queries, checking they agree on arity.
+func New(label string, subs ...*cq.CQ) (*UCQ, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("ucq: %s: a UCQ needs at least one sub-query", label)
+	}
+	arity := len(subs[0].Free)
+	for _, s := range subs[1:] {
+		if len(s.Free) != arity {
+			return nil, fmt.Errorf("ucq: %s: sub-queries disagree on arity (%d vs %d)",
+				label, arity, len(s.Free))
+		}
+	}
+	return &UCQ{Label: label, Subs: subs}, nil
+}
+
+// Arity returns the head width.
+func (u *UCQ) Arity() int { return len(u.Subs[0].Free) }
+
+// Validate checks every sub-query against the schema.
+func (u *UCQ) Validate(s *schema.Schema) error {
+	for _, sub := range u.Subs {
+		if err := sub.Validate(s); err != nil {
+			return fmt.Errorf("ucq: %s: %w", u.Label, err)
+		}
+	}
+	return nil
+}
+
+// String renders the union of rule forms.
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.Subs))
+	for i, s := range u.Subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "  ∪  ")
+}
+
+// Eval computes the union's answers by conventional evaluation.
+func (u *UCQ) Eval(d *data.Instance, mode eval.Mode) (*eval.Result, error) {
+	return eval.UCQ(u.Subs, d, mode)
+}
+
+// Contains decides classical containment u ⊆ v via Sagiv–Yannakakis:
+// every sub-query of u is contained in SOME sub-query of v.
+func Contains(u, v *UCQ) bool {
+	for _, qi := range u.Subs {
+		ok := false
+		for _, qj := range v.Subs {
+			if cq.Contains(qi, qj) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent decides classical equivalence.
+func Equivalent(u, v *UCQ) bool { return Contains(u, v) && Contains(v, u) }
+
+// AContained decides A-containment u ⊑A v. Per Example 3.5 this is
+// strictly weaker than per-pair containment: each sub-query of u is
+// checked against the whole union of v over its A-instances.
+func AContained(u, v *UCQ, a *access.Schema, s *schema.Schema, opt ainstance.Options) (bool, error) {
+	return ainstance.UCQContained(u.Subs, v.Subs, a, s, opt)
+}
+
+// AEquivalent decides A-equivalence.
+func AEquivalent(u, v *UCQ, a *access.Schema, s *schema.Schema, opt ainstance.Options) (bool, error) {
+	ok, err := AContained(u, v, a, s, opt)
+	if err != nil || !ok {
+		return false, err
+	}
+	return AContained(v, u, a, s, opt)
+}
+
+// Covered runs the covered-UCQ check (Lemma 3.6 / Theorem 3.14).
+func (u *UCQ) Covered(a *access.Schema, s *schema.Schema, opt cover.Options) (*cover.UCQResult, error) {
+	return cover.CheckUCQ(u.Subs, a, s, opt)
+}
+
+// Plan synthesizes the bounded plan for a covered UCQ: the union of its
+// covered sub-queries' plans.
+func (u *UCQ) Plan(a *access.Schema, s *schema.Schema, copt cover.Options, popt plan.BuildOptions) (*plan.Plan, error) {
+	res, err := u.Covered(a, s, copt)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.BuildUCQ(res, popt)
+	if err != nil {
+		return nil, err
+	}
+	p.Label = u.Label
+	return p, nil
+}
+
+// Minimize removes sub-queries classically contained in the rest of the
+// union (they contribute no answers on any instance).
+func (u *UCQ) Minimize() *UCQ {
+	kept := append([]*cq.CQ(nil), u.Subs...)
+	for i := 0; i < len(kept); {
+		others := make([]*cq.CQ, 0, len(kept)-1)
+		others = append(others, kept[:i]...)
+		others = append(others, kept[i+1:]...)
+		redundant := false
+		for _, o := range others {
+			if cq.Contains(kept[i], o) {
+				redundant = true
+				break
+			}
+		}
+		if redundant && len(others) > 0 {
+			kept = others
+		} else {
+			i++
+		}
+	}
+	return &UCQ{Label: u.Label, Subs: kept}
+}

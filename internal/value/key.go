@@ -1,0 +1,63 @@
+package value
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// Key is a compact, comparable encoding of a sequence of Values. It is the
+// bucket key type used by the index substrate and by hash joins: two value
+// sequences encode to the same Key iff they are element-wise equal.
+type Key string
+
+// KeyOf encodes vals into a Key. The encoding is injective: each element is
+// tagged with its kind and length-prefixed, so ("a","b") and ("ab",) differ.
+func KeyOf(vals ...Value) Key {
+	var b strings.Builder
+	// Rough preallocation: tag+len plus payload per value.
+	n := 0
+	for _, v := range vals {
+		n += 10 + len(v.s)
+	}
+	b.Grow(n)
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range vals {
+		b.WriteByte(byte(v.kind))
+		switch v.kind {
+		case Int:
+			k := binary.PutVarint(buf[:], v.i)
+			b.Write(buf[:k])
+		case String:
+			k := binary.PutUvarint(buf[:], uint64(len(v.s)))
+			b.Write(buf[:k])
+			b.WriteString(v.s)
+		}
+	}
+	return Key(b.String())
+}
+
+// KeyOfAt encodes the projection of row onto positions cols. It avoids the
+// intermediate slice that KeyOf(project(row, cols)...) would allocate.
+func KeyOfAt(row []Value, cols []int) Key {
+	var b strings.Builder
+	n := 0
+	for _, c := range cols {
+		n += 10 + len(row[c].s)
+	}
+	b.Grow(n)
+	var buf [binary.MaxVarintLen64]byte
+	for _, c := range cols {
+		v := row[c]
+		b.WriteByte(byte(v.kind))
+		switch v.kind {
+		case Int:
+			k := binary.PutVarint(buf[:], v.i)
+			b.Write(buf[:k])
+		case String:
+			k := binary.PutUvarint(buf[:], uint64(len(v.s)))
+			b.Write(buf[:k])
+			b.WriteString(v.s)
+		}
+	}
+	return Key(b.String())
+}

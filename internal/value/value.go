@@ -1,0 +1,117 @@
+// Package value defines the constant domain D over which database
+// instances and queries are interpreted.
+//
+// A Value is a small, comparable tagged union of the kinds that appear in
+// the paper's examples (strings such as "Queen's Park", integers such as
+// ages and dates encoded as day numbers). Values are valid map keys, which
+// the index and plan layers rely on.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the representation of a Value.
+type Kind uint8
+
+const (
+	// Null is the zero Value's kind. It never appears in a stored tuple;
+	// it is useful as an "absent" sentinel in builders.
+	Null Kind = iota
+	// Int is a 64-bit signed integer constant.
+	Int
+	// String is a string constant.
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a constant from the countably infinite domain D. The zero Value
+// is the Null value.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// NewInt returns the integer constant i.
+func NewInt(i int64) Value { return Value{kind: Int, i: i} }
+
+// NewString returns the string constant s.
+func NewString(s string) Value { return Value{kind: String, s: s} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the Null value.
+func (v Value) IsNull() bool { return v.kind == Null }
+
+// Int returns the integer payload. It is only meaningful when Kind is Int.
+func (v Value) Int() int64 { return v.i }
+
+// Str returns the string payload. It is only meaningful when Kind is String.
+func (v Value) Str() string { return v.s }
+
+// String renders v the way the parser would accept it back: integers bare,
+// strings double-quoted, null as the keyword null.
+func (v Value) String() string {
+	switch v.kind {
+	case Null:
+		return "null"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case String:
+		return strconv.Quote(v.s)
+	default:
+		return fmt.Sprintf("value(%d)", uint8(v.kind))
+	}
+}
+
+// Less imposes a total order on values: Null < Int < String, then by payload.
+// It is used only for deterministic output ordering, never for semantics.
+func (v Value) Less(w Value) bool {
+	if v.kind != w.kind {
+		return v.kind < w.kind
+	}
+	switch v.kind {
+	case Int:
+		return v.i < w.i
+	case String:
+		return v.s < w.s
+	default:
+		return false
+	}
+}
+
+// Compare returns -1, 0, or +1 per the Less order.
+func (v Value) Compare(w Value) int {
+	switch {
+	case v == w:
+		return 0
+	case v.Less(w):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Parse interprets a literal the way the query parser does: a leading digit
+// or sign makes it an integer, anything else is taken as a string constant.
+func Parse(s string) Value {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(n)
+	}
+	return NewString(s)
+}

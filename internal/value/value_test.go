@@ -1,0 +1,132 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	var zero Value
+	if !zero.IsNull() || zero.Kind() != Null {
+		t.Fatalf("zero value should be Null, got %v", zero)
+	}
+	i := NewInt(42)
+	if i.Kind() != Int || i.Int() != 42 {
+		t.Fatalf("NewInt: got %v", i)
+	}
+	s := NewString("hi")
+	if s.Kind() != String || s.Str() != "hi" {
+		t.Fatalf("NewString: got %v", s)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Value{}, "null"},
+		{NewInt(-7), "-7"},
+		{NewInt(0), "0"},
+		{NewString("Queen's Park"), `"Queen's Park"`},
+		{NewString(""), `""`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	if v := Parse("610"); v != NewInt(610) {
+		t.Errorf("Parse(610) = %v", v)
+	}
+	if v := Parse("-3"); v != NewInt(-3) {
+		t.Errorf("Parse(-3) = %v", v)
+	}
+	if v := Parse("1/5/2005"); v != NewString("1/5/2005") {
+		t.Errorf("Parse(date) = %v", v)
+	}
+}
+
+func TestEqualityIsStructural(t *testing.T) {
+	if NewInt(1) != NewInt(1) {
+		t.Error("equal ints must compare equal")
+	}
+	if NewInt(1) == NewString("1") {
+		t.Error("int 1 and string \"1\" must differ")
+	}
+	if NewString("a") == NewString("b") {
+		t.Error("distinct strings must differ")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	ordered := []Value{{}, NewInt(-5), NewInt(0), NewInt(9), NewString(""), NewString("a"), NewString("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Less(ordered[j])
+			want := i < j
+			if got != want {
+				t.Errorf("Less(%v,%v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c := va.Compare(vb)
+		switch {
+		case a < b:
+			return c == -1
+		case a == b:
+			return c == 0
+		default:
+			return c == 1
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjectivity(t *testing.T) {
+	// Classic concatenation pitfall: ("a","b") vs ("ab").
+	if KeyOf(NewString("a"), NewString("b")) == KeyOf(NewString("ab")) {
+		t.Error("KeyOf must be injective across element boundaries")
+	}
+	if KeyOf(NewInt(12)) == KeyOf(NewString("12")) {
+		t.Error("KeyOf must distinguish kinds")
+	}
+	if KeyOf() != KeyOf() {
+		t.Error("empty keys must be equal")
+	}
+}
+
+func TestKeyOfAtMatchesKeyOf(t *testing.T) {
+	row := []Value{NewInt(1), NewString("x"), NewInt(3), NewString("yz")}
+	cols := []int{3, 0}
+	want := KeyOf(row[3], row[0])
+	if got := KeyOfAt(row, cols); got != want {
+		t.Errorf("KeyOfAt = %q, want %q", got, want)
+	}
+}
+
+func TestKeyOfQuick(t *testing.T) {
+	// Property: equal slices give equal keys; a changed element changes the key.
+	f := func(a, b int64, s string) bool {
+		k1 := KeyOf(NewInt(a), NewString(s), NewInt(b))
+		k2 := KeyOf(NewInt(a), NewString(s), NewInt(b))
+		if k1 != k2 {
+			return false
+		}
+		k3 := KeyOf(NewInt(a), NewString(s), NewInt(b+1))
+		return k1 != k3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func TestGenerateAccidentsSatisfiesPsi(t *testing.T) {
+	acc, err := GenerateAccidents(AccidentConfig{Days: 5, AccidentsPerDay: 20, MaxVehicles: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := access.Satisfies(acc.Access, acc.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("generated accidents must satisfy ψ1–ψ4")
+	}
+	if acc.Instance.Relation("Accident").Len() != 100 {
+		t.Errorf("accidents = %d, want 100", acc.Instance.Relation("Accident").Len())
+	}
+	// Vehicles and casualties are 1:1 in the generator.
+	if acc.Instance.Relation("Vehicle").Len() != acc.Instance.Relation("Casualty").Len() {
+		t.Error("vehicle/casualty counts should match")
+	}
+}
+
+func TestGenerateAccidentsRejectsBadConfig(t *testing.T) {
+	if _, err := GenerateAccidents(AccidentConfig{Days: 1, AccidentsPerDay: 700, MaxVehicles: 2}); err == nil {
+		t.Error("AccidentsPerDay > 610 must be rejected")
+	}
+	if _, err := GenerateAccidents(AccidentConfig{Days: 1, AccidentsPerDay: 10, MaxVehicles: 500}); err == nil {
+		t.Error("MaxVehicles > 192 must be rejected")
+	}
+}
+
+func TestGenerateAccidentsDeterministic(t *testing.T) {
+	cfg := AccidentConfig{Days: 3, AccidentsPerDay: 10, MaxVehicles: 3, Seed: 7}
+	a1, err := GenerateAccidents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GenerateAccidents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Instance.Size() != a2.Instance.Size() {
+		t.Error("same seed must give same size")
+	}
+}
+
+func TestQ0CoveredUnderGeneratedConstraints(t *testing.T) {
+	acc, err := GenerateAccidents(DefaultAccidentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(Q0(), acc.Access, acc.Schema, cover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("Q0 must be covered:\n%s", res.Explain())
+	}
+}
+
+func TestDateNameStable(t *testing.T) {
+	if DateName(0) != "1/5/2005" {
+		t.Errorf("day 0 = %q, want Example 1.1's date", DateName(0))
+	}
+	if DateName(1) == DateName(2) {
+		t.Error("distinct days must have distinct names")
+	}
+}
+
+func TestGenerateSocialSatisfiesConstraints(t *testing.T) {
+	soc, err := GenerateSocial(SocialConfig{People: 300, MaxFriends: 12, MaxLikes: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := access.Satisfies(soc.Access, soc.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("generated social graph must satisfy its degree constraints")
+	}
+}
+
+func TestGraphSearchQueryCovered(t *testing.T) {
+	soc, err := GenerateSocial(DefaultSocialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := GraphSearchQuery(42, "NYC", "cycling")
+	res, err := cover.Check(q, soc.Access, soc.Schema, cover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("the personalized Graph Search query must be covered:\n%s", res.Explain())
+	}
+}
+
+func TestPatternQueriesMix(t *testing.T) {
+	soc, err := GenerateSocial(SocialConfig{People: 100, MaxFriends: 8, MaxLikes: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := PatternQueries(1)
+	covered := 0
+	for _, q := range qs {
+		res, err := cover.Check(q, soc.Access, soc.Schema, cover.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Label, err)
+		}
+		if res.Covered {
+			covered++
+		}
+	}
+	// Anchored patterns are covered; unanchored ones are not.
+	if covered < 4 {
+		t.Errorf("at least the 4 anchored patterns should be covered, got %d", covered)
+	}
+	if covered == len(qs) {
+		t.Error("the unanchored patterns must NOT be covered")
+	}
+}
+
+func TestRandomCQsValidAndMixed(t *testing.T) {
+	s := AccidentSchema()
+	consts := map[schema.Attribute][]cq.Term{
+		"date":     {cq.Const(value.NewString("1/5/2005"))},
+		"district": {cq.Const(value.NewString("Queen's Park"))},
+		"aid":      {cq.Const(value.NewInt(5))},
+		"vid":      {cq.Const(value.NewInt(7))},
+	}
+	qs, err := RandomCQs(s, RandomCQConfig{Queries: 60, MaxAtoms: 3, StartProb: 0.8, FreeVars: 2, Seed: 11}, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 60 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	a := AccidentConstraints()
+	covered := 0
+	for _, q := range qs {
+		res, err := cover.Check(q, a, s, cover.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Label, err)
+		}
+		if res.Covered {
+			covered++
+		}
+	}
+	// The workload must be a genuine mix: some covered, some not.
+	if covered == 0 || covered == len(qs) {
+		t.Errorf("coverage mix degenerate: %d/%d", covered, len(qs))
+	}
+}
+
+func TestRandomCQsDeterministic(t *testing.T) {
+	s := AccidentSchema()
+	cfg := RandomCQConfig{Queries: 10, MaxAtoms: 3, StartProb: 0.5, FreeVars: 2, Seed: 6}
+	q1, err := RandomCQs(s, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := RandomCQs(s, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1 {
+		if q1[i].String() != q2[i].String() {
+			t.Fatalf("query %d differs across runs with same seed", i)
+		}
+	}
+}
