@@ -472,3 +472,183 @@ func BenchmarkPlanSynthesis(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 1: concurrent serving layer (plan cache + parallel executor) ---
+
+// QDateFanout is Q0 without the district filter: all driver ages for one
+// date. Its casualty fetch fans out over every accident of the day (up to
+// 610 keys) — the shape the parallel executor partitions.
+func qDateFanout() *cq.CQ {
+	return &cq.CQ{
+		Label: "Qdate", Free: []string{"xa"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("Accident", cq.Var("aid"), cq.Var("d"), cq.Const(value.NewString("1/5/2005"))),
+			cq.NewAtom("Casualty", cq.Var("cid"), cq.Var("aid"), cq.Var("class"), cq.Var("vid")),
+			cq.NewAtom("Vehicle", cq.Var("vid"), cq.Var("dri"), cq.Var("xa")),
+		},
+	}
+}
+
+// BenchmarkPlanCache measures repeat-query planning: cold synthesis (cache
+// disabled) vs cached lookup. The gap is the per-request win for every
+// repeated query shape in a serving workload.
+func BenchmarkPlanCache(b *testing.B) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 5, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Q0()
+	b.Run("cold", func(b *testing.B) {
+		eng, err := core.New(acc.Schema, acc.Access, core.Options{PlanCache: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Load(acc.Instance); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Plan(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Load(acc.Instance); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := eng.Plan(q); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Plan(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColdVsCachedExecute measures the end-to-end repeat-query path
+// (plan + execute), cache off vs on — the serving-layer latency headline.
+func BenchmarkColdVsCachedExecute(b *testing.B) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 20, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Q0()
+	for _, cfg := range []struct {
+		name  string
+		cache int
+	}{{"cold", -1}, {"cached", 0}} {
+		eng, err := core.New(acc.Schema, acc.Access, core.Options{PlanCache: cfg.cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Load(acc.Instance); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFetchAccidents sweeps worker counts on the large
+// accidents configuration (the full 610 accidents/day of ψ1): the
+// multi-worker fetch fan-out vs the single-worker baseline.
+func BenchmarkParallelFetchAccidents(b *testing.B) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 8, AccidentsPerDay: 610, MaxVehicles: 8, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		b.Fatal(err)
+	}
+	p, _, err := eng.Plan(qDateFanout())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := plan.ExecOptions{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan.ExecuteOpts(p, eng.Indexed(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExecSocial sweeps worker counts on the 3-hop social
+// walk, whose final fetch covers thousands of distinct keys.
+func BenchmarkParallelExecSocial(b *testing.B) {
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: 5000, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(soc.Schema, soc.Access, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(soc.Instance); err != nil {
+		b.Fatal(err)
+	}
+	p, _, err := eng.Plan(bench.Path3Query(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := plan.ExecOptions{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan.ExecuteOpts(p, eng.Indexed(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentServing drives one shared Engine from parallel
+// goroutines (RunParallel), the deployment shape the concurrency
+// guarantees exist for: cached plans, read-only indices, no locks on the
+// hot path.
+func BenchmarkConcurrentServing(b *testing.B) {
+	acc, eng := mustAccidents(b, 20)
+	_ = acc
+	q := workload.Q0()
+	if _, _, err := eng.Plan(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.ExecuteAuto(q); err != nil {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -2,31 +2,34 @@
 //
 // Usage:
 //
-//	bebench              # run every experiment
-//	bebench -exp e1      # one experiment (e1..e10)
+//	bebench                    # run every experiment
+//	bebench -exp e1            # one experiment (e1..e11)
+//	bebench -exp e11 -workers 8  # serving-layer experiment at 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e10) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e11) or all")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
 	flag.Parse()
-	if err := run(strings.ToLower(*exp)); err != nil {
+	if err := run(strings.ToLower(*exp), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string) error {
+func run(exp string, workers int) error {
 	if exp == "all" {
-		tables, err := bench.All()
+		tables, err := bench.All(workers)
 		if err != nil {
 			return err
 		}
@@ -58,8 +61,10 @@ func run(exp string) error {
 		t, err = bench.E9GeneralConstraints([]int{1 << 8, 1 << 12, 1 << 16, 1 << 20})
 	case "e10":
 		t, err = bench.E10PaperExamples()
+	case "e11":
+		t, err = bench.E11Concurrency(10000, bench.E11WorkerCounts(workers))
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e10 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e11 or all)", exp)
 	}
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/load"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -39,16 +41,17 @@ func main() {
 		k       = flag.Int("k", 2, "parameter budget for specialize")
 		days    = flag.Int("days", 20, "accidents demo: days of data")
 		people  = flag.Int("people", 2000, "social demo: people")
+		workers = flag.Int("workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people); err != nil {
+	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bequery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, dataDir, saveDir, demo, query, mode string, k, days, people int) error {
-	eng, queries, params, err := setup(file, demo, days, people)
+func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, workers int) error {
+	eng, queries, params, err := setup(file, demo, days, people, workers)
 	if err != nil {
 		return err
 	}
@@ -72,7 +75,7 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people int) 
 	}
 	if query == "" {
 		fmt.Println("available queries:")
-		for name := range queries {
+		for _, name := range queryNames(queries) {
 			fmt.Println("  " + name)
 		}
 		return nil
@@ -145,9 +148,21 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people int) 
 	return nil
 }
 
-func setup(file, demo string, days, people int) (*core.Engine, map[string]*cq.CQ, map[string][]string, error) {
+// queryNames returns the query names in sorted order, so listings are
+// deterministic across runs (map iteration order is not).
+func queryNames(queries map[string]*cq.CQ) []string {
+	names := make([]string, 0, len(queries))
+	for name := range queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func setup(file, demo string, days, people, workers int) (*core.Engine, map[string]*cq.CQ, map[string][]string, error) {
 	queries := map[string]*cq.CQ{}
 	params := map[string][]string{}
+	opts := core.Options{Exec: plan.ExecOptions{Workers: workers}}
 	switch {
 	case file != "":
 		raw, err := os.ReadFile(file)
@@ -158,7 +173,7 @@ func setup(file, demo string, days, people int) (*core.Engine, map[string]*cq.CQ
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		eng, err := core.New(doc.Schema, doc.Access, core.Options{})
+		eng, err := core.New(doc.Schema, doc.Access, opts)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -177,7 +192,7 @@ func setup(file, demo string, days, people int) (*core.Engine, map[string]*cq.CQ
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+		eng, err := core.New(acc.Schema, acc.Access, opts)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -196,7 +211,7 @@ func setup(file, demo string, days, people int) (*core.Engine, map[string]*cq.CQ
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		eng, err := core.New(soc.Schema, soc.Access, core.Options{})
+		eng, err := core.New(soc.Schema, soc.Access, opts)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/load"
@@ -9,7 +13,7 @@ import (
 )
 
 func TestSetupFromDocument(t *testing.T) {
-	eng, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0)
+	eng, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,44 +46,85 @@ func TestRunModesAgainstDocumentWithData(t *testing.T) {
 	}
 	doc := filepath.Join("testdata", "accidents.bq")
 	for _, mode := range []string{"check", "plan", "explain", "run", "baseline"} {
-		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0); err != nil {
+		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0, 1); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0); err != nil {
+	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0, 1); err != nil {
 		t.Errorf("specialize: %v", err)
+	}
+	// Parallel execution answers the same document query without error.
+	if err := run(doc, dir, "", "", "Q0", "run", 1, 0, 0, 4); err != nil {
+		t.Errorf("run with workers=4: %v", err)
 	}
 }
 
 func TestRunDemoModes(t *testing.T) {
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0); err != nil {
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1); err != nil {
 		t.Errorf("demo accidents: %v", err)
 	}
-	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200); err != nil {
+	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200, 1); err != nil {
 		t.Errorf("demo social: %v", err)
 	}
 	// Save/export path.
 	dir := t.TempDir()
-	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0); err != nil {
+	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0, 1); err != nil {
 		t.Errorf("save: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "", "", "explain", 1, 0, 0); err == nil {
+	if err := run("", "", "", "", "", "explain", 1, 0, 0, 1); err == nil {
 		t.Error("no input source must error")
 	}
-	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0); err == nil {
+	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0, 1); err == nil {
 		t.Error("unknown query must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0); err == nil {
+	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0, 1); err == nil {
 		t.Error("unknown mode must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0); err == nil {
+	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0, 1); err == nil {
 		t.Error("specialize without params must error")
 	}
 	// Listing queries (empty -query) is not an error.
-	if err := run("", "", "", "accidents", "", "run", 1, 1, 0); err != nil {
+	if err := run("", "", "", "accidents", "", "run", 1, 1, 0, 1); err != nil {
 		t.Errorf("query listing: %v", err)
+	}
+}
+
+// TestQueryListingSorted pins the listing order: map iteration order is
+// random, so the listing must sort names (Q0 before Q51, every run).
+func TestQueryListingSorted(t *testing.T) {
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	runErr := run("", "", "", "accidents", "", "run", 1, 1, 0, 1)
+	pw.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, pr); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	out := buf.String()
+	i0, i51 := strings.Index(out, "Q0"), strings.Index(out, "Q51")
+	if i0 < 0 || i51 < 0 || i0 > i51 {
+		t.Errorf("listing must print Q0 before Q51:\n%s", out)
+	}
+	var prev string
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "  ") {
+			continue
+		}
+		name := strings.TrimSpace(line)
+		if prev != "" && name < prev {
+			t.Errorf("listing not sorted: %q after %q", name, prev)
+		}
+		prev = name
 	}
 }

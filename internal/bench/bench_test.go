@@ -191,3 +191,27 @@ func TestE10AllVerdictsAgree(t *testing.T) {
 		}
 	}
 }
+
+// E11's defining shape: cached planning beats cold planning, and every
+// parallel configuration returns the same answers as workers=1 (wall-clock
+// speedup is hardware-dependent, so only result identity is asserted).
+func TestE11CacheWinsAndParallelAgrees(t *testing.T) {
+	tb, err := E11Concurrency(400, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
+	}
+	cold, err1 := strconv.ParseFloat(cell(t, tb, 0, 1), 64)
+	hit, err2 := strconv.ParseFloat(cell(t, tb, 1, 1), 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad timing cells:\n%s", tb.Render())
+	}
+	if hit >= cold {
+		t.Errorf("cached planning (%v µs) must beat cold synthesis (%v µs)", hit, cold)
+	}
+	if got := cell(t, tb, 3, 3); got != "true" {
+		t.Errorf("parallel execution must return identical answers: %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// Path3Query is the 3-hop friend walk anchored at a person constant —
+// the serving-layer stress query: its final fetch fans out over thousands
+// of distinct keys, which is what the parallel executor partitions.
+func Path3Query(me int64) *cq.CQ {
+	return &cq.CQ{
+		Label: "path3", Free: []string{"h"},
+		Atoms: []cq.Atom{
+			cq.NewAtom("Friend", cq.Var("me"), cq.Var("f")),
+			cq.NewAtom("Friend", cq.Var("f"), cq.Var("g")),
+			cq.NewAtom("Friend", cq.Var("g"), cq.Var("h")),
+		},
+		Eqs: []cq.Eq{{L: cq.Var("me"), R: cq.Const(iv(me))}},
+	}
+}
+
+// E11WorkerCounts turns a -workers cap into the sweep for E11Concurrency:
+// always workers=1, plus workers=2 and the cap itself when they fit.
+func E11WorkerCounts(max int) []int {
+	counts := []int{1}
+	if max >= 2 {
+		counts = append(counts, 2)
+	}
+	if max > 2 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// E11Concurrency measures the concurrent serving layer added on top of
+// the paper's pipeline: (a) the plan cache — repeat-query planning
+// latency, cold vs cached — and (b) the parallel executor — bounded-plan
+// execution with a multi-worker fetch/join pool vs a single worker, on a
+// fan-out-heavy social query. The "same answers" column verifies that
+// every configuration returns identical rows and identical Fetched totals
+// (the static access bound holds regardless of worker count).
+func E11Concurrency(people int, workerCounts []int) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "serving layer — plan cache and parallel bounded execution",
+		Header: []string{"setting", "time/op (µs)", "speedup", "same answers"},
+	}
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: people, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := Path3Query(1)
+
+	// (a) Plan cache: cold synthesis vs cached lookup.
+	cold, err := core.New(soc.Schema, soc.Access, core.Options{PlanCache: -1})
+	if err != nil {
+		return nil, err
+	}
+	if err := cold.Load(soc.Instance); err != nil {
+		return nil, err
+	}
+	warm, err := core.New(soc.Schema, soc.Access, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := warm.Load(soc.Instance); err != nil {
+		return nil, err
+	}
+	if _, _, err := warm.Plan(q); err != nil { // prime the cache
+		return nil, err
+	}
+	const planReps = 50
+	timePlan := func(eng *core.Engine) (float64, error) {
+		start := time.Now()
+		for i := 0; i < planReps; i++ {
+			if _, _, err := eng.Plan(q); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / planReps, nil
+	}
+	tCold, err := timePlan(cold)
+	if err != nil {
+		return nil, err
+	}
+	tHit, err := timePlan(warm)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("plan path3 (cold)", tCold, 1.0, "-")
+	t.AddRow("plan path3 (cached)", tHit, tCold/maxF(tHit, 0.01), "-")
+
+	// (b) Parallel execution: identical plan, varying worker counts.
+	p, _, err := warm.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	ix := warm.Indexed()
+	const execReps = 5
+	var baseTime float64
+	var baseTbl *plan.Table
+	var baseFetched int64
+	for i, w := range workerCounts {
+		opts := plan.ExecOptions{Workers: w}
+		start := time.Now()
+		var tbl *plan.Table
+		var stats *plan.ExecStats
+		for r := 0; r < execReps; r++ {
+			tbl, stats, err = plan.ExecuteOpts(p, ix, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		el := float64(time.Since(start).Microseconds()) / execReps
+		same := "-"
+		if i == 0 {
+			baseTime, baseTbl, baseFetched = el, tbl, stats.Fetched
+		} else {
+			same = fmt.Sprint(sameRows(tbl, baseTbl) && stats.Fetched == baseFetched)
+		}
+		t.AddRow(fmt.Sprintf("exec path3 workers=%d", w), el, baseTime/maxF(el, 0.01), same)
+	}
+	t.Notes = append(t.Notes,
+		"cached planning must be orders of magnitude below cold synthesis — that is the repeat-query win",
+		"'same answers' checks rows and Fetched match workers=1: the access bound is worker-independent")
+	return t, nil
+}
+
+// sameRows reports whether two tables hold identical rows in identical
+// order.
+func sameRows(a, b *plan.Table) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}

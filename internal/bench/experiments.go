@@ -637,8 +637,9 @@ func E10PaperExamples() (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment with default parameters, in order.
-func All() ([]*Table, error) {
+// All runs every experiment with default parameters, in order. workers
+// caps the E11 parallel-execution sweep (see E11WorkerCounts).
+func All(workers int) ([]*Table, error) {
 	var out []*Table
 	steps := []func() (*Table, error){
 		func() (*Table, error) { return E1ScaleSweep([]int{5, 20, 80}) },
@@ -651,6 +652,7 @@ func All() ([]*Table, error) {
 		func() (*Table, error) { return E8QSP([]int{2, 4, 6}) },
 		func() (*Table, error) { return E9GeneralConstraints([]int{1 << 8, 1 << 12, 1 << 16}) },
 		E10PaperExamples,
+		func() (*Table, error) { return E11Concurrency(4000, E11WorkerCounts(workers)) },
 	}
 	for _, step := range steps {
 		tb, err := step()

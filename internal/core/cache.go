@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// DefaultPlanCacheSize is the plan-cache capacity when Options.PlanCache
+// is zero.
+const DefaultPlanCacheSize = 256
+
+// planEntry is one cached planning outcome for a canonical query shape:
+// either a synthesized plan with its static access bound, or the
+// not-bounded decision. Entries are immutable once cached — callers must
+// copy before mutating (Engine.Plan copies the Plan header to relabel it).
+type planEntry struct {
+	key        string
+	p          *plan.Plan
+	bound      plan.Bound
+	notBounded *NotBoundedError
+}
+
+// CacheStats reports plan-cache effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count Engine.Plan lookups since the last purge.
+	Hits, Misses int64
+	// Entries is the current number of cached shapes.
+	Entries int
+}
+
+// planCache is a concurrency-safe LRU cache of planning outcomes keyed by
+// cq.CanonicalKey. All methods are safe for concurrent use.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *planEntry
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key, promoting it to most-recently-used.
+func (c *planCache) get(key string) (*planEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry), true
+}
+
+// put inserts (or refreshes) an entry, evicting the least-recently-used
+// one beyond capacity.
+func (c *planCache) put(e *planEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*planEntry).key)
+	}
+}
+
+// purge drops every entry and resets the counters. Called on Load: a new
+// instance changes size hints, so cached bounds (and general-form fetch
+// cardinalities) are stale.
+func (c *planCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+	c.hits, c.misses = 0, 0
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}

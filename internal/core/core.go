@@ -36,10 +36,24 @@ type Options struct {
 	Envelope   envelope.Options
 	Specialize specialize.Options
 	Plan       plan.BuildOptions
+	// Exec configures plan execution; Exec.Workers > 1 fans bounded
+	// fetches and hash joins out across a worker pool.
+	Exec plan.ExecOptions
+	// PlanCache sizes the LRU plan cache: 0 means DefaultPlanCacheSize,
+	// negative disables caching.
+	PlanCache int
 }
 
 // Engine couples a relational schema, an access schema, and (after Load)
 // an indexed instance.
+//
+// Concurrency: after Load returns, the Engine is safe for concurrent
+// readers — IsCovered, CheckBounded, Plan, Execute, ExecuteAuto, Baseline,
+// Explain and the envelope/specialize entry points may all be called from
+// many goroutines at once. The instance and its indices are read-only
+// after Load, and the plan cache serializes its own state internally.
+// Load itself is a writer: it must not race with in-flight queries; call
+// it before serving, or quiesce queries around a reload.
 type Engine struct {
 	Schema *schema.Schema
 	Access *access.Schema
@@ -47,6 +61,7 @@ type Engine struct {
 
 	instance *data.Instance
 	indexed  *access.Indexed
+	cache    *planCache
 }
 
 // New builds an engine, validating the access schema against the
@@ -55,11 +70,17 @@ func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
 	if err := a.Validate(s); err != nil {
 		return nil, err
 	}
-	return &Engine{Schema: s, Access: a, Opts: opts}, nil
+	size := opts.PlanCache
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	return &Engine{Schema: s, Access: a, Opts: opts, cache: newPlanCache(size)}, nil
 }
 
 // Load attaches an instance: it builds every index in A and verifies
-// D |= A, failing with the list of violations otherwise.
+// D |= A, failing with the list of violations otherwise. Loading
+// invalidates the plan cache — cached static bounds embed the previous
+// instance's size hint. Load must not race with concurrent queries.
 func (e *Engine) Load(d *data.Instance) error {
 	ix, viols, err := access.BuildIndexed(e.Access, d)
 	if err != nil {
@@ -70,11 +91,19 @@ func (e *Engine) Load(d *data.Instance) error {
 	}
 	e.instance = d
 	e.indexed = ix
+	e.cache.purge()
 	return nil
 }
 
+// CacheStats reports plan-cache hit/miss counters since the last Load.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
 // Instance returns the loaded instance, or nil.
 func (e *Engine) Instance() *data.Instance { return e.instance }
+
+// Indexed returns the indexed instance built by Load, or nil. The indices
+// are read-only after Load and safe for concurrent use.
+func (e *Engine) Indexed() *access.Indexed { return e.indexed }
 
 // IsCovered runs the PTIME covered-query check with diagnostics.
 func (e *Engine) IsCovered(q *cq.CQ) (*cover.Result, error) {
@@ -95,7 +124,49 @@ func (e *Engine) CheckBounded(q *cq.CQ) (*bep.Decision, error) {
 // checker so that A-equivalent rewrites (chase, redundant-atom drops) are
 // applied when the query is not covered as written. The returned Bound is
 // the static worst-case access bound over every D |= A.
+//
+// Outcomes (both plans and not-bounded verdicts) are memoized in an LRU
+// cache keyed by q's CanonicalKey, so repeat queries of the same shape —
+// including α-renamed variants — skip the BEP check and plan synthesis
+// entirely. The cache is invalidated by Load.
 func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+	key := ""
+	if e.cache != nil {
+		key = q.CanonicalKey()
+		if ent, ok := e.cache.get(key); ok {
+			if ent.notBounded != nil {
+				return nil, plan.Bound{}, ent.notBounded
+			}
+			return relabel(ent.p, q.Label), ent.bound, nil
+		}
+	}
+	p, b, err := e.planUncached(q)
+	if e.cache != nil {
+		var nb *NotBoundedError
+		switch {
+		case err == nil:
+			e.cache.put(&planEntry{key: key, p: p, bound: b})
+		case asNotBounded(err, &nb):
+			e.cache.put(&planEntry{key: key, notBounded: nb})
+		}
+		// Other errors (schema problems, build failures) are not cached.
+	}
+	return p, b, err
+}
+
+// relabel returns a shallow copy of p carrying the caller's label, leaving
+// the cached plan (shared across goroutines) untouched.
+func relabel(p *plan.Plan, label string) *plan.Plan {
+	if p.Label == label {
+		return p
+	}
+	cp := *p
+	cp.Label = label
+	return &cp
+}
+
+// planUncached is the uncached planning pipeline behind Plan.
+func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
 	dec, err := e.CheckBounded(q)
 	if err != nil {
 		return nil, plan.Bound{}, err
@@ -148,6 +219,8 @@ func (e *NotBoundedError) Error() string {
 }
 
 // Execute answers q through its bounded plan. Load must have been called.
+// Execution honors Opts.Exec: with Workers > 1, fetch fan-out and hash
+// joins run on a bounded worker pool.
 func (e *Engine) Execute(q *cq.CQ) (*plan.Table, *plan.ExecStats, error) {
 	if e.indexed == nil {
 		return nil, nil, fmt.Errorf("core: no instance loaded")
@@ -156,7 +229,7 @@ func (e *Engine) Execute(q *cq.CQ) (*plan.Table, *plan.ExecStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan.Execute(p, e.indexed)
+	return plan.ExecuteOpts(p, e.indexed, e.Opts.Exec)
 }
 
 // Mode says how ExecuteAuto answered a query.

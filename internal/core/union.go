@@ -46,7 +46,10 @@ func (e *Engine) PlanUCQ(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
 	return p, b, nil
 }
 
-// ExecuteUCQ answers a covered UCQ through its bounded plan.
+// ExecuteUCQ answers a covered UCQ through its bounded plan, honoring
+// Opts.Exec like Execute does. UCQ plans are not memoized in the plan
+// cache (its canonical key covers single CQs only), so repeat UCQs pay
+// synthesis each call.
 func (e *Engine) ExecuteUCQ(u *ucq.UCQ) (*plan.Table, *plan.ExecStats, error) {
 	if e.indexed == nil {
 		return nil, nil, fmt.Errorf("core: no instance loaded")
@@ -55,7 +58,7 @@ func (e *Engine) ExecuteUCQ(u *ucq.UCQ) (*plan.Table, *plan.ExecStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan.Execute(p, e.indexed)
+	return plan.ExecuteOpts(p, e.indexed, e.Opts.Exec)
 }
 
 // ExecuteAutoUCQ answers a UCQ via its bounded plan when covered, falling

@@ -1,0 +1,134 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a cache key identifying q's shape: a deterministic
+// serialization of the normalized query that is invariant under renaming
+// of bound variables, duplicate-atom elimination, and reordering of atoms
+// and equality atoms (up to the name-free atom signature the sort uses).
+// The Label is ignored; the free-variable tuple is kept literally so that
+// a plan synthesized for one query yields the same output columns for
+// every query sharing its key.
+//
+// The key is sound for plan caching: two CQs with equal keys are the same
+// query up to bound-variable renaming, so any plan answering one answers
+// the other. It is not complete — semantically equivalent queries may
+// still produce distinct keys, which costs a cache miss, never a wrong
+// answer.
+func (q *CQ) CanonicalKey() string {
+	n := q.Normalize().DropDuplicateAtoms()
+	free := make(map[string]bool, len(n.Free))
+	for _, v := range n.Free {
+		free[v] = true
+	}
+
+	// Sort atoms by a name-free signature: relation, then per argument
+	// either the literal free-variable name, a back-reference to an earlier
+	// position holding the same bound variable, or a wildcard. This makes
+	// the ordering independent of bound-variable names.
+	sigOf := func(a Atom) string {
+		var b strings.Builder
+		b.WriteString(a.Rel)
+		firstAt := make(map[string]int, len(a.Args))
+		for i, t := range a.Args {
+			b.WriteByte('|')
+			switch {
+			case free[t.V]:
+				b.WriteString("F" + t.V)
+			default:
+				if j, seen := firstAt[t.V]; seen {
+					fmt.Fprintf(&b, "=%d", j)
+				} else {
+					firstAt[t.V] = i
+					b.WriteByte('*')
+				}
+			}
+		}
+		return b.String()
+	}
+	type satom struct {
+		sig  string
+		atom Atom
+	}
+	atoms := make([]satom, len(n.Atoms))
+	for i, a := range n.Atoms {
+		atoms[i] = satom{sig: sigOf(a), atom: a}
+	}
+	sort.SliceStable(atoms, func(i, j int) bool { return atoms[i].sig < atoms[j].sig })
+
+	// Canonical names: free variables keep their names; bound variables are
+	// numbered by first occurrence scanning the sorted atoms, then the
+	// equality atoms (for variables occurring only in equalities).
+	rename := make(map[string]string)
+	next := 0
+	canon := func(v string) string {
+		if free[v] {
+			return v
+		}
+		if c, ok := rename[v]; ok {
+			return c
+		}
+		c := fmt.Sprintf("·%d", next)
+		next++
+		rename[v] = c
+		return c
+	}
+	for _, sa := range atoms {
+		for _, t := range sa.atom.Args {
+			canon(t.V)
+		}
+	}
+	term := func(t Term) string {
+		if t.IsVar() {
+			return canon(t.V)
+		}
+		return "#" + t.C.String()
+	}
+
+	// Equality atoms: render each with the smaller side first, then sort
+	// and deduplicate, so eq order and orientation do not matter.
+	eqs := make([]string, 0, len(n.Eqs))
+	for _, e := range n.Eqs {
+		l, r := term(e.L), term(e.R)
+		if r < l {
+			l, r = r, l
+		}
+		eqs = append(eqs, l+"="+r)
+	}
+	sort.Strings(eqs)
+	eqs = dedupSorted(eqs)
+
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(strings.Join(n.Free, ","))
+	b.WriteString(")←")
+	for _, sa := range atoms {
+		b.WriteString(sa.atom.Rel)
+		b.WriteByte('(')
+		for i, t := range sa.atom.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(canon(t.V))
+		}
+		b.WriteByte(')')
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	b.WriteString(strings.Join(eqs, ";"))
+	return b.String()
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

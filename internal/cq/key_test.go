@@ -1,0 +1,114 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func keyQ0() *CQ {
+	return &CQ{
+		Label: "Q0", Free: []string{"xa"},
+		Atoms: []Atom{
+			NewAtom("Accident", Var("aid"), Const(value.NewString("Queen's Park")), Const(value.NewString("1/5/2005"))),
+			NewAtom("Casualty", Var("cid"), Var("aid"), Var("class"), Var("vid")),
+			NewAtom("Vehicle", Var("vid"), Var("dri"), Var("xa")),
+		},
+	}
+}
+
+func TestCanonicalKeyIgnoresLabel(t *testing.T) {
+	a, b := keyQ0(), keyQ0()
+	b.Label = "Renamed"
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("label must not affect the canonical key")
+	}
+}
+
+func TestCanonicalKeyInvariantUnderBoundRenaming(t *testing.T) {
+	a := keyQ0()
+	b := keyQ0().Substitute(map[string]Term{
+		"aid": Var("accident"), "cid": Var("cas"), "class": Var("cl"),
+		"vid": Var("vehicle"), "dri": Var("driver"),
+	})
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("α-renamed bound variables must share a key:\n%s\n%s",
+			a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeyKeepsFreeNames(t *testing.T) {
+	a := keyQ0()
+	b := keyQ0().Substitute(map[string]Term{"xa": Var("age")})
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("renaming a free variable must change the key (output columns differ)")
+	}
+}
+
+func TestCanonicalKeyInvariantUnderAtomAndEqOrder(t *testing.T) {
+	a := &CQ{Free: []string{"x"},
+		Atoms: []Atom{
+			NewAtom("Accident", Var("a"), Var("d"), Var("t")),
+			NewAtom("Casualty", Var("c"), Var("a"), Var("k"), Var("x")),
+		},
+		Eqs: []Eq{
+			{L: Var("t"), R: Const(value.NewString("1/5/2005"))},
+			{L: Var("d"), R: Const(value.NewString("Soho"))},
+		}}
+	b := &CQ{Free: []string{"x"},
+		Atoms: []Atom{
+			NewAtom("Casualty", Var("c"), Var("a"), Var("k"), Var("x")),
+			NewAtom("Accident", Var("a"), Var("d"), Var("t")),
+		},
+		Eqs: []Eq{
+			{L: Const(value.NewString("Soho")), R: Var("d")}, // flipped orientation
+			{L: Var("t"), R: Const(value.NewString("1/5/2005"))},
+		}}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("atom/eq reorder must not change the key:\n%s\n%s",
+			a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeySeparatesConstants(t *testing.T) {
+	a := keyQ0()
+	b := keyQ0()
+	b.Atoms[0].Args[1] = Const(value.NewString("Soho"))
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("different constants must produce different keys")
+	}
+}
+
+func TestCanonicalKeySeparatesRepeatedVars(t *testing.T) {
+	// R(x, y) vs R(x, x): distinct shapes, distinct keys.
+	a := &CQ{Free: []string{"x"}, Atoms: []Atom{NewAtom("R", Var("x"), Var("y"))}}
+	b := &CQ{Free: []string{"x"}, Atoms: []Atom{NewAtom("R", Var("x"), Var("x"))}}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("R(x,y) and R(x,x) must differ")
+	}
+}
+
+func TestCanonicalKeyNormalizesInlineConstants(t *testing.T) {
+	// Constants written inline and hoisted into equality atoms are the
+	// same query shape after Normalize, so they share a key.
+	a := &CQ{Free: []string{"y"},
+		Atoms: []Atom{NewAtom("R", Const(value.NewInt(7)), Var("y"))}}
+	b := &CQ{Free: []string{"y"},
+		Atoms: []Atom{NewAtom("R", Var("w"), Var("y"))},
+		Eqs:   []Eq{{L: Var("w"), R: Const(value.NewInt(7))}}}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("inline vs hoisted constant must share a key:\n%s\n%s",
+			a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeyDeduplicatesAtoms(t *testing.T) {
+	a := &CQ{Free: []string{"x"}, Atoms: []Atom{
+		NewAtom("R", Var("x"), Var("y")),
+		NewAtom("R", Var("x"), Var("y")),
+	}}
+	b := &CQ{Free: []string{"x"}, Atoms: []Atom{NewAtom("R", Var("x"), Var("y"))}}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("duplicate atoms must not change the key")
+	}
+}

@@ -22,16 +22,26 @@ type ExecStats struct {
 	MaxIntermediate int
 }
 
-// Execute runs the plan against an indexed instance. Every FetchOp must be
-// backed by a constraint present in ix.
+// Execute runs the plan against an indexed instance, sequentially. Every
+// FetchOp must be backed by a constraint present in ix.
 func Execute(p *Plan, ix *access.Indexed) (*Table, *ExecStats, error) {
+	return ExecuteOpts(p, ix, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with tuning. With opts.Workers > 1, fetch steps
+// partition their distinct input keys across a bounded worker pool and
+// hash joins parallelize their build/probe phases; per-worker stats are
+// merged, so Fetched and FetchKeys are identical to a sequential run (the
+// static access bound is respected either way), and result rows come back
+// in the same order with the same set semantics.
+func ExecuteOpts(p *Plan, ix *access.Indexed, opts ExecOptions) (*Table, *ExecStats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
 	stats := &ExecStats{}
 	results := make([]*Table, len(p.Steps))
 	for i, op := range p.Steps {
-		t, err := execOp(op, results, ix, stats)
+		t, err := execOp(op, results, ix, stats, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -44,7 +54,7 @@ func Execute(p *Plan, ix *access.Indexed) (*Table, *ExecStats, error) {
 	return results[len(results)-1], stats, nil
 }
 
-func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats) (*Table, error) {
+func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
 	switch o := op.(type) {
 	case unitOp:
 		return Unit(), nil
@@ -55,7 +65,7 @@ func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats) (*Tab
 	case EmptyOp:
 		return NewTable(o.Cols...), nil
 	case FetchOp:
-		return execFetch(o, results[o.Input], ix, stats)
+		return execFetch(o, results[o.Input], ix, stats, opts)
 	case ProjectOp:
 		return execProject(o, results[o.Input])
 	case SelectOp:
@@ -63,7 +73,7 @@ func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats) (*Tab
 	case ProductOp:
 		return execProduct(results[o.L], results[o.R])
 	case JoinOp:
-		return execJoin(results[o.L], results[o.R])
+		return execJoin(results[o.L], results[o.R], opts)
 	case UnionOp:
 		return execUnion(results[o.L], results[o.R])
 	case DiffOp:
@@ -75,7 +85,7 @@ func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats) (*Tab
 	}
 }
 
-func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats) (*Table, error) {
+func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
 	idx := ix.IndexFor(o.Constraint)
 	if idx == nil {
 		return nil, fmt.Errorf("no index for constraint %s", o.Constraint)
@@ -120,20 +130,22 @@ func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats) (*Tab
 		}
 	}
 
-	seenKeys := make(map[value.Key]bool)
-	for _, row := range in.Rows {
-		key := value.KeyOfAt(row, xpos)
-		if seenKeys[key] {
-			continue
-		}
-		seenKeys[key] = true
-		bucket := idx.FetchKey(key)
-		stats.FetchKeys++
-		stats.Fetched += int64(len(bucket))
+	// Distinct input keys in first-occurrence order: each key is looked up
+	// exactly once regardless of worker count, so FetchKeys/Fetched match
+	// the sequential accounting and stay within the static access bound.
+	type fetchItem struct {
+		row data.Tuple
+		key value.Key
+	}
+
+	emit := func(it fetchItem, st *ExecStats, sink func(data.Tuple)) {
+		bucket := idx.FetchKey(it.key)
+		st.FetchKeys++
+		st.Fetched += int64(len(bucket))
 		for _, proj := range bucket {
 			outRow := make(data.Tuple, len(outCols))
 			for i, p := range xpos {
-				outRow[i] = row[p]
+				outRow[i] = it.row[p]
 			}
 			ok := true
 			cursor := len(o.XCols)
@@ -156,11 +168,90 @@ func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats) (*Tab
 				}
 			}
 			if ok {
-				out.Add(outRow)
+				sink(outRow)
 			}
 		}
 	}
+
+	// Sequential path (the default): the original streaming loop, deduping
+	// keys inline with no item buffer. len(in.Rows) bounds the distinct key
+	// count, so workersFor(len(in.Rows)) == 1 implies parallelism would
+	// never trigger.
+	if opts.workersFor(len(in.Rows)) <= 1 {
+		seenKeys := make(map[value.Key]bool)
+		sink := func(r data.Tuple) { out.Add(r) }
+		for _, row := range in.Rows {
+			key := value.KeyOfAt(row, xpos)
+			if seenKeys[key] {
+				continue
+			}
+			seenKeys[key] = true
+			emit(fetchItem{row: row, key: key}, stats, sink)
+		}
+		return out, nil
+	}
+
+	seenKeys := make(map[value.Key]bool, len(in.Rows))
+	items := make([]fetchItem, 0, len(in.Rows))
+	for _, row := range in.Rows {
+		key := value.KeyOfAt(row, xpos)
+		if seenKeys[key] {
+			continue
+		}
+		seenKeys[key] = true
+		items = append(items, fetchItem{row: row, key: key})
+	}
+	spans := splitSpans(len(items), opts.workersFor(len(items)))
+	if len(spans) <= 1 {
+		// Dedup collapsed the input below the parallel threshold.
+		for _, it := range items {
+			emit(it, stats, func(r data.Tuple) { out.Add(r) })
+		}
+		return out, nil
+	}
+	// Parallel path: contiguous key partitions, worker-local row buffers
+	// and stats, then an ordered merge — the output row order and set
+	// semantics are identical to the sequential path. Workers precompute
+	// each row's dedup key so the merge only pays for map inserts.
+	partRows := make([][]keyedRow, len(spans))
+	partStats := make([]ExecStats, len(spans))
+	runSpans(spans, func(part int, s span) {
+		sink := func(r data.Tuple) {
+			partRows[part] = append(partRows[part], keyedRow{row: r, key: r.Key()})
+		}
+		for _, it := range items[s.Lo:s.Hi] {
+			emit(it, &partStats[part], sink)
+		}
+	})
+	for part := range spans {
+		stats.FetchKeys += partStats[part].FetchKeys
+		stats.Fetched += partStats[part].Fetched
+	}
+	mergeKeyedParts(out, partRows)
 	return out, nil
+}
+
+// keyedRow pairs a row with its precomputed dedup key, produced on worker
+// goroutines and merged in order on the caller's goroutine.
+type keyedRow struct {
+	row data.Tuple
+	key value.Key
+}
+
+// mergeKeyedParts merges worker-local keyed rows into out in partition
+// order, pre-sizing the table for the total row count. Because partitions
+// are contiguous input ranges, this reproduces the sequential insert order.
+func mergeKeyedParts(out *Table, partRows [][]keyedRow) {
+	total := 0
+	for _, part := range partRows {
+		total += len(part)
+	}
+	out.grow(total)
+	for _, part := range partRows {
+		for _, r := range part {
+			out.addKeyed(r.row, r.key)
+		}
+	}
 }
 
 func execProject(o ProjectOp, in *Table) (*Table, error) {
@@ -239,7 +330,7 @@ func execProduct(l, r *Table) (*Table, error) {
 	return out, nil
 }
 
-func execJoin(l, r *Table) (*Table, error) {
+func execJoin(l, r *Table, opts ExecOptions) (*Table, error) {
 	// Shared columns become the hash key; right-only columns extend rows.
 	var sharedL, sharedR, extraR []int
 	var extraCols []string
@@ -253,18 +344,54 @@ func execJoin(l, r *Table) (*Table, error) {
 		}
 	}
 	out := NewTable(append(append([]string(nil), l.Cols...), extraCols...)...)
+
+	// Build phase: key encoding (the expensive part) parallelizes over
+	// contiguous chunks; the map insertions stay sequential and ordered.
+	// The sequential path keeps the original fused loop — no key buffer.
 	table := make(map[value.Key][]data.Tuple, r.Len())
-	for _, rr := range r.Rows {
-		k := value.KeyOfAt(rr, sharedR)
-		table[k] = append(table[k], rr)
-	}
-	for _, lr := range l.Rows {
-		k := value.KeyOfAt(lr, sharedL)
-		for _, rr := range table[k] {
-			row := append(append(data.Tuple{}, lr...), rr.Project(extraR)...)
-			out.Add(row)
+	if w := opts.workersFor(r.Len()); w <= 1 {
+		for _, rr := range r.Rows {
+			k := value.KeyOfAt(rr, sharedR)
+			table[k] = append(table[k], rr)
+		}
+	} else {
+		buildKeys := make([]value.Key, r.Len())
+		runSpans(splitSpans(r.Len(), w), func(_ int, s span) {
+			for i := s.Lo; i < s.Hi; i++ {
+				buildKeys[i] = value.KeyOfAt(r.Rows[i], sharedR)
+			}
+		})
+		for i, rr := range r.Rows {
+			table[buildKeys[i]] = append(table[buildKeys[i]], rr)
 		}
 	}
+
+	// Probe phase: contiguous chunks of the left side probe the (now
+	// read-only) hash table into worker-local buffers; the ordered merge
+	// reproduces the sequential output order and set semantics.
+	probe := func(lr data.Tuple, sink func(data.Tuple)) {
+		k := value.KeyOfAt(lr, sharedL)
+		for _, rr := range table[k] {
+			sink(append(append(data.Tuple{}, lr...), rr.Project(extraR)...))
+		}
+	}
+	spans := splitSpans(l.Len(), opts.workersFor(l.Len()))
+	if len(spans) <= 1 {
+		for _, lr := range l.Rows {
+			probe(lr, func(row data.Tuple) { out.Add(row) })
+		}
+		return out, nil
+	}
+	partRows := make([][]keyedRow, len(spans))
+	runSpans(spans, func(part int, s span) {
+		sink := func(row data.Tuple) {
+			partRows[part] = append(partRows[part], keyedRow{row: row, key: row.Key()})
+		}
+		for _, lr := range l.Rows[s.Lo:s.Hi] {
+			probe(lr, sink)
+		}
+	})
+	mergeKeyedParts(out, partRows)
 	return out, nil
 }
 

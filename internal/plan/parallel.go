@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ExecOptions tunes plan execution. The zero value runs every operator
+// sequentially, byte-for-byte equivalent to the original executor.
+type ExecOptions struct {
+	// Workers bounds the goroutines each parallel operator (fetch fan-out,
+	// hash-join build/probe) may use. 0 or 1 runs sequentially; a negative
+	// value uses GOMAXPROCS.
+	Workers int
+	// MinRows is the operator input size below which execution stays
+	// sequential even when Workers > 1 (goroutine fan-out overhead
+	// dominates tiny inputs). 0 means DefaultMinParallelRows.
+	MinRows int
+}
+
+// DefaultMinParallelRows is the parallelism threshold used when
+// ExecOptions.MinRows is zero.
+const DefaultMinParallelRows = 64
+
+// workersFor resolves the worker count for an operator processing n items.
+func (o ExecOptions) workersFor(n int) int {
+	w := o.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		return 1
+	}
+	min := o.MinRows
+	if min <= 0 {
+		min = DefaultMinParallelRows
+	}
+	if n < min {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// span is a half-open index range [Lo, Hi).
+type span struct{ Lo, Hi int }
+
+// splitSpans partitions [0, n) into at most w contiguous, near-equal
+// ranges. Contiguity matters: merging per-range results in range order
+// reproduces the sequential processing order exactly.
+func splitSpans(n, w int) []span {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([]span, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo < hi {
+			out = append(out, span{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// runSpans executes fn once per span, each on its own goroutine, and
+// blocks until all complete. A single span runs inline.
+func runSpans(spans []span, fn func(part int, s span)) {
+	if len(spans) == 1 {
+		fn(0, spans[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for i, s := range spans {
+		go func(part int, s span) {
+			defer wg.Done()
+			fn(part, s)
+		}(i, s)
+	}
+	wg.Wait()
+}

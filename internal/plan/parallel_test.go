@@ -1,0 +1,158 @@
+package plan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// forceParallel makes every operator take the parallel path regardless of
+// input size, so even small fixtures exercise the worker pool.
+func forceParallel(workers int) plan.ExecOptions {
+	return plan.ExecOptions{Workers: workers, MinRows: 1}
+}
+
+func assertSameExecution(t *testing.T, label string, p *plan.Plan, eng *core.Engine) {
+	t.Helper()
+	seqTbl, seqStats, err := plan.Execute(p, eng.Indexed())
+	if err != nil {
+		t.Fatalf("%s: sequential: %v", label, err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		parTbl, parStats, err := plan.ExecuteOpts(p, eng.Indexed(), forceParallel(w))
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", label, w, err)
+		}
+		if fmt.Sprint(parTbl.Cols) != fmt.Sprint(seqTbl.Cols) {
+			t.Fatalf("%s workers=%d: cols %v != %v", label, w, parTbl.Cols, seqTbl.Cols)
+		}
+		if parTbl.Len() != seqTbl.Len() {
+			t.Fatalf("%s workers=%d: %d rows, want %d", label, w, parTbl.Len(), seqTbl.Len())
+		}
+		for i := range seqTbl.Rows {
+			if !seqTbl.Rows[i].Equal(parTbl.Rows[i]) {
+				t.Fatalf("%s workers=%d: row %d = %v, want %v (order must match the sequential path)",
+					label, w, i, parTbl.Rows[i], seqTbl.Rows[i])
+			}
+		}
+		if parStats.Fetched != seqStats.Fetched || parStats.FetchKeys != seqStats.FetchKeys {
+			t.Fatalf("%s workers=%d: stats fetched=%d keys=%d, want fetched=%d keys=%d",
+				label, w, parStats.Fetched, parStats.FetchKeys, seqStats.Fetched, seqStats.FetchKeys)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialAccidents: the acceptance property on the
+// accidents workload — identical rows, in identical order, with identical
+// Fetched/FetchKeys accounting, for every worker count.
+func TestParallelMatchesSequentialAccidents(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 8, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*cq.CQ{workload.Q0()} {
+		p, _, err := eng.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameExecution(t, q.Label, p, eng)
+	}
+}
+
+// TestParallelMatchesSequentialSocial covers fan-out-heavy plans (multi-hop
+// fetches and joins) on the social workload.
+func TestParallelMatchesSequentialSocial(t *testing.T) {
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: 500, MaxFriends: 20, MaxLikes: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(soc.Schema, soc.Access, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(soc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*cq.CQ{workload.GraphSearchQuery(1, "NYC", "cycling")}
+	for _, q := range workload.PatternQueries(1) {
+		queries = append(queries, q)
+	}
+	for _, q := range queries {
+		p, _, err := eng.Plan(q)
+		if err != nil {
+			continue // unanchored patterns are not boundedly evaluable
+		}
+		assertSameExecution(t, q.Label, p, eng)
+	}
+}
+
+// TestParallelMatchesSequentialRandom property-tests the equivalence over
+// a batch of random bounded CQs on the accidents schema.
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 4, AccidentsPerDay: 20, MaxVehicles: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	consts := map[schema.Attribute][]cq.Term{
+		"date": {cq.Const(value.NewString("1/5/2005")), cq.Const(value.NewString(workload.DateName(2)))},
+		"aid":  {cq.Const(value.NewInt(3))},
+		"vid":  {cq.Const(value.NewInt(5))},
+	}
+	qs, err := workload.RandomCQs(acc.Schema, workload.RandomCQConfig{
+		Queries: 80, MaxAtoms: 4, StartProb: 0.9, FreeVars: 2, Seed: 7,
+	}, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := 0
+	for _, q := range qs {
+		p, _, err := eng.Plan(q)
+		if err != nil {
+			continue // not boundedly evaluable under ψ1–ψ4
+		}
+		bounded++
+		assertSameExecution(t, q.Label, p, eng)
+	}
+	if bounded < 10 {
+		t.Fatalf("random workload too weak: only %d bounded queries", bounded)
+	}
+}
+
+// TestExecOptionsWorkersFor pins the sequential/parallel gating rules.
+func TestExecOptionsWorkersFor(t *testing.T) {
+	tbl, stats, err := plan.ExecuteOpts(
+		&plan.Plan{Steps: []plan.Op{plan.ConstOp{Col: "c", Val: value.NewInt(1)}}, OutCols: []string{"c"}},
+		nil, plan.ExecOptions{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || stats.OpsRun != 1 {
+		t.Fatalf("trivial plan: %v %+v", tbl, stats)
+	}
+}

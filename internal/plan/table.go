@@ -37,7 +37,24 @@ func Unit() *Table {
 
 // Add inserts a row under set semantics, reporting whether it was new.
 func (t *Table) Add(row data.Tuple) bool {
-	k := row.Key()
+	return t.addKeyed(row, row.Key())
+}
+
+// grow pre-sizes the table's dedup map and row slice for n upcoming
+// inserts, avoiding incremental rehashing during large ordered merges. It
+// only acts on a still-empty table.
+func (t *Table) grow(n int) {
+	if len(t.Rows) > 0 || n <= 0 {
+		return
+	}
+	t.seen = make(map[value.Key]bool, n)
+	t.Rows = make([]data.Tuple, 0, n)
+}
+
+// addKeyed is Add with the row's dedup key precomputed — the parallel
+// executor encodes keys on worker goroutines so the ordered merge only
+// pays for the map insert.
+func (t *Table) addKeyed(row data.Tuple, k value.Key) bool {
 	if t.seen == nil {
 		t.seen = make(map[value.Key]bool)
 	}
