@@ -6,8 +6,11 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/ainstance"
@@ -557,7 +560,7 @@ func BenchmarkColdVsCachedExecute(b *testing.B) {
 		}
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := eng.Execute(q); err != nil {
+				if _, err := eng.Query(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -590,7 +593,7 @@ func BenchmarkParallelFetchAccidents(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			opts := plan.ExecOptions{Workers: w}
 			for i := 0; i < b.N; i++ {
-				if _, _, err := plan.ExecuteOpts(p, eng.Indexed(), opts); err != nil {
+				if _, _, err := plan.ExecuteOpts(context.Background(), p, eng.Indexed(), opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -622,7 +625,7 @@ func BenchmarkParallelExecSocial(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			opts := plan.ExecOptions{Workers: w}
 			for i := 0; i < b.N; i++ {
-				if _, _, err := plan.ExecuteOpts(p, eng.Indexed(), opts); err != nil {
+				if _, _, err := plan.ExecuteOpts(context.Background(), p, eng.Indexed(), opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -644,8 +647,46 @@ func BenchmarkConcurrentServing(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := eng.ExecuteAuto(q); err != nil {
+			if _, err := eng.Query(context.Background(), q); err != nil {
 				// b.Fatal must not run off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentQueryCancel measures the serving layer under churn:
+// many goroutines issue the fan-out-heavy social walk with tight
+// deadlines, so a large fraction of requests is canceled mid-execution.
+// What is measured is the full admit-execute-unwind path — the cost of a
+// request that does NOT run to completion, which a serving system pays
+// constantly under load shedding.
+func BenchmarkConcurrentQueryCancel(b *testing.B) {
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: 3000, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(soc.Schema, soc.Access, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(soc.Instance); err != nil {
+		b.Fatal(err)
+	}
+	q := bench.Path3Query(1)
+	if _, _, err := eng.Plan(q); err != nil { // prime the plan cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Microsecond)
+			_, err := eng.Query(ctx, q, core.WithWorkers(2))
+			cancel()
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 				b.Error(err)
 				return
 			}

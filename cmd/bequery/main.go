@@ -6,6 +6,14 @@
 //
 //	bequery -file doc.bq [-data dir] -query Q0 [-mode explain|check|plan|run|specialize]
 //	bequery -demo accidents -query Q0 -mode run [-save dir]
+//	bequery -demo accidents -query Q0 -mode run -budget 100 -timeout 2s -fallback refuse
+//
+// The run mode serves queries through the unified Engine.Query API:
+// -budget refuses a query before execution when its static access bound
+// exceeds the budget (admission control), -timeout bounds the request
+// wall-clock, -fallback picks the strategy for queries that are not
+// boundedly evaluable (scan | refuse | envelope), and -workers sizes the
+// per-request execution pool.
 //
 // With -demo, a built-in workload (accidents | social) supplies schema,
 // constraints, data and the named query, so no file is needed. With -data,
@@ -15,11 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -32,25 +43,28 @@ import (
 
 func main() {
 	var (
-		file    = flag.String("file", "", "input document (relations, constraints, queries)")
-		dataDir = flag.String("data", "", "directory of <Relation>.tsv files to load with -file")
-		saveDir = flag.String("save", "", "export the loaded instance as TSV into this directory")
-		demo    = flag.String("demo", "", "built-in workload: accidents | social")
-		query   = flag.String("query", "", "query name to operate on")
-		mode    = flag.String("mode", "explain", "explain | check | plan | run | baseline | specialize")
-		k       = flag.Int("k", 2, "parameter budget for specialize")
-		days    = flag.Int("days", 20, "accidents demo: days of data")
-		people  = flag.Int("people", 2000, "social demo: people")
-		workers = flag.Int("workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
+		file     = flag.String("file", "", "input document (relations, constraints, queries)")
+		dataDir  = flag.String("data", "", "directory of <Relation>.tsv files to load with -file")
+		saveDir  = flag.String("save", "", "export the loaded instance as TSV into this directory")
+		demo     = flag.String("demo", "", "built-in workload: accidents | social")
+		query    = flag.String("query", "", "query name to operate on")
+		mode     = flag.String("mode", "explain", "explain | check | plan | run | baseline | specialize")
+		k        = flag.Int("k", 2, "parameter budget for specialize")
+		days     = flag.Int("days", 20, "accidents demo: days of data")
+		people   = flag.Int("people", 2000, "social demo: people")
+		workers  = flag.Int("workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
+		budget   = flag.Int64("budget", -1, "run: refuse unless the static access bound is ≤ this many tuples (-1 = no budget)")
+		timeout  = flag.Duration("timeout", 0, "run: per-request execution deadline (0 = none)")
+		fallback = flag.String("fallback", "scan", "run: strategy for non-bounded queries: scan | refuse | envelope")
 	)
 	flag.Parse()
-	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people, *workers); err != nil {
+	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people, *workers, *budget, *timeout, *fallback); err != nil {
 		fmt.Fprintln(os.Stderr, "bequery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, workers int) error {
+func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, workers int, budget int64, timeout time.Duration, fallback string) error {
 	eng, queries, params, err := setup(file, demo, days, people, workers)
 	if err != nil {
 		return err
@@ -105,17 +119,32 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		fmt.Println(p)
 		fmt.Println(b)
 	case "run":
-		res, err := eng.ExecuteAuto(q)
+		opts, err := queryOptions(workers, budget, timeout, fallback)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("answered via %s; fetched=%d scanned=%d rows=%d\n",
-			res.Mode, res.Fetched, res.Scanned, len(res.Rows))
-		for i, row := range res.Rows {
-			if i == 20 {
+		res, err := eng.Query(context.Background(), q, opts...)
+		var be *core.BudgetError
+		if errors.As(err, &be) {
+			// Admission control working as intended: report the refusal
+			// without touching any data.
+			fmt.Println("refused:", be)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("answered via %s; fetched=%d scanned=%d rows=%d cached=%v in %v\n",
+			res.Mode, res.Stats.Fetched, res.Stats.Scanned, len(res.Rows),
+			res.Stats.CacheHit, res.Stats.Elapsed.Round(time.Microsecond))
+		fmt.Println("  # " + strings.Join(res.Columns, "\t"))
+		n := 0
+		for row := range res.Seq() {
+			if n == 20 {
 				fmt.Printf("... %d more\n", len(res.Rows)-20)
 				break
 			}
+			n++
 			cells := make([]string, len(row))
 			for j, v := range row {
 				cells[j] = v.String()
@@ -146,6 +175,28 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
+}
+
+// queryOptions assembles the per-request QueryOptions from the CLI flags.
+func queryOptions(workers int, budget int64, timeout time.Duration, fallback string) ([]core.QueryOption, error) {
+	opts := []core.QueryOption{core.WithWorkers(workers)}
+	if budget >= 0 {
+		opts = append(opts, core.WithAccessBudget(budget))
+	}
+	if timeout > 0 {
+		opts = append(opts, core.WithDeadline(time.Now().Add(timeout)))
+	}
+	switch fallback {
+	case "scan":
+		opts = append(opts, core.WithFallback(core.FallbackScan))
+	case "refuse":
+		opts = append(opts, core.WithFallback(core.FallbackRefuse))
+	case "envelope":
+		opts = append(opts, core.WithFallback(core.FallbackEnvelope))
+	default:
+		return nil, fmt.Errorf("unknown fallback %q (want scan | refuse | envelope)", fallback)
+	}
+	return opts, nil
 }
 
 // queryNames returns the query names in sorted order, so listings are

@@ -46,48 +46,64 @@ func TestRunModesAgainstDocumentWithData(t *testing.T) {
 	}
 	doc := filepath.Join("testdata", "accidents.bq")
 	for _, mode := range []string{"check", "plan", "explain", "run", "baseline"} {
-		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0, 1); err != nil {
+		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0, 1, -1, 0, "scan"); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0, 1); err != nil {
+	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0, 1, -1, 0, "scan"); err != nil {
 		t.Errorf("specialize: %v", err)
 	}
 	// Parallel execution answers the same document query without error.
-	if err := run(doc, dir, "", "", "Q0", "run", 1, 0, 0, 4); err != nil {
+	if err := run(doc, dir, "", "", "Q0", "run", 1, 0, 0, 4, -1, 0, "scan"); err != nil {
 		t.Errorf("run with workers=4: %v", err)
 	}
 }
 
 func TestRunDemoModes(t *testing.T) {
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1); err != nil {
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, -1, 0, "scan"); err != nil {
 		t.Errorf("demo accidents: %v", err)
 	}
-	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200, 1); err != nil {
+	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200, 1, -1, 0, "scan"); err != nil {
 		t.Errorf("demo social: %v", err)
 	}
 	// Save/export path.
 	dir := t.TempDir()
-	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0, 1); err != nil {
+	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0, 1, -1, 0, "scan"); err != nil {
 		t.Errorf("save: %v", err)
 	}
 }
 
+// TestRunServingFlags exercises the Query-API flags: a generous budget
+// admits Q0, a budget of 0 refuses it (without erroring — admission
+// control is a negotiated outcome, not a failure), an unknown fallback is
+// rejected, and a refuse-mode run of a bounded query still succeeds.
+func TestRunServingFlags(t *testing.T) {
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, 1<<40, 0, "refuse"); err != nil {
+		t.Errorf("bounded Q0 under a generous budget: %v", err)
+	}
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, 0, 0, "scan"); err != nil {
+		t.Errorf("budget refusal must not be an error: %v", err)
+	}
+	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, -1, 0, "bogus"); err == nil {
+		t.Error("unknown fallback must error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "", "", "explain", 1, 0, 0, 1); err == nil {
+	if err := run("", "", "", "", "", "explain", 1, 0, 0, 1, -1, 0, "scan"); err == nil {
 		t.Error("no input source must error")
 	}
-	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0, 1); err == nil {
+	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
 		t.Error("unknown query must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0, 1); err == nil {
+	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
 		t.Error("unknown mode must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0, 1); err == nil {
+	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
 		t.Error("specialize without params must error")
 	}
 	// Listing queries (empty -query) is not an error.
-	if err := run("", "", "", "accidents", "", "run", 1, 1, 0, 1); err != nil {
+	if err := run("", "", "", "accidents", "", "run", 1, 1, 0, 1, -1, 0, "scan"); err != nil {
 		t.Errorf("query listing: %v", err)
 	}
 }
@@ -101,7 +117,7 @@ func TestQueryListingSorted(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = pw
-	runErr := run("", "", "", "accidents", "", "run", 1, 1, 0, 1)
+	runErr := run("", "", "", "accidents", "", "run", 1, 1, 0, 1, -1, 0, "scan")
 	pw.Close()
 	os.Stdout = old
 	var buf bytes.Buffer

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,25 +72,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	upTbl, upStats, err := eng.Execute(up.Qu)
+	// Query's envelope fallback finds and runs Qu in one call; the result
+	// says which strategy answered and carries the envelope it used.
+	upRes, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackEnvelope))
 	if err != nil {
 		log.Fatal(err)
 	}
-	loTbl, loStats, err := eng.Execute(lo.Ql)
+	fmt.Printf("\nQuery(fallback=envelope) answered via %s (Nu ≤ %d)\n",
+		upRes.Mode, upRes.Envelope.Nu)
+	loRes, err := eng.Query(context.Background(), lo.Ql)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n|D| = %d tuples\n", d.Size())
 	fmt.Printf("exact   |Q(D)|  = %d (computed by full scan, %d tuples read)\n",
 		len(exact.Rows), exact.Scanned)
-	fmt.Printf("upper   |Qu(D)| = %d (bounded plan, %d fetched)\n", upTbl.Len(), upStats.Fetched)
-	fmt.Printf("lower   |Ql(D)| = %d (bounded plan, %d fetched)\n", loTbl.Len(), loStats.Fetched)
+	fmt.Printf("upper   |Qu(D)| = %d (bounded plan, %d fetched)\n", len(upRes.Rows), upRes.Stats.Fetched)
+	fmt.Printf("lower   |Ql(D)| = %d (bounded plan, %d fetched)\n", len(loRes.Rows), loRes.Stats.Fetched)
 
-	over := diff(upTbl.Rows, exact.Rows)
-	under := diff(exact.Rows, loTbl.Rows)
+	over := diff(upRes.Rows, exact.Rows)
+	under := diff(exact.Rows, loRes.Rows)
 	fmt.Printf("\n|Qu(D) − Q(D)| = %d  (bound Nu = %d)  ok=%v\n", over, up.Nu, int64(over) <= up.Nu)
 	fmt.Printf("|Q(D) − Ql(D)| = %d  (bound Nl = %d)  ok=%v\n", under, lo.Nl, int64(under) <= lo.Nl)
-	if containsAll(upTbl.Rows, exact.Rows) && containsAll(exact.Rows, loTbl.Rows) {
+	if containsAll(upRes.Rows, exact.Rows) && containsAll(exact.Rows, loRes.Rows) {
 		fmt.Println("sandwich Ql(D) ⊆ Q(D) ⊆ Qu(D) verified")
 	} else {
 		fmt.Println("ERROR: sandwich violated")

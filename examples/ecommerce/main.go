@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -82,12 +83,24 @@ func main() {
 		"make": value.NewString("acme"),
 	})
 	concrete.Label = "Catalog(make=acme)"
-	tbl, stats, err := eng.Execute(concrete)
+	// WithStream defers row production: the answer table is never
+	// materialized, and the storefront stops after the first screen.
+	ans, err := eng.Query(context.Background(), concrete, core.WithStream())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %d rows, %d tuples fetched out of %d stored\n",
-		concrete.Label, tbl.Len(), stats.Fetched, d.Size())
+	shown := 0
+	for range ans.Seq() {
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+	if ans.Err() != nil {
+		log.Fatal(ans.Err())
+	}
+	fmt.Printf("%s: first %d rows streamed (columns %v), %d tuples fetched out of %d stored\n",
+		concrete.Label, shown, ans.Columns, ans.Stats.Fetched, d.Size())
 
 	// Proposition 5.4: with an access schema covering every relation, any
 	// fully parameterized query can be boundedly specialized.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,10 +39,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The personalized search, anchored at person 17.
+	// The personalized search, anchored at person 17, served through the
+	// unified Query entry point with a per-request worker pool.
 	q := workload.GraphSearchQuery(17, "NYC", "cycling")
 	fmt.Println("\npersonalized query:", q)
-	tbl, stats, err := eng.Execute(q)
+	res, err := eng.Query(context.Background(), q, core.WithWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("bounded: %d friends found, %d tuples fetched (baseline scanned %d)\n",
-		tbl.Len(), stats.Fetched, base.Scanned)
+		len(res.Rows), res.Stats.Fetched, base.Scanned)
 
 	// The pattern family: anchored patterns are bounded, whole-graph
 	// patterns are not (the paper reports 60% of pattern queries bounded).
@@ -72,10 +74,20 @@ func main() {
 	fmt.Printf("\n%d/%d patterns bounded — the paper's Web-graph study found 60%%\n",
 		covered, len(patterns))
 
-	// ExecuteAuto picks the right strategy per query.
-	auto, err := eng.ExecuteAuto(patterns[len(patterns)-1]) // unanchored census
+	// Query picks the right strategy per query: the unanchored census is
+	// not bounded, so the default fallback scans — and the result still
+	// names its columns.
+	census, err := eng.Query(context.Background(), patterns[len(patterns)-1])
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nunanchored census answered via %s (%d rows)\n", auto.Mode, len(auto.Rows))
+	fmt.Printf("\nunanchored census answered via %s (%d rows, columns %v)\n",
+		census.Mode, len(census.Rows), census.Columns)
+
+	// Under an access budget the same census is refused outright: a scan
+	// carries no static bound, so no budget can admit it.
+	if _, err := eng.Query(context.Background(), patterns[len(patterns)-1],
+		core.WithAccessBudget(1_000_000)); err != nil {
+		fmt.Println("with a 1M-tuple budget:", err)
+	}
 }

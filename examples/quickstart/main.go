@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,8 +60,11 @@ func main() {
 	fmt.Println("\n" + p.String())
 	fmt.Println(bound)
 
-	// 5. Execute and compare with a conventional evaluation.
-	tbl, stats, err := eng.Execute(q)
+	// 5. Serve the query through the unified entry point and compare with
+	//    a conventional evaluation. Query carries a context for
+	//    cancellation and takes per-call options; here an access budget
+	//    admits the request because the static bound fits under it.
+	ans, err := eng.Query(context.Background(), q, core.WithAccessBudget(bound.Fetched))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,8 +72,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nbounded plan:   %d answers, %d tuples fetched\n", tbl.Len(), stats.Fetched)
+	fmt.Printf("\nbounded plan:   %d answers, %d tuples fetched (columns %v)\n",
+		len(ans.Rows), ans.Stats.Fetched, ans.Columns)
 	fmt.Printf("conventional:   %d answers, %d tuples scanned\n", len(base.Rows), base.Scanned)
 	fmt.Printf("data touched:   %.1f%% of the baseline\n",
-		100*float64(stats.Fetched)/float64(base.Scanned))
+		100*float64(ans.Stats.Fetched)/float64(base.Scanned))
+
+	// 6. The same request with a budget below the bound is refused before
+	//    any data is touched — the paper's static bound as admission
+	//    control.
+	if _, err := eng.Query(context.Background(), q, core.WithAccessBudget(bound.Fetched-1)); err != nil {
+		fmt.Printf("\nwith budget %d: %v\n", bound.Fetched-1, err)
+	}
 }

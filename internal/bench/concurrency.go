@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -114,7 +115,7 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 		var tbl *plan.Table
 		var stats *plan.ExecStats
 		for r := 0; r < execReps; r++ {
-			tbl, stats, err = plan.ExecuteOpts(p, ix, opts)
+			tbl, stats, err = plan.ExecuteOpts(context.Background(), p, ix, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func E1ScaleSweep(days []int) (*Table, error) {
 			return nil, err
 		}
 		q := workload.Q0()
-		_, stats, err := eng.Execute(q)
+		res, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse))
 		if err != nil {
 			return nil, err
 		}
@@ -55,12 +56,8 @@ func E1ScaleSweep(days []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, bound, err := eng.Plan(q)
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(base.Scanned) / float64(maxI64(stats.Fetched, 1))
-		t.AddRow(acc.Instance.Size(), stats.Fetched, base.Scanned, ratio, bound.Fetched)
+		ratio := float64(base.Scanned) / float64(maxI64(res.Stats.Fetched, 1))
+		t.AddRow(acc.Instance.Size(), res.Stats.Fetched, base.Scanned, ratio, res.Bound.Fetched)
 	}
 	t.Notes = append(t.Notes,
 		"paper hand-derives ≤ 610 + 610·192·2 = 234850 fetched for Q0; our plan re-verifies atoms, giving the same order",
@@ -304,7 +301,7 @@ func E6GraphPatterns(people int) (*Table, error) {
 			continue
 		}
 		covered++
-		_, stats, err := eng.Execute(q)
+		qr, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse))
 		if err != nil {
 			return nil, err
 		}
@@ -312,8 +309,8 @@ func E6GraphPatterns(people int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio := float64(base.Scanned) / float64(maxI64(stats.Fetched, 1))
-		t.AddRow(q.Label, true, stats.Fetched, base.Scanned, fmt.Sprintf("%.0fx", ratio))
+		ratio := float64(base.Scanned) / float64(maxI64(qr.Stats.Fetched, 1))
+		t.AddRow(q.Label, true, qr.Stats.Fetched, base.Scanned, fmt.Sprintf("%.0fx", ratio))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d/%d patterns covered (anchored personalized patterns are; whole-graph scans are not)", covered, len(qs)))
@@ -524,7 +521,7 @@ func E9GeneralConstraints(sizes []int) (*Table, error) {
 		if err := eng.Load(d); err != nil {
 			return nil, err
 		}
-		_, stats, err := eng.Execute(q)
+		res, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse))
 		if err != nil {
 			return nil, err
 		}
@@ -532,7 +529,7 @@ func E9GeneralConstraints(sizes []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d.Size(), access.LogCard().Bound(d.Size()), stats.Fetched, base.Scanned)
+		t.AddRow(d.Size(), access.LogCard().Bound(d.Size()), res.Stats.Fetched, base.Scanned)
 	}
 	t.Notes = append(t.Notes, "fetched grows like log|D| while the scan grows like |D|")
 	return t, nil

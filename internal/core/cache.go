@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/bep"
+	"repro/internal/envelope"
 	"repro/internal/plan"
 )
 
@@ -20,6 +22,14 @@ type planEntry struct {
 	p          *plan.Plan
 	bound      plan.Bound
 	notBounded *NotBoundedError
+	// dec is the BEP decision behind a bounded CQ entry, kept so Explain
+	// can report diagnostics at cache speed (nil for UCQ entries; the
+	// not-bounded case carries its decision inside notBounded).
+	dec *bep.Decision
+	// envelope is set on "env:" entries: the memoized upper-envelope
+	// search outcome for a not-bounded query shape (nil plan + nil
+	// envelope = no envelope exists).
+	envelope *envelope.Upper
 }
 
 // CacheStats reports plan-cache effectiveness counters.

@@ -4,17 +4,20 @@
 //	check coverage (Theorem 3.11)    →  IsCovered
 //	decide bounded evaluability      →  CheckBounded (BEP)
 //	synthesize a bounded query plan  →  Plan
-//	execute with access accounting   →  Execute / ExecuteAuto
+//	serve with access accounting     →  Query (ctx, budgets, fallbacks)
 //	approximate when not bounded     →  UpperEnvelope / LowerEnvelope (UEP/LEP)
 //	specialize parameterized queries →  Specialize (QSP)
 //
 // This is the strategy the paper's Conclusion prescribes: maintain an
 // access schema A; for each query, compute exact answers by accessing a
 // bounded amount of data when Q is covered/bounded, and otherwise fall
-// back to envelopes or user-driven specialization.
+// back to envelopes or user-driven specialization. Engine.Query is the
+// one serving entry point implementing it for CQs, UCQs and ∃FO⁺ alike;
+// the Execute* methods are deprecated wrappers kept for migration.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -37,7 +40,8 @@ type Options struct {
 	Specialize specialize.Options
 	Plan       plan.BuildOptions
 	// Exec configures plan execution; Exec.Workers > 1 fans bounded
-	// fetches and hash joins out across a worker pool.
+	// fetches and hash joins out across a worker pool. Query's
+	// WithWorkers overrides it per call.
 	Exec plan.ExecOptions
 	// PlanCache sizes the LRU plan cache: 0 means DefaultPlanCacheSize,
 	// negative disables caching.
@@ -48,12 +52,12 @@ type Options struct {
 // an indexed instance.
 //
 // Concurrency: after Load returns, the Engine is safe for concurrent
-// readers — IsCovered, CheckBounded, Plan, Execute, ExecuteAuto, Baseline,
-// Explain and the envelope/specialize entry points may all be called from
-// many goroutines at once. The instance and its indices are read-only
-// after Load, and the plan cache serializes its own state internally.
-// Load itself is a writer: it must not race with in-flight queries; call
-// it before serving, or quiesce queries around a reload.
+// readers — Query, IsCovered, CheckBounded, Plan, Explain, the deprecated
+// Execute* wrappers and the envelope/specialize entry points may all be
+// called from many goroutines at once. The instance and its indices are
+// read-only after Load, and the plan cache serializes its own state
+// internally. Load itself is a writer: it must not race with in-flight
+// queries; call it before serving, or quiesce queries around a reload.
 type Engine struct {
 	Schema *schema.Schema
 	Access *access.Schema
@@ -125,33 +129,42 @@ func (e *Engine) CheckBounded(q *cq.CQ) (*bep.Decision, error) {
 // applied when the query is not covered as written. The returned Bound is
 // the static worst-case access bound over every D |= A.
 //
-// Outcomes (both plans and not-bounded verdicts) are memoized in an LRU
-// cache keyed by q's CanonicalKey, so repeat queries of the same shape —
-// including α-renamed variants — skip the BEP check and plan synthesis
-// entirely. The cache is invalidated by Load.
+// Outcomes (both plans and not-bounded verdicts, along with the BEP
+// decision backing them) are memoized in an LRU cache keyed by q's
+// CanonicalKey, so repeat queries of the same shape — including α-renamed
+// variants — skip the BEP check and plan synthesis entirely. The cache is
+// invalidated by Load.
 func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+	p, b, _, _, err := e.planWithDecision(q)
+	return p, b, err
+}
+
+// planWithDecision is Plan plus the cached BEP decision and a cache-hit
+// flag, for callers (Query, Explain) that need the diagnostics without
+// re-running the checker.
+func (e *Engine) planWithDecision(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decision, bool, error) {
 	key := ""
 	if e.cache != nil {
 		key = q.CanonicalKey()
 		if ent, ok := e.cache.get(key); ok {
 			if ent.notBounded != nil {
-				return nil, plan.Bound{}, ent.notBounded
+				return nil, plan.Bound{}, ent.notBounded.Decision, true, ent.notBounded
 			}
-			return relabel(ent.p, q.Label), ent.bound, nil
+			return relabel(ent.p, q.Label), ent.bound, ent.dec, true, nil
 		}
 	}
-	p, b, err := e.planUncached(q)
+	p, b, dec, err := e.planUncached(q)
 	if e.cache != nil {
 		var nb *NotBoundedError
 		switch {
 		case err == nil:
-			e.cache.put(&planEntry{key: key, p: p, bound: b})
+			e.cache.put(&planEntry{key: key, p: p, bound: b, dec: dec})
 		case asNotBounded(err, &nb):
 			e.cache.put(&planEntry{key: key, notBounded: nb})
 		}
 		// Other errors (schema problems, build failures) are not cached.
 	}
-	return p, b, err
+	return p, b, dec, false, err
 }
 
 // relabel returns a shallow copy of p carrying the caller's label, leaving
@@ -166,10 +179,10 @@ func relabel(p *plan.Plan, label string) *plan.Plan {
 }
 
 // planUncached is the uncached planning pipeline behind Plan.
-func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decision, error) {
 	dec, err := e.CheckBounded(q)
 	if err != nil {
-		return nil, plan.Bound{}, err
+		return nil, plan.Bound{}, nil, err
 	}
 	switch dec.Verdict {
 	case bep.Bounded, bep.BoundedEmpty:
@@ -181,11 +194,11 @@ func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
 		} else {
 			res, err := e.IsCovered(dec.Witness)
 			if err != nil {
-				return nil, plan.Bound{}, err
+				return nil, plan.Bound{}, dec, err
 			}
 			p, err = plan.Build(res, e.Opts.Plan)
 			if err != nil {
-				return nil, plan.Bound{}, err
+				return nil, plan.Bound{}, dec, err
 			}
 			p = plan.Optimize(p)
 		}
@@ -196,21 +209,37 @@ func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
 		}
 		b, err := plan.AccessBound(p, sizeHint)
 		if err != nil {
-			return nil, plan.Bound{}, err
+			return nil, plan.Bound{}, dec, err
 		}
-		return p, b, nil
+		return p, b, dec, nil
 	default:
-		return nil, plan.Bound{}, &NotBoundedError{Decision: dec}
+		return nil, plan.Bound{}, dec, &NotBoundedError{Decision: dec}
 	}
 }
 
 // NotBoundedError reports that no bounded plan could be built; the
-// embedded BEP decision carries the coverage diagnostics.
+// embedded BEP decision (or, for a union, the covered-UCQ check) carries
+// the coverage diagnostics.
 type NotBoundedError struct {
 	Decision *bep.Decision
+	// UCQCover is set instead of Decision when the query was a union: no
+	// covered form of the union exists under the access schema.
+	UCQCover *cover.UCQResult
+	// Label names the refused union (UCQCover case); the CQ case carries
+	// its query inside Decision.Cover.
+	Label string
 }
 
 func (e *NotBoundedError) Error() string {
+	if e.UCQCover != nil {
+		msg := fmt.Sprintf("core: UCQ %s is not covered by the access schema", e.Label)
+		for i, st := range e.UCQCover.Subs {
+			if st != cover.SubCovered && st != cover.SubDominated {
+				msg += fmt.Sprintf("\n  sub-query %d: not covered and not dominated", i)
+			}
+		}
+		return msg
+	}
 	msg := "core: query is not boundedly evaluable under the access schema"
 	if e.Decision != nil && e.Decision.Cover != nil {
 		msg += ":\n" + e.Decision.Cover.Explain()
@@ -221,18 +250,18 @@ func (e *NotBoundedError) Error() string {
 // Execute answers q through its bounded plan. Load must have been called.
 // Execution honors Opts.Exec: with Workers > 1, fetch fan-out and hash
 // joins run on a bounded worker pool.
+//
+// Deprecated: use Query with WithFallback(FallbackRefuse); Execute is a
+// thin wrapper over it.
 func (e *Engine) Execute(q *cq.CQ) (*plan.Table, *plan.ExecStats, error) {
-	if e.indexed == nil {
-		return nil, nil, fmt.Errorf("core: no instance loaded")
-	}
-	p, _, err := e.Plan(q)
+	res, err := e.Query(context.Background(), q, WithFallback(FallbackRefuse))
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan.ExecuteOpts(p, e.indexed, e.Opts.Exec)
+	return res.tbl, res.exec, nil
 }
 
-// Mode says how ExecuteAuto answered a query.
+// Mode says which of the paper's serving strategies answered a query.
 type Mode int
 
 const (
@@ -241,18 +270,30 @@ const (
 	// ViaFullScan: the query was not boundedly evaluable; the conventional
 	// evaluator answered it by scanning.
 	ViaFullScan
+	// ViaUpperEnvelope: the query was not boundedly evaluable; a covered
+	// upper envelope Qu ⊇ Q answered it through Qu's bounded plan
+	// (Query with WithFallback(FallbackEnvelope)).
+	ViaUpperEnvelope
 )
 
 func (m Mode) String() string {
-	if m == ViaBoundedPlan {
+	switch m {
+	case ViaBoundedPlan:
 		return "bounded plan"
+	case ViaFullScan:
+		return "full scan"
+	case ViaUpperEnvelope:
+		return "upper envelope"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
 	}
-	return "full scan"
 }
 
-// AutoResult is ExecuteAuto's outcome.
+// AutoResult is the outcome shape of the deprecated ExecuteAuto wrappers.
 type AutoResult struct {
 	Mode Mode
+	// Columns names the answer columns, in every mode.
+	Columns []string
 	// Rows is the answer set.
 	Rows []data.Tuple
 	// Fetched counts tuples retrieved via indices (bounded path).
@@ -261,25 +302,28 @@ type AutoResult struct {
 	Scanned int64
 }
 
+// autoFromResult adapts the unified Result to the legacy AutoResult.
+func autoFromResult(res *Result) *AutoResult {
+	return &AutoResult{
+		Mode:    res.Mode,
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Fetched: res.Stats.Fetched,
+		Scanned: res.Stats.Scanned,
+	}
+}
+
 // ExecuteAuto implements the Conclusion's strategy: bounded plan when
 // possible, conventional evaluation otherwise.
+//
+// Deprecated: use Query (whose default fallback is the conventional
+// scan); ExecuteAuto is a thin wrapper over it.
 func (e *Engine) ExecuteAuto(q *cq.CQ) (*AutoResult, error) {
-	if e.instance == nil {
-		return nil, fmt.Errorf("core: no instance loaded")
-	}
-	tbl, stats, err := e.Execute(q)
-	if err == nil {
-		return &AutoResult{Mode: ViaBoundedPlan, Rows: tbl.Rows, Fetched: stats.Fetched}, nil
-	}
-	var nb *NotBoundedError
-	if !asNotBounded(err, &nb) {
-		return nil, err
-	}
-	res, err := eval.CQ(q, e.instance, eval.HashJoin)
+	res, err := e.Query(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	return &AutoResult{Mode: ViaFullScan, Rows: res.Rows, Scanned: res.Scanned}, nil
+	return autoFromResult(res), nil
 }
 
 func asNotBounded(err error, target **NotBoundedError) bool {
@@ -300,7 +344,7 @@ func asNotBounded(err error, target **NotBoundedError) bool {
 // Baseline answers q with the conventional evaluator (for comparisons).
 func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
 	if e.instance == nil {
-		return nil, fmt.Errorf("core: no instance loaded")
+		return nil, errNoInstance()
 	}
 	return eval.CQ(q, e.instance, mode)
 }
@@ -321,26 +365,32 @@ func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, er
 }
 
 // Explain renders a one-stop report: coverage, BEP verdict, plan and bound
-// (when bounded), and envelope/specialization hints otherwise.
+// (when bounded), and envelope/specialization hints otherwise. It runs on
+// the plan cache: for a query whose shape has been planned (or refused)
+// before, the coverage check, BEP decision and plan all come from the
+// cached entry, so Explain on a hot query costs a cache lookup.
 func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
-	res, err := e.IsCovered(q)
-	if err != nil {
+	p, b, dec, _, err := e.planWithDecision(q)
+	var nb *NotBoundedError
+	if err != nil && !asNotBounded(err, &nb) {
 		return "", err
 	}
-	out := "query: " + q.String() + "\n" + res.Explain()
-	dec, err := e.CheckBounded(q)
-	if err != nil {
-		return "", err
+	out := "query: " + q.String() + "\n"
+	if dec == nil {
+		// Cache or checker gave no decision (should not happen): fall
+		// back to running the checker directly.
+		if dec, err = e.CheckBounded(q); err != nil {
+			return "", err
+		}
+	}
+	if dec.Cover != nil {
+		out += dec.Cover.Explain()
 	}
 	out += "BEP verdict: " + dec.Verdict.String() + "\n"
 	for _, r := range dec.Rewrites {
 		out += "  rewrite: " + r + "\n"
 	}
-	if dec.Verdict == bep.Bounded || dec.Verdict == bep.BoundedEmpty {
-		p, b, err := e.Plan(q)
-		if err != nil {
-			return "", err
-		}
+	if nb == nil {
 		out += p.String() + "\n" + b.String() + "\n"
 		return out, nil
 	}

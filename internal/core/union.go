@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bep"
 	"repro/internal/cq"
-	"repro/internal/eval"
 	"repro/internal/plan"
 	"repro/internal/posfo"
 	"repro/internal/ucq"
@@ -19,13 +19,55 @@ func (e *Engine) CheckBoundedUCQ(u *ucq.UCQ) (*bep.UCQDecision, error) {
 // PlanUCQ synthesizes the bounded plan of a covered UCQ and its static
 // bound; the plan conforms to the UCQ grammar of Section 2 (unions only as
 // the trailing operations).
+//
+// Outcomes are memoized in the plan cache keyed by the union's
+// CanonicalKey (the sorted multiset of per-sub CQ keys), so repeat
+// unions — including sub-query permutations and α-renamed variants —
+// skip coverage checking and synthesis entirely.
 func (e *Engine) PlanUCQ(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
+	p, b, _, err := e.planUCQCached(u)
+	return p, b, err
+}
+
+// planUCQCached is PlanUCQ plus a cache-hit flag. Non-covered verdicts
+// are cached too (as NotBoundedError entries), mirroring the CQ path.
+func (e *Engine) planUCQCached(u *ucq.UCQ) (*plan.Plan, plan.Bound, bool, error) {
+	key := ""
+	if e.cache != nil {
+		// The "ucq:" prefix keeps union keys disjoint from CQ keys.
+		key = "ucq:" + u.CanonicalKey()
+		if ent, ok := e.cache.get(key); ok {
+			if ent.notBounded != nil {
+				// Copy so the refusal carries the caller's label without
+				// mutating the shared cached entry.
+				nb := *ent.notBounded
+				nb.Label = u.Label
+				return nil, plan.Bound{}, true, &nb
+			}
+			return relabel(ent.p, u.Label), ent.bound, true, nil
+		}
+	}
+	p, b, err := e.planUCQUncached(u)
+	if e.cache != nil {
+		var nb *NotBoundedError
+		switch {
+		case err == nil:
+			e.cache.put(&planEntry{key: key, p: p, bound: b})
+		case asNotBounded(err, &nb):
+			e.cache.put(&planEntry{key: key, notBounded: nb})
+		}
+	}
+	return p, b, false, err
+}
+
+// planUCQUncached is the uncached union planning pipeline.
+func (e *Engine) planUCQUncached(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
 	res, err := u.Covered(e.Access, e.Schema, e.Opts.Cover)
 	if err != nil {
 		return nil, plan.Bound{}, err
 	}
 	if !res.Covered {
-		return nil, plan.Bound{}, fmt.Errorf("core: UCQ %s is not covered by the access schema", u.Label)
+		return nil, plan.Bound{}, &NotBoundedError{UCQCover: res, Label: u.Label}
 	}
 	p, err := plan.BuildUCQ(res, e.Opts.Plan)
 	if err != nil {
@@ -47,56 +89,41 @@ func (e *Engine) PlanUCQ(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
 }
 
 // ExecuteUCQ answers a covered UCQ through its bounded plan, honoring
-// Opts.Exec like Execute does. UCQ plans are not memoized in the plan
-// cache (its canonical key covers single CQs only), so repeat UCQs pay
-// synthesis each call.
+// Opts.Exec like Execute does.
+//
+// Deprecated: use Query with WithFallback(FallbackRefuse); ExecuteUCQ is
+// a thin wrapper over it.
 func (e *Engine) ExecuteUCQ(u *ucq.UCQ) (*plan.Table, *plan.ExecStats, error) {
-	if e.indexed == nil {
-		return nil, nil, fmt.Errorf("core: no instance loaded")
-	}
-	p, _, err := e.PlanUCQ(u)
+	res, err := e.Query(context.Background(), u, WithFallback(FallbackRefuse))
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan.ExecuteOpts(p, e.indexed, e.Opts.Exec)
+	return res.tbl, res.exec, nil
 }
 
 // ExecuteAutoUCQ answers a UCQ via its bounded plan when covered, falling
 // back to conventional union evaluation otherwise.
+//
+// Deprecated: use Query; ExecuteAutoUCQ is a thin wrapper over it.
 func (e *Engine) ExecuteAutoUCQ(u *ucq.UCQ) (*AutoResult, error) {
-	if e.instance == nil {
-		return nil, fmt.Errorf("core: no instance loaded")
-	}
-	res, err := u.Covered(e.Access, e.Schema, e.Opts.Cover)
+	res, err := e.Query(context.Background(), u)
 	if err != nil {
 		return nil, err
 	}
-	if res.Covered {
-		tbl, stats, err := e.ExecuteUCQ(u)
-		if err != nil {
-			return nil, err
-		}
-		return &AutoResult{Mode: ViaBoundedPlan, Rows: tbl.Rows, Fetched: stats.Fetched}, nil
-	}
-	r, err := u.Eval(e.instance, eval.HashJoin)
-	if err != nil {
-		return nil, err
-	}
-	return &AutoResult{Mode: ViaFullScan, Rows: r.Rows, Scanned: r.Scanned}, nil
+	return autoFromResult(res), nil
 }
 
 // ExecutePosFO answers an ∃FO⁺ query by normalizing it to a UCQ first
 // ("a query in ∃FO⁺ is equivalent to a query in UCQ", Section 3.1).
+//
+// Deprecated: use Query, which accepts *posfo.Query directly; ExecutePosFO
+// is a thin wrapper over it.
 func (e *Engine) ExecutePosFO(q *posfo.Query) (*AutoResult, error) {
-	subs, err := q.ToUCQ()
+	res, err := e.Query(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	u, err := ucq.New(q.Label, subs...)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecuteAutoUCQ(u)
+	return autoFromResult(res), nil
 }
 
 // CoverageReport tallies BEP verdicts over a workload (the E4-style

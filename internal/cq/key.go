@@ -132,3 +132,11 @@ func dedupSorted(xs []string) []string {
 	}
 	return out
 }
+
+// QueryLabel implements the serving-layer Query interface of
+// internal/core: a CQ is the simplest query the engine serves.
+func (q *CQ) QueryLabel() string { return q.Label }
+
+// QueryCQs returns the query's UCQ normal form — the single-disjunct
+// union holding q itself.
+func (q *CQ) QueryCQs() ([]*CQ, error) { return []*CQ{q}, nil }

@@ -10,6 +10,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,17 +59,30 @@ func (r *Result) Contains(t data.Tuple) bool {
 	return false
 }
 
+// cancelStride is how many tuples an evaluation loop reads between
+// context checks.
+const cancelStride = 1024
+
 // CQ evaluates q over d.
 func CQ(q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
+	return CQCtx(context.Background(), q, d, mode)
+}
+
+// CQCtx is CQ with cancellation: the evaluator observes ctx periodically
+// while scanning (every cancelStride tuples read) and returns the
+// context's error, wrapped, when it fires. This is what keeps the
+// conventional fallback of a serving engine from running away on an
+// abandoned request.
+func CQCtx(ctx context.Context, q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
 	c := q.Canonicalize()
 	if c.Unsat {
 		return &Result{}, nil
 	}
 	switch mode {
 	case ScanJoin:
-		return scanEval(c, d)
+		return scanEval(ctx, c, d)
 	case HashJoin:
-		return hashEval(c, d)
+		return hashEval(ctx, c, d)
 	default:
 		return nil, fmt.Errorf("eval: unknown mode %v", mode)
 	}
@@ -76,10 +90,15 @@ func CQ(q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
 
 // UCQ evaluates a union of CQs, merging answer sets.
 func UCQ(qs []*cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
+	return UCQCtx(context.Background(), qs, d, mode)
+}
+
+// UCQCtx is UCQ with cancellation (see CQCtx).
+func UCQCtx(ctx context.Context, qs []*cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
 	res := &Result{}
 	seen := make(map[value.Key]bool)
 	for _, q := range qs {
-		r, err := CQ(q, d, mode)
+		r, err := CQCtx(ctx, q, d, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +145,7 @@ func emitHead(c *cq.Canonical, assign map[string]value.Value) (data.Tuple, bool)
 }
 
 // scanEval backtracks over atoms with nested loops.
-func scanEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
+func scanEval(ctx context.Context, c *cq.Canonical, d *data.Instance) (*Result, error) {
 	res := &Result{}
 	seen := make(map[value.Key]bool)
 	assign := make(map[string]value.Value)
@@ -152,6 +171,11 @@ func scanEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
 		}
 		for _, tup := range rel.Tuples() {
 			res.Scanned++
+			if res.Scanned%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("eval: %w", err)
+				}
+			}
 			var bound []string
 			ok := true
 			for j, arg := range a.Args {
@@ -205,7 +229,7 @@ func (b binding) lookup(v string) (value.Value, bool) {
 
 // hashEval joins atoms left to right using hash tables keyed on the
 // variables shared with the accumulated bindings.
-func hashEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
+func hashEval(ctx context.Context, c *cq.Canonical, d *data.Instance) (*Result, error) {
 	res := &Result{}
 	cur := []binding{{}}
 	for _, a := range c.Atoms {
@@ -233,6 +257,11 @@ func hashEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
 		table := make(map[value.Key][]data.Tuple)
 		for _, tup := range rel.Tuples() {
 			res.Scanned++
+			if res.Scanned%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("eval: %w", err)
+				}
+			}
 			if !atomLocalMatch(a, tup) {
 				continue
 			}
@@ -251,7 +280,12 @@ func hashEval(c *cq.Canonical, d *data.Instance) (*Result, error) {
 			}
 		}
 		var next []binding
-		for _, b := range cur {
+		for bi, b := range cur {
+			if bi%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("eval: %w", err)
+				}
+			}
 			kvals := make([]value.Value, len(keyVar))
 			for i, v := range keyVar {
 				kvals[i], _ = b.lookup(v)

@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/index"
 	"repro/internal/value"
 )
 
@@ -22,26 +24,41 @@ type ExecStats struct {
 	MaxIntermediate int
 }
 
-// Execute runs the plan against an indexed instance, sequentially. Every
-// FetchOp must be backed by a constraint present in ix.
+// cancelStride is how many loop iterations an operator runs between
+// context checks: often enough that cancellation lands promptly, rarely
+// enough that the atomic load in ctx.Err() stays off the profile.
+const cancelStride = 256
+
+// Execute runs the plan against an indexed instance, sequentially and
+// without cancellation. Every FetchOp must be backed by a constraint
+// present in ix.
 func Execute(p *Plan, ix *access.Indexed) (*Table, *ExecStats, error) {
-	return ExecuteOpts(p, ix, ExecOptions{})
+	return ExecuteOpts(context.Background(), p, ix, ExecOptions{})
 }
 
-// ExecuteOpts is Execute with tuning. With opts.Workers > 1, fetch steps
-// partition their distinct input keys across a bounded worker pool and
-// hash joins parallelize their build/probe phases; per-worker stats are
-// merged, so Fetched and FetchKeys are identical to a sequential run (the
-// static access bound is respected either way), and result rows come back
-// in the same order with the same set semantics.
-func ExecuteOpts(p *Plan, ix *access.Indexed, opts ExecOptions) (*Table, *ExecStats, error) {
+// ExecuteOpts is Execute with tuning and cancellation. With opts.Workers
+// > 1, fetch steps partition their distinct input keys across a bounded
+// worker pool and hash joins parallelize their build/probe phases;
+// per-worker stats are merged, so Fetched and FetchKeys are identical to
+// a sequential run (the static access bound is respected either way), and
+// result rows come back in the same order with the same set semantics.
+//
+// ctx is observed between steps and periodically inside fetch, join and
+// product loops (including on worker goroutines): when it is canceled or
+// its deadline passes, execution stops and the context's error is
+// returned (wrapped; test with errors.Is). The worker pool always drains
+// before ExecuteOpts returns — cancellation never leaks goroutines.
+func ExecuteOpts(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOptions) (*Table, *ExecStats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
 	stats := &ExecStats{}
 	results := make([]*Table, len(p.Steps))
 	for i, op := range p.Steps {
-		t, err := execOp(op, results, ix, stats, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
+		}
+		t, err := execOp(ctx, op, results, ix, stats, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -54,7 +71,45 @@ func ExecuteOpts(p *Plan, ix *access.Indexed, opts ExecOptions) (*Table, *ExecSt
 	return results[len(results)-1], stats, nil
 }
 
-func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
+// ExecuteStream runs p like ExecuteOpts but hands the final step's rows to
+// yield as they are produced instead of materializing the answer table, so
+// large answers are never fully buffered. yield returning false stops the
+// final step early (no error). Every earlier step executes exactly as
+// ExecuteOpts (including parallelism); the final step runs sequentially.
+// Set semantics are preserved with a dedup key set, so the yielded
+// sequence is byte-identical, in order, to ExecuteOpts's result rows.
+func ExecuteStream(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOptions, yield func(data.Tuple) bool) (*ExecStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	stats := &ExecStats{}
+	results := make([]*Table, len(p.Steps))
+	last := len(p.Steps) - 1
+	for i, op := range p.Steps[:last] {
+		if err := ctx.Err(); err != nil {
+			return stats, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
+		}
+		t, err := execOp(ctx, op, results, ix, stats, opts)
+		if err != nil {
+			return stats, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
+		}
+		results[i] = t
+		stats.OpsRun++
+		if t.Len() > stats.MaxIntermediate {
+			stats.MaxIntermediate = t.Len()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, fmt.Errorf("plan: canceled before step T%d: %w", last, err)
+	}
+	if err := streamOp(ctx, p.Steps[last], results, ix, stats, yield); err != nil {
+		return stats, fmt.Errorf("plan: step T%d (%s): %w", last, p.Steps[last], err)
+	}
+	stats.OpsRun++
+	return stats, nil
+}
+
+func execOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
 	switch o := op.(type) {
 	case unitOp:
 		return Unit(), nil
@@ -65,15 +120,15 @@ func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts 
 	case EmptyOp:
 		return NewTable(o.Cols...), nil
 	case FetchOp:
-		return execFetch(o, results[o.Input], ix, stats, opts)
+		return execFetch(ctx, o, results[o.Input], ix, stats, opts)
 	case ProjectOp:
 		return execProject(o, results[o.Input])
 	case SelectOp:
 		return execSelect(o, results[o.Input])
 	case ProductOp:
-		return execProduct(results[o.L], results[o.R])
+		return execProduct(ctx, results[o.L], results[o.R])
 	case JoinOp:
-		return execJoin(results[o.L], results[o.R], opts)
+		return execJoin(ctx, results[o.L], results[o.R], opts)
 	case UnionOp:
 		return execUnion(results[o.L], results[o.R])
 	case DiffOp:
@@ -85,7 +140,191 @@ func execOp(op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts 
 	}
 }
 
-func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
+// streamSink dedups final-step rows and forwards them to a consumer,
+// recording an early stop (consumer returned false — not an error).
+type streamSink struct {
+	seen    map[value.Key]bool
+	yield   func(data.Tuple) bool
+	stopped bool
+}
+
+func newStreamSink(yield func(data.Tuple) bool) *streamSink {
+	return &streamSink{seen: make(map[value.Key]bool), yield: yield}
+}
+
+// add forwards a row if unseen; it reports whether the consumer still
+// wants more rows.
+func (s *streamSink) add(row data.Tuple) bool {
+	if s.stopped {
+		return false
+	}
+	k := row.Key()
+	if s.seen[k] {
+		return true
+	}
+	s.seen[k] = true
+	if !s.yield(row) {
+		s.stopped = true
+		return false
+	}
+	return true
+}
+
+// streamOp executes the final plan step sequentially, emitting its rows
+// through a streamSink instead of building a Table.
+func streamOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, stats *ExecStats, yield func(data.Tuple) bool) error {
+	sink := newStreamSink(yield)
+	each := func(rows []data.Tuple, emit func(data.Tuple) data.Tuple) error {
+		for i, row := range rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if !sink.add(emit(row)) {
+				return nil
+			}
+		}
+		return nil
+	}
+	ident := func(row data.Tuple) data.Tuple { return row }
+	switch o := op.(type) {
+	case unitOp:
+		sink.add(data.Tuple{})
+		return nil
+	case ConstOp:
+		sink.add(data.Tuple{o.Val})
+		return nil
+	case EmptyOp:
+		return nil
+	case FetchOp:
+		fe, err := newFetchEval(o, results[o.Input], ix)
+		if err != nil {
+			return err
+		}
+		return fe.runSequential(ctx, stats, sink.add)
+	case ProjectOp:
+		pos, err := results[o.Input].ColIndexes(o.Cols)
+		if err != nil {
+			return err
+		}
+		if o.As != nil && len(o.As) != len(o.Cols) {
+			return fmt.Errorf("project rename arity mismatch")
+		}
+		return each(results[o.Input].Rows, func(row data.Tuple) data.Tuple { return row.Project(pos) })
+	case SelectOp:
+		in := results[o.Input]
+		conds, err := compileConds(o, in)
+		if err != nil {
+			return err
+		}
+		for i, row := range in.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if condsMatch(conds, row) && !sink.add(row) {
+				return nil
+			}
+		}
+		return nil
+	case ProductOp:
+		l, r := results[o.L], results[o.R]
+		if err := checkProductCols(l, r); err != nil {
+			return err
+		}
+		n := 0
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				if n%cancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				n++
+				if !sink.add(append(append(data.Tuple{}, lr...), rr...)) {
+					return nil
+				}
+			}
+		}
+		return nil
+	case JoinOp:
+		l, r := results[o.L], results[o.R]
+		js := newJoinState(l, r)
+		if err := js.build(ctx, 1); err != nil {
+			return err
+		}
+		for i, lr := range l.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if !js.probe(lr, func(row data.Tuple) bool { return sink.add(row) }) {
+				return nil
+			}
+		}
+		return nil
+	case UnionOp:
+		l, r := results[o.L], results[o.R]
+		if len(l.Cols) != len(r.Cols) {
+			return fmt.Errorf("union: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
+		}
+		if err := each(l.Rows, ident); err != nil || sink.stopped {
+			return err
+		}
+		return each(r.Rows, ident)
+	case DiffOp:
+		l, r := results[o.L], results[o.R]
+		if len(l.Cols) != len(r.Cols) {
+			return fmt.Errorf("difference: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
+		}
+		drop := make(map[value.Key]bool, r.Len())
+		for _, row := range r.Rows {
+			drop[row.Key()] = true
+		}
+		for i, row := range l.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if !drop[row.Key()] && !sink.add(row) {
+				return nil
+			}
+		}
+		return nil
+	case RenameOp:
+		if _, err := renamedCols(o, results[o.Input]); err != nil {
+			return err
+		}
+		return each(results[o.Input].Rows, ident)
+	default:
+		return fmt.Errorf("unknown operation %T", op)
+	}
+}
+
+// fetchEval is the per-step state of a fetch: resolved index, input key
+// positions, and the Y-emission actions. It is shared by the materializing
+// and streaming executors so both produce identical rows.
+type fetchEval struct {
+	o       FetchOp
+	in      *Table
+	idx     *index.Index
+	xpos    []int
+	outCols []string
+	actions []yAction
+}
+
+// yAction says how one Y attribute lands in the output row: skipped,
+// checked against an existing output position (equated), or appended.
+type yAction struct {
+	skip     bool
+	checkPos int // >= 0: must equal this output position
+}
+
+func newFetchEval(o FetchOp, in *Table, ix *access.Indexed) (*fetchEval, error) {
 	idx := ix.IndexFor(o.Constraint)
 	if idx == nil {
 		return nil, fmt.Errorf("no index for constraint %s", o.Constraint)
@@ -101,14 +340,9 @@ func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts 
 		return nil, err
 	}
 	outCols := o.outCols()
-	out := NewTable(outCols...)
 
 	// Plan Y emission: for each Y attribute, either a check against an
 	// existing column (equated) or a fresh output position.
-	type yAction struct {
-		skip     bool
-		checkPos int // >= 0: must equal this output position
-	}
 	actions := make([]yAction, len(o.YOut))
 	posOf := make(map[string]int, len(outCols))
 	for i, c := range outCols {
@@ -129,72 +363,104 @@ func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts 
 			nextPos++
 		}
 	}
+	return &fetchEval{o: o, in: in, idx: idx, xpos: xpos, outCols: outCols, actions: actions}, nil
+}
+
+// fetchItem is one distinct-key lookup: the first input row carrying the
+// key, and the key itself.
+type fetchItem struct {
+	row data.Tuple
+	key value.Key
+}
+
+// emit looks the item up and sends the resulting output rows to sink,
+// stopping when sink returns false.
+func (f *fetchEval) emit(it fetchItem, st *ExecStats, sink func(data.Tuple) bool) bool {
+	bucket := f.idx.FetchKey(it.key)
+	st.FetchKeys++
+	st.Fetched += int64(len(bucket))
+	for _, proj := range bucket {
+		outRow := make(data.Tuple, len(f.outCols))
+		for i, p := range f.xpos {
+			outRow[i] = it.row[p]
+		}
+		ok := true
+		cursor := len(f.o.XCols)
+		for i, act := range f.actions {
+			v := proj[i]
+			switch {
+			case act.skip:
+			case act.checkPos >= 0:
+				if outRow[act.checkPos].IsNull() {
+					outRow[act.checkPos] = v
+				} else if outRow[act.checkPos] != v {
+					ok = false
+				}
+			default:
+				outRow[cursor] = v
+				cursor++
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && !sink(outRow) {
+			return false
+		}
+	}
+	return true
+}
+
+// runSequential streams the fetch over the input rows in order, deduping
+// keys inline with no item buffer.
+func (f *fetchEval) runSequential(ctx context.Context, stats *ExecStats, sink func(data.Tuple) bool) error {
+	seenKeys := make(map[value.Key]bool)
+	for i, row := range f.in.Rows {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		key := value.KeyOfAt(row, f.xpos)
+		if seenKeys[key] {
+			continue
+		}
+		seenKeys[key] = true
+		if !f.emit(fetchItem{row: row, key: key}, stats, sink) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func execFetch(ctx context.Context, o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
+	f, err := newFetchEval(o, in, ix)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(f.outCols...)
+
+	// Sequential path (the default): the original streaming loop.
+	// len(in.Rows) bounds the distinct key count, so
+	// workersFor(len(in.Rows)) == 1 implies parallelism would never
+	// trigger.
+	if opts.workersFor(len(in.Rows)) <= 1 {
+		err := f.runSequential(ctx, stats, func(r data.Tuple) bool { out.Add(r); return true })
+		return out, err
+	}
 
 	// Distinct input keys in first-occurrence order: each key is looked up
 	// exactly once regardless of worker count, so FetchKeys/Fetched match
 	// the sequential accounting and stay within the static access bound.
-	type fetchItem struct {
-		row data.Tuple
-		key value.Key
-	}
-
-	emit := func(it fetchItem, st *ExecStats, sink func(data.Tuple)) {
-		bucket := idx.FetchKey(it.key)
-		st.FetchKeys++
-		st.Fetched += int64(len(bucket))
-		for _, proj := range bucket {
-			outRow := make(data.Tuple, len(outCols))
-			for i, p := range xpos {
-				outRow[i] = it.row[p]
-			}
-			ok := true
-			cursor := len(o.XCols)
-			for i, act := range actions {
-				v := proj[i]
-				switch {
-				case act.skip:
-				case act.checkPos >= 0:
-					if outRow[act.checkPos].IsNull() {
-						outRow[act.checkPos] = v
-					} else if outRow[act.checkPos] != v {
-						ok = false
-					}
-				default:
-					outRow[cursor] = v
-					cursor++
-				}
-				if !ok {
-					break
-				}
-			}
-			if ok {
-				sink(outRow)
-			}
-		}
-	}
-
-	// Sequential path (the default): the original streaming loop, deduping
-	// keys inline with no item buffer. len(in.Rows) bounds the distinct key
-	// count, so workersFor(len(in.Rows)) == 1 implies parallelism would
-	// never trigger.
-	if opts.workersFor(len(in.Rows)) <= 1 {
-		seenKeys := make(map[value.Key]bool)
-		sink := func(r data.Tuple) { out.Add(r) }
-		for _, row := range in.Rows {
-			key := value.KeyOfAt(row, xpos)
-			if seenKeys[key] {
-				continue
-			}
-			seenKeys[key] = true
-			emit(fetchItem{row: row, key: key}, stats, sink)
-		}
-		return out, nil
-	}
-
 	seenKeys := make(map[value.Key]bool, len(in.Rows))
 	items := make([]fetchItem, 0, len(in.Rows))
-	for _, row := range in.Rows {
-		key := value.KeyOfAt(row, xpos)
+	for i, row := range in.Rows {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		key := value.KeyOfAt(row, f.xpos)
 		if seenKeys[key] {
 			continue
 		}
@@ -205,24 +471,32 @@ func execFetch(o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts 
 	if len(spans) <= 1 {
 		// Dedup collapsed the input below the parallel threshold.
 		for _, it := range items {
-			emit(it, stats, func(r data.Tuple) { out.Add(r) })
+			f.emit(it, stats, func(r data.Tuple) bool { out.Add(r); return true })
 		}
 		return out, nil
 	}
 	// Parallel path: contiguous key partitions, worker-local row buffers
 	// and stats, then an ordered merge — the output row order and set
 	// semantics are identical to the sequential path. Workers precompute
-	// each row's dedup key so the merge only pays for map inserts.
+	// each row's dedup key so the merge only pays for map inserts; each
+	// worker observes ctx and bails early on cancellation.
 	partRows := make([][]keyedRow, len(spans))
 	partStats := make([]ExecStats, len(spans))
 	runSpans(spans, func(part int, s span) {
-		sink := func(r data.Tuple) {
+		sink := func(r data.Tuple) bool {
 			partRows[part] = append(partRows[part], keyedRow{row: r, key: r.Key()})
+			return true
 		}
-		for _, it := range items[s.Lo:s.Hi] {
-			emit(it, &partStats[part], sink)
+		for i, it := range items[s.Lo:s.Hi] {
+			if i%cancelStride == 0 && ctx.Err() != nil {
+				return
+			}
+			f.emit(it, &partStats[part], sink)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for part := range spans {
 		stats.FetchKeys += partStats[part].FetchKeys
 		stats.Fetched += partStats[part].Fetched
@@ -273,11 +547,14 @@ func execProject(o ProjectOp, in *Table) (*Table, error) {
 	return out, nil
 }
 
-func execSelect(o SelectOp, in *Table) (*Table, error) {
-	type cond struct {
-		l, r int // r == -1 means constant comparison
-		c    value.Value
-	}
+// cond is one compiled selection predicate; r == -1 means comparison with
+// the constant c.
+type cond struct {
+	l, r int
+	c    value.Value
+}
+
+func compileConds(o SelectOp, in *Table) ([]cond, error) {
 	conds := make([]cond, len(o.Conds))
 	for i, ec := range o.Conds {
 		l := in.ColIndex(ec.L)
@@ -294,103 +571,175 @@ func execSelect(o SelectOp, in *Table) (*Table, error) {
 			conds[i] = cond{l: l, r: -1, c: ec.C}
 		}
 	}
+	return conds, nil
+}
+
+func condsMatch(conds []cond, row data.Tuple) bool {
+	for _, c := range conds {
+		if c.r >= 0 {
+			if row[c.l] != row[c.r] {
+				return false
+			}
+		} else if row[c.l] != c.c {
+			return false
+		}
+	}
+	return true
+}
+
+func execSelect(o SelectOp, in *Table) (*Table, error) {
+	conds, err := compileConds(o, in)
+	if err != nil {
+		return nil, err
+	}
 	out := NewTable(in.Cols...)
 	for _, row := range in.Rows {
-		ok := true
-		for _, c := range conds {
-			if c.r >= 0 {
-				if row[c.l] != row[c.r] {
-					ok = false
-					break
-				}
-			} else if row[c.l] != c.c {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if condsMatch(conds, row) {
 			out.Add(row)
 		}
 	}
 	return out, nil
 }
 
-func execProduct(l, r *Table) (*Table, error) {
+func checkProductCols(l, r *Table) error {
 	for _, c := range r.Cols {
 		if l.ColIndex(c) >= 0 {
-			return nil, fmt.Errorf("product: duplicate column %q (rename first)", c)
+			return fmt.Errorf("product: duplicate column %q (rename first)", c)
 		}
 	}
+	return nil
+}
+
+func execProduct(ctx context.Context, l, r *Table) (*Table, error) {
+	if err := checkProductCols(l, r); err != nil {
+		return nil, err
+	}
 	out := NewTable(append(append([]string(nil), l.Cols...), r.Cols...)...)
+	n := 0
 	for _, lr := range l.Rows {
 		for _, rr := range r.Rows {
+			if n%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			n++
 			out.Add(append(append(data.Tuple{}, lr...), rr...))
 		}
 	}
 	return out, nil
 }
 
-func execJoin(l, r *Table, opts ExecOptions) (*Table, error) {
+// joinState is the column analysis and hash table of a natural join,
+// shared by the materializing and streaming executors.
+type joinState struct {
+	r                *Table
+	sharedL, sharedR []int
+	extraR           []int
+	extraCols        []string
+	table            map[value.Key][]data.Tuple
+}
+
+func newJoinState(l, r *Table) *joinState {
+	js := &joinState{r: r}
 	// Shared columns become the hash key; right-only columns extend rows.
-	var sharedL, sharedR, extraR []int
-	var extraCols []string
 	for j, c := range r.Cols {
 		if i := l.ColIndex(c); i >= 0 {
-			sharedL = append(sharedL, i)
-			sharedR = append(sharedR, j)
+			js.sharedL = append(js.sharedL, i)
+			js.sharedR = append(js.sharedR, j)
 		} else {
-			extraR = append(extraR, j)
-			extraCols = append(extraCols, c)
+			js.extraR = append(js.extraR, j)
+			js.extraCols = append(js.extraCols, c)
 		}
 	}
-	out := NewTable(append(append([]string(nil), l.Cols...), extraCols...)...)
+	return js
+}
 
-	// Build phase: key encoding (the expensive part) parallelizes over
-	// contiguous chunks; the map insertions stay sequential and ordered.
-	// The sequential path keeps the original fused loop — no key buffer.
-	table := make(map[value.Key][]data.Tuple, r.Len())
-	if w := opts.workersFor(r.Len()); w <= 1 {
-		for _, rr := range r.Rows {
-			k := value.KeyOfAt(rr, sharedR)
-			table[k] = append(table[k], rr)
-		}
-	} else {
-		buildKeys := make([]value.Key, r.Len())
-		runSpans(splitSpans(r.Len(), w), func(_ int, s span) {
-			for i := s.Lo; i < s.Hi; i++ {
-				buildKeys[i] = value.KeyOfAt(r.Rows[i], sharedR)
+// build fills the hash table from the right side. Key encoding (the
+// expensive part) parallelizes over contiguous chunks; the map insertions
+// stay sequential and ordered.
+func (js *joinState) build(ctx context.Context, workers int) error {
+	js.table = make(map[value.Key][]data.Tuple, js.r.Len())
+	if workers <= 1 {
+		for i, rr := range js.r.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
-		})
-		for i, rr := range r.Rows {
-			table[buildKeys[i]] = append(table[buildKeys[i]], rr)
+			k := value.KeyOfAt(rr, js.sharedR)
+			js.table[k] = append(js.table[k], rr)
 		}
+		return nil
+	}
+	buildKeys := make([]value.Key, js.r.Len())
+	runSpans(splitSpans(js.r.Len(), workers), func(_ int, s span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			if (i-s.Lo)%cancelStride == 0 && ctx.Err() != nil {
+				return
+			}
+			buildKeys[i] = value.KeyOfAt(js.r.Rows[i], js.sharedR)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, rr := range js.r.Rows {
+		js.table[buildKeys[i]] = append(js.table[buildKeys[i]], rr)
+	}
+	return nil
+}
+
+// probe matches one left row against the hash table, sending joined rows
+// to sink; it reports whether the consumer still wants more rows.
+func (js *joinState) probe(lr data.Tuple, sink func(data.Tuple) bool) bool {
+	k := value.KeyOfAt(lr, js.sharedL)
+	for _, rr := range js.table[k] {
+		if !sink(append(append(data.Tuple{}, lr...), rr.Project(js.extraR)...)) {
+			return false
+		}
+	}
+	return true
+}
+
+func execJoin(ctx context.Context, l, r *Table, opts ExecOptions) (*Table, error) {
+	js := newJoinState(l, r)
+	out := NewTable(append(append([]string(nil), l.Cols...), js.extraCols...)...)
+	if err := js.build(ctx, opts.workersFor(r.Len())); err != nil {
+		return nil, err
 	}
 
 	// Probe phase: contiguous chunks of the left side probe the (now
 	// read-only) hash table into worker-local buffers; the ordered merge
 	// reproduces the sequential output order and set semantics.
-	probe := func(lr data.Tuple, sink func(data.Tuple)) {
-		k := value.KeyOfAt(lr, sharedL)
-		for _, rr := range table[k] {
-			sink(append(append(data.Tuple{}, lr...), rr.Project(extraR)...))
-		}
-	}
 	spans := splitSpans(l.Len(), opts.workersFor(l.Len()))
 	if len(spans) <= 1 {
-		for _, lr := range l.Rows {
-			probe(lr, func(row data.Tuple) { out.Add(row) })
+		for i, lr := range l.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			js.probe(lr, func(row data.Tuple) bool { out.Add(row); return true })
 		}
 		return out, nil
 	}
 	partRows := make([][]keyedRow, len(spans))
 	runSpans(spans, func(part int, s span) {
-		sink := func(row data.Tuple) {
+		sink := func(row data.Tuple) bool {
 			partRows[part] = append(partRows[part], keyedRow{row: row, key: row.Key()})
+			return true
 		}
-		for _, lr := range l.Rows[s.Lo:s.Hi] {
-			probe(lr, sink)
+		for i, lr := range l.Rows[s.Lo:s.Hi] {
+			if i%cancelStride == 0 && ctx.Err() != nil {
+				return
+			}
+			js.probe(lr, sink)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mergeKeyedParts(out, partRows)
 	return out, nil
 }
@@ -426,7 +775,9 @@ func execDiff(l, r *Table) (*Table, error) {
 	return out, nil
 }
 
-func execRename(o RenameOp, in *Table) (*Table, error) {
+// renamedCols computes the output column list of a rename, validating that
+// every source column exists.
+func renamedCols(o RenameOp, in *Table) ([]string, error) {
 	if len(o.From) != len(o.To) {
 		return nil, fmt.Errorf("rename arity mismatch")
 	}
@@ -437,6 +788,14 @@ func execRename(o RenameOp, in *Table) (*Table, error) {
 			return nil, fmt.Errorf("rename: no column %q", f)
 		}
 		cols[p] = o.To[i]
+	}
+	return cols, nil
+}
+
+func execRename(o RenameOp, in *Table) (*Table, error) {
+	cols, err := renamedCols(o, in)
+	if err != nil {
+		return nil, err
 	}
 	out := NewTable(cols...)
 	for _, row := range in.Rows {

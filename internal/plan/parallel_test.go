@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +26,7 @@ func assertSameExecution(t *testing.T, label string, p *plan.Plan, eng *core.Eng
 		t.Fatalf("%s: sequential: %v", label, err)
 	}
 	for _, w := range []int{2, 3, 8} {
-		parTbl, parStats, err := plan.ExecuteOpts(p, eng.Indexed(), forceParallel(w))
+		parTbl, parStats, err := plan.ExecuteOpts(context.Background(), p, eng.Indexed(), forceParallel(w))
 		if err != nil {
 			t.Fatalf("%s workers=%d: %v", label, w, err)
 		}
@@ -146,7 +147,7 @@ func TestParallelMatchesSequentialRandom(t *testing.T) {
 
 // TestExecOptionsWorkersFor pins the sequential/parallel gating rules.
 func TestExecOptionsWorkersFor(t *testing.T) {
-	tbl, stats, err := plan.ExecuteOpts(
+	tbl, stats, err := plan.ExecuteOpts(context.Background(),
 		&plan.Plan{Steps: []plan.Op{plan.ConstOp{Col: "c", Val: value.NewInt(1)}}, OutCols: []string{"c"}},
 		nil, plan.ExecOptions{Workers: -1})
 	if err != nil {

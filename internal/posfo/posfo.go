@@ -246,3 +246,10 @@ func (q *Query) Validate(s *schema.Schema) error {
 	}
 	return nil
 }
+
+// QueryLabel implements the serving-layer Query interface of
+// internal/core.
+func (q *Query) QueryLabel() string { return q.Label }
+
+// QueryCQs returns the query's UCQ normal form via the DNF expansion.
+func (q *Query) QueryCQs() ([]*cq.CQ, error) { return q.ToUCQ() }

@@ -7,6 +7,7 @@ package ucq
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/access"
@@ -146,4 +147,30 @@ func (u *UCQ) Minimize() *UCQ {
 		}
 	}
 	return &UCQ{Label: u.Label, Subs: kept}
+}
+
+// QueryLabel implements the serving-layer Query interface of
+// internal/core.
+func (u *UCQ) QueryLabel() string { return u.Label }
+
+// QueryCQs returns the union's sub-queries — its UCQ normal form is
+// itself.
+func (u *UCQ) QueryCQs() ([]*cq.CQ, error) { return u.Subs, nil }
+
+// CanonicalKey returns a cache key identifying the union's shape: the
+// sorted multiset of the sub-queries' CanonicalKeys. Like the CQ key it is
+// sound for plan caching — two UCQs with equal keys are the same union up
+// to bound-variable renaming and sub-query order — and incomplete
+// (semantically equivalent unions may produce distinct keys, costing a
+// cache miss, never a wrong answer). Because sub-query order is
+// normalized away, a cached union plan may emit rows (and carry column
+// names) in the order of the first variant that was synthesized; union
+// answers are sets, so the rows themselves are identical.
+func (u *UCQ) CanonicalKey() string {
+	keys := make([]string, len(u.Subs))
+	for i, s := range u.Subs {
+		keys[i] = s.CanonicalKey()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ∪ ")
 }
