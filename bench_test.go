@@ -22,6 +22,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/envelope"
 	"repro/internal/eval"
+	"repro/internal/live"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/specialize"
@@ -692,4 +693,94 @@ func BenchmarkConcurrentQueryCancel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkApplyVsLoad is the live-update acceptance benchmark: ingesting
+// a small accidents delta incrementally (Engine.Apply, copy-on-write +
+// incremental index maintenance) against the stop-the-world alternative
+// (rebuild every index with Engine.Load). On small deltas Apply must win,
+// and the gap grows with |D|.
+func BenchmarkApplyVsLoad(b *testing.B) {
+	for _, days := range []int{20, 80} {
+		mkStream := func(b *testing.B, acc *workload.Accidents) *workload.AccidentStream {
+			st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+				InsertAccidents: 5, DeleteAccidents: 2, Seed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return st
+		}
+		b.Run(fmt.Sprintf("apply/days=%d", days), func(b *testing.B) {
+			acc, eng := mustAccidents(b, days)
+			st := mkStream(b, acc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Apply(context.Background(), st.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("loadRebuild/days=%d", days), func(b *testing.B) {
+			acc, eng := mustAccidents(b, days)
+			st := mkStream(b, acc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The pre-live alternative: materialize the updated
+				// instance, then rebuild and re-validate every index.
+				res, err := live.Apply(context.Background(), st.Next(), eng.Indexed())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Load(res.Instance); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryUnderUpdateStream serves Q0 while a background goroutine
+// applies update batches back-to-back: snapshot isolation means the
+// writer never blocks readers, so per-query latency should stay the same
+// order as the idle-writer BenchmarkColdVsCachedExecute numbers.
+func BenchmarkQueryUnderUpdateStream(b *testing.B) {
+	acc, eng := mustAccidents(b, 40)
+	st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+		InsertAccidents: 5, DeleteAccidents: 2, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Q0()
+	if _, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse)); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+				if _, err := eng.Apply(context.Background(), st.Next()); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
 }

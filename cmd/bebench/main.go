@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e11) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
 	flag.Parse()
 	if err := run(strings.ToLower(*exp), *workers); err != nil {
@@ -63,8 +63,10 @@ func run(exp string, workers int) error {
 		t, err = bench.E10PaperExamples()
 	case "e11":
 		t, err = bench.E11Concurrency(10000, bench.E11WorkerCounts(workers))
+	case "e12":
+		t, err = bench.E12LiveUpdates([]int{5, 20, 80, 320}, 30)
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e11 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", exp)
 	}
 	if err != nil {
 		return err

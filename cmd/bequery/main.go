@@ -7,13 +7,21 @@
 //	bequery -file doc.bq [-data dir] -query Q0 [-mode explain|check|plan|run|specialize]
 //	bequery -demo accidents -query Q0 -mode run [-save dir]
 //	bequery -demo accidents -query Q0 -mode run -budget 100 -timeout 2s -fallback refuse
+//	bequery -demo accidents -apply delta.tsv -query Q0 -mode run -stream
 //
 // The run mode serves queries through the unified Engine.Query API:
 // -budget refuses a query before execution when its static access bound
 // exceeds the budget (admission control), -timeout bounds the request
 // wall-clock, -fallback picks the strategy for queries that are not
-// boundedly evaluable (scan | refuse | envelope), and -workers sizes the
-// per-request execution pool.
+// boundedly evaluable (scan | refuse | envelope), -workers sizes the
+// per-request execution pool, and -stream switches the output to NDJSON,
+// one row object per line as the engine produces it (core.WithStream).
+//
+// -apply ingests a delta TSV (one op per line: "+|-<TAB>Relation<TAB>
+// values...", see internal/live) through Engine.Apply before the query
+// runs: indices are maintained incrementally under snapshot isolation,
+// and a batch that would violate the access schema is rejected with the
+// violation list.
 //
 // With -demo, a built-in workload (accidents | social) supplies schema,
 // constraints, data and the named query, so no file is needed. With -data,
@@ -24,9 +32,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -35,42 +45,64 @@ import (
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/eval"
+	"repro/internal/live"
 	"repro/internal/load"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/value"
 	"repro/internal/workload"
 )
 
+// cliConfig collects every flag; one value per invocation.
+type cliConfig struct {
+	file     string
+	dataDir  string
+	saveDir  string
+	demo     string
+	apply    string
+	query    string
+	mode     string
+	k        int
+	days     int
+	people   int
+	workers  int
+	budget   int64
+	timeout  time.Duration
+	fallback string
+	stream   bool
+}
+
 func main() {
-	var (
-		file     = flag.String("file", "", "input document (relations, constraints, queries)")
-		dataDir  = flag.String("data", "", "directory of <Relation>.tsv files to load with -file")
-		saveDir  = flag.String("save", "", "export the loaded instance as TSV into this directory")
-		demo     = flag.String("demo", "", "built-in workload: accidents | social")
-		query    = flag.String("query", "", "query name to operate on")
-		mode     = flag.String("mode", "explain", "explain | check | plan | run | baseline | specialize")
-		k        = flag.Int("k", 2, "parameter budget for specialize")
-		days     = flag.Int("days", 20, "accidents demo: days of data")
-		people   = flag.Int("people", 2000, "social demo: people")
-		workers  = flag.Int("workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
-		budget   = flag.Int64("budget", -1, "run: refuse unless the static access bound is ≤ this many tuples (-1 = no budget)")
-		timeout  = flag.Duration("timeout", 0, "run: per-request execution deadline (0 = none)")
-		fallback = flag.String("fallback", "scan", "run: strategy for non-bounded queries: scan | refuse | envelope")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.file, "file", "", "input document (relations, constraints, queries)")
+	flag.StringVar(&cfg.dataDir, "data", "", "directory of <Relation>.tsv files to load with -file")
+	flag.StringVar(&cfg.saveDir, "save", "", "export the loaded instance as TSV into this directory")
+	flag.StringVar(&cfg.demo, "demo", "", "built-in workload: accidents | social")
+	flag.StringVar(&cfg.apply, "apply", "", "delta TSV file to apply through Engine.Apply before operating")
+	flag.StringVar(&cfg.query, "query", "", "query name to operate on")
+	flag.StringVar(&cfg.mode, "mode", "explain", "explain | check | plan | run | baseline | specialize")
+	flag.IntVar(&cfg.k, "k", 2, "parameter budget for specialize")
+	flag.IntVar(&cfg.days, "days", 20, "accidents demo: days of data")
+	flag.IntVar(&cfg.people, "people", 2000, "social demo: people")
+	flag.IntVar(&cfg.workers, "workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
+	flag.Int64Var(&cfg.budget, "budget", -1, "run: refuse unless the static access bound is ≤ this many tuples (-1 = no budget)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "run: per-request execution deadline (0 = none)")
+	flag.StringVar(&cfg.fallback, "fallback", "scan", "run: strategy for non-bounded queries: scan | refuse | envelope")
+	flag.BoolVar(&cfg.stream, "stream", false, "run: stream rows as NDJSON while the plan produces them")
 	flag.Parse()
-	if err := run(*file, *dataDir, *saveDir, *demo, *query, *mode, *k, *days, *people, *workers, *budget, *timeout, *fallback); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bequery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, workers int, budget int64, timeout time.Duration, fallback string) error {
-	eng, queries, params, err := setup(file, demo, days, people, workers)
+func run(cfg cliConfig) error {
+	eng, queries, params, err := setup(cfg.file, cfg.demo, cfg.days, cfg.people, cfg.workers)
 	if err != nil {
 		return err
 	}
-	if dataDir != "" {
-		d, err := load.LoadInstance(eng.Schema, dataDir)
+	if cfg.dataDir != "" {
+		d, err := load.LoadInstance(eng.Schema, cfg.dataDir)
 		if err != nil {
 			return err
 		}
@@ -78,29 +110,44 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 			return err
 		}
 	}
-	if saveDir != "" {
+	if cfg.apply != "" {
+		if eng.Instance() == nil {
+			return fmt.Errorf("-apply needs an instance (use -demo or -data)")
+		}
+		delta, err := live.LoadDelta(cfg.apply, eng.Schema)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Apply(context.Background(), delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("applied %s: +%d -%d tuples, |D| now %d\n",
+			cfg.apply, res.Inserted, res.Deleted, eng.Instance().Size())
+	}
+	if cfg.saveDir != "" {
 		if eng.Instance() == nil {
 			return fmt.Errorf("-save needs an instance (use -demo or -data)")
 		}
-		if err := load.SaveInstance(eng.Instance(), saveDir); err != nil {
+		if err := load.SaveInstance(eng.Instance(), cfg.saveDir); err != nil {
 			return err
 		}
-		fmt.Printf("saved %d tuples to %s\n", eng.Instance().Size(), saveDir)
+		fmt.Printf("saved %d tuples to %s\n", eng.Instance().Size(), cfg.saveDir)
 	}
-	if query == "" {
+	if cfg.query == "" {
 		fmt.Println("available queries:")
 		for _, name := range queryNames(queries) {
 			fmt.Println("  " + name)
 		}
 		return nil
 	}
-	q, ok := queries[query]
+	q, ok := queries[cfg.query]
 	if !ok {
-		return fmt.Errorf("no query named %q", query)
+		return fmt.Errorf("no query named %q", cfg.query)
 	}
-	switch mode {
+	switch cfg.mode {
 	case "explain":
-		out, err := eng.Explain(q, params[query])
+		out, err := eng.Explain(q, params[cfg.query])
 		if err != nil {
 			return err
 		}
@@ -119,7 +166,7 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		fmt.Println(p)
 		fmt.Println(b)
 	case "run":
-		opts, err := queryOptions(workers, budget, timeout, fallback)
+		opts, err := queryOptions(cfg)
 		if err != nil {
 			return err
 		}
@@ -133,6 +180,18 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		}
 		if err != nil {
 			return err
+		}
+		if cfg.stream {
+			// NDJSON: one row object per line on stdout as the engine
+			// produces it; the summary goes to stderr so pipelines stay
+			// machine-readable.
+			if err := streamNDJSON(os.Stdout, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "answered via %s; fetched=%d scanned=%d cached=%v in %v\n",
+				res.Mode, res.Stats.Fetched, res.Stats.Scanned,
+				res.Stats.CacheHit, res.Stats.Elapsed.Round(time.Microsecond))
+			return nil
 		}
 		fmt.Printf("answered via %s; fetched=%d scanned=%d rows=%d cached=%v in %v\n",
 			res.Mode, res.Stats.Fetched, res.Stats.Scanned, len(res.Rows),
@@ -158,11 +217,11 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		}
 		fmt.Printf("baseline (hash-join): scanned=%d rows=%d\n", res.Scanned, len(res.Rows))
 	case "specialize":
-		ps := params[query]
+		ps := params[cfg.query]
 		if len(ps) == 0 {
-			return fmt.Errorf("query %s declares no parameters (use params(...) in the document)", query)
+			return fmt.Errorf("query %s declares no parameters (use params(...) in the document)", cfg.query)
 		}
-		res, err := eng.Specialize(q, ps, k)
+		res, err := eng.Specialize(q, ps, cfg.k)
 		if err != nil {
 			return err
 		}
@@ -172,21 +231,78 @@ func run(file, dataDir, saveDir, demo, query, mode string, k, days, people, work
 		}
 		fmt.Printf("specializable with %v (minimum=%v, %d subsets tried)\n", res.Params, res.Minimum, res.Tried)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 	return nil
 }
 
+// streamNDJSON drains a streamed Result, writing each row as one JSON
+// object per line, columns in plan order. Column names are marshaled
+// once, outside the row loop.
+func streamNDJSON(w io.Writer, res *core.Result) error {
+	var names [][]byte
+	nameFor := func(j int) ([]byte, error) {
+		for len(names) <= j {
+			col := fmt.Sprintf("col%d", len(names))
+			if len(names) < len(res.Columns) {
+				col = res.Columns[len(names)]
+			}
+			enc, err := json.Marshal(col)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, enc)
+		}
+		return names[j], nil
+	}
+	for row := range res.Seq() {
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			name, err := nameFor(j)
+			if err != nil {
+				return err
+			}
+			cell, err := json.Marshal(jsonValue(v))
+			if err != nil {
+				return err
+			}
+			sb.Write(name)
+			sb.WriteByte(':')
+			sb.Write(cell)
+		}
+		sb.WriteByte('}')
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return res.Err()
+}
+
+// jsonValue maps an engine value to its natural JSON type.
+func jsonValue(v value.Value) interface{} {
+	if v.Kind() == value.Int {
+		return v.Int()
+	}
+	return v.Str()
+}
+
 // queryOptions assembles the per-request QueryOptions from the CLI flags.
-func queryOptions(workers int, budget int64, timeout time.Duration, fallback string) ([]core.QueryOption, error) {
-	opts := []core.QueryOption{core.WithWorkers(workers)}
-	if budget >= 0 {
-		opts = append(opts, core.WithAccessBudget(budget))
+func queryOptions(cfg cliConfig) ([]core.QueryOption, error) {
+	opts := []core.QueryOption{core.WithWorkers(cfg.workers)}
+	if cfg.budget >= 0 {
+		opts = append(opts, core.WithAccessBudget(cfg.budget))
 	}
-	if timeout > 0 {
-		opts = append(opts, core.WithDeadline(time.Now().Add(timeout)))
+	if cfg.timeout > 0 {
+		opts = append(opts, core.WithDeadline(time.Now().Add(cfg.timeout)))
 	}
-	switch fallback {
+	if cfg.stream {
+		opts = append(opts, core.WithStream())
+	}
+	switch cfg.fallback {
 	case "scan":
 		opts = append(opts, core.WithFallback(core.FallbackScan))
 	case "refuse":
@@ -194,7 +310,7 @@ func queryOptions(workers int, budget int64, timeout time.Duration, fallback str
 	case "envelope":
 		opts = append(opts, core.WithFallback(core.FallbackEnvelope))
 	default:
-		return nil, fmt.Errorf("unknown fallback %q (want scan | refuse | envelope)", fallback)
+		return nil, fmt.Errorf("unknown fallback %q (want scan | refuse | envelope)", cfg.fallback)
 	}
 	return opts, nil
 }

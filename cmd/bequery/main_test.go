@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,6 +12,15 @@ import (
 	"repro/internal/load"
 	"repro/internal/workload"
 )
+
+// cfg builds a cliConfig with the test defaults, tweaked by fn.
+func cfg(fn func(*cliConfig)) cliConfig {
+	c := cliConfig{mode: "explain", k: 1, workers: 1, budget: -1, fallback: "scan"}
+	if fn != nil {
+		fn(&c)
+	}
+	return c
+}
 
 func TestSetupFromDocument(t *testing.T) {
 	eng, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0, 1)
@@ -46,29 +56,35 @@ func TestRunModesAgainstDocumentWithData(t *testing.T) {
 	}
 	doc := filepath.Join("testdata", "accidents.bq")
 	for _, mode := range []string{"check", "plan", "explain", "run", "baseline"} {
-		if err := run(doc, dir, "", "", "Q0", mode, 1, 0, 0, 1, -1, 0, "scan"); err != nil {
+		if err := run(cfg(func(c *cliConfig) { c.file = doc; c.dataDir = dir; c.query = "Q0"; c.mode = mode })); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run(doc, dir, "", "", "Q51", "specialize", 1, 0, 0, 1, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.file = doc; c.dataDir = dir; c.query = "Q51"; c.mode = "specialize" })); err != nil {
 		t.Errorf("specialize: %v", err)
 	}
 	// Parallel execution answers the same document query without error.
-	if err := run(doc, dir, "", "", "Q0", "run", 1, 0, 0, 4, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.file = doc; c.dataDir = dir; c.query = "Q0"; c.mode = "run"; c.workers = 4 })); err != nil {
 		t.Errorf("run with workers=4: %v", err)
 	}
 }
 
 func TestRunDemoModes(t *testing.T) {
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.query = "Q0"; c.mode = "run"; c.days = 2 })); err != nil {
 		t.Errorf("demo accidents: %v", err)
 	}
-	if err := run("", "", "", "social", "GraphSearch", "check", 1, 0, 200, 1, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "social"; c.query = "GraphSearch"; c.mode = "check"; c.people = 200 })); err != nil {
 		t.Errorf("demo social: %v", err)
 	}
 	// Save/export path.
 	dir := t.TempDir()
-	if err := run("", "", dir, "accidents", "Q0", "check", 1, 2, 0, 1, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) {
+		c.saveDir = dir
+		c.demo = "accidents"
+		c.query = "Q0"
+		c.mode = "check"
+		c.days = 2
+	})); err != nil {
 		t.Errorf("save: %v", err)
 	}
 }
@@ -78,32 +94,45 @@ func TestRunDemoModes(t *testing.T) {
 // control is a negotiated outcome, not a failure), an unknown fallback is
 // rejected, and a refuse-mode run of a bounded query still succeeds.
 func TestRunServingFlags(t *testing.T) {
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, 1<<40, 0, "refuse"); err != nil {
+	if err := run(cfg(func(c *cliConfig) {
+		c.demo = "accidents"
+		c.query = "Q0"
+		c.mode = "run"
+		c.days = 2
+		c.budget = 1 << 40
+		c.fallback = "refuse"
+	})); err != nil {
 		t.Errorf("bounded Q0 under a generous budget: %v", err)
 	}
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, 0, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.query = "Q0"; c.mode = "run"; c.days = 2; c.budget = 0 })); err != nil {
 		t.Errorf("budget refusal must not be an error: %v", err)
 	}
-	if err := run("", "", "", "accidents", "Q0", "run", 1, 2, 0, 1, -1, 0, "bogus"); err == nil {
+	if err := run(cfg(func(c *cliConfig) {
+		c.demo = "accidents"
+		c.query = "Q0"
+		c.mode = "run"
+		c.days = 2
+		c.fallback = "bogus"
+	})); err == nil {
 		t.Error("unknown fallback must error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "", "", "explain", 1, 0, 0, 1, -1, 0, "scan"); err == nil {
+	if err := run(cfg(func(c *cliConfig) { c.mode = "explain" })); err == nil {
 		t.Error("no input source must error")
 	}
-	if err := run("", "", "", "accidents", "Ghost", "run", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.query = "Ghost"; c.mode = "run"; c.days = 1 })); err == nil {
 		t.Error("unknown query must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "bogus", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.query = "Q0"; c.mode = "bogus"; c.days = 1 })); err == nil {
 		t.Error("unknown mode must error")
 	}
-	if err := run("", "", "", "accidents", "Q0", "specialize", 1, 1, 0, 1, -1, 0, "scan"); err == nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.query = "Q0"; c.mode = "specialize"; c.days = 1 })); err == nil {
 		t.Error("specialize without params must error")
 	}
 	// Listing queries (empty -query) is not an error.
-	if err := run("", "", "", "accidents", "", "run", 1, 1, 0, 1, -1, 0, "scan"); err != nil {
+	if err := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.mode = "run"; c.days = 1 })); err != nil {
 		t.Errorf("query listing: %v", err)
 	}
 }
@@ -117,7 +146,7 @@ func TestQueryListingSorted(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = pw
-	runErr := run("", "", "", "accidents", "", "run", 1, 1, 0, 1, -1, 0, "scan")
+	runErr := run(cfg(func(c *cliConfig) { c.demo = "accidents"; c.mode = "run"; c.days = 1 }))
 	pw.Close()
 	os.Stdout = old
 	var buf bytes.Buffer
@@ -142,5 +171,111 @@ func TestQueryListingSorted(t *testing.T) {
 			t.Errorf("listing not sorted: %q after %q", name, prev)
 		}
 		prev = name
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected, returning what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	runErr := fn()
+	pw.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, pr); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return buf.String()
+}
+
+// TestRunStreamNDJSON checks the -stream flag: one JSON object per row,
+// decodable, with the query's column names as keys.
+func TestRunStreamNDJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(cfg(func(c *cliConfig) {
+			c.demo = "accidents"
+			c.query = "Q0"
+			c.mode = "run"
+			c.days = 2
+			c.stream = true
+		}))
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("no NDJSON rows:\n%s", out)
+	}
+	for _, line := range lines {
+		var row map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if _, ok := row["xa"]; !ok {
+			t.Fatalf("row %q lacks the xa column", line)
+		}
+	}
+}
+
+// TestRunApplyDelta checks the -apply flag end to end: the delta is
+// ingested before the query, so a driver age inserted by the delta shows
+// up in Q0's streamed answers, and a violating delta is rejected.
+func TestRunApplyDelta(t *testing.T) {
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "delta.tsv")
+	delta := "+\tAccident\t900001\tQueen's Park\t1/5/2005\n" +
+		"+\tCasualty\t900001\t900001\t1\t900001\n" +
+		"+\tVehicle\t900001\tzed\t2001\n"
+	if err := os.WriteFile(deltaPath, []byte(delta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run(cfg(func(c *cliConfig) {
+			c.demo = "accidents"
+			c.apply = deltaPath
+			c.query = "Q0"
+			c.mode = "run"
+			c.days = 2
+			c.stream = true
+		}))
+	})
+	if !strings.Contains(out, "applied "+deltaPath+": +3 -0") {
+		t.Errorf("missing apply summary:\n%s", out)
+	}
+	if !strings.Contains(out, "2001") {
+		t.Errorf("delta-inserted driver age missing from answers:\n%s", out)
+	}
+
+	// A batch violating ψ3 (two districts for one aid) must be rejected.
+	badPath := filepath.Join(dir, "bad.tsv")
+	bad := "+\tAccident\t1\tSoho\t9/9/1999\n"
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(cfg(func(c *cliConfig) {
+		c.demo = "accidents"
+		c.apply = badPath
+		c.query = "Q0"
+		c.mode = "run"
+		c.days = 2
+	}))
+	if err == nil || !strings.Contains(err.Error(), "violate") {
+		t.Errorf("violating delta must be rejected with the violation list, got %v", err)
+	}
+
+	// -apply without an instance is a usage error.
+	if err := run(cfg(func(c *cliConfig) {
+		c.file = filepath.Join("testdata", "accidents.bq")
+		c.apply = deltaPath
+		c.mode = "check"
+		c.query = "Q0"
+	})); err == nil {
+		t.Error("-apply without data must error")
 	}
 }

@@ -279,6 +279,30 @@ func BuildIndexed(a *Schema, d *data.Instance) (*Indexed, []Violation, error) {
 // Index returns the index backing constraint i.
 func (ix *Indexed) Index(i int) *index.Index { return ix.indexes[i] }
 
+// CloneWith returns an Indexed over inst that shares ix's indexes except
+// those replaced in repl (keyed by constraint position). It is the
+// access-schema-level copy-on-write step of a snapshotted update: ix and
+// everything reachable from it stay untouched, so in-flight readers of ix
+// keep a consistent pre-update view.
+func (ix *Indexed) CloneWith(inst *data.Instance, repl map[int]*index.Index) (*Indexed, error) {
+	cp := &Indexed{
+		Access:   ix.Access,
+		Instance: inst,
+		indexes:  append([]*index.Index(nil), ix.indexes...),
+	}
+	for i, idx := range repl {
+		if i < 0 || i >= len(cp.indexes) {
+			return nil, fmt.Errorf("access: no constraint %d to replace an index for", i)
+		}
+		c := ix.Access.Constraints[i]
+		if idx.Rel != c.Rel {
+			return nil, fmt.Errorf("access: replacement index on %s for constraint %s", idx.Rel, c)
+		}
+		cp.indexes[i] = idx
+	}
+	return cp, nil
+}
+
 // IndexFor returns the index for a constraint equal to c (same relation,
 // X, Y), or nil.
 func (ix *Indexed) IndexFor(c Constraint) *index.Index {

@@ -215,3 +215,21 @@ func TestE11CacheWinsAndParallelAgrees(t *testing.T) {
 		t.Errorf("parallel execution must return identical answers: %q", got)
 	}
 }
+
+func TestE12ApplyBeatsReload(t *testing.T) {
+	tb, err := E12LiveUpdates([]int{10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
+	}
+	apply, err1 := strconv.ParseFloat(cell(t, tb, 0, 2), 64)
+	reload, err2 := strconv.ParseFloat(cell(t, tb, 0, 3), 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad timing cells:\n%s", tb.Render())
+	}
+	if apply >= reload {
+		t.Errorf("incremental apply (%v µs) should beat load+rebuild (%v µs) on small deltas", apply, reload)
+	}
+}

@@ -650,6 +650,7 @@ func All(workers int) ([]*Table, error) {
 		func() (*Table, error) { return E9GeneralConstraints([]int{1 << 8, 1 << 12, 1 << 16}) },
 		E10PaperExamples,
 		func() (*Table, error) { return E11Concurrency(4000, E11WorkerCounts(workers)) },
+		func() (*Table, error) { return E12LiveUpdates([]int{5, 20, 80}, 20) },
 	}
 	for _, step := range steps {
 		tb, err := step()

@@ -34,7 +34,8 @@ type planEntry struct {
 
 // CacheStats reports plan-cache effectiveness counters.
 type CacheStats struct {
-	// Hits and Misses count Engine.Plan lookups since the last purge.
+	// Hits and Misses count plan-cache lookups, cumulatively: the
+	// counters survive Load and Apply.
 	Hits, Misses int64
 	// Entries is the current number of cached shapes.
 	Entries int
@@ -49,6 +50,10 @@ type planCache struct {
 	items    map[string]*list.Element
 	hits     int64
 	misses   int64
+	// size is the |D| of the latest restamp. Entries are normalized to it
+	// on put, so a planning pass that read an older snapshot cannot land
+	// a bound the concurrent restamp would have refreshed.
+	size int
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -80,13 +85,27 @@ func (c *planCache) get(key string) (*planEntry, bool) {
 }
 
 // put inserts (or refreshes) an entry, evicting the least-recently-used
-// one beyond capacity.
+// one beyond capacity. The entry's bound is normalized to the cache's
+// current instance size first: planning runs outside the writer lock, so
+// without this a put racing a Load/Apply could publish a bound computed
+// against the pre-update size and have it served until the next update.
 func (c *planCache) put(e *planEntry) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if e.p != nil && e.bound.SizeHint != c.size {
+		if planDependsOnSize(e.p) {
+			b, err := plan.AccessBound(e.p, c.size)
+			if err != nil {
+				return // cannot normalize: skip caching rather than serve a stale bound
+			}
+			e.bound = b
+		} else {
+			e.bound.SizeHint = c.size
+		}
+	}
 	if el, ok := c.items[e.key]; ok {
 		el.Value = e
 		c.ll.MoveToFront(el)
@@ -100,18 +119,57 @@ func (c *planCache) put(e *planEntry) {
 	}
 }
 
-// purge drops every entry and resets the counters. Called on Load: a new
-// instance changes size hints, so cached bounds (and general-form fetch
-// cardinalities) are stale.
-func (c *planCache) purge() {
+// restamp refreshes the cache for a new instance size (after Load or
+// Apply). Plans and not-bounded verdicts are data-independent given the
+// access schema, so entries survive; only a bound that embeds the |D|
+// size hint — a plan fetching through a general-form constraint s(|D|) —
+// is stale, and those entries are re-stamped with a bound recomputed at
+// the new size rather than dropped. Hit/miss counters are cumulative and
+// survive too. An entry whose bound cannot be recomputed (cannot happen
+// for plans that bounded once, but guarded anyway) is evicted.
+func (c *planCache) restamp(newSize int) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element, c.capacity)
-	c.hits, c.misses = 0, 0
+	c.size = newSize
+	var drop []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*planEntry)
+		if ent.p == nil {
+			continue // not-bounded / negative-envelope verdicts: size-free
+		}
+		restamped := *ent
+		if planDependsOnSize(ent.p) {
+			b, err := plan.AccessBound(ent.p, newSize)
+			if err != nil {
+				drop = append(drop, el)
+				continue
+			}
+			restamped.bound = b
+		} else {
+			// The bound's values are size-independent; refresh only the
+			// size hint it reports.
+			restamped.bound.SizeHint = newSize
+		}
+		el.Value = &restamped
+	}
+	for _, el := range drop {
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*planEntry).key)
+	}
+}
+
+// planDependsOnSize reports whether p's static bound is a function of
+// |D|: true iff some fetch goes through a general-form constraint.
+func planDependsOnSize(p *plan.Plan) bool {
+	for _, op := range p.Steps {
+		if f, ok := op.(plan.FetchOp); ok && !f.Constraint.Card.IsConst() {
+			return true
+		}
+	}
+	return false
 }
 
 // stats snapshots the counters.

@@ -103,9 +103,12 @@ func TestPlanCacheCachesNotBounded(t *testing.T) {
 	}
 }
 
-func TestPlanCacheInvalidatedOnLoad(t *testing.T) {
-	// A log-cardinality constraint makes the static bound depend on |D|,
-	// so a stale cache entry would report the old instance's bound.
+func TestPlanCacheRestampedOnLoad(t *testing.T) {
+	// A log-cardinality constraint makes the static bound depend on |D|.
+	// Reloading must not serve that stale bound — but it must not throw
+	// the entry (or the cumulative counters) away either: the plan is
+	// data-independent, so the entry survives with its bound re-stamped
+	// at the new size.
 	s := schema.MustNew(schema.MustRelation("R", "A", "B"))
 	a := access.NewSchema(access.Constraint{
 		Rel: "R", X: []schema.Attribute{"A"}, Y: []schema.Attribute{"B"}, Card: access.LogCard(),
@@ -134,15 +137,55 @@ func TestPlanCacheInvalidatedOnLoad(t *testing.T) {
 	if err := eng.Load(mkInstance(1 << 12)); err != nil {
 		t.Fatal(err)
 	}
-	if st := eng.CacheStats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
-		t.Fatalf("Load must purge the cache: %+v", st)
+	if st := eng.CacheStats(); st.Entries != 1 || st.Misses != 1 {
+		t.Fatalf("Load must keep entries and cumulative stats: %+v", st)
 	}
 	_, big, err := eng.Plan(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("re-stamped entry must serve the reload as a hit: %+v", st)
+	}
 	if big.Fetched <= small.Fetched {
 		t.Errorf("bound must grow with |D| after reload: %d then %d", small.Fetched, big.Fetched)
+	}
+	if big.SizeHint != 1<<12 {
+		t.Errorf("re-stamped bound reports SizeHint %d, want %d", big.SizeHint, 1<<12)
+	}
+}
+
+func TestPlanCacheConstBoundsSurviveLoadVerbatim(t *testing.T) {
+	// Constant-cardinality bounds do not embed |D|: reloading a very
+	// different instance must keep both the entry and its bound values.
+	eng := accidentsEngine(t, Options{}, 2)
+	q := workload.Q0()
+	_, before, err := eng.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 6, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(bigger.Instance); err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := eng.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("const-bound entry must survive Load as a hit: %+v", st)
+	}
+	if after.Fetched != before.Fetched || after.Output != before.Output {
+		t.Errorf("const bound changed across Load: %+v then %+v", before, after)
+	}
+	if after.SizeHint != bigger.Instance.Size() {
+		t.Errorf("surviving entry must report the new size hint: %d, want %d",
+			after.SizeHint, bigger.Instance.Size())
 	}
 }
 

@@ -19,6 +19,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/bep"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/envelope"
 	"repro/internal/eval"
+	"repro/internal/live"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/specialize"
@@ -51,22 +54,38 @@ type Options struct {
 // Engine couples a relational schema, an access schema, and (after Load)
 // an indexed instance.
 //
-// Concurrency: after Load returns, the Engine is safe for concurrent
-// readers — Query, IsCovered, CheckBounded, Plan, Explain, the deprecated
-// Execute* wrappers and the envelope/specialize entry points may all be
-// called from many goroutines at once. The instance and its indices are
-// read-only after Load, and the plan cache serializes its own state
-// internally. Load itself is a writer: it must not race with in-flight
-// queries; call it before serving, or quiesce queries around a reload.
+// Concurrency: the Engine serves reads and writes concurrently with
+// snapshot isolation. The loaded data lives in an immutable snapshot
+// (instance + indices) behind an atomic pointer: Query, IsCovered,
+// CheckBounded, Plan, Explain, the deprecated Execute* wrappers and the
+// envelope/specialize entry points may all be called from many goroutines
+// at once, and each request reads exactly one snapshot. Load and Apply
+// are writers, serialized against each other internally; they build a new
+// snapshot on the side and publish it with one pointer swap, so they
+// never block or tear in-flight queries — calls that began before the
+// swap keep their pre-update view, calls after it see the post-update
+// one.
 type Engine struct {
 	Schema *schema.Schema
 	Access *access.Schema
 	Opts   Options
 
+	// snap is the current immutable snapshot (nil before the first Load).
+	snap atomic.Pointer[snapshot]
+	// writeMu serializes the writers (Load, Apply).
+	writeMu sync.Mutex
+	cache   *planCache
+}
+
+// snapshot is one immutable (instance, indices) version; every field is
+// read-only once published.
+type snapshot struct {
 	instance *data.Instance
 	indexed  *access.Indexed
-	cache    *planCache
 }
+
+// current returns the live snapshot, or nil before the first Load.
+func (e *Engine) current() *snapshot { return e.snap.Load() }
 
 // New builds an engine, validating the access schema against the
 // relational schema.
@@ -82,9 +101,16 @@ func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
 }
 
 // Load attaches an instance: it builds every index in A and verifies
-// D |= A, failing with the list of violations otherwise. Loading
-// invalidates the plan cache — cached static bounds embed the previous
-// instance's size hint. Load must not race with concurrent queries.
+// D |= A, failing with the list of violations otherwise. The new snapshot
+// is published atomically; queries already running keep the previous one.
+// After the caller hands d to Load it must not mutate it — ownership
+// transfers to the engine.
+//
+// Loading re-stamps rather than purges the plan cache: cached plans and
+// not-bounded verdicts are data-independent given A, so only entries
+// whose static bound embeds the instance-size hint (plans fetching
+// through general-form constraints s(|D|)) are recomputed at the new
+// size; everything else, and the cumulative hit/miss counters, survive.
 func (e *Engine) Load(d *data.Instance) error {
 	ix, viols, err := access.BuildIndexed(e.Access, d)
 	if err != nil {
@@ -93,21 +119,66 @@ func (e *Engine) Load(d *data.Instance) error {
 	if len(viols) > 0 {
 		return fmt.Errorf("core: instance violates the access schema: %v (first of %d)", viols[0], len(viols))
 	}
-	e.instance = d
-	e.indexed = ix
-	e.cache.purge()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.snap.Store(&snapshot{instance: d, indexed: ix})
+	e.cache.restamp(d.Size())
 	return nil
 }
 
-// CacheStats reports plan-cache hit/miss counters since the last Load.
+// Apply validates delta against the access schema and, when every
+// cardinality bound still holds on the updated data, publishes a new
+// snapshot with the delta applied — maintaining every index incrementally
+// instead of rebuilding, and leaving queries in flight on their pre-delta
+// view (see internal/live for the copy-on-write mechanics). A batch that
+// would break a bound is rejected with a *live.ViolationError listing
+// every violation, and has no visible effect.
+//
+// The plan cache survives an Apply the same way it survives Load: only
+// size-dependent bounds are re-stamped. Apply is safe to call
+// concurrently with queries and with other Apply/Load calls (writers are
+// serialized internally); ctx cancels a long apply before it publishes.
+func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("core: nil delta")
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	sn := e.current()
+	if sn == nil {
+		return nil, errNoInstance()
+	}
+	res, err := live.Apply(ctx, delta, sn.indexed)
+	if err != nil {
+		return nil, err
+	}
+	e.snap.Store(&snapshot{instance: res.Instance, indexed: res.Indexed})
+	e.cache.restamp(res.Instance.Size())
+	return res, nil
+}
+
+// CacheStats reports cumulative plan-cache hit/miss counters; they
+// survive Load and Apply.
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
-// Instance returns the loaded instance, or nil.
-func (e *Engine) Instance() *data.Instance { return e.instance }
+// Instance returns the current snapshot's instance, or nil before Load.
+// The returned instance is immutable.
+func (e *Engine) Instance() *data.Instance {
+	if sn := e.current(); sn != nil {
+		return sn.instance
+	}
+	return nil
+}
 
-// Indexed returns the indexed instance built by Load, or nil. The indices
-// are read-only after Load and safe for concurrent use.
-func (e *Engine) Indexed() *access.Indexed { return e.indexed }
+// Indexed returns the current snapshot's indexed schema, or nil before
+// Load. The indices are immutable and safe for concurrent use; an Apply
+// publishes a new Indexed rather than mutating this one.
+func (e *Engine) Indexed() *access.Indexed {
+	if sn := e.current(); sn != nil {
+		return sn.indexed
+	}
+	return nil
+}
 
 // IsCovered runs the PTIME covered-query check with diagnostics.
 func (e *Engine) IsCovered(q *cq.CQ) (*cover.Result, error) {
@@ -132,17 +203,28 @@ func (e *Engine) CheckBounded(q *cq.CQ) (*bep.Decision, error) {
 // Outcomes (both plans and not-bounded verdicts, along with the BEP
 // decision backing them) are memoized in an LRU cache keyed by q's
 // CanonicalKey, so repeat queries of the same shape — including α-renamed
-// variants — skip the BEP check and plan synthesis entirely. The cache is
-// invalidated by Load.
+// variants — skip the BEP check and plan synthesis entirely. Entries
+// survive Load and Apply; only size-dependent bounds are re-stamped.
 func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
-	p, b, _, _, err := e.planWithDecision(q)
+	p, b, _, _, err := e.planWithDecision(q, e.sizeHint())
 	return p, b, err
+}
+
+// sizeHint is |D| of the current snapshot (0 before Load), the input to
+// general-form cardinality bounds s(|D|).
+func (e *Engine) sizeHint() int {
+	if sn := e.current(); sn != nil {
+		return sn.instance.Size()
+	}
+	return 0
 }
 
 // planWithDecision is Plan plus the cached BEP decision and a cache-hit
 // flag, for callers (Query, Explain) that need the diagnostics without
-// re-running the checker.
-func (e *Engine) planWithDecision(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decision, bool, error) {
+// re-running the checker. sizeHint is the |D| the caller's snapshot
+// reports, so a request's bound is computed against the same version it
+// executes (the cache normalizes stored bounds to the latest size).
+func (e *Engine) planWithDecision(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bound, *bep.Decision, bool, error) {
 	key := ""
 	if e.cache != nil {
 		key = q.CanonicalKey()
@@ -153,7 +235,7 @@ func (e *Engine) planWithDecision(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decisi
 			return relabel(ent.p, q.Label), ent.bound, ent.dec, true, nil
 		}
 	}
-	p, b, dec, err := e.planUncached(q)
+	p, b, dec, err := e.planUncached(q, sizeHint)
 	if e.cache != nil {
 		var nb *NotBoundedError
 		switch {
@@ -179,7 +261,7 @@ func relabel(p *plan.Plan, label string) *plan.Plan {
 }
 
 // planUncached is the uncached planning pipeline behind Plan.
-func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decision, error) {
+func (e *Engine) planUncached(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bound, *bep.Decision, error) {
 	dec, err := e.CheckBounded(q)
 	if err != nil {
 		return nil, plan.Bound{}, nil, err
@@ -203,10 +285,6 @@ func (e *Engine) planUncached(q *cq.CQ) (*plan.Plan, plan.Bound, *bep.Decision, 
 			p = plan.Optimize(p)
 		}
 		p.Label = q.Label
-		sizeHint := 0
-		if e.instance != nil {
-			sizeHint = e.instance.Size()
-		}
 		b, err := plan.AccessBound(p, sizeHint)
 		if err != nil {
 			return nil, plan.Bound{}, dec, err
@@ -343,10 +421,11 @@ func asNotBounded(err error, target **NotBoundedError) bool {
 
 // Baseline answers q with the conventional evaluator (for comparisons).
 func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
-	if e.instance == nil {
+	sn := e.current()
+	if sn == nil {
 		return nil, errNoInstance()
 	}
-	return eval.CQ(q, e.instance, mode)
+	return eval.CQ(q, sn.instance, mode)
 }
 
 // UpperEnvelope searches for a covered relaxation of q (UEP).
@@ -370,7 +449,7 @@ func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, er
 // before, the coverage check, BEP decision and plan all come from the
 // cached entry, so Explain on a hot query costs a cache lookup.
 func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
-	p, b, dec, _, err := e.planWithDecision(q)
+	p, b, dec, _, err := e.planWithDecision(q, e.sizeHint())
 	var nb *NotBoundedError
 	if err != nil && !asNotBounded(err, &nb) {
 		return "", err

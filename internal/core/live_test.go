@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/live"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func TestApplyBasicVisibility(t *testing.T) {
+	eng := accidentsEngine(t, Options{}, 2)
+	q := workload.Q0()
+	before, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert one more Queen's Park accident on the Q0 date, with a driver
+	// of a brand-new age, and check the new answer appears.
+	delta := live.NewDelta(eng.Schema)
+	delta.MustInsert("Accident", value.NewInt(900001), value.NewString("Queen's Park"), value.NewString("1/5/2005"))
+	delta.MustInsert("Casualty", value.NewInt(900001), value.NewInt(900001), value.NewInt(1), value.NewInt(900001))
+	delta.MustInsert("Vehicle", value.NewInt(900001), value.NewString("zed"), value.NewInt(2001))
+	res, err := eng.Apply(context.Background(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 3 || res.Deleted != 0 {
+		t.Fatalf("net effect +%d -%d, want +3 -0", res.Inserted, res.Deleted)
+	}
+	after, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows)+1 {
+		t.Fatalf("rows: %d before, %d after", len(before.Rows), len(after.Rows))
+	}
+	found := false
+	for _, r := range after.Rows {
+		if r[0] == value.NewInt(2001) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted driver age missing from post-delta answer")
+	}
+	// The cached plan served both sides of the update.
+	if !after.Stats.CacheHit {
+		t.Fatal("post-delta query must still hit the plan cache")
+	}
+}
+
+func TestApplyRejectedLeavesEngineIntact(t *testing.T) {
+	eng := accidentsEngine(t, Options{}, 2)
+	q := workload.Q0()
+	before, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 611 accidents on one fresh date violate ψ1 (≤ 610 aids per date).
+	delta := live.NewDelta(eng.Schema)
+	for i := int64(0); i < 611; i++ {
+		delta.MustInsert("Accident", value.NewInt(800000+i), value.NewString("Soho"), value.NewString("bad-day"))
+	}
+	_, err = eng.Apply(context.Background(), delta)
+	var ve *live.ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want ViolationError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "610") {
+		t.Errorf("violation should carry the bound: %v", err)
+	}
+	after, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatal("rejected delta changed query answers")
+	}
+	if eng.Instance().Relation("Accident").Contains(data.Tuple{
+		value.NewInt(800000), value.NewString("Soho"), value.NewString("bad-day"),
+	}) {
+		t.Fatal("rejected delta left tuples behind")
+	}
+}
+
+func TestApplyWithoutLoad(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.DefaultAccidentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(acc.Schema, acc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(context.Background(), live.NewDelta(acc.Schema)); err == nil {
+		t.Fatal("Apply before Load must fail")
+	}
+	if _, err := eng.Apply(context.Background(), nil); err == nil {
+		t.Fatal("nil delta must fail")
+	}
+}
+
+// keyedEngine serves a two-relation schema where R(A -> B, 1) is a key:
+// the query "B of A=1" always has exactly one answer in any D |= A. The
+// scan-path relation S is unconstrained traffic for the same test.
+func keyedEngine(t testing.TB) *Engine {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("R", "A", "B"),
+		schema.MustRelation("S", "C", "D"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("R", []schema.Attribute{"A"}, []schema.Attribute{"B"}, 1),
+	)
+	eng, err := New(s, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.NewInstance(s)
+	d.MustInsert("R", value.NewInt(1), value.NewInt(0))
+	for i := int64(0); i < 50; i++ {
+		d.MustInsert("S", value.NewInt(i), value.NewInt(i%5))
+	}
+	if err := eng.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// fetchB is the bounded query: B of R where A = 1.
+func fetchB() *cq.CQ {
+	return &cq.CQ{Label: "fetchB", Free: []string{"b"},
+		Atoms: []cq.Atom{cq.NewAtom("R", cq.Var("a"), cq.Var("b"))},
+		Eqs:   []cq.Eq{{L: cq.Var("a"), R: cq.Const(value.NewInt(1))}}}
+}
+
+// scanS is the scan-path query: all (C, D) pairs of S (not bounded).
+func scanS() *cq.CQ {
+	return &cq.CQ{Label: "scanS", Free: []string{"c", "d"},
+		Atoms: []cq.Atom{cq.NewAtom("S", cq.Var("c"), cq.Var("d"))}}
+}
+
+// TestApplySnapshotIsolationRace is the acceptance check for the live
+// subsystem: many concurrent readers during a stream of Applies, each
+// request observing one consistent snapshot — pre- or post-delta, never
+// a mix — on both the bounded (index) and scan (instance) paths. Run
+// with -race this also proves the memory-model side.
+func TestApplySnapshotIsolationRace(t *testing.T) {
+	eng := keyedEngine(t)
+	qb, qs := fetchB(), scanS()
+
+	// Warm the plan cache before racing.
+	if _, err := eng.Query(context.Background(), qb, WithFallback(FallbackRefuse)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(context.Background(), qs); err != nil {
+		t.Fatal(err)
+	}
+
+	const applies = 200
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Writer: each delta atomically moves the key tuple R(1, k) to
+	// R(1, k+1) AND swap-replaces one S tuple, keeping |R_{A=1}| = 1 and
+	// |S| = 50 invariant in every published snapshot. A torn read would
+	// surface as 0 or 2 key rows, or 49 or 51 scan rows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for k := int64(0); k < applies; k++ {
+			delta := live.NewDelta(eng.Schema)
+			delta.MustDelete("R", value.NewInt(1), value.NewInt(k))
+			delta.MustInsert("R", value.NewInt(1), value.NewInt(k+1))
+			delta.MustDelete("S", value.NewInt(k%50), value.NewInt((k%50)%5))
+			delta.MustInsert("S", value.NewInt(k%50), value.NewInt((k%50)%5+100))
+			if _, err := eng.Apply(context.Background(), delta); err != nil {
+				report(fmt.Errorf("apply %d: %w", k, err))
+				return
+			}
+			// Keep S's replaced tuple stable for the next round.
+			delta2 := live.NewDelta(eng.Schema)
+			delta2.MustDelete("S", value.NewInt(k%50), value.NewInt((k%50)%5+100))
+			delta2.MustInsert("S", value.NewInt(k%50), value.NewInt((k%50)%5))
+			if _, err := eng.Apply(context.Background(), delta2); err != nil {
+				report(fmt.Errorf("apply %d (restore): %w", k, err))
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if g%2 == 0 {
+					res, err := eng.Query(context.Background(), qb, WithFallback(FallbackRefuse))
+					if err != nil {
+						report(fmt.Errorf("reader %d: %w", g, err))
+						return
+					}
+					if len(res.Rows) != 1 {
+						report(fmt.Errorf("reader %d: torn bounded read: %d key rows", g, len(res.Rows)))
+						return
+					}
+				} else {
+					res, err := eng.Query(context.Background(), qs)
+					if err != nil {
+						report(fmt.Errorf("reader %d: %w", g, err))
+						return
+					}
+					if len(res.Rows) != 50 {
+						report(fmt.Errorf("reader %d: torn scan read: %d rows", g, len(res.Rows)))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// No stragglers: the serving goroutines unwound.
+	deadline := time.Now().Add(2 * time.Second)
+	base := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if n := runtime.NumGoroutine(); n <= base {
+			break
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestStreamedQueryKeepsItsSnapshot: a WithStream result drained AFTER
+// later Applies must still see the snapshot of its Query call.
+func TestStreamedQueryKeepsItsSnapshot(t *testing.T) {
+	eng := keyedEngine(t)
+	qs := scanS()
+	res, err := eng.Query(context.Background(), qs, WithStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate S heavily after planning but before draining.
+	delta := live.NewDelta(eng.Schema)
+	for i := int64(0); i < 50; i++ {
+		delta.MustDelete("S", value.NewInt(i), value.NewInt(i%5))
+	}
+	if _, err := eng.Apply(context.Background(), delta); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Instance().Relation("S").Len(); got != 0 {
+		t.Fatalf("S should be empty post-delta, has %d", got)
+	}
+	n := 0
+	for range res.Seq() {
+		n++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("streamed result saw %d rows, want the pre-delta 50", n)
+	}
+}
+
+// TestPropertyApplyEqualsReloadRandomCQs drives the accidents update
+// stream through Engine.Apply and checks, with a workload of random CQs
+// (bounded and not), that the incrementally maintained engine answers
+// exactly like an engine freshly loaded with the same final data.
+func TestPropertyApplyEqualsReloadRandomCQs(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 4, AccidentsPerDay: 10, MaxVehicles: 4, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(acc.Schema, acc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+		InsertAccidents: 5, DeleteAccidents: 2, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 25; b++ {
+		if _, err := eng.Apply(context.Background(), st.Next()); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+
+	fresh, err := New(acc.Schema, acc.Access, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Load(eng.Instance()); err != nil {
+		t.Fatalf("final instance must satisfy A: %v", err)
+	}
+
+	consts := map[schema.Attribute][]cq.Term{
+		"date":     {cq.Const(value.NewString(workload.DateName(0))), cq.Const(value.NewString(workload.DateName(5)))},
+		"district": {cq.Const(value.NewString(workload.Districts[0]))},
+		"aid":      {cq.Const(value.NewInt(3))},
+		"vid":      {cq.Const(value.NewInt(5))},
+	}
+	qs, err := workload.RandomCQs(acc.Schema, workload.RandomCQConfig{
+		Queries: 40, MaxAtoms: 3, StartProb: 0.8, FreeVars: 2, Seed: 23,
+	}, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs, workload.Q0())
+	for _, q := range qs {
+		a, aerr := eng.Query(context.Background(), q)
+		b, berr := fresh.Query(context.Background(), q)
+		if (aerr == nil) != (berr == nil) {
+			t.Fatalf("%s: incremental err=%v, reload err=%v", q.Label, aerr, berr)
+		}
+		if aerr != nil {
+			continue
+		}
+		if a.Mode != b.Mode {
+			t.Fatalf("%s: mode %v incrementally, %v reloaded", q.Label, a.Mode, b.Mode)
+		}
+		if !sameRowSet(a.Rows, b.Rows) {
+			t.Fatalf("%s: %d rows incrementally, %d reloaded", q.Label, len(a.Rows), len(b.Rows))
+		}
+	}
+}

@@ -286,17 +286,22 @@ func (e *Engine) serveSubs(ctx context.Context, start time.Time, label string, s
 	return e.serveUCQ(ctx, start, u, cfg)
 }
 
-// serveCQ serves a single conjunctive query.
+// serveCQ serves a single conjunctive query. The snapshot is acquired
+// once, up front: everything the request reads — indices on the bounded
+// path, the instance on the scan path, even rows produced after Query
+// returns by a streamed result — comes from that one consistent version,
+// however many updates are applied meanwhile.
 func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg queryConfig) (*Result, error) {
-	if e.instance == nil || e.indexed == nil {
+	sn := e.current()
+	if sn == nil {
 		return nil, errNoInstance()
 	}
-	p, b, _, hit, err := e.planWithDecision(q)
+	p, b, _, hit, err := e.planWithDecision(q, sn.instance.Size())
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget, Bound: &b}
 		}
-		return e.runBounded(ctx, start, ViaBoundedPlan, p, &b, hit, nil, cfg)
+		return e.runBounded(ctx, start, sn, ViaBoundedPlan, p, &b, hit, nil, cfg)
 	}
 	var nb *NotBoundedError
 	if !asNotBounded(err, &nb) {
@@ -306,7 +311,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 	case FallbackRefuse:
 		return nil, err
 	case FallbackEnvelope:
-		pu, bu, up, hitU, eerr := e.envelopePlanCached(q)
+		pu, bu, up, hitU, eerr := e.envelopePlanCached(q, sn.instance.Size())
 		if eerr != nil {
 			// The search itself failed (e.g. too many atoms for the
 			// relaxation search) — that diagnostic beats the generic
@@ -319,7 +324,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 		if cfg.budget >= 0 && bu.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget, Bound: &bu}
 		}
-		res, rerr := e.runBounded(ctx, start, ViaUpperEnvelope, pu, &bu, hitU, up, cfg)
+		res, rerr := e.runBounded(ctx, start, sn, ViaUpperEnvelope, pu, &bu, hitU, up, cfg)
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -332,7 +337,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, q.Label, q.Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			return eval.CQCtx(sctx, q, e.instance, eval.HashJoin)
+			return eval.CQCtx(sctx, q, sn.instance, eval.HashJoin)
 		})
 	}
 }
@@ -344,7 +349,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 // (that verdict is cached too); errors — from the search or from
 // planning Qu — are surfaced and never cached, so a transient failure
 // does not poison the shape.
-func (e *Engine) envelopePlanCached(q *cq.CQ) (*plan.Plan, plan.Bound, *envelope.Upper, bool, error) {
+func (e *Engine) envelopePlanCached(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bound, *envelope.Upper, bool, error) {
 	key := ""
 	if e.cache != nil {
 		key = "env:" + q.CanonicalKey()
@@ -362,7 +367,7 @@ func (e *Engine) envelopePlanCached(q *cq.CQ) (*plan.Plan, plan.Bound, *envelope
 		}
 		return nil, plan.Bound{}, nil, false, nil
 	}
-	pu, bu, _, _, perr := e.planWithDecision(up.Qu)
+	pu, bu, _, _, perr := e.planWithDecision(up.Qu, sizeHint)
 	if perr != nil {
 		return nil, plan.Bound{}, nil, false, perr
 	}
@@ -372,17 +377,19 @@ func (e *Engine) envelopePlanCached(q *cq.CQ) (*plan.Plan, plan.Bound, *envelope
 	return pu, bu, up, false, nil
 }
 
-// serveUCQ serves a union of conjunctive queries.
+// serveUCQ serves a union of conjunctive queries, against one snapshot
+// like serveCQ.
 func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg queryConfig) (*Result, error) {
-	if e.instance == nil || e.indexed == nil {
+	sn := e.current()
+	if sn == nil {
 		return nil, errNoInstance()
 	}
-	p, b, hit, err := e.planUCQCached(u)
+	p, b, hit, err := e.planUCQCached(u, sn.instance.Size())
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget, Bound: &b}
 		}
-		return e.runBounded(ctx, start, ViaBoundedPlan, p, &b, hit, nil, cfg)
+		return e.runBounded(ctx, start, sn, ViaBoundedPlan, p, &b, hit, nil, cfg)
 	}
 	var nb *NotBoundedError
 	if !asNotBounded(err, &nb) {
@@ -397,13 +404,14 @@ func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg 
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, u.Label, u.Subs[0].Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			return eval.UCQCtx(sctx, u.Subs, e.instance, eval.HashJoin)
+			return eval.UCQCtx(sctx, u.Subs, sn.instance, eval.HashJoin)
 		})
 	}
 }
 
-// runBounded executes a bounded plan, materialized or streamed.
-func (e *Engine) runBounded(ctx context.Context, start time.Time, mode Mode, p *plan.Plan, b *plan.Bound, cacheHit bool, up *envelope.Upper, cfg queryConfig) (*Result, error) {
+// runBounded executes a bounded plan against sn, materialized or
+// streamed.
+func (e *Engine) runBounded(ctx context.Context, start time.Time, sn *snapshot, mode Mode, p *plan.Plan, b *plan.Bound, cacheHit bool, up *envelope.Upper, cfg queryConfig) (*Result, error) {
 	res := &Result{
 		Query:    p.Label,
 		Mode:     mode,
@@ -417,7 +425,7 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, mode Mode, p *
 		res.stream = func(yield func(data.Tuple) bool) {
 			sctx, cancel := cfg.applyDeadline(ctx)
 			defer cancel()
-			st, err := plan.ExecuteStream(sctx, p, e.indexed, cfg.exec, yield)
+			st, err := plan.ExecuteStream(sctx, p, sn.indexed, cfg.exec, yield)
 			if st != nil {
 				res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
 				res.exec = st
@@ -430,7 +438,7 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, mode Mode, p *
 	}
 	sctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
-	tbl, st, err := plan.ExecuteOpts(sctx, p, e.indexed, cfg.exec)
+	tbl, st, err := plan.ExecuteOpts(sctx, p, sn.indexed, cfg.exec)
 	if err != nil {
 		return nil, err
 	}

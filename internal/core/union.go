@@ -25,13 +25,13 @@ func (e *Engine) CheckBoundedUCQ(u *ucq.UCQ) (*bep.UCQDecision, error) {
 // unions — including sub-query permutations and α-renamed variants —
 // skip coverage checking and synthesis entirely.
 func (e *Engine) PlanUCQ(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
-	p, b, _, err := e.planUCQCached(u)
+	p, b, _, err := e.planUCQCached(u, e.sizeHint())
 	return p, b, err
 }
 
 // planUCQCached is PlanUCQ plus a cache-hit flag. Non-covered verdicts
 // are cached too (as NotBoundedError entries), mirroring the CQ path.
-func (e *Engine) planUCQCached(u *ucq.UCQ) (*plan.Plan, plan.Bound, bool, error) {
+func (e *Engine) planUCQCached(u *ucq.UCQ, sizeHint int) (*plan.Plan, plan.Bound, bool, error) {
 	key := ""
 	if e.cache != nil {
 		// The "ucq:" prefix keeps union keys disjoint from CQ keys.
@@ -47,7 +47,7 @@ func (e *Engine) planUCQCached(u *ucq.UCQ) (*plan.Plan, plan.Bound, bool, error)
 			return relabel(ent.p, u.Label), ent.bound, true, nil
 		}
 	}
-	p, b, err := e.planUCQUncached(u)
+	p, b, err := e.planUCQUncached(u, sizeHint)
 	if e.cache != nil {
 		var nb *NotBoundedError
 		switch {
@@ -61,7 +61,7 @@ func (e *Engine) planUCQCached(u *ucq.UCQ) (*plan.Plan, plan.Bound, bool, error)
 }
 
 // planUCQUncached is the uncached union planning pipeline.
-func (e *Engine) planUCQUncached(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
+func (e *Engine) planUCQUncached(u *ucq.UCQ, sizeHint int) (*plan.Plan, plan.Bound, error) {
 	res, err := u.Covered(e.Access, e.Schema, e.Opts.Cover)
 	if err != nil {
 		return nil, plan.Bound{}, err
@@ -76,10 +76,6 @@ func (e *Engine) planUCQUncached(u *ucq.UCQ) (*plan.Plan, plan.Bound, error) {
 	p.Label = u.Label
 	if err := p.ConformsTo(plan.LangUCQ); err != nil {
 		return nil, plan.Bound{}, fmt.Errorf("core: internal: %w", err)
-	}
-	sizeHint := 0
-	if e.instance != nil {
-		sizeHint = e.instance.Size()
 	}
 	b, err := plan.AccessBound(p, sizeHint)
 	if err != nil {

@@ -80,6 +80,74 @@ func (r *Relation) MustInsert(vals ...value.Value) {
 	}
 }
 
+// Delete removes t under set semantics. It reports whether the tuple was
+// present and errors if the arity mismatches the schema. Insertion order
+// of the remaining tuples is preserved.
+func (r *Relation) Delete(t Tuple) (bool, error) {
+	if len(t) != r.Schema.Arity() {
+		return false, fmt.Errorf("data: relation %s expects arity %d, got %d",
+			r.Schema.Name, r.Schema.Arity(), len(t))
+	}
+	k := t.Key()
+	if !r.seen[k] {
+		return false, nil
+	}
+	delete(r.seen, k)
+	for i, u := range r.tuples {
+		if u.Equal(t) {
+			r.tuples = append(r.tuples[:i:i], r.tuples[i+1:]...)
+			break
+		}
+	}
+	return true, nil
+}
+
+// DeleteBatch removes every listed tuple in one order-preserving
+// compaction pass — O(|R| + |ts|) total, against O(|R|) per tuple for
+// repeated Delete calls — and returns the tuples that were actually
+// present (duplicates in ts count once), for callers that maintain
+// derived state such as indices. The surviving tuples move to a fresh
+// backing slice, so slices previously returned by Tuples stay intact.
+func (r *Relation) DeleteBatch(ts []Tuple) ([]Tuple, error) {
+	doomed := make(map[value.Key]bool, len(ts))
+	for _, t := range ts {
+		if len(t) != r.Schema.Arity() {
+			return nil, fmt.Errorf("data: relation %s expects arity %d, got %d",
+				r.Schema.Name, r.Schema.Arity(), len(t))
+		}
+		doomed[t.Key()] = true
+	}
+	var removed []Tuple
+	kept := make([]Tuple, 0, len(r.tuples))
+	for _, u := range r.tuples {
+		k := u.Key()
+		if doomed[k] && r.seen[k] {
+			delete(r.seen, k)
+			removed = append(removed, u)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	r.tuples = kept
+	return removed, nil
+}
+
+// Clone returns an independent copy of r: mutating the clone (Insert,
+// Delete) never affects r, so a clone is the copy-on-write building block
+// for snapshot-isolated updates. Tuples themselves are immutable and
+// shared.
+func (r *Relation) Clone() *Relation {
+	cp := &Relation{
+		Schema: r.Schema,
+		tuples: append([]Tuple(nil), r.tuples...),
+		seen:   make(map[value.Key]bool, len(r.seen)),
+	}
+	for k := range r.seen {
+		cp.seen[k] = true
+	}
+	return cp
+}
+
 // Contains reports whether tuple t is present.
 func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
 
@@ -124,6 +192,39 @@ func (d *Instance) MustInsert(rel string, vals ...value.Value) {
 	if err := d.Insert(rel, vals...); err != nil {
 		panic(err)
 	}
+}
+
+// Delete removes a tuple from the named relation.
+func (d *Instance) Delete(rel string, vals ...value.Value) error {
+	r := d.rels[rel]
+	if r == nil {
+		return fmt.Errorf("data: instance has no relation %s", rel)
+	}
+	_, err := r.Delete(Tuple(vals))
+	return err
+}
+
+// CloneWith returns a shallow copy of d in which the relations named in
+// repls are replaced and every other relation is shared with d. It is the
+// instance-level copy-on-write step of a snapshotted update: the original
+// instance is left untouched. Every replacement must name a relation of
+// the schema and carry the same relation schema.
+func (d *Instance) CloneWith(repls map[string]*Relation) (*Instance, error) {
+	cp := &Instance{Schema: d.Schema, rels: make(map[string]*Relation, len(d.rels))}
+	for name, r := range d.rels {
+		cp.rels[name] = r
+	}
+	for name, r := range repls {
+		old := cp.rels[name]
+		if old == nil {
+			return nil, fmt.Errorf("data: instance has no relation %s", name)
+		}
+		if r.Schema.Name != old.Schema.Name || r.Schema.Arity() != old.Schema.Arity() {
+			return nil, fmt.Errorf("data: replacement for %s has schema %v", name, r.Schema)
+		}
+		cp.rels[name] = r
+	}
+	return cp, nil
 }
 
 // Size is |D|: the total number of tuples across all relations.

@@ -118,6 +118,129 @@ func TestActiveDomain(t *testing.T) {
 	}
 }
 
+func TestDeleteRoundTrip(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	r.MustInsert(value.NewInt(1), value.NewInt(10))
+	r.MustInsert(value.NewInt(2), value.NewInt(20))
+	r.MustInsert(value.NewInt(3), value.NewInt(30))
+
+	gone, err := r.Delete(ints(2, 20))
+	if err != nil || !gone {
+		t.Fatalf("delete present tuple: gone=%v err=%v", gone, err)
+	}
+	if r.Len() != 2 || r.Contains(ints(2, 20)) {
+		t.Fatalf("after delete: Len=%d Contains=%v", r.Len(), r.Contains(ints(2, 20)))
+	}
+	// Order of the survivors is preserved.
+	if !r.Tuples()[0].Equal(ints(1, 10)) || !r.Tuples()[1].Equal(ints(3, 30)) {
+		t.Errorf("delete must preserve insertion order: %v", r.Tuples())
+	}
+
+	// Deleting an absent tuple is a no-op, not an error.
+	gone, err = r.Delete(ints(2, 20))
+	if err != nil || gone {
+		t.Fatalf("delete absent tuple: gone=%v err=%v", gone, err)
+	}
+
+	// Reinsert after delete: the tuple is fresh again.
+	fresh, err := r.Insert(ints(2, 20))
+	if err != nil || !fresh {
+		t.Fatalf("reinsert after delete: fresh=%v err=%v", fresh, err)
+	}
+	if r.Len() != 3 || !r.Contains(ints(2, 20)) {
+		t.Fatalf("after reinsert: Len=%d", r.Len())
+	}
+	// And deleting it again works (seen bookkeeping stayed consistent).
+	if gone, _ = r.Delete(ints(2, 20)); !gone {
+		t.Error("delete after reinsert must find the tuple")
+	}
+}
+
+func TestDeleteArityCheck(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	if _, err := r.Delete(ints(1)); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestInsertDeleteReinsertQuick(t *testing.T) {
+	// Property: replaying a random op sequence, Len and Contains agree
+	// with a plain map-backed set at every step.
+	f := func(ops []int8) bool {
+		r := NewRelation(schema.MustRelation("R", "A"))
+		ref := make(map[int64]bool)
+		for _, op := range ops {
+			x := int64(op) & 7
+			if op >= 0 {
+				fresh, err := r.Insert(ints(x))
+				if err != nil || fresh == ref[x] {
+					return false
+				}
+				ref[x] = true
+			} else {
+				gone, err := r.Delete(ints(x))
+				if err != nil || gone != ref[x] {
+					return false
+				}
+				delete(ref, x)
+			}
+			if r.Len() != len(ref) || r.Contains(ints(x)) != ref[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A"))
+	r.MustInsert(value.NewInt(1))
+	r.MustInsert(value.NewInt(2))
+	cl := r.Clone()
+	if _, err := cl.Delete(ints(1)); err != nil {
+		t.Fatal(err)
+	}
+	cl.MustInsert(value.NewInt(3))
+	if r.Len() != 2 || !r.Contains(ints(1)) || r.Contains(ints(3)) {
+		t.Errorf("mutating the clone leaked into the original: %v", r.Tuples())
+	}
+	if cl.Len() != 2 || cl.Contains(ints(1)) || !cl.Contains(ints(3)) {
+		t.Errorf("clone state wrong: %v", cl.Tuples())
+	}
+}
+
+func TestInstanceCloneWith(t *testing.T) {
+	s := schema.MustNew(
+		schema.MustRelation("R", "A"),
+		schema.MustRelation("S", "B", "C"),
+	)
+	d := NewInstance(s)
+	d.MustInsert("R", value.NewInt(1))
+	d.MustInsert("S", value.NewInt(2), value.NewInt(3))
+
+	repl := d.Relation("R").Clone()
+	repl.MustInsert(value.NewInt(9))
+	cp, err := d.CloneWith(map[string]*Relation{"R": repl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Relation("S") != d.Relation("S") {
+		t.Error("untouched relations must be shared, not copied")
+	}
+	if cp.Size() != 3 || d.Size() != 2 {
+		t.Errorf("sizes: clone=%d original=%d", cp.Size(), d.Size())
+	}
+	if err := d.Delete("S", value.NewInt(2), value.NewInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CloneWith(map[string]*Relation{"T": repl}); err == nil {
+		t.Error("replacing an unknown relation must error")
+	}
+}
+
 func TestSetSemanticsQuick(t *testing.T) {
 	// Property: Len equals the number of distinct inserted tuples.
 	f := func(xs []int64) bool {
@@ -133,5 +256,43 @@ func TestSetSemanticsQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDeleteBatch(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	for i := int64(0); i < 6; i++ {
+		r.MustInsert(value.NewInt(i), value.NewInt(i*10))
+	}
+	before := r.Tuples() // captured slices must survive the batch
+	removed, err := r.DeleteBatch([]Tuple{
+		ints(1, 10),
+		ints(3, 30),
+		ints(3, 30),  // duplicate: counts once
+		ints(99, 99), // absent: ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %d tuples, want 2: %v", len(removed), removed)
+	}
+	if r.Len() != 4 || r.Contains(ints(1, 10)) || r.Contains(ints(3, 30)) {
+		t.Fatalf("post-batch state wrong: %v", r.Tuples())
+	}
+	// Order preserved among survivors.
+	want := []int64{0, 2, 4, 5}
+	for i, tup := range r.Tuples() {
+		if tup[0] != value.NewInt(want[i]) {
+			t.Fatalf("order not preserved: %v", r.Tuples())
+		}
+	}
+	// The pre-batch Tuples slice is untouched.
+	if len(before) != 6 || !before[1].Equal(ints(1, 10)) {
+		t.Error("DeleteBatch mutated a previously returned Tuples slice")
+	}
+	// Arity errors reject the whole batch.
+	if _, err := r.DeleteBatch([]Tuple{ints(1)}); err == nil {
+		t.Error("arity mismatch must error")
 	}
 }

@@ -3,10 +3,18 @@
 // An access constraint R(X -> Y, N) requires "an index on X for Y that,
 // given an X-value ā, retrieves D_Y(X = ā)". Index is exactly that: it maps
 // each X-value to the set of distinct Y-projections of matching tuples.
+//
+// Indices support incremental maintenance: Insert and Delete keep the
+// buckets exact under tuple-level updates without rebuilding, tracking the
+// multiplicity of each (X, Y) pair so a Y-projection disappears only when
+// its last witnessing tuple does. Clone produces an independently
+// maintainable copy whose mutations never touch the original — the
+// building block for snapshot-isolated index versions.
 package index
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/data"
 	"repro/internal/schema"
@@ -22,39 +30,159 @@ type Index struct {
 
 	xpos, ypos []int
 	buckets    map[value.Key][]data.Tuple
+	// counts tracks, per (X, Y) pair, how many relation tuples project to
+	// it; a bucket entry is removed when its count reaches zero.
+	counts map[value.Key]int
+	// owned says which bucket slices this index may mutate in place. nil
+	// means all of them (a freshly built index); after a Clone, both
+	// sides own nothing and re-copy each bucket on first write, so
+	// mutations on either side never reach the other.
+	owned map[value.Key]bool
 }
 
-// Build constructs the index on X for Y over r. Empty X is allowed (the
-// paper's R(∅ -> Y, N) form): all tuples share the single empty key.
-func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
-	xpos, err := r.Schema.Positions(x)
+// ownsBucket reports whether the bucket for k may be mutated in place.
+func (ix *Index) ownsBucket(k value.Key) bool {
+	return ix.owned == nil || ix.owned[k]
+}
+
+// claimBucket marks the bucket for k as owned (called after copying it).
+func (ix *Index) claimBucket(k value.Key) {
+	if ix.owned != nil {
+		ix.owned[k] = true
+	}
+}
+
+// New constructs an empty index on X for Y over relations shaped like rs.
+// Empty X is allowed (the paper's R(∅ -> Y, N) form): all tuples share
+// the single empty key.
+func New(rs schema.Relation, x, y []schema.Attribute) (*Index, error) {
+	xpos, err := rs.Positions(x)
 	if err != nil {
 		return nil, fmt.Errorf("index: bad X: %w", err)
 	}
-	ypos, err := r.Schema.Positions(y)
+	ypos, err := rs.Positions(y)
 	if err != nil {
 		return nil, fmt.Errorf("index: bad Y: %w", err)
 	}
-	idx := &Index{
-		Rel:     r.Schema.Name,
+	return &Index{
+		Rel:     rs.Name,
 		X:       append([]schema.Attribute(nil), x...),
 		Y:       append([]schema.Attribute(nil), y...),
 		xpos:    xpos,
 		ypos:    ypos,
 		buckets: make(map[value.Key][]data.Tuple),
+		counts:  make(map[value.Key]int),
+	}, nil
+}
+
+// Build constructs the index on X for Y over r.
+func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
+	idx, err := New(r.Schema, x, y)
+	if err != nil {
+		return nil, err
 	}
-	dedup := make(map[value.Key]bool)
 	for _, t := range r.Tuples() {
-		k := value.KeyOfAt(t, xpos)
-		proj := t.Project(ypos)
-		dk := k + "\x00" + value.Key(proj.Key())
-		if dedup[dk] {
-			continue
-		}
-		dedup[dk] = true
-		idx.buckets[k] = append(idx.buckets[k], proj)
+		idx.Insert(t)
 	}
 	return idx, nil
+}
+
+// pairKey is the injective encoding of (X-projection, Y-projection).
+func (ix *Index) pairKey(k value.Key, proj data.Tuple) value.Key {
+	return k + "\x00" + proj.Key()
+}
+
+// Insert maintains the index for one inserted tuple, returning the
+// tuple's X-key and the bucket size after the insert (so callers can
+// check a cardinality bound without scanning all groups). Inserting a
+// tuple whose (X, Y) pair is already present only bumps its multiplicity.
+// The caller is responsible for set semantics at the relation level:
+// Insert assumes t was a fresh relation tuple.
+func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
+	k := value.KeyOfAt(t, ix.xpos)
+	proj := t.Project(ix.ypos)
+	dk := ix.pairKey(k, proj)
+	ix.counts[dk]++
+	b := ix.buckets[k]
+	if ix.counts[dk] == 1 {
+		if !ix.ownsBucket(k) {
+			// Copy-on-write: this bucket's backing array is shared with a
+			// pre-clone version whose readers still hold it.
+			nb := make([]data.Tuple, len(b), len(b)+1)
+			copy(nb, b)
+			b = nb
+			ix.claimBucket(k)
+		}
+		b = append(b, proj)
+		ix.buckets[k] = b
+	}
+	return k, len(b)
+}
+
+// Delete maintains the index for one deleted tuple, returning the tuple's
+// X-key and the bucket size after the delete. The Y-projection leaves the
+// bucket only when no other relation tuple projects to it. Deleting a
+// tuple that was never inserted is a no-op.
+func (ix *Index) Delete(t data.Tuple) (value.Key, int) {
+	k := value.KeyOfAt(t, ix.xpos)
+	proj := t.Project(ix.ypos)
+	dk := ix.pairKey(k, proj)
+	n, ok := ix.counts[dk]
+	if !ok {
+		return k, len(ix.buckets[k])
+	}
+	if n > 1 {
+		ix.counts[dk] = n - 1
+		return k, len(ix.buckets[k])
+	}
+	delete(ix.counts, dk)
+	b := ix.buckets[k]
+	pk := proj.Key()
+	var nb []data.Tuple
+	if ix.ownsBucket(k) {
+		nb = b[:0]
+	} else {
+		nb = make([]data.Tuple, 0, len(b)-1)
+		ix.claimBucket(k)
+	}
+	for _, p := range b {
+		if p.Key() != pk {
+			nb = append(nb, p)
+		}
+	}
+	if len(nb) == 0 {
+		delete(ix.buckets, k)
+		delete(ix.owned, k)
+		return k, 0
+	}
+	ix.buckets[k] = nb
+	return k, len(nb)
+}
+
+// Clone returns a copy of ix that can be maintained incrementally while
+// readers keep using ix: mutations on either side never reach the other.
+// Bucket slices are shared until first write — Clone renounces in-place
+// mutation rights on BOTH sides, so each re-copies a bucket the first
+// time it changes it.
+func (ix *Index) Clone() *Index {
+	cp := &Index{
+		Rel:     ix.Rel,
+		X:       ix.X,
+		Y:       ix.Y,
+		xpos:    ix.xpos,
+		ypos:    ix.ypos,
+		buckets: make(map[value.Key][]data.Tuple, len(ix.buckets)),
+		counts:  make(map[value.Key]int, len(ix.counts)),
+		owned:   make(map[value.Key]bool),
+	}
+	for k, b := range ix.buckets {
+		cp.buckets[k] = b
+	}
+	for dk, n := range ix.counts {
+		cp.counts[dk] = n
+	}
+	ix.owned = make(map[value.Key]bool)
+	return cp
 }
 
 // Fetch returns the distinct Y-projections D_Y(X = ā) for the X-value ā.
@@ -80,6 +208,17 @@ func (ix *Index) MaxGroup() int {
 
 // Groups returns the number of distinct X-values present.
 func (ix *Index) Groups() int { return len(ix.buckets) }
+
+// Keys returns the distinct X-keys present, sorted; mainly for tests and
+// diagnostics that compare two indices.
+func (ix *Index) Keys() []value.Key {
+	out := make([]value.Key, 0, len(ix.buckets))
+	for k := range ix.buckets {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // String identifies the index, e.g. "index on Accident(date -> aid)".
 func (ix *Index) String() string {

@@ -132,3 +132,183 @@ func TestKeyIndexProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// mirror rebuilds an index from scratch and asserts it matches ix exactly:
+// same keys, and for each key the same set of Y-projections.
+func assertSameIndex(t *testing.T, ix *Index, r *data.Relation, x, y []schema.Attribute) {
+	t.Helper()
+	ref, err := Build(r, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ix.Groups(), ref.Groups(); got != want {
+		t.Fatalf("Groups = %d, rebuild says %d", got, want)
+	}
+	for _, k := range ref.Keys() {
+		got, want := ix.FetchKey(k), ref.FetchKey(k)
+		if len(got) != len(want) {
+			t.Fatalf("key %q: %d projections, rebuild says %d", k, len(got), len(want))
+		}
+		seen := make(map[string]bool, len(got))
+		for _, p := range got {
+			seen[string(p.Key())] = true
+		}
+		for _, p := range want {
+			if !seen[string(p.Key())] {
+				t.Fatalf("key %q: projection %v missing from incremental index", k, p)
+			}
+		}
+	}
+}
+
+func TestIncrementalInsertDelete(t *testing.T) {
+	rs := schema.MustRelation("Casualty", "cid", "aid", "vid")
+	r := data.NewRelation(rs)
+	x, y := []schema.Attribute{"aid"}, []schema.Attribute{"vid"}
+	ix, err := New(rs, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := func(cid, aid, vid int64) data.Tuple {
+		tup := data.Tuple{value.NewInt(cid), value.NewInt(aid), value.NewInt(vid)}
+		if fresh, err := r.Insert(tup); err != nil || !fresh {
+			t.Fatalf("insert: fresh=%v err=%v", fresh, err)
+		}
+		ix.Insert(tup)
+		return tup
+	}
+	del := func(tup data.Tuple) {
+		if gone, err := r.Delete(tup); err != nil || !gone {
+			t.Fatalf("delete: gone=%v err=%v", gone, err)
+		}
+		ix.Delete(tup)
+	}
+
+	// Two distinct tuples witnessing the SAME (aid, vid) pair: deleting
+	// one must keep the projection, deleting both must drop it.
+	t1 := ins(1, 10, 100)
+	t2 := ins(2, 10, 100)
+	t3 := ins(3, 10, 101)
+	assertSameIndex(t, ix, r, x, y)
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 2 {
+		t.Fatalf("bucket for aid=10 has %d projections, want 2", g)
+	}
+	del(t1)
+	assertSameIndex(t, ix, r, x, y)
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 2 {
+		t.Fatalf("after deleting one of two witnesses: %d projections, want 2", g)
+	}
+	del(t2)
+	assertSameIndex(t, ix, r, x, y)
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 1 {
+		t.Fatalf("after deleting both witnesses: %d projections, want 1", g)
+	}
+	del(t3)
+	if ix.Groups() != 0 {
+		t.Fatalf("empty relation must have no groups, got %d", ix.Groups())
+	}
+	assertSameIndex(t, ix, r, x, y)
+
+	// Reinsert after full deletion.
+	ins(4, 10, 100)
+	assertSameIndex(t, ix, r, x, y)
+}
+
+func TestIncrementalMatchesRebuildQuick(t *testing.T) {
+	// Property: replaying any op sequence, the incrementally maintained
+	// index equals a from-scratch rebuild.
+	f := func(ops []struct{ A, B, Del int8 }) bool {
+		rs := schema.MustRelation("R", "A", "B", "C")
+		r := data.NewRelation(rs)
+		x, y := []schema.Attribute{"A"}, []schema.Attribute{"B"}
+		ix, err := New(rs, x, y)
+		if err != nil {
+			return false
+		}
+		for i, op := range ops {
+			tup := data.Tuple{
+				value.NewInt(int64(op.A & 3)),
+				value.NewInt(int64(op.B & 3)),
+				value.NewInt(int64(i & 7)), // C varies: distinct tuples share (A,B)
+			}
+			if op.Del&1 == 0 {
+				if fresh, err := r.Insert(tup); err != nil {
+					return false
+				} else if fresh {
+					ix.Insert(tup)
+				}
+			} else {
+				if gone, err := r.Delete(tup); err != nil {
+					return false
+				} else if gone {
+					ix.Delete(tup)
+				}
+			}
+		}
+		ref, err := Build(r, x, y)
+		if err != nil {
+			return false
+		}
+		if ix.Groups() != ref.Groups() || ix.MaxGroup() != ref.MaxGroup() {
+			return false
+		}
+		for _, k := range ref.Keys() {
+			if len(ix.FetchKey(k)) != len(ref.FetchKey(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	rs := schema.MustRelation("R", "A", "B")
+	r := data.NewRelation(rs)
+	for i := int64(0); i < 4; i++ {
+		r.MustInsert(value.NewInt(i%2), value.NewInt(i))
+	}
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(ix.Fetch([]value.Value{value.NewInt(0)}))
+
+	cl := ix.Clone()
+	cl.Insert(data.Tuple{value.NewInt(0), value.NewInt(99)})
+	cl.Delete(data.Tuple{value.NewInt(1), value.NewInt(1)})
+
+	if got := len(ix.Fetch([]value.Value{value.NewInt(0)})); got != before {
+		t.Errorf("clone insert leaked into original: %d, want %d", got, before)
+	}
+	if got := len(ix.Fetch([]value.Value{value.NewInt(1)})); got != 2 {
+		t.Errorf("clone delete leaked into original: %d, want 2", got)
+	}
+	if got := len(cl.Fetch([]value.Value{value.NewInt(0)})); got != before+1 {
+		t.Errorf("clone missing its own insert: %d, want %d", got, before+1)
+	}
+}
+
+func TestCloneIsolationBothDirections(t *testing.T) {
+	// After Clone, mutations on the ORIGINAL must not leak into the clone
+	// either: Clone renounces in-place bucket mutation on both sides.
+	rs := schema.MustRelation("R", "A", "B")
+	r := data.NewRelation(rs)
+	r.MustInsert(value.NewInt(0), value.NewInt(1))
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ix.Clone()
+	ix.Insert(data.Tuple{value.NewInt(0), value.NewInt(2)})
+	ix.Delete(data.Tuple{value.NewInt(0), value.NewInt(1)})
+	if got := len(cl.Fetch([]value.Value{value.NewInt(0)})); got != 1 {
+		t.Errorf("original's mutations leaked into the clone: %d projections, want 1", got)
+	}
+	b := cl.Fetch([]value.Value{value.NewInt(0)})
+	if b[0][0] != value.NewInt(1) {
+		t.Errorf("clone bucket content changed: %v", b)
+	}
+}

@@ -1,0 +1,312 @@
+// Package live implements the engine's update subsystem: deltas of
+// inserts and deletes applied with snapshot isolation and incremental
+// index maintenance.
+//
+// A Delta batches tuple-level inserts and deletes per relation. Apply
+// materializes a NEW instance/index pair from an existing one without
+// mutating it: touched relations and their indices are cloned
+// copy-on-write and maintained incrementally (index.Insert/Delete), while
+// untouched ones are shared. Readers of the old pair therefore keep a
+// consistent pre-delta view for as long as they hold it — the engine
+// publishes the new pair with an atomic pointer swap, never stopping the
+// world.
+//
+// Apply also validates the delta against the access schema: a batch whose
+// net effect would make some group |D_Y(X = ā)| exceed its constraint's
+// cardinality bound is rejected with the full violation list and NO
+// visible effect. This keeps D |= A an invariant of the serving engine,
+// which is what makes every cached bounded plan remain valid across
+// updates (the paper's bounds are data-independent given A and, for
+// general-form constraints, the |D| size hint).
+package live
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/index"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Delta is a batch of tuple-level updates, grouped per relation. The zero
+// Delta is not usable; build one with NewDelta. A Delta is not safe for
+// concurrent mutation.
+type Delta struct {
+	schema *schema.Schema
+	rels   map[string]*relDelta
+	order  []string // relations in first-touch order, for determinism
+}
+
+type relDelta struct {
+	inserts []data.Tuple
+	deletes []data.Tuple
+}
+
+// NewDelta returns an empty delta over s. Insert and Delete validate
+// relation names and arities against s immediately, so a malformed batch
+// fails at build time, not apply time.
+func NewDelta(s *schema.Schema) *Delta {
+	return &Delta{schema: s, rels: make(map[string]*relDelta)}
+}
+
+func (d *Delta) rel(name string) (*relDelta, error) {
+	if _, ok := d.schema.Relation(name); !ok {
+		return nil, fmt.Errorf("live: delta references unknown relation %s", name)
+	}
+	rd := d.rels[name]
+	if rd == nil {
+		rd = &relDelta{}
+		d.rels[name] = rd
+		d.order = append(d.order, name)
+	}
+	return rd, nil
+}
+
+func (d *Delta) tuple(rel string, vals []value.Value) (data.Tuple, error) {
+	rs, _ := d.schema.Relation(rel)
+	if len(vals) != rs.Arity() {
+		return nil, fmt.Errorf("live: relation %s expects arity %d, got %d", rel, rs.Arity(), len(vals))
+	}
+	return data.Tuple(vals).Clone(), nil
+}
+
+// Insert adds an insertion of (vals...) into rel to the batch.
+func (d *Delta) Insert(rel string, vals ...value.Value) error {
+	rd, err := d.rel(rel)
+	if err != nil {
+		return err
+	}
+	t, err := d.tuple(rel, vals)
+	if err != nil {
+		return err
+	}
+	rd.inserts = append(rd.inserts, t)
+	return nil
+}
+
+// Delete adds a deletion of (vals...) from rel to the batch.
+func (d *Delta) Delete(rel string, vals ...value.Value) error {
+	rd, err := d.rel(rel)
+	if err != nil {
+		return err
+	}
+	t, err := d.tuple(rel, vals)
+	if err != nil {
+		return err
+	}
+	rd.deletes = append(rd.deletes, t)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for fixtures and generators
+// whose schemas are correct by construction.
+func (d *Delta) MustInsert(rel string, vals ...value.Value) {
+	if err := d.Insert(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// MustDelete is Delete that panics on error.
+func (d *Delta) MustDelete(rel string, vals ...value.Value) {
+	if err := d.Delete(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the total number of batched operations (inserts + deletes).
+func (d *Delta) Len() int {
+	n := 0
+	for _, rd := range d.rels {
+		n += len(rd.inserts) + len(rd.deletes)
+	}
+	return n
+}
+
+// Relations returns the names of the touched relations, sorted.
+func (d *Delta) Relations() []string {
+	out := append([]string(nil), d.order...)
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the batch, e.g. "delta{Accident: +3 -1, Casualty: +6}".
+func (d *Delta) String() string {
+	var sb strings.Builder
+	sb.WriteString("delta{")
+	for i, name := range d.Relations() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		rd := d.rels[name]
+		fmt.Fprintf(&sb, "%s:", name)
+		if len(rd.inserts) > 0 {
+			fmt.Fprintf(&sb, " +%d", len(rd.inserts))
+		}
+		if len(rd.deletes) > 0 {
+			fmt.Fprintf(&sb, " -%d", len(rd.deletes))
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// ViolationError rejects a delta whose net effect would break D |= A. The
+// update had no visible effect: the pre-delta snapshot is untouched.
+type ViolationError struct {
+	Violations []access.Violation
+}
+
+func (e *ViolationError) Error() string {
+	msgs := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		msgs[i] = v.Error()
+	}
+	return fmt.Sprintf("live: delta rejected, it would violate the access schema:\n  %s",
+		strings.Join(msgs, "\n  "))
+}
+
+// Result reports a successfully applied delta: the new snapshot pair plus
+// net-effect accounting.
+type Result struct {
+	// Instance and Indexed form the post-delta snapshot; the pre-delta
+	// pair passed to Apply is untouched and remains fully usable.
+	Instance *data.Instance
+	Indexed  *access.Indexed
+	// Inserted and Deleted count the operations with net effect under set
+	// semantics (inserting a present tuple or deleting an absent one is a
+	// no-op).
+	Inserted, Deleted int
+}
+
+// checkEvery is how many tuple operations Apply processes between
+// context-cancellation checks.
+const checkEvery = 1024
+
+// Apply materializes ix's instance with d applied, validating the result
+// against the access schema. Per relation, deletes are applied before
+// inserts (so a tuple both deleted and inserted in one batch ends up
+// present), under set semantics.
+//
+// On success the returned Result holds the post-delta snapshot: touched
+// relations and indices are fresh copies maintained incrementally,
+// untouched ones are shared with ix. On a cardinality violation Apply
+// returns a *ViolationError listing every broken constraint and the
+// pre-delta snapshot stays untouched; general-form constraints s(|D|) are
+// re-checked even on untouched relations when the batch shrinks |D|
+// enough to lower their bound. ctx cancels a long apply between chunks.
+func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
+	if ix == nil || ix.Instance == nil {
+		return nil, fmt.Errorf("live: no indexed instance to apply to")
+	}
+	inst := ix.Instance
+	cs := ix.Access.Constraints
+
+	repls := make(map[string]*data.Relation)
+	clonedIdx := make(map[int]*index.Index)
+	// maxTouched tracks, per cloned index, the largest group size any of
+	// this batch's inserts produced — the only groups that can newly
+	// exceed a non-shrinking bound.
+	maxTouched := make(map[int]int)
+	res := &Result{}
+
+	ops := 0
+	tick := func() error {
+		ops++
+		if ops%checkEvery == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
+
+	for _, name := range d.Relations() {
+		rd := d.rels[name]
+		r := inst.Relation(name)
+		if r == nil {
+			return nil, fmt.Errorf("live: instance has no relation %s", name)
+		}
+		cl := r.Clone()
+		var idxs []int
+		for ci, c := range cs {
+			if c.Rel == name {
+				clonedIdx[ci] = ix.Index(ci).Clone()
+				idxs = append(idxs, ci)
+			}
+		}
+		removed, err := cl.DeleteBatch(rd.deletes)
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		res.Deleted += len(removed)
+		for _, t := range removed {
+			for _, ci := range idxs {
+				clonedIdx[ci].Delete(t)
+			}
+			if err := tick(); err != nil {
+				return nil, fmt.Errorf("live: apply canceled: %w", err)
+			}
+		}
+		for _, t := range rd.inserts {
+			fresh, err := cl.Insert(t)
+			if err != nil {
+				return nil, fmt.Errorf("live: %w", err)
+			}
+			if !fresh {
+				continue
+			}
+			res.Inserted++
+			for _, ci := range idxs {
+				if _, g := clonedIdx[ci].Insert(t); g > maxTouched[ci] {
+					maxTouched[ci] = g
+				}
+			}
+			if err := tick(); err != nil {
+				return nil, fmt.Errorf("live: apply canceled: %w", err)
+			}
+		}
+		repls[name] = cl
+	}
+
+	newInst, err := inst.CloneWith(repls)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	oldSize, newSize := inst.Size(), newInst.Size()
+
+	var viols []access.Violation
+	for ci, c := range cs {
+		bound := c.Card.Bound(newSize)
+		shrunk := !c.Card.IsConst() && bound < c.Card.Bound(oldSize)
+		switch {
+		case clonedIdx[ci] != nil && shrunk:
+			// The batch lowered s(|D|): every group of the touched index
+			// must be re-checked, not just the ones this batch grew.
+			if g := clonedIdx[ci].MaxGroup(); g > bound {
+				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+			}
+		case clonedIdx[ci] != nil:
+			if g := maxTouched[ci]; g > bound {
+				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+			}
+		case shrunk:
+			// Untouched relation, but a general-form bound shrank with |D|.
+			if g := ix.Index(ci).MaxGroup(); g > bound {
+				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+			}
+		}
+	}
+	if len(viols) > 0 {
+		return nil, &ViolationError{Violations: viols}
+	}
+
+	newIx, err := ix.CloneWith(newInst, clonedIdx)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	res.Instance, res.Indexed = newInst, newIx
+	return res, nil
+}

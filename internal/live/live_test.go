@@ -1,0 +1,447 @@
+package live_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/live"
+	"repro/internal/load"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func iv(i int64) value.Value  { return value.NewInt(i) }
+func sv(s string) value.Value { return value.NewString(s) }
+
+func mustIndexed(t *testing.T, a *access.Schema, d *data.Instance) *access.Indexed {
+	t.Helper()
+	ix, viols, err := access.BuildIndexed(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) > 0 {
+		t.Fatalf("fixture violates its access schema: %v", viols)
+	}
+	return ix
+}
+
+// pairSchema is a two-relation schema with a constant-bound and a
+// log-bound constraint, small enough to drive into violations on purpose.
+func pairSchema() (*schema.Schema, *access.Schema) {
+	s := schema.MustNew(
+		schema.MustRelation("R", "A", "B"),
+		schema.MustRelation("S", "C", "D"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("R", []schema.Attribute{"A"}, []schema.Attribute{"B"}, 2),
+		access.Constraint{Rel: "S", X: []schema.Attribute{"C"}, Y: []schema.Attribute{"D"}, Card: access.LogCard()},
+	)
+	return s, a
+}
+
+func TestApplyInsertDeleteBasic(t *testing.T) {
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	d.MustInsert("R", iv(1), iv(10))
+	d.MustInsert("S", iv(1), iv(100))
+	ix := mustIndexed(t, a, d)
+
+	delta := live.NewDelta(s)
+	delta.MustInsert("R", iv(1), iv(11))
+	delta.MustInsert("R", iv(1), iv(10)) // duplicate: no net effect
+	delta.MustDelete("S", iv(1), iv(100))
+	delta.MustDelete("S", iv(9), iv(9)) // absent: no net effect
+
+	res, err := live.Apply(context.Background(), delta, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 1 {
+		t.Fatalf("net effect: +%d -%d, want +1 -1", res.Inserted, res.Deleted)
+	}
+	// Old snapshot untouched.
+	if d.Size() != 2 || len(ix.Index(0).Fetch([]value.Value{iv(1)})) != 1 {
+		t.Fatal("pre-delta snapshot was mutated")
+	}
+	// New snapshot reflects the delta, incrementally.
+	if res.Instance.Size() != 2 {
+		t.Fatalf("new size = %d, want 2", res.Instance.Size())
+	}
+	if got := len(res.Indexed.Index(0).Fetch([]value.Value{iv(1)})); got != 2 {
+		t.Fatalf("R-index group = %d, want 2", got)
+	}
+	if got := len(res.Indexed.Index(1).Fetch([]value.Value{iv(1)})); got != 0 {
+		t.Fatalf("S-index group = %d, want 0", got)
+	}
+}
+
+func TestApplyDeleteThenInsertOrder(t *testing.T) {
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	d.MustInsert("R", iv(1), iv(10))
+	ix := mustIndexed(t, a, d)
+
+	// Same tuple deleted and inserted in one batch: deletes run first, so
+	// the tuple survives regardless of call order.
+	delta := live.NewDelta(s)
+	delta.MustInsert("R", iv(1), iv(10))
+	delta.MustDelete("R", iv(1), iv(10))
+	res, err := live.Apply(context.Background(), delta, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Relation("R").Contains(data.Tuple{iv(1), iv(10)}) {
+		t.Fatal("delete-then-insert semantics: tuple must survive the batch")
+	}
+}
+
+func TestApplyRejectsViolation(t *testing.T) {
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	d.MustInsert("R", iv(1), iv(10))
+	d.MustInsert("R", iv(1), iv(11))
+	ix := mustIndexed(t, a, d)
+
+	delta := live.NewDelta(s)
+	delta.MustInsert("R", iv(1), iv(12)) // third B for A=1: breaks N=2
+	_, err := live.Apply(context.Background(), delta, ix)
+	var ve *live.ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want ViolationError, got %v", err)
+	}
+	if len(ve.Violations) != 1 || ve.Violations[0].Group != 3 || ve.Violations[0].Bound != 2 {
+		t.Fatalf("violation detail: %+v", ve.Violations)
+	}
+	// Rejected batch leaves no trace.
+	if d.Size() != 2 || ix.Index(0).MaxGroup() != 2 {
+		t.Fatal("rejected delta mutated the snapshot")
+	}
+}
+
+func TestApplyShrinkingGeneralBound(t *testing.T) {
+	// S has a log(|D|) constraint. Build an instance where an S-group is
+	// exactly at the bound, then delete enough R-tuples to shrink |D| so
+	// the bound drops below the (untouched) S-group.
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	for i := int64(0); i < 14; i++ { // |D| grows to 18 with S below
+		d.MustInsert("R", iv(i), iv(i))
+	}
+	for j := int64(0); j < 4; j++ { // one S-group of 4; log2(18+1) ≈ 5 ok
+		d.MustInsert("S", iv(1), iv(j))
+	}
+	ix := mustIndexed(t, a, d)
+
+	// Deleting 12 R tuples drops |D| to 6: ceil(log2(7)) = 3 < 4.
+	delta := live.NewDelta(s)
+	for i := int64(0); i < 12; i++ {
+		delta.MustDelete("R", iv(i), iv(i))
+	}
+	_, err := live.Apply(context.Background(), delta, ix)
+	var ve *live.ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("shrinking |D| must re-check untouched general-form groups, got %v", err)
+	}
+	if ve.Violations[0].Constraint.Rel != "S" {
+		t.Fatalf("violation should be on S: %+v", ve.Violations)
+	}
+}
+
+func TestApplyCancel(t *testing.T) {
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	ix := mustIndexed(t, a, d)
+	delta := live.NewDelta(s)
+	for i := int64(0); i < 5000; i++ {
+		delta.MustInsert("R", iv(i), iv(0))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := live.Apply(ctx, delta, ix); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	s, _ := pairSchema()
+	delta := live.NewDelta(s)
+	if err := delta.Insert("T", iv(1)); err == nil {
+		t.Error("unknown relation must error")
+	}
+	if err := delta.Insert("R", iv(1)); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if err := delta.Delete("R", iv(1), iv(2)); err != nil {
+		t.Error(err)
+	}
+	if delta.Len() != 1 {
+		t.Errorf("Len = %d, want 1", delta.Len())
+	}
+}
+
+func TestDeltaTSVRoundTrip(t *testing.T) {
+	s := workload.AccidentSchema()
+	d := live.NewDelta(s)
+	d.MustInsert("Accident", iv(1), sv("Soho"), sv("1/5/2005"))
+	d.MustInsert("Vehicle", iv(7), sv("with\ttab"), iv(44))
+	d.MustDelete("Accident", iv(2), sv("Leith"), sv("2/5/2005"))
+
+	var buf bytes.Buffer
+	if err := live.WriteDeltaTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	back, err := live.ReadDeltaTSV(&buf, s)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, doc)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip lost ops: %d vs %d", back.Len(), d.Len())
+	}
+	var again bytes.Buffer
+	if err := live.WriteDeltaTSV(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != doc {
+		t.Fatalf("unstable round trip:\n%q\n%q", doc, again.String())
+	}
+}
+
+func TestReadDeltaTSVErrors(t *testing.T) {
+	s := workload.AccidentSchema()
+	for _, bad := range []string{
+		"?\tAccident\t1\tSoho\td",     // unknown op
+		"+\tNope\t1",                  // unknown relation
+		"+\tAccident\t1",              // arity
+		"+",                           // short line
+		"+\tAccident\t1\tSoho\ts:\\q", // bad escape
+	} {
+		if _, err := live.ReadDeltaTSV(bytes.NewBufferString(bad+"\n"), s); err == nil {
+			t.Errorf("line %q must fail to parse", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\n\n+\tAccident\t1\tSoho\t1/5/2005\n"
+	d, err := live.ReadDeltaTSV(bytes.NewBufferString(ok), s)
+	if err != nil || d.Len() != 1 {
+		t.Errorf("comment/blank handling: len=%d err=%v", d.Len(), err)
+	}
+}
+
+// ---- property: incremental maintenance ≡ rebuild ----
+
+// applyMirror replays d's semantics (per relation: deletes then inserts,
+// set semantics) through the plain data API on a cloned instance,
+// independently of the live package's incremental path.
+func applyMirror(t *testing.T, d *data.Instance, rels []string, dels, ins map[string][]data.Tuple) *data.Instance {
+	t.Helper()
+	repls := make(map[string]*data.Relation)
+	for _, name := range rels {
+		cl := d.Relation(name).Clone()
+		for _, tup := range dels[name] {
+			if _, err := cl.Delete(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tup := range ins[name] {
+			if _, err := cl.Insert(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+		repls[name] = cl
+	}
+	out, err := d.CloneWith(repls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameIndexed asserts got (incrementally maintained) and want (rebuilt
+// from scratch) answer every fetch identically.
+func sameIndexed(t *testing.T, got, want *access.Indexed) {
+	t.Helper()
+	for ci := range got.Access.Constraints {
+		gi, wi := got.Index(ci), want.Index(ci)
+		if gi.Groups() != wi.Groups() {
+			t.Fatalf("constraint %d: %d groups incrementally, %d rebuilt", ci, gi.Groups(), wi.Groups())
+		}
+		for _, k := range wi.Keys() {
+			g, w := gi.FetchKey(k), wi.FetchKey(k)
+			if len(g) != len(w) {
+				t.Fatalf("constraint %d key %q: %d projections incrementally, %d rebuilt", ci, k, len(g), len(w))
+			}
+			seen := make(map[string]bool, len(g))
+			for _, p := range g {
+				seen[string(p.Key())] = true
+			}
+			for _, p := range w {
+				if !seen[string(p.Key())] {
+					t.Fatalf("constraint %d key %q: rebuilt projection %v missing incrementally", ci, k, p)
+				}
+			}
+		}
+	}
+}
+
+// randomDelta builds a delta of random deletes (sampled from live tuples)
+// and random inserts (mutations of live tuples plus fresh values), which
+// sometimes violates the access schema on purpose.
+func randomDelta(rng *rand.Rand, s *schema.Schema, d *data.Instance, ops int) *live.Delta {
+	delta := live.NewDelta(s)
+	rels := s.Relations()
+	for i := 0; i < ops; i++ {
+		rs := rels[rng.Intn(len(rels))]
+		r := d.Relation(rs.Name)
+		if rng.Intn(2) == 0 && r.Len() > 0 {
+			tup := r.Tuples()[rng.Intn(r.Len())]
+			delta.MustDelete(rs.Name, tup...)
+			continue
+		}
+		var vals []value.Value
+		if r.Len() > 0 && rng.Intn(2) == 0 {
+			// Mutate one position of an existing tuple: stresses shared
+			// groups and near-bound buckets.
+			tup := r.Tuples()[rng.Intn(r.Len())].Clone()
+			tup[rng.Intn(len(tup))] = iv(int64(rng.Intn(50)))
+			vals = tup
+		} else {
+			vals = make([]value.Value, rs.Arity())
+			for p := range vals {
+				vals[p] = iv(int64(rng.Intn(50)))
+			}
+		}
+		delta.MustInsert(rs.Name, vals...)
+	}
+	return delta
+}
+
+// deltaParts extracts the mirror-apply inputs from the same random draw.
+func deltaParts(rng *rand.Rand, s *schema.Schema, d *data.Instance, ops int) (*live.Delta, []string, map[string][]data.Tuple, map[string][]data.Tuple) {
+	delta := randomDelta(rng, s, d, ops)
+	// Re-read the delta through its TSV form to recover the op lists —
+	// exercising the codec on every property iteration for free.
+	var buf bytes.Buffer
+	if err := live.WriteDeltaTSV(&buf, delta); err != nil {
+		panic(err)
+	}
+	dels := make(map[string][]data.Tuple)
+	ins := make(map[string][]data.Tuple)
+	var rels []string
+	seen := make(map[string]bool)
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		cells := bytes.Split(line, []byte("\t"))
+		name := string(cells[1])
+		if !seen[name] {
+			seen[name] = true
+			rels = append(rels, name)
+		}
+		tup := make(data.Tuple, len(cells)-2)
+		for i, c := range cells[2:] {
+			v, err := load.DecodeValue(string(c))
+			if err != nil {
+				panic(err)
+			}
+			tup[i] = v
+		}
+		if cells[0][0] == '-' {
+			dels[name] = append(dels[name], tup)
+		} else {
+			ins[name] = append(ins[name], tup)
+		}
+	}
+	return delta, rels, dels, ins
+}
+
+// propertyStream drives maxBatches random deltas over (s, a, d) and
+// checks, after every accepted batch, that the incrementally maintained
+// snapshot equals a from-scratch rebuild — and that accept/reject
+// verdicts agree with rebuilding.
+func propertyStream(t *testing.T, s *schema.Schema, a *access.Schema, d *data.Instance, seed int64, maxBatches int) {
+	t.Helper()
+	ix, viols, err := access.BuildIndexed(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) > 0 {
+		t.Fatalf("seed instance violates schema: %v", viols)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	accepted, rejected := 0, 0
+	for b := 0; b < maxBatches; b++ {
+		delta, rels, dels, ins := deltaParts(rng, s, ix.Instance, 1+rng.Intn(8))
+		mirror := applyMirror(t, ix.Instance, rels, dels, ins)
+		rebuilt, wantViols, err := access.BuildIndexed(a, mirror)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Apply(context.Background(), delta, ix)
+		var ve *live.ViolationError
+		if errors.As(err, &ve) {
+			rejected++
+			if len(wantViols) == 0 {
+				t.Fatalf("batch %d (%s): incrementally rejected %v but rebuild is clean", b, delta, ve)
+			}
+			continue // snapshot unchanged; keep streaming against it
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted++
+		if len(wantViols) > 0 {
+			t.Fatalf("batch %d (%s): incrementally accepted but rebuild finds %v", b, delta, wantViols)
+		}
+		if res.Instance.Size() != mirror.Size() {
+			t.Fatalf("batch %d: size %d, mirror %d", b, res.Instance.Size(), mirror.Size())
+		}
+		sameIndexed(t, res.Indexed, rebuilt)
+		ix = res.Indexed
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Logf("note: accepted=%d rejected=%d (stream exercised only one verdict)", accepted, rejected)
+	}
+}
+
+func TestPropertyIncrementalEqualsRebuildAccidents(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 5, AccidentsPerDay: 8, MaxVehicles: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	propertyStream(t, acc.Schema, acc.Access, acc.Instance, 101, 60)
+}
+
+func TestPropertyIncrementalEqualsRebuildSocial(t *testing.T) {
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: 60, MaxFriends: 6, MaxLikes: 3, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	propertyStream(t, soc.Schema, soc.Access, soc.Instance, 102, 60)
+}
+
+func TestPropertyIncrementalEqualsRebuildTightBounds(t *testing.T) {
+	// A tiny schema with tight constant and log bounds, so random streams
+	// hit both verdicts often.
+	s, a := pairSchema()
+	d := data.NewInstance(s)
+	for i := int64(0); i < 20; i++ {
+		d.MustInsert("R", iv(i%10), iv(i))
+		d.MustInsert("S", iv(i%4), iv(i))
+	}
+	if ok, err := access.Satisfies(a, d); err != nil || !ok {
+		t.Fatalf("fixture: ok=%v err=%v", ok, err)
+	}
+	propertyStream(t, s, a, d, 103, 120)
+}

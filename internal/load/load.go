@@ -50,7 +50,7 @@ func saveRelation(r *data.Relation, path string) error {
 	for _, t := range r.Tuples() {
 		cells := make([]string, len(t))
 		for i, v := range t {
-			cells[i] = encodeValue(v)
+			cells[i] = EncodeValue(v)
 		}
 		if _, err := w.WriteString(strings.Join(cells, "\t") + "\n"); err != nil {
 			return err
@@ -109,7 +109,7 @@ func loadRelation(d *data.Instance, rs schema.Relation, path string) error {
 		}
 		row := make([]value.Value, len(cells))
 		for i, c := range cells {
-			v, err := decodeValue(c)
+			v, err := DecodeValue(c)
 			if err != nil {
 				return fmt.Errorf("load: %s:%d: %w", path, lineNo, err)
 			}
@@ -122,10 +122,11 @@ func loadRelation(d *data.Instance, rs schema.Relation, path string) error {
 	return sc.Err()
 }
 
-// encodeValue renders a value for a TSV cell. Integers are bare digits;
+// EncodeValue renders a value for a TSV cell. Integers are bare digits;
 // strings are prefixed with "s:" when they could be mistaken for integers
-// or contain escapes, otherwise written verbatim with escaping.
-func encodeValue(v value.Value) string {
+// or contain escapes, otherwise written verbatim with escaping. It is the
+// cell codec shared by instance TSV files and live-update delta files.
+func EncodeValue(v value.Value) string {
 	switch v.Kind() {
 	case value.Int:
 		return fmt.Sprintf("%d", v.Int())
@@ -141,7 +142,8 @@ func encodeValue(v value.Value) string {
 	}
 }
 
-func decodeValue(cell string) (value.Value, error) {
+// DecodeValue parses a TSV cell written by EncodeValue.
+func DecodeValue(cell string) (value.Value, error) {
 	if strings.HasPrefix(cell, "s:") {
 		s, err := unescape(cell[2:])
 		if err != nil {

@@ -1,4 +1,4 @@
-package load
+package load_test
 
 import (
 	"os"
@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/load"
 	"repro/internal/schema"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -20,10 +21,10 @@ func TestRoundTripAccidents(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := SaveInstance(acc.Instance, dir); err != nil {
+	if err := load.SaveInstance(acc.Instance, dir); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadInstance(acc.Schema, dir)
+	got, err := load.LoadInstance(acc.Schema, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRoundTripAccidents(t *testing.T) {
 
 func TestValueEncodingEdgeCases(t *testing.T) {
 	s := schema.MustNew(schema.MustRelation("R", "A"))
-	d, err := LoadInstance(s, writeTSV(t, "R.tsv", "A\n42\ns:42\nplain\ns:tab\\there\n-7\n"))
+	d, err := load.LoadInstance(s, writeTSV(t, "R.tsv", "A\n42\ns:42\nplain\ns:tab\\there\n-7\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestLoadErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		dir := writeTSV(t, "R.tsv", c.content)
-		_, err := LoadInstance(s, dir)
+		_, err := load.LoadInstance(s, dir)
 		if err == nil {
 			t.Errorf("%s: expected error", c.name)
 			continue
@@ -101,7 +102,7 @@ func TestLoadErrors(t *testing.T) {
 		}
 	}
 	// Missing file entirely.
-	if _, err := LoadInstance(s, t.TempDir()); err == nil {
+	if _, err := load.LoadInstance(s, t.TempDir()); err == nil {
 		t.Error("missing relation file must error")
 	}
 }
@@ -109,11 +110,11 @@ func TestLoadErrors(t *testing.T) {
 func TestEncodeDecodeQuick(t *testing.T) {
 	f := func(raw string, n int64) bool {
 		for _, v := range []value.Value{value.NewString(raw), value.NewInt(n)} {
-			cell := encodeValue(v)
+			cell := load.EncodeValue(v)
 			if strings.ContainsAny(cell, "\t\n") {
 				return false // must be TSV-safe
 			}
-			back, err := decodeValue(cell)
+			back, err := load.DecodeValue(cell)
 			if err != nil || back != v {
 				return false
 			}

@@ -1,0 +1,269 @@
+// Update-stream generators: deterministic sequences of live.Delta batches
+// that keep an instance satisfying its access schema BY CONSTRUCTION,
+// mirroring how the datasets themselves are generated. They model the
+// ROADMAP's serving story — heavy read traffic with a continuous trickle
+// of writes — for the mixed read/write experiments and the live-update
+// property tests.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/live"
+)
+
+// AccidentStreamConfig sizes the accident update stream.
+type AccidentStreamConfig struct {
+	// InsertAccidents is how many new accidents (each with its casualty
+	// and vehicle rows) a batch inserts.
+	InsertAccidents int
+	// DeleteAccidents is how many previously streamed accidents a batch
+	// retires (cascading to their casualties and vehicles). Batches
+	// before enough accidents have been streamed delete fewer.
+	DeleteAccidents int
+	Seed            int64
+}
+
+// DefaultAccidentStreamConfig returns a small mixed insert/delete batch.
+func DefaultAccidentStreamConfig() AccidentStreamConfig {
+	return AccidentStreamConfig{InsertAccidents: 5, DeleteAccidents: 2, Seed: 7}
+}
+
+// accidentRecord remembers one streamed accident so it can be retired.
+type accidentRecord struct {
+	aid      int64
+	district string
+	date     string
+	// casualties and vehicles hold (cid, class, vid) and (vid, driver, age).
+	casualties [][3]int64
+	drivers    map[int64]string
+}
+
+// AccidentStream emits constraint-preserving deltas over an accident
+// dataset: inserts use fresh days (so ψ1's per-date group is bounded by
+// the batch size), fresh aid/cid/vid identifiers (so the key constraints
+// ψ3/ψ4 hold trivially), and at most 192 casualties per accident (ψ2);
+// deletes retire accidents this stream inserted earlier, cascading to
+// their casualty and vehicle rows. Streams are deterministic given the
+// config.
+type AccidentStream struct {
+	cfg AccidentStreamConfig
+	rng *rand.Rand
+
+	day             int
+	aid, cid, vid   int64
+	perDay          map[string]int
+	liveRecs        []*accidentRecord
+	maxVehicles     int
+	accidentsPerDay int
+}
+
+// NewAccidentStream builds a stream continuing acc's identifier space.
+// The generator's counters start beyond the largest aid/cid/vid and the
+// last generated day present in acc, so streamed tuples never collide
+// with loaded ones.
+func NewAccidentStream(acc *Accidents, cfg AccidentStreamConfig) (*AccidentStream, error) {
+	if cfg.InsertAccidents < 1 {
+		return nil, fmt.Errorf("workload: stream needs InsertAccidents >= 1")
+	}
+	s := &AccidentStream{
+		cfg:             cfg,
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		perDay:          make(map[string]int),
+		maxVehicles:     6,
+		accidentsPerDay: 610,
+	}
+	for _, t := range acc.Instance.Relation("Accident").Tuples() {
+		if id := t[0].Int(); id > s.aid {
+			s.aid = id
+		}
+		s.perDay[t[2].Str()]++
+	}
+	for _, t := range acc.Instance.Relation("Casualty").Tuples() {
+		if id := t[0].Int(); id > s.cid {
+			s.cid = id
+		}
+	}
+	for _, t := range acc.Instance.Relation("Vehicle").Tuples() {
+		if id := t[0].Int(); id > s.vid {
+			s.vid = id
+		}
+	}
+	// Start on a fresh day: DateName is injective in the day index, so
+	// scanning for the first unused date keeps ψ1 exact.
+	for s.perDay[DateName(s.day)] > 0 {
+		s.day++
+	}
+	return s, nil
+}
+
+// Next emits the next delta of the stream. The batch inserts
+// cfg.InsertAccidents new accidents (with casualties and vehicles) and
+// retires up to cfg.DeleteAccidents previously streamed ones; it never
+// violates ψ1–ψ4 when applied in order.
+func (s *AccidentStream) Next() *live.Delta {
+	d := live.NewDelta(AccidentSchema())
+	// Retire first: delete ops run before inserts inside live.Apply too,
+	// so the delta file reads in execution order.
+	nDel := s.cfg.DeleteAccidents
+	if nDel > len(s.liveRecs) {
+		nDel = len(s.liveRecs)
+	}
+	for i := 0; i < nDel; i++ {
+		k := s.rng.Intn(len(s.liveRecs))
+		rec := s.liveRecs[k]
+		s.liveRecs[k] = s.liveRecs[len(s.liveRecs)-1]
+		s.liveRecs = s.liveRecs[:len(s.liveRecs)-1]
+		d.MustDelete("Accident", iv(rec.aid), sv(rec.district), sv(rec.date))
+		s.perDay[rec.date]--
+		for _, c := range rec.casualties {
+			d.MustDelete("Casualty", iv(c[0]), iv(rec.aid), iv(c[1]), iv(c[2]))
+			d.MustDelete("Vehicle", iv(c[2]), sv(rec.drivers[c[2]]), iv(ageOf(c[2])))
+		}
+	}
+	for i := 0; i < s.cfg.InsertAccidents; i++ {
+		date := DateName(s.day)
+		if s.perDay[date] >= s.accidentsPerDay {
+			s.day++
+			date = DateName(s.day)
+		}
+		s.perDay[date]++
+		s.aid++
+		rec := &accidentRecord{
+			aid:      s.aid,
+			district: Districts[s.rng.Intn(len(Districts))],
+			date:     date,
+			drivers:  make(map[int64]string),
+		}
+		d.MustInsert("Accident", iv(rec.aid), sv(rec.district), sv(rec.date))
+		n := 1
+		for n < s.maxVehicles && s.rng.Float64() < 0.5 {
+			n++
+		}
+		for v := 0; v < n; v++ {
+			s.cid++
+			s.vid++
+			class := int64(1 + s.rng.Intn(3))
+			rec.casualties = append(rec.casualties, [3]int64{s.cid, class, s.vid})
+			rec.drivers[s.vid] = driverName(s.rng)
+			d.MustInsert("Casualty", iv(s.cid), iv(rec.aid), iv(class), iv(s.vid))
+			d.MustInsert("Vehicle", iv(s.vid), sv(rec.drivers[s.vid]), iv(ageOf(s.vid)))
+		}
+		s.liveRecs = append(s.liveRecs, rec)
+	}
+	return d
+}
+
+// ageOf derives a driver age from the vehicle id, so delete batches can
+// reconstruct the exact Vehicle tuple without storing it.
+func ageOf(vid int64) int64 { return 17 + vid%70 }
+
+// SocialStreamConfig sizes the social update stream.
+type SocialStreamConfig struct {
+	// InsertPeople is how many new people (with friend and like edges) a
+	// batch inserts; DeletePeople how many previously streamed people it
+	// removes again.
+	InsertPeople, DeletePeople int
+	// MaxFriends and MaxLikes cap the new person's out-edges; they must
+	// not exceed the bounds the engine's access schema was built with.
+	MaxFriends, MaxLikes int
+	// People is the id space of the base instance (streamed friends point
+	// into it).
+	People int
+	Seed   int64
+}
+
+// personRecord remembers one streamed person for deletion.
+type personRecord struct {
+	pid     int64
+	friends []int64
+	likes   []string
+}
+
+// SocialStream emits degree-bounded deltas over a social dataset: new
+// people with fresh pids (keeping the Person key constraint), out-degree
+// at most MaxFriends and interests at most MaxLikes.
+type SocialStream struct {
+	cfg  SocialStreamConfig
+	rng  *rand.Rand
+	pid  int64
+	recs []*personRecord
+}
+
+// NewSocialStream builds a stream continuing soc's identifier space.
+func NewSocialStream(soc *Social, cfg SocialStreamConfig) (*SocialStream, error) {
+	if cfg.InsertPeople < 1 || cfg.MaxFriends < 1 || cfg.MaxLikes < 1 {
+		return nil, fmt.Errorf("workload: stream needs InsertPeople, MaxFriends, MaxLikes >= 1")
+	}
+	s := &SocialStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, t := range soc.Instance.Relation("Person").Tuples() {
+		if id := t[0].Int(); id > s.pid {
+			s.pid = id
+		}
+	}
+	return s, nil
+}
+
+// Next emits the next delta of the stream.
+func (s *SocialStream) Next() *live.Delta {
+	d := live.NewDelta(SocialSchema())
+	nDel := s.cfg.DeletePeople
+	if nDel > len(s.recs) {
+		nDel = len(s.recs)
+	}
+	for i := 0; i < nDel; i++ {
+		k := s.rng.Intn(len(s.recs))
+		rec := s.recs[k]
+		s.recs[k] = s.recs[len(s.recs)-1]
+		s.recs = s.recs[:len(s.recs)-1]
+		d.MustDelete("Person", iv(rec.pid), sv(fmt.Sprintf("user%d", rec.pid)), sv(cityOf(rec.pid)))
+		for _, f := range rec.friends {
+			d.MustDelete("Friend", iv(rec.pid), iv(f))
+		}
+		for _, topic := range rec.likes {
+			d.MustDelete("Likes", iv(rec.pid), sv(topic))
+		}
+	}
+	for i := 0; i < s.cfg.InsertPeople; i++ {
+		s.pid++
+		rec := &personRecord{pid: s.pid}
+		d.MustInsert("Person", iv(rec.pid), sv(fmt.Sprintf("user%d", rec.pid)), sv(cityOf(rec.pid)))
+		nLikes := 1 + s.rng.Intn(s.cfg.MaxLikes)
+		seenTopic := make(map[string]bool)
+		for l := 0; l < nLikes; l++ {
+			topic := Topics[s.rng.Intn(len(Topics))]
+			if seenTopic[topic] {
+				continue
+			}
+			seenTopic[topic] = true
+			rec.likes = append(rec.likes, topic)
+			d.MustInsert("Likes", iv(rec.pid), sv(topic))
+		}
+		nFriends := 1 + s.rng.Intn(s.cfg.MaxFriends)
+		seenFriend := make(map[int64]bool)
+		for f := 0; f < nFriends; f++ {
+			q := int64(1 + s.rng.Intn(maxInt(s.cfg.People, 1)))
+			if q == rec.pid || seenFriend[q] {
+				continue
+			}
+			seenFriend[q] = true
+			rec.friends = append(rec.friends, q)
+			d.MustInsert("Friend", iv(rec.pid), iv(q))
+		}
+		s.recs = append(s.recs, rec)
+	}
+	return d
+}
+
+// cityOf derives a streamed person's city from their pid, so deletes can
+// reconstruct the Person tuple without storing it.
+func cityOf(pid int64) string { return Cities[int(pid)%len(Cities)] }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/live"
+	"repro/internal/workload"
+)
+
+// Streams must emit deltas that an engine can always accept: applied in
+// order, every batch preserves the access schema.
+func TestAccidentStreamPreservesConstraints(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 4, AccidentsPerDay: 12, MaxVehicles: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, viols, err := access.BuildIndexed(acc.Access, acc.Instance)
+	if err != nil || len(viols) > 0 {
+		t.Fatalf("fixture: %v %v", err, viols)
+	}
+	st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+		InsertAccidents: 4, DeleteAccidents: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for b := 0; b < 40; b++ {
+		delta := st.Next()
+		if delta.Len() == 0 {
+			t.Fatalf("batch %d is empty", b)
+		}
+		res, err := live.Apply(context.Background(), delta, ix)
+		if err != nil {
+			t.Fatalf("batch %d (%s) rejected: %v", b, delta, err)
+		}
+		total += res.Inserted + res.Deleted
+		// Every op the stream emits must have net effect: it claims to
+		// track the instance exactly.
+		if res.Inserted+res.Deleted != delta.Len() {
+			t.Fatalf("batch %d: %d ops, net effect %d+%d", b, delta.Len(), res.Inserted, res.Deleted)
+		}
+		ix = res.Indexed
+	}
+	if ok, err := access.Satisfies(acc.Access, ix.Instance); err != nil || !ok {
+		t.Fatalf("final instance: ok=%v err=%v", ok, err)
+	}
+	if total == 0 {
+		t.Fatal("stream emitted nothing")
+	}
+}
+
+func TestSocialStreamPreservesConstraints(t *testing.T) {
+	cfg := workload.SocialConfig{People: 120, MaxFriends: 8, MaxLikes: 4, Seed: 2}
+	soc, err := workload.GenerateSocial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, viols, err := access.BuildIndexed(soc.Access, soc.Instance)
+	if err != nil || len(viols) > 0 {
+		t.Fatalf("fixture: %v %v", err, viols)
+	}
+	st, err := workload.NewSocialStream(soc, workload.SocialStreamConfig{
+		InsertPeople: 3, DeletePeople: 1,
+		MaxFriends: cfg.MaxFriends, MaxLikes: cfg.MaxLikes,
+		People: cfg.People, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 40; b++ {
+		res, err := live.Apply(context.Background(), st.Next(), ix)
+		if err != nil {
+			t.Fatalf("batch %d rejected: %v", b, err)
+		}
+		ix = res.Indexed
+	}
+	if ok, err := access.Satisfies(soc.Access, ix.Instance); err != nil || !ok {
+		t.Fatalf("final instance: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 2, AccidentsPerDay: 5, MaxVehicles: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() string {
+		st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+			InsertAccidents: 3, DeleteAccidents: 1, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for i := 0; i < 5; i++ {
+			if err := live.WriteDeltaTSV(&buf, st.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("same seed must give the same stream:\n%s\nvs\n%s", a, b)
+	}
+}
