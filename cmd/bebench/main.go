@@ -3,8 +3,9 @@
 // Usage:
 //
 //	bebench                    # run every experiment
-//	bebench -exp e1            # one experiment (e1..e11)
+//	bebench -exp e1            # one experiment (e1..e13)
 //	bebench -exp e11 -workers 8  # serving-layer experiment at 8 workers
+//	bebench -exp e13 -shards 8   # sharding sweep up to 8 shards
 package main
 
 import (
@@ -18,16 +19,27 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e13) or all")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
+	shards := flag.Int("shards", 8, "max shard count for the e13 sharding sweep")
 	flag.Parse()
-	if err := run(strings.ToLower(*exp), *workers); err != nil {
+	if err := run(strings.ToLower(*exp), *workers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "bebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, workers int) error {
+// shardCounts doubles from 1 up to max, like E11WorkerCounts; K = 1 is
+// always included, so a nonsensical -shards still measures the baseline.
+func shardCounts(max int) []int {
+	out := []int{1}
+	for k := 2; k <= max; k *= 2 {
+		out = append(out, k)
+	}
+	return out
+}
+
+func run(exp string, workers, shards int) error {
 	if exp == "all" {
 		tables, err := bench.All(workers)
 		if err != nil {
@@ -65,8 +77,10 @@ func run(exp string, workers int) error {
 		t, err = bench.E11Concurrency(10000, bench.E11WorkerCounts(workers))
 	case "e12":
 		t, err = bench.E12LiveUpdates([]int{5, 20, 80, 320}, 30)
+	case "e13":
+		t, err = bench.E13Sharding(shardCounts(shards), 30)
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", exp)
 	}
 	if err != nil {
 		return err

@@ -4,13 +4,13 @@ import "testing"
 
 func TestRunDispatch(t *testing.T) {
 	// Each experiment id must dispatch; e10 is the cheapest full one.
-	if err := run("e10", 2); err != nil {
+	if err := run("e10", 2, 2); err != nil {
 		t.Errorf("e10: %v", err)
 	}
-	if err := run("e7", 2); err != nil {
+	if err := run("e7", 2, 2); err != nil {
 		t.Errorf("e7: %v", err)
 	}
-	if err := run("nope", 2); err == nil {
+	if err := run("nope", 2, 2); err == nil {
 		t.Error("unknown experiment must error")
 	}
 }

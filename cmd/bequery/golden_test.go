@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/bequery -run Golden -update
+//
+// CLI output changes are deliberate: re-record and review the diff.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// durations is the only nondeterministic fragment of the human output.
+var durations = regexp.MustCompile(`in [0-9]+(\.[0-9]+)?(ns|µs|ms|m|s)+`)
+
+func normalize(s string) string { return durations.ReplaceAllString(s, "in <dur>") }
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (record with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s (re-record with -update if deliberate):\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
+
+// goldenData saves a deterministic accidents instance as TSV, matching
+// the testdata/accidents.bq document schema.
+func goldenData(t *testing.T) string {
+	t.Helper()
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 3, AccidentsPerDay: 25, MaxVehicles: 3, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := load.SaveInstance(acc.Instance, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGoldenRunHuman pins the human-readable run output (plan header,
+// stats line, row table) on the accidents document, for the unsharded
+// engine and — byte-identically — for 4 shards.
+func TestGoldenRunHuman(t *testing.T) {
+	dir := goldenData(t)
+	doc := filepath.Join("testdata", "accidents.bq")
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"run_human.golden", 1},
+		{"run_human.golden", 4}, // same golden file: sharding must not change output
+	} {
+		out := captureStdout(t, func() error {
+			return run(cfg(func(c *cliConfig) {
+				c.file = doc
+				c.dataDir = dir
+				c.query = "Q0"
+				c.mode = "run"
+				c.shards = tc.shards
+			}))
+		})
+		checkGolden(t, tc.name, normalize(out))
+	}
+}
+
+// TestGoldenRunStream pins the -stream NDJSON output: one JSON object
+// per row, plan order, no summary on stdout.
+func TestGoldenRunStream(t *testing.T) {
+	dir := goldenData(t)
+	doc := filepath.Join("testdata", "accidents.bq")
+	for _, shards := range []int{1, 4} {
+		out := captureStdout(t, func() error {
+			return run(cfg(func(c *cliConfig) {
+				c.file = doc
+				c.dataDir = dir
+				c.query = "Q0"
+				c.mode = "run"
+				c.stream = true
+				c.shards = shards
+			}))
+		})
+		checkGolden(t, "run_stream.golden", out)
+	}
+}
+
+// TestGoldenExplain pins the explain report (coverage diagnostics, BEP
+// verdict, plan, bound) — fully deterministic, no normalization.
+func TestGoldenExplain(t *testing.T) {
+	dir := goldenData(t)
+	doc := filepath.Join("testdata", "accidents.bq")
+	out := captureStdout(t, func() error {
+		return run(cfg(func(c *cliConfig) {
+			c.file = doc
+			c.dataDir = dir
+			c.query = "Q0"
+			c.mode = "explain"
+		}))
+	})
+	checkGolden(t, "explain.golden", out)
+}

@@ -23,6 +23,11 @@
 // and a batch that would violate the access schema is rejected with the
 // violation list.
 //
+// -shards K hash-partitions the loaded data across K in-process shards
+// (internal/shard): indexed fetches aligned with a relation's partition
+// key route to one shard, everything else scatters and merges, and both
+// results and update verdicts are identical to the unsharded engine's.
+//
 // With -demo, a built-in workload (accidents | social) supplies schema,
 // constraints, data and the named query, so no file is needed. With -data,
 // a directory of <Relation>.tsv files (see internal/load) provides the
@@ -42,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/eval"
@@ -49,6 +55,8 @@ import (
 	"repro/internal/load"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -66,6 +74,7 @@ type cliConfig struct {
 	days     int
 	people   int
 	workers  int
+	shards   int
 	budget   int64
 	timeout  time.Duration
 	fallback string
@@ -85,6 +94,7 @@ func main() {
 	flag.IntVar(&cfg.days, "days", 20, "accidents demo: days of data")
 	flag.IntVar(&cfg.people, "people", 2000, "social demo: people")
 	flag.IntVar(&cfg.workers, "workers", 1, "worker goroutines for plan execution (-1 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 1, "hash-partition the data across K shards (internal/shard)")
 	flag.Int64Var(&cfg.budget, "budget", -1, "run: refuse unless the static access bound is ≤ this many tuples (-1 = no budget)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "run: per-request execution deadline (0 = none)")
 	flag.StringVar(&cfg.fallback, "fallback", "scan", "run: strategy for non-bounded queries: scan | refuse | envelope")
@@ -97,12 +107,12 @@ func main() {
 }
 
 func run(cfg cliConfig) error {
-	eng, queries, params, err := setup(cfg.file, cfg.demo, cfg.days, cfg.people, cfg.workers)
+	eng, sch, queries, params, err := setup(cfg.file, cfg.demo, cfg.days, cfg.people, cfg.workers, cfg.shards)
 	if err != nil {
 		return err
 	}
 	if cfg.dataDir != "" {
-		d, err := load.LoadInstance(eng.Schema, cfg.dataDir)
+		d, err := load.LoadInstance(sch, cfg.dataDir)
 		if err != nil {
 			return err
 		}
@@ -114,7 +124,7 @@ func run(cfg cliConfig) error {
 		if eng.Instance() == nil {
 			return fmt.Errorf("-apply needs an instance (use -demo or -data)")
 		}
-		delta, err := live.LoadDelta(cfg.apply, eng.Schema)
+		delta, err := live.LoadDelta(cfg.apply, sch)
 		if err != nil {
 			return err
 		}
@@ -122,8 +132,10 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
+		// Stats().Size reads the snapshot header; Instance().Size() on a
+		// sharded engine would materialize the whole union just to count.
 		fmt.Printf("applied %s: +%d -%d tuples, |D| now %d\n",
-			cfg.apply, res.Inserted, res.Deleted, eng.Instance().Size())
+			cfg.apply, res.Inserted, res.Deleted, eng.Stats().Size)
 	}
 	if cfg.saveDir != "" {
 		if eng.Instance() == nil {
@@ -326,7 +338,17 @@ func queryNames(queries map[string]*cq.CQ) []string {
 	return names
 }
 
-func setup(file, demo string, days, people, workers int) (*core.Engine, map[string]*cq.CQ, map[string][]string, error) {
+// newEngine picks the serving engine: the single-node core.Engine, or
+// the hash-partitioned shard.Engine when -shards asks for more than one.
+// Both implement core.Queryable, so nothing downstream changes.
+func newEngine(s *schema.Schema, a *access.Schema, opts core.Options, shards int) (core.Queryable, error) {
+	if shards > 1 {
+		return shard.New(s, a, shard.Options{Shards: shards, Core: opts})
+	}
+	return core.New(s, a, opts)
+}
+
+func setup(file, demo string, days, people, workers, shards int) (core.Queryable, *schema.Schema, map[string]*cq.CQ, map[string][]string, error) {
 	queries := map[string]*cq.CQ{}
 	params := map[string][]string{}
 	opts := core.Options{Exec: plan.ExecOptions{Workers: workers}}
@@ -334,15 +356,15 @@ func setup(file, demo string, days, people, workers int) (*core.Engine, map[stri
 	case file != "":
 		raw, err := os.ReadFile(file)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		doc, err := parser.Parse(string(raw))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		eng, err := core.New(doc.Schema, doc.Access, opts)
+		eng, err := newEngine(doc.Schema, doc.Access, opts, shards)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		for _, q := range doc.Queries {
 			if !q.IsCQ() {
@@ -351,46 +373,46 @@ func setup(file, demo string, days, people, workers int) (*core.Engine, map[stri
 			queries[q.Name] = q.Subs[0]
 			params[q.Name] = q.Params
 		}
-		return eng, queries, params, nil
+		return eng, doc.Schema, queries, params, nil
 	case demo == "accidents":
 		acc, err := workload.GenerateAccidents(workload.AccidentConfig{
 			Days: days, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
 		})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		eng, err := core.New(acc.Schema, acc.Access, opts)
+		eng, err := newEngine(acc.Schema, acc.Access, opts, shards)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		if err := eng.Load(acc.Instance); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		queries["Q0"] = workload.Q0()
 		q51, ps := workload.Q51()
 		queries["Q51"] = q51
 		params["Q51"] = ps
-		return eng, queries, params, nil
+		return eng, acc.Schema, queries, params, nil
 	case demo == "social":
 		soc, err := workload.GenerateSocial(workload.SocialConfig{
 			People: people, MaxFriends: 50, MaxLikes: 10, Seed: 2,
 		})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		eng, err := core.New(soc.Schema, soc.Access, opts)
+		eng, err := newEngine(soc.Schema, soc.Access, opts, shards)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		if err := eng.Load(soc.Instance); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		queries["GraphSearch"] = workload.GraphSearchQuery(1, "NYC", "cycling")
 		for _, q := range workload.PatternQueries(1) {
 			queries[q.Label] = q
 		}
-		return eng, queries, params, nil
+		return eng, soc.Schema, queries, params, nil
 	default:
-		return nil, nil, nil, fmt.Errorf("provide -file or -demo accidents|social")
+		return nil, nil, nil, nil, fmt.Errorf("provide -file or -demo accidents|social")
 	}
 }

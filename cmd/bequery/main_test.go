@@ -23,7 +23,7 @@ func cfg(fn func(*cliConfig)) cliConfig {
 }
 
 func TestSetupFromDocument(t *testing.T) {
-	eng, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0, 1)
+	eng, _, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

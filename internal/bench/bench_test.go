@@ -233,3 +233,22 @@ func TestE12ApplyBeatsReload(t *testing.T) {
 		t.Errorf("incremental apply (%v µs) should beat load+rebuild (%v µs) on small deltas", apply, reload)
 	}
 }
+
+// E13's defining shape: every shard count returns the same answer rows
+// as K=1 (the "same as K=1" column), for both workloads. Throughput
+// ordering is hardware-dependent (single-core CI flattens it), so only
+// result identity is asserted.
+func TestE13ShardCountsAgree(t *testing.T) {
+	tb, err := E13Sharding([]int{1, 2, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
+	}
+	for i := range tb.Rows {
+		if cell(t, tb, i, 5) != "true" {
+			t.Errorf("row %d: sharded rows differ from K=1:\n%s", i, tb.Render())
+		}
+	}
+}

@@ -651,6 +651,7 @@ func All(workers int) ([]*Table, error) {
 		E10PaperExamples,
 		func() (*Table, error) { return E11Concurrency(4000, E11WorkerCounts(workers)) },
 		func() (*Table, error) { return E12LiveUpdates([]int{5, 20, 80}, 20) },
+		func() (*Table, error) { return E13Sharding([]int{1, 2, 4, 8}, 20) },
 	}
 	for _, step := range steps {
 		tb, err := step()

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/live"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// shardBed is one workload of the E13 sweep: engine inputs, the
+// flagship bounded query, and a constraint-preserving delta stream.
+type shardBed struct {
+	name   string
+	query  *cq.CQ
+	engine func(k int) (core.Queryable, error)
+	deltas func(batches int) ([]*live.Delta, error)
+}
+
+func accidentsShardBed() shardBed {
+	gen := func() (*workload.Accidents, error) {
+		return workload.GenerateAccidents(workload.AccidentConfig{
+			Days: 30, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+		})
+	}
+	return shardBed{
+		name:  "accidents/Q0",
+		query: workload.Q0(),
+		engine: func(k int) (core.Queryable, error) {
+			acc, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			eng, err := shard.New(acc.Schema, acc.Access, shard.Options{Shards: k})
+			if err != nil {
+				return nil, err
+			}
+			return eng, eng.Load(acc.Instance)
+		},
+		deltas: func(batches int) ([]*live.Delta, error) {
+			acc, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+				InsertAccidents: 5, DeleteAccidents: 2, Seed: 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]*live.Delta, batches)
+			for i := range out {
+				out[i] = st.Next()
+			}
+			return out, nil
+		},
+	}
+}
+
+func socialShardBed() shardBed {
+	gen := func() (*workload.Social, error) {
+		return workload.GenerateSocial(workload.SocialConfig{
+			People: 3000, MaxFriends: 30, MaxLikes: 8, Seed: 2,
+		})
+	}
+	return shardBed{
+		name:  "social/GraphSearch",
+		query: workload.GraphSearchQuery(1, workload.Cities[0], workload.Topics[0]),
+		engine: func(k int) (core.Queryable, error) {
+			soc, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			eng, err := shard.New(soc.Schema, soc.Access, shard.Options{Shards: k})
+			if err != nil {
+				return nil, err
+			}
+			return eng, eng.Load(soc.Instance)
+		},
+		deltas: func(batches int) ([]*live.Delta, error) {
+			soc, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			st, err := workload.NewSocialStream(soc, workload.SocialStreamConfig{
+				InsertPeople: 5, DeletePeople: 2, MaxFriends: 30, MaxLikes: 8, People: 3000, Seed: 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]*live.Delta, batches)
+			for i := range out {
+				out[i] = st.Next()
+			}
+			return out, nil
+		},
+	}
+}
+
+// E13Sharding sweeps shard counts over the accidents and social
+// workloads, measuring (a) concurrent bounded-query throughput with one
+// client per core and (b) Apply latency per stream batch. Routed
+// fetches cost one lookup regardless of K, so per-query work is flat;
+// Apply stages its per-shard sub-deltas in parallel, so multi-shard
+// ingest latency drops on multi-core hardware. Row counts are checked
+// against K = 1 so the sweep doubles as an equivalence smoke test.
+func E13Sharding(shardCounts []int, batches int) (*Table, error) {
+	t := &Table{
+		ID:     "E13",
+		Title:  "sharding — scatter-gather QPS and two-phase Apply latency vs shard count",
+		Header: []string{"workload", "shards", "QPS (concurrent)", "apply µs/batch", "rows", "same as K=1"},
+	}
+	clients := runtime.GOMAXPROCS(0)
+	for _, bed := range []shardBed{accidentsShardBed(), socialShardBed()} {
+		baseRows := -1
+		for _, k := range shardCounts {
+			eng, err := bed.engine(k)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Query(context.Background(), bed.query)
+			if err != nil {
+				return nil, err
+			}
+			rows := len(res.Rows)
+			if baseRows < 0 {
+				baseRows = rows
+			}
+			qps, err := concurrentQPS(eng, bed.query, clients, 100*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			deltas, err := bed.deltas(batches)
+			if err != nil {
+				return nil, err
+			}
+			applyUS := timeIt(func() error {
+				for _, d := range deltas {
+					if _, err := eng.Apply(context.Background(), d); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if applyUS < 0 {
+				return nil, fmt.Errorf("bench: E13 apply failed")
+			}
+			t.AddRow(bed.name, k, fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.0f", applyUS/float64(batches)),
+				rows, rows == baseRows)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("QPS measured with %d concurrent clients (GOMAXPROCS); single-core CI flattens the comparison", clients),
+		"Q0/GraphSearch fetches are partition-aligned, so they route to one shard: per-query cost is flat in K",
+		"Apply stages per-shard sub-deltas in parallel and validates globally before any shard publishes")
+	return t, nil
+}
+
+// concurrentQPS counts queries completed across n clients in a window.
+func concurrentQPS(eng core.Queryable, q *cq.CQ, n int, window time.Duration) (float64, error) {
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Since(start) < window {
+				if _, err := eng.Query(context.Background(), q, core.WithFallback(core.FallbackRefuse)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(total.Load()) / time.Since(start).Seconds(), nil
+}

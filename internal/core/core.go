@@ -75,6 +75,33 @@ type Engine struct {
 	// writeMu serializes the writers (Load, Apply).
 	writeMu sync.Mutex
 	cache   *planCache
+	// queries and applies count served requests, for Stats.
+	queries atomic.Uint64
+	applies atomic.Uint64
+}
+
+// EngineStats is the aggregate health snapshot of a serving engine —
+// the shape shared by the single-node Engine and the sharded
+// internal/shard engine (which sums its shards).
+type EngineStats struct {
+	// Size is |D| of the current snapshot (0 before Load).
+	Size int
+	// Shards is 1 for a single-node engine, K for a sharded one.
+	Shards int
+	// Queries counts Query/QueryView requests since construction.
+	Queries uint64
+	// Applies counts successfully applied deltas since construction.
+	Applies uint64
+}
+
+// Stats reports the engine's aggregate serving counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Size:    e.sizeHint(),
+		Shards:  1,
+		Queries: e.queries.Load(),
+		Applies: e.applies.Load(),
+	}
 }
 
 // snapshot is one immutable (instance, indices) version; every field is
@@ -154,7 +181,19 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 	}
 	e.snap.Store(&snapshot{instance: res.Instance, indexed: res.Indexed})
 	e.cache.restamp(res.Instance.Size())
+	e.applies.Add(1)
 	return res, nil
+}
+
+// SetSizeHint re-stamps the plan cache for an externally tracked |D|. It
+// is the coordinator hook (internal/shard) for a planner engine that
+// plans and serves on behalf of data it does not hold itself: cached
+// general-form bounds s(|D|) are recomputed at the global size, exactly
+// as Load and Apply do automatically for the engine's own instance.
+func (e *Engine) SetSizeHint(size int) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.cache.restamp(size)
 }
 
 // CacheStats reports cumulative plan-cache hit/miss counters; they
@@ -178,6 +217,19 @@ func (e *Engine) Indexed() *access.Indexed {
 		return sn.indexed
 	}
 	return nil
+}
+
+// Snapshot returns the current (instance, indexed) pair from ONE
+// snapshot read, or (nil, nil) before Load. Calling Instance() and
+// Indexed() back to back reads the snapshot pointer twice, so a
+// concurrent Apply landing between the two calls hands the caller the
+// instance of one version and the indices of another; Snapshot cannot
+// tear that way. Use it whenever both halves are needed together.
+func (e *Engine) Snapshot() (*data.Instance, *access.Indexed) {
+	if sn := e.current(); sn != nil {
+		return sn.instance, sn.indexed
+	}
+	return nil, nil
 }
 
 // IsCovered runs the PTIME covered-query check with diagnostics.
@@ -206,7 +258,15 @@ func (e *Engine) CheckBounded(q *cq.CQ) (*bep.Decision, error) {
 // variants — skip the BEP check and plan synthesis entirely. Entries
 // survive Load and Apply; only size-dependent bounds are re-stamped.
 func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
-	p, b, _, _, err := e.planWithDecision(q, e.sizeHint())
+	return e.PlanAt(q, e.sizeHint())
+}
+
+// PlanAt is Plan with an explicit |D| for general-form cardinality
+// bounds, for coordinators (internal/shard) whose planner engine holds
+// no data of its own: the global dataset size is tracked externally and
+// passed per request.
+func (e *Engine) PlanAt(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bound, error) {
+	p, b, _, _, err := e.planWithDecision(q, sizeHint)
 	return p, b, err
 }
 
@@ -449,7 +509,13 @@ func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, er
 // before, the coverage check, BEP decision and plan all come from the
 // cached entry, so Explain on a hot query costs a cache lookup.
 func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
-	p, b, dec, _, err := e.planWithDecision(q, e.sizeHint())
+	return e.ExplainAt(q, params, e.sizeHint())
+}
+
+// ExplainAt is Explain with an explicit |D| for general-form bounds,
+// mirroring PlanAt for coordinator engines.
+func (e *Engine) ExplainAt(q *cq.CQ, params []string, sizeHint int) (string, error) {
+	p, b, dec, _, err := e.planWithDecision(q, sizeHint)
 	var nb *NotBoundedError
 	if err != nil && !asNotBounded(err, &nb) {
 		return "", err

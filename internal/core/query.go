@@ -217,6 +217,33 @@ func (c *queryConfig) applyDeadline(ctx context.Context) (context.Context, conte
 
 func errNoInstance() error { return fmt.Errorf("core: no instance loaded") }
 
+// View describes the data a request executes against: the dataset size
+// |D| that planning and general-form bounds use, the fetch-resolution
+// source bounded plans execute through, and the instance the fallback
+// scan evaluates. Engine.Query assembles a View from the engine's own
+// snapshot; a coordinator (internal/shard) assembles one from externally
+// held, hash-partitioned data and serves it through QueryView, reusing
+// all of the engine's planning, admission, fallback and streaming logic.
+type View struct {
+	// Size is |D| of the viewed dataset.
+	Size int
+	// Source resolves each fetch step's access constraint.
+	Source plan.Source
+	// Instance returns the instance scans evaluate. It may be expensive
+	// (a sharded coordinator materializes the union of its shards
+	// lazily), so it is only called when a scan actually runs.
+	Instance func() (*data.Instance, error)
+}
+
+// viewOf builds the single-node View over one pinned snapshot.
+func viewOf(sn *snapshot) *View {
+	return &View{
+		Size:     sn.instance.Size(),
+		Source:   plan.NewSource(sn.indexed),
+		Instance: func() (*data.Instance, error) { return sn.instance, nil },
+	}
+}
+
 // Query is the engine's one serving entry point: it answers q — a CQ, a
 // UCQ, or an ∃FO⁺ query — with the strategy the paper's Conclusion
 // prescribes. The bounded plan is used when the query is boundedly
@@ -231,38 +258,61 @@ func errNoInstance() error { return fmt.Errorf("core: no instance loaded") }
 // WithDeadline, WithStream.
 //
 // Query is safe for concurrent use after Load, like every read entry
-// point of the Engine.
+// point of the Engine. The snapshot is acquired once, up front:
+// everything the request reads — indices on the bounded path, the
+// instance on the scan path, even rows produced after Query returns by a
+// streamed result — comes from that one consistent version, however many
+// updates are applied meanwhile.
 func (e *Engine) Query(ctx context.Context, q Query, opts ...QueryOption) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query")
 	}
+	sn := e.current()
+	if sn == nil {
+		return nil, errNoInstance()
+	}
+	return e.QueryView(ctx, q, viewOf(sn), opts...)
+}
+
+// QueryView is Query against an externally assembled data view — the
+// coordinator hook internal/shard serves through. The caller owns the
+// view's consistency: Size, Source and Instance must all describe the
+// same dataset version.
+func (e *Engine) QueryView(ctx context.Context, q Query, v *View, opts ...QueryOption) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if v == nil || v.Source == nil {
+		return nil, fmt.Errorf("core: nil view")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.queries.Add(1)
 	start := time.Now()
 	cfg := queryConfig{exec: e.Opts.Exec, budget: -1}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	switch v := q.(type) {
+	switch qv := q.(type) {
 	case *cq.CQ:
-		return e.serveCQ(ctx, start, v, cfg)
+		return e.serveCQ(ctx, start, qv, cfg, v)
 	case *ucq.UCQ:
-		return e.serveUCQ(ctx, start, v, cfg)
+		return e.serveUCQ(ctx, start, qv, cfg, v)
 	case *posfo.Query:
 		// "A query in ∃FO⁺ is equivalent to a query in UCQ" (Section
 		// 3.1): normalize, then serve the normal form.
-		subs, err := v.ToUCQ()
+		subs, err := qv.ToUCQ()
 		if err != nil {
 			return nil, err
 		}
-		return e.serveSubs(ctx, start, v.Label, subs, cfg)
+		return e.serveSubs(ctx, start, qv.Label, subs, cfg, v)
 	default:
 		subs, err := q.QueryCQs()
 		if err != nil {
 			return nil, err
 		}
-		return e.serveSubs(ctx, start, q.QueryLabel(), subs, cfg)
+		return e.serveSubs(ctx, start, q.QueryLabel(), subs, cfg, v)
 	}
 }
 
@@ -270,38 +320,30 @@ func (e *Engine) Query(ctx context.Context, q Query, opts ...QueryOption) (*Resu
 // normal form goes through the full CQ pipeline (BEP rewrites included) —
 // the same strategy whatever Go type the query arrived in; only an
 // explicit *ucq.UCQ keeps union planning for a one-sub union.
-func (e *Engine) serveSubs(ctx context.Context, start time.Time, label string, subs []*cq.CQ, cfg queryConfig) (*Result, error) {
+func (e *Engine) serveSubs(ctx context.Context, start time.Time, label string, subs []*cq.CQ, cfg queryConfig, v *View) (*Result, error) {
 	if len(subs) == 1 {
 		single := subs[0]
 		if single.Label != label {
 			single = single.Clone()
 			single.Label = label
 		}
-		return e.serveCQ(ctx, start, single, cfg)
+		return e.serveCQ(ctx, start, single, cfg, v)
 	}
 	u, err := ucq.New(label, subs...)
 	if err != nil {
 		return nil, err
 	}
-	return e.serveUCQ(ctx, start, u, cfg)
+	return e.serveUCQ(ctx, start, u, cfg, v)
 }
 
-// serveCQ serves a single conjunctive query. The snapshot is acquired
-// once, up front: everything the request reads — indices on the bounded
-// path, the instance on the scan path, even rows produced after Query
-// returns by a streamed result — comes from that one consistent version,
-// however many updates are applied meanwhile.
-func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg queryConfig) (*Result, error) {
-	sn := e.current()
-	if sn == nil {
-		return nil, errNoInstance()
-	}
-	p, b, _, hit, err := e.planWithDecision(q, sn.instance.Size())
+// serveCQ serves a single conjunctive query against one data view.
+func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg queryConfig, v *View) (*Result, error) {
+	p, b, _, hit, err := e.planWithDecision(q, v.Size)
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget, Bound: &b}
 		}
-		return e.runBounded(ctx, start, sn, ViaBoundedPlan, p, &b, hit, nil, cfg)
+		return e.runBounded(ctx, start, v.Source, ViaBoundedPlan, p, &b, hit, nil, cfg)
 	}
 	var nb *NotBoundedError
 	if !asNotBounded(err, &nb) {
@@ -311,7 +353,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 	case FallbackRefuse:
 		return nil, err
 	case FallbackEnvelope:
-		pu, bu, up, hitU, eerr := e.envelopePlanCached(q, sn.instance.Size())
+		pu, bu, up, hitU, eerr := e.envelopePlanCached(q, v.Size)
 		if eerr != nil {
 			// The search itself failed (e.g. too many atoms for the
 			// relaxation search) — that diagnostic beats the generic
@@ -324,7 +366,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 		if cfg.budget >= 0 && bu.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget, Bound: &bu}
 		}
-		res, rerr := e.runBounded(ctx, start, sn, ViaUpperEnvelope, pu, &bu, hitU, up, cfg)
+		res, rerr := e.runBounded(ctx, start, v.Source, ViaUpperEnvelope, pu, &bu, hitU, up, cfg)
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -337,7 +379,11 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, q.Label, q.Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			return eval.CQCtx(sctx, q, sn.instance, eval.HashJoin)
+			inst, err := v.Instance()
+			if err != nil {
+				return nil, err
+			}
+			return eval.CQCtx(sctx, q, inst, eval.HashJoin)
 		})
 	}
 }
@@ -377,19 +423,15 @@ func (e *Engine) envelopePlanCached(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bo
 	return pu, bu, up, false, nil
 }
 
-// serveUCQ serves a union of conjunctive queries, against one snapshot
+// serveUCQ serves a union of conjunctive queries, against one data view
 // like serveCQ.
-func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg queryConfig) (*Result, error) {
-	sn := e.current()
-	if sn == nil {
-		return nil, errNoInstance()
-	}
-	p, b, hit, err := e.planUCQCached(u, sn.instance.Size())
+func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg queryConfig, v *View) (*Result, error) {
+	p, b, hit, err := e.planUCQCached(u, v.Size)
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget, Bound: &b}
 		}
-		return e.runBounded(ctx, start, sn, ViaBoundedPlan, p, &b, hit, nil, cfg)
+		return e.runBounded(ctx, start, v.Source, ViaBoundedPlan, p, &b, hit, nil, cfg)
 	}
 	var nb *NotBoundedError
 	if !asNotBounded(err, &nb) {
@@ -404,14 +446,18 @@ func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg 
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, u.Label, u.Subs[0].Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			return eval.UCQCtx(sctx, u.Subs, sn.instance, eval.HashJoin)
+			inst, err := v.Instance()
+			if err != nil {
+				return nil, err
+			}
+			return eval.UCQCtx(sctx, u.Subs, inst, eval.HashJoin)
 		})
 	}
 }
 
-// runBounded executes a bounded plan against sn, materialized or
+// runBounded executes a bounded plan against src, materialized or
 // streamed.
-func (e *Engine) runBounded(ctx context.Context, start time.Time, sn *snapshot, mode Mode, p *plan.Plan, b *plan.Bound, cacheHit bool, up *envelope.Upper, cfg queryConfig) (*Result, error) {
+func (e *Engine) runBounded(ctx context.Context, start time.Time, src plan.Source, mode Mode, p *plan.Plan, b *plan.Bound, cacheHit bool, up *envelope.Upper, cfg queryConfig) (*Result, error) {
 	res := &Result{
 		Query:    p.Label,
 		Mode:     mode,
@@ -425,7 +471,7 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, sn *snapshot, 
 		res.stream = func(yield func(data.Tuple) bool) {
 			sctx, cancel := cfg.applyDeadline(ctx)
 			defer cancel()
-			st, err := plan.ExecuteStream(sctx, p, sn.indexed, cfg.exec, yield)
+			st, err := plan.ExecuteStreamSource(sctx, p, src, cfg.exec, yield)
 			if st != nil {
 				res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
 				res.exec = st
@@ -438,7 +484,7 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, sn *snapshot, 
 	}
 	sctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
-	tbl, st, err := plan.ExecuteOpts(sctx, p, sn.indexed, cfg.exec)
+	tbl, st, err := plan.ExecuteSource(sctx, p, src, cfg.exec)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,14 @@ import (
 // Index is a hash index on attributes X for attributes Y over one relation
 // instance. Buckets hold distinct Y-projections (set semantics), so the
 // bucket size for key ā is exactly |D_Y(X = ā)| from the paper.
+//
+// Buckets are kept in canonical order: Y-projections sorted by their
+// injective key encoding. This makes fetch results a pure function of the
+// SET of tuples in the relation — independent of insertion order, of the
+// delete/insert history, and (crucially for internal/shard) of how the
+// relation is partitioned: merging the per-shard buckets of a
+// hash-partitioned relation in key order reproduces the exact bucket a
+// single-node index over the whole relation would serve.
 type Index struct {
 	Rel  string
 	X, Y []schema.Attribute
@@ -75,36 +83,86 @@ func New(rs schema.Relation, x, y []schema.Attribute) (*Index, error) {
 	}, nil
 }
 
-// Build constructs the index on X for Y over r.
+// Build constructs the index on X for Y over r. Buckets are appended
+// during the scan and sorted once at the end: per-tuple sorted insertion
+// would cost O(g) shifts and O(log g) key re-encodings per tuple on a
+// group of size g — quadratic in g before an oversized group is even
+// rejected by validation — while append-then-sort is O(g log g) total.
 func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
 	idx, err := New(r.Schema, x, y)
 	if err != nil {
 		return nil, err
 	}
 	for _, t := range r.Tuples() {
-		idx.Insert(t)
+		idx.insertAppend(t)
 	}
+	idx.sortBuckets()
 	return idx, nil
 }
 
-// pairKey is the injective encoding of (X-projection, Y-projection).
-func (ix *Index) pairKey(k value.Key, proj data.Tuple) value.Key {
-	return k + "\x00" + proj.Key()
+// insertAppend is Insert without the canonical-position search: the new
+// projection goes to the bucket's end. Only Build may use it, followed
+// by sortBuckets.
+func (ix *Index) insertAppend(t data.Tuple) {
+	k := value.KeyOfAt(t, ix.xpos)
+	proj := t.Project(ix.ypos)
+	dk := pairKey(k, proj.Key())
+	ix.counts[dk]++
+	if ix.counts[dk] == 1 {
+		ix.buckets[k] = append(ix.buckets[k], proj)
+	}
 }
+
+// sortBuckets restores the canonical per-bucket order after a bulk
+// append-only build.
+func (ix *Index) sortBuckets() {
+	for _, b := range ix.buckets {
+		if len(b) < 2 {
+			continue
+		}
+		keys := make([]value.Key, len(b))
+		for i, proj := range b {
+			keys[i] = proj.Key()
+		}
+		sort.Sort(&keyedBucket{projs: b, keys: keys})
+	}
+}
+
+// keyedBucket sorts a bucket by precomputed projection keys.
+type keyedBucket struct {
+	projs []data.Tuple
+	keys  []value.Key
+}
+
+func (s *keyedBucket) Len() int           { return len(s.projs) }
+func (s *keyedBucket) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyedBucket) Swap(i, j int) {
+	s.projs[i], s.projs[j] = s.projs[j], s.projs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// pairKey is the injective encoding of (X-key, Y-projection-key).
+func pairKey(k, pk value.Key) value.Key { return k + "\x00" + pk }
 
 // Insert maintains the index for one inserted tuple, returning the
 // tuple's X-key and the bucket size after the insert (so callers can
 // check a cardinality bound without scanning all groups). Inserting a
 // tuple whose (X, Y) pair is already present only bumps its multiplicity.
 // The caller is responsible for set semantics at the relation level:
-// Insert assumes t was a fresh relation tuple.
+// Insert assumes t was a fresh relation tuple. The bucket stays in
+// canonical (key-sorted) order.
 func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
 	proj := t.Project(ix.ypos)
-	dk := ix.pairKey(k, proj)
+	pk := proj.Key()
+	dk := pairKey(k, pk)
 	ix.counts[dk]++
 	b := ix.buckets[k]
 	if ix.counts[dk] == 1 {
+		// Binary search for the canonical position; bucket sizes are bounded
+		// by the constraint's cardinality, so the per-probe key encodings
+		// stay cheap.
+		at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
 		if !ix.ownsBucket(k) {
 			// Copy-on-write: this bucket's backing array is shared with a
 			// pre-clone version whose readers still hold it.
@@ -113,7 +171,9 @@ func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 			b = nb
 			ix.claimBucket(k)
 		}
-		b = append(b, proj)
+		b = append(b, nil)
+		copy(b[at+1:], b[at:])
+		b[at] = proj
 		ix.buckets[k] = b
 	}
 	return k, len(b)
@@ -126,7 +186,8 @@ func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 func (ix *Index) Delete(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
 	proj := t.Project(ix.ypos)
-	dk := ix.pairKey(k, proj)
+	pk := proj.Key()
+	dk := pairKey(k, pk)
 	n, ok := ix.counts[dk]
 	if !ok {
 		return k, len(ix.buckets[k])
@@ -137,7 +198,6 @@ func (ix *Index) Delete(t data.Tuple) (value.Key, int) {
 	}
 	delete(ix.counts, dk)
 	b := ix.buckets[k]
-	pk := proj.Key()
 	var nb []data.Tuple
 	if ix.ownsBucket(k) {
 		nb = b[:0]
@@ -218,6 +278,19 @@ func (ix *Index) Keys() []value.Key {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Buckets calls f for every (X-key, bucket) pair, in unspecified key
+// order, stopping early when f returns false. Bucket slices are shared
+// (and in canonical projection-key order); callers must not mutate them.
+// It is the bulk-read hook coordinators use to merge per-shard group
+// sizes without materializing sorted key lists.
+func (ix *Index) Buckets(f func(k value.Key, bucket []data.Tuple) bool) {
+	for k, b := range ix.buckets {
+		if !f(k, b) {
+			return
+		}
+	}
 }
 
 // String identifies the index, e.g. "index on Accident(date -> aid)".

@@ -312,3 +312,57 @@ func TestCloneIsolationBothDirections(t *testing.T) {
 		t.Errorf("clone bucket content changed: %v", b)
 	}
 }
+
+// TestCanonicalBucketOrder pins the partition-invariance property that
+// internal/shard's scatter-gather merge relies on: whatever order (and
+// delete/insert history) tuples arrive in, a bucket holds its distinct
+// Y-projections sorted by their key encoding, so two indexes over the
+// same tuple SET serve byte-identical buckets.
+func TestCanonicalBucketOrder(t *testing.T) {
+	rs := schema.MustRelation("R", "A", "B", "C")
+	mk := func(a, b, c int64) data.Tuple {
+		return data.Tuple{value.NewInt(a), value.NewInt(b), value.NewInt(c)}
+	}
+	tuples := []data.Tuple{mk(1, 9, 0), mk(1, 3, 1), mk(1, 7, 2), mk(1, 1, 3), mk(1, 5, 4)}
+
+	fwd := data.NewRelation(rs)
+	rev := data.NewRelation(rs)
+	for _, tp := range tuples {
+		fwd.MustInsert(tp...)
+	}
+	for i := len(tuples) - 1; i >= 0; i-- {
+		rev.MustInsert(tuples[i]...)
+	}
+	x, y := []schema.Attribute{"A"}, []schema.Attribute{"B"}
+	ixF, err := Build(fwd, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixR, err := Build(rev, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bF := ixF.Fetch([]value.Value{value.NewInt(1)})
+	bR := ixR.Fetch([]value.Value{value.NewInt(1)})
+	if len(bF) != len(tuples) || len(bR) != len(tuples) {
+		t.Fatalf("bucket sizes %d/%d, want %d", len(bF), len(bR), len(tuples))
+	}
+	for i := range bF {
+		if i > 0 && !(bF[i-1].Key() < bF[i].Key()) {
+			t.Fatalf("bucket not in canonical order at %d: %v", i, bF)
+		}
+		if bF[i].Key() != bR[i].Key() {
+			t.Fatalf("insertion order leaked into bucket order: %v vs %v", bF, bR)
+		}
+	}
+
+	// Delete + reinsert in a different relative position: still canonical.
+	ixF.Delete(mk(1, 1, 3))
+	ixF.Insert(mk(1, 1, 3))
+	bF = ixF.Fetch([]value.Value{value.NewInt(1)})
+	for i := 1; i < len(bF); i++ {
+		if !(bF[i-1].Key() < bF[i].Key()) {
+			t.Fatalf("delete/reinsert broke canonical order: %v", bF)
+		}
+	}
+}

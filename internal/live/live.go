@@ -134,6 +134,30 @@ func (d *Delta) Relations() []string {
 	return out
 }
 
+// Each visits every batched operation in apply order — relations as
+// Relations() lists them, deletes before inserts within a relation —
+// calling f with the relation name, whether the op is an insert, and
+// the tuple. It stops at the first error f returns. The tuple is the
+// delta's own copy; callers must not mutate it. Each is how a
+// coordinator splits a batch into per-shard sub-deltas without reaching
+// into the delta's internals.
+func (d *Delta) Each(f func(rel string, insert bool, t data.Tuple) error) error {
+	for _, name := range d.Relations() {
+		rd := d.rels[name]
+		for _, t := range rd.deletes {
+			if err := f(name, false, t); err != nil {
+				return err
+			}
+		}
+		for _, t := range rd.inserts {
+			if err := f(name, true, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // String summarizes the batch, e.g. "delta{Accident: +3 -1, Casualty: +6}".
 func (d *Delta) String() string {
 	var sb strings.Builder
@@ -187,32 +211,51 @@ type Result struct {
 // context-cancellation checks.
 const checkEvery = 1024
 
-// Apply materializes ix's instance with d applied, validating the result
-// against the access schema. Per relation, deletes are applied before
-// inserts (so a tuple both deleted and inserted in one batch ends up
-// present), under set semantics.
+// Staged is a delta applied but not yet validated or published: the
+// post-delta relations and incrementally maintained index clones, plus
+// the bookkeeping validation needs. The pre-delta snapshot it was staged
+// from is untouched; a Staged that fails validation is simply dropped.
 //
-// On success the returned Result holds the post-delta snapshot: touched
-// relations and indices are fresh copies maintained incrementally,
-// untouched ones are shared with ix. On a cardinality violation Apply
-// returns a *ViolationError listing every broken constraint and the
-// pre-delta snapshot stays untouched; general-form constraints s(|D|) are
-// re-checked even on untouched relations when the batch shrinks |D|
-// enough to lower their bound. ctx cancels a long apply between chunks.
-func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
+// The Stage → Violations → Commit split exists for coordinators: a
+// sharded engine stages one sub-delta per shard in parallel, validates
+// the batch GLOBALLY (cross-shard group merges, bounds at the global
+// |D|), and only then commits every shard — or none. Single-node Apply
+// is the same three steps with local sizes.
+type Staged struct {
+	ix        *access.Indexed
+	newInst   *data.Instance
+	clonedIdx map[int]*index.Index
+	// maxTouched tracks, per cloned index, the largest group size any of
+	// this batch's inserts produced — the only groups that can newly
+	// exceed a non-shrinking bound.
+	maxTouched map[int]int
+	// insertKeys are the X-keys this batch's inserts touched, per
+	// constraint — the groups a coordinator must re-measure across
+	// shards for constraints not aligned with the partition key.
+	insertKeys map[int][]value.Key
+	inserted   int
+	deleted    int
+}
+
+// Stage materializes ix's instance with d applied, without validating
+// cardinality bounds or publishing anything. Per relation, deletes are
+// applied before inserts (so a tuple both deleted and inserted in one
+// batch ends up present), under set semantics. ctx cancels a long stage
+// between chunks.
+func Stage(ctx context.Context, d *Delta, ix *access.Indexed) (*Staged, error) {
 	if ix == nil || ix.Instance == nil {
 		return nil, fmt.Errorf("live: no indexed instance to apply to")
 	}
 	inst := ix.Instance
 	cs := ix.Access.Constraints
 
+	st := &Staged{
+		ix:         ix,
+		clonedIdx:  make(map[int]*index.Index),
+		maxTouched: make(map[int]int),
+		insertKeys: make(map[int][]value.Key),
+	}
 	repls := make(map[string]*data.Relation)
-	clonedIdx := make(map[int]*index.Index)
-	// maxTouched tracks, per cloned index, the largest group size any of
-	// this batch's inserts produced — the only groups that can newly
-	// exceed a non-shrinking bound.
-	maxTouched := make(map[int]int)
-	res := &Result{}
 
 	ops := 0
 	tick := func() error {
@@ -233,7 +276,7 @@ func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
 		var idxs []int
 		for ci, c := range cs {
 			if c.Rel == name {
-				clonedIdx[ci] = ix.Index(ci).Clone()
+				st.clonedIdx[ci] = ix.Index(ci).Clone()
 				idxs = append(idxs, ci)
 			}
 		}
@@ -241,15 +284,16 @@ func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("live: %w", err)
 		}
-		res.Deleted += len(removed)
+		st.deleted += len(removed)
 		for _, t := range removed {
 			for _, ci := range idxs {
-				clonedIdx[ci].Delete(t)
+				st.clonedIdx[ci].Delete(t)
 			}
 			if err := tick(); err != nil {
 				return nil, fmt.Errorf("live: apply canceled: %w", err)
 			}
 		}
+		seenKey := make(map[int]map[value.Key]bool)
 		for _, t := range rd.inserts {
 			fresh, err := cl.Insert(t)
 			if err != nil {
@@ -258,10 +302,18 @@ func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
 			if !fresh {
 				continue
 			}
-			res.Inserted++
+			st.inserted++
 			for _, ci := range idxs {
-				if _, g := clonedIdx[ci].Insert(t); g > maxTouched[ci] {
-					maxTouched[ci] = g
+				k, g := st.clonedIdx[ci].Insert(t)
+				if g > st.maxTouched[ci] {
+					st.maxTouched[ci] = g
+				}
+				if seenKey[ci] == nil {
+					seenKey[ci] = make(map[value.Key]bool)
+				}
+				if !seenKey[ci][k] {
+					seenKey[ci][k] = true
+					st.insertKeys[ci] = append(st.insertKeys[ci], k)
 				}
 			}
 			if err := tick(); err != nil {
@@ -275,38 +327,112 @@ func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
-	oldSize, newSize := inst.Size(), newInst.Size()
+	st.newInst = newInst
+	return st, nil
+}
 
+// Size returns the staged (post-delta) instance's local size.
+func (st *Staged) Size() int { return st.newInst.Size() }
+
+// Inserted and Deleted count the staged operations with net effect
+// under set semantics, like Result's fields.
+func (st *Staged) Inserted() int { return st.inserted }
+
+// Deleted counts the staged deletions with net effect.
+func (st *Staged) Deleted() int { return st.deleted }
+
+// OldSize returns the pre-delta instance's local size.
+func (st *Staged) OldSize() int { return st.ix.Instance.Size() }
+
+// Index returns the post-delta index backing constraint ci: the
+// incrementally maintained clone when the batch touched its relation,
+// the shared pre-delta index otherwise.
+func (st *Staged) Index(ci int) *index.Index {
+	if idx := st.clonedIdx[ci]; idx != nil {
+		return idx
+	}
+	return st.ix.Index(ci)
+}
+
+// Touched reports whether the batch touched constraint ci's relation.
+func (st *Staged) Touched(ci int) bool { return st.clonedIdx[ci] != nil }
+
+// InsertKeys returns the distinct X-keys the batch's inserts touched on
+// constraint ci, in first-touch order. Only these groups can newly
+// exceed a non-shrinking bound.
+func (st *Staged) InsertKeys(ci int) []value.Key { return st.insertKeys[ci] }
+
+// Violations checks every cardinality bound of the staged result, with
+// general-form constraints s(|D|) evaluated at newSize (and compared
+// against oldSize to detect shrinking bounds). A single-node caller
+// passes OldSize()/Size(); a sharded coordinator does NOT use this — it
+// merges group sizes across shards itself — but reuses the same rules:
+// insert-touched groups against the new bound, full re-checks (touched
+// and untouched indexes alike) when a bound shrank.
+func (st *Staged) Violations(oldSize, newSize int) []access.Violation {
 	var viols []access.Violation
-	for ci, c := range cs {
+	for ci, c := range st.ix.Access.Constraints {
 		bound := c.Card.Bound(newSize)
 		shrunk := !c.Card.IsConst() && bound < c.Card.Bound(oldSize)
 		switch {
-		case clonedIdx[ci] != nil && shrunk:
+		case st.Touched(ci) && shrunk:
 			// The batch lowered s(|D|): every group of the touched index
 			// must be re-checked, not just the ones this batch grew.
-			if g := clonedIdx[ci].MaxGroup(); g > bound {
+			if g := st.clonedIdx[ci].MaxGroup(); g > bound {
 				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
 			}
-		case clonedIdx[ci] != nil:
-			if g := maxTouched[ci]; g > bound {
+		case st.Touched(ci):
+			if g := st.maxTouched[ci]; g > bound {
 				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
 			}
 		case shrunk:
 			// Untouched relation, but a general-form bound shrank with |D|.
-			if g := ix.Index(ci).MaxGroup(); g > bound {
+			if g := st.ix.Index(ci).MaxGroup(); g > bound {
 				viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
 			}
 		}
 	}
-	if len(viols) > 0 {
-		return nil, &ViolationError{Violations: viols}
-	}
+	return viols
+}
 
-	newIx, err := ix.CloneWith(newInst, clonedIdx)
+// Commit assembles the post-delta snapshot pair. The caller must have
+// validated first (Violations, or a coordinator's global check): Commit
+// itself publishes nothing and never re-checks.
+func (st *Staged) Commit() (*Result, error) {
+	newIx, err := st.ix.CloneWith(st.newInst, st.clonedIdx)
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
-	res.Instance, res.Indexed = newInst, newIx
-	return res, nil
+	return &Result{
+		Instance: st.newInst,
+		Indexed:  newIx,
+		Inserted: st.inserted,
+		Deleted:  st.deleted,
+	}, nil
+}
+
+// Apply materializes ix's instance with d applied, validating the result
+// against the access schema. Per relation, deletes are applied before
+// inserts (so a tuple both deleted and inserted in one batch ends up
+// present), under set semantics.
+//
+// On success the returned Result holds the post-delta snapshot: touched
+// relations and indices are fresh copies maintained incrementally,
+// untouched ones are shared with ix. On a cardinality violation Apply
+// returns a *ViolationError listing every broken constraint and the
+// pre-delta snapshot stays untouched; general-form constraints s(|D|) are
+// re-checked even on untouched relations when the batch shrinks |D|
+// enough to lower their bound. ctx cancels a long apply between chunks.
+//
+// Apply is Stage + Violations + Commit; coordinators that need to
+// validate across several staged shards call the pieces directly.
+func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
+	st, err := Stage(ctx, d, ix)
+	if err != nil {
+		return nil, err
+	}
+	if viols := st.Violations(st.OldSize(), st.Size()); len(viols) > 0 {
+		return nil, &ViolationError{Violations: viols}
+	}
+	return st.Commit()
 }

@@ -180,18 +180,25 @@ func looksInt(s string) bool {
 	return true
 }
 
+// escape works on BYTES, not runes: values are arbitrary byte strings,
+// and a rune loop would silently rewrite invalid UTF-8 to U+FFFD —
+// corrupting the value and breaking the encode/decode bijection (found
+// by FuzzReadDeltaTSV). Carriage returns are escaped alongside tabs and
+// newlines because bufio.ScanLines strips a trailing \r from each line.
 func escape(s string) string {
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
 		case '\\':
 			b.WriteString(`\\`)
 		case '\t':
 			b.WriteString(`\t`)
 		case '\n':
 			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(s[i])
 		}
 	}
 	return b.String()
@@ -215,6 +222,8 @@ func unescape(s string) (string, error) {
 			b.WriteByte('\t')
 		case 'n':
 			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
 		default:
 			return "", fmt.Errorf("unknown escape \\%c in %q", s[i], s)
 		}

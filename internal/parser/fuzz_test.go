@@ -1,0 +1,179 @@
+package parser
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/value"
+)
+
+// FuzzParse feeds arbitrary documents to the parser. The invariants:
+//
+//  1. Parse never panics — malformed input must come back as an error.
+//  2. Round-trip: a successfully parsed document, rendered back to the
+//     document syntax, parses again, and rendering THAT parse is a
+//     fixed point (same text). This pins the parser and the syntax to
+//     each other without a hand-maintained printer in the main tree.
+//
+// Documents whose identifiers or string constants fall outside the
+// render-safe subset (quotes, newlines, exotic runes) skip the
+// round-trip half — invariant 1 still applies to them.
+func FuzzParse(f *testing.F) {
+	f.Add(`
+relation Accident(aid, district, date)
+relation Vehicle(vid, driver, age)
+constraint Accident(date -> aid, 610)
+constraint Accident(aid -> district date, 1)
+constraint Vehicle(vid -> driver age, sqrt)
+query Q0(xa) :- Accident(aid, "Queen's Park", "1/5/2005"), Vehicle(aid, dri, xa).
+query Q51(xa) params(d) :- Accident(aid, d, d), Vehicle(aid, dri, xa).
+`)
+	f.Add("relation R(A, B)\nconstraint R(∅ -> B, 5)\nquery Q(x) :- R(x, y), x = 3.")
+	f.Add("relation R(A, B)\nquery QU(x) :- R(x, y).\nquery QU(z) :- R(z, z).")
+	f.Add("relation R(A, B)\nquery QD(x) :- R(x, y), (R(x, z) | R(z, x)).")
+	f.Add("relation R(A)\nquery B() :- R(x).")
+	f.Add("relation")
+	f.Add("constraint R(A -> , 1)")
+	f.Add("query Q(x) :- ")
+	f.Add("relation R(A, B)\nconstraint R(A -> B, -610)")
+	f.Add("\x00\xff relation R(é)")
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := Parse(input)
+		if err != nil {
+			return // rejected cleanly: that is the contract
+		}
+		out, ok := renderDoc(doc)
+		if !ok {
+			return // outside the render-safe subset
+		}
+		doc2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of rendered document failed: %v\nrendered:\n%s", err, out)
+		}
+		out2, ok := renderDoc(doc2)
+		if !ok {
+			t.Fatalf("rendered document left the render-safe subset:\n%s", out)
+		}
+		if out2 != out {
+			t.Fatalf("render is not a fixed point:\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+	})
+}
+
+var safeIdent = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+func safeString(s string) bool {
+	return !strings.ContainsAny(s, "\"\\\n\r\t")
+}
+
+// renderDoc prints a parsed document back in the .bq syntax, reporting
+// false when any name or constant cannot be rendered unambiguously.
+func renderDoc(d *Document) (string, bool) {
+	var sb strings.Builder
+	for _, rs := range d.Schema.Relations() {
+		if !safeIdent.MatchString(rs.Name) {
+			return "", false
+		}
+		names := make([]string, len(rs.Attrs))
+		for i, a := range rs.Attrs {
+			if !safeIdent.MatchString(string(a)) {
+				return "", false
+			}
+			names[i] = string(a)
+		}
+		fmt.Fprintf(&sb, "relation %s(%s)\n", rs.Name, strings.Join(names, ", "))
+	}
+	for _, c := range d.Access.Constraints {
+		xs := make([]string, len(c.X))
+		for i, a := range c.X {
+			xs[i] = string(a)
+		}
+		x := strings.Join(xs, " ")
+		if len(c.X) == 0 {
+			x = "∅"
+		}
+		ys := make([]string, len(c.Y))
+		for i, a := range c.Y {
+			ys[i] = string(a)
+		}
+		card := fmt.Sprint(c.Card.Const)
+		if !c.Card.IsConst() {
+			card = c.Card.Name
+		}
+		fmt.Fprintf(&sb, "constraint %s(%s -> %s, %s)\n", c.Rel, x, strings.Join(ys, " "), card)
+	}
+	for _, q := range d.Queries {
+		if !safeIdent.MatchString(q.Name) {
+			return "", false
+		}
+		for _, sub := range q.Subs {
+			head := make([]string, len(sub.Free))
+			for i, v := range sub.Free {
+				if !safeIdent.MatchString(v) {
+					return "", false
+				}
+				head[i] = v
+			}
+			var body []string
+			for _, atom := range sub.Atoms {
+				args := make([]string, len(atom.Args))
+				for i, term := range atom.Args {
+					s, ok := renderTerm(term)
+					if !ok {
+						return "", false
+					}
+					args[i] = s
+				}
+				body = append(body, fmt.Sprintf("%s(%s)", atom.Rel, strings.Join(args, ", ")))
+			}
+			for _, eq := range sub.Eqs {
+				l, okL := renderTerm(eq.L)
+				r, okR := renderTerm(eq.R)
+				if !okL || !okR {
+					return "", false
+				}
+				body = append(body, fmt.Sprintf("%s = %s", l, r))
+			}
+			if len(body) == 0 {
+				return "", false
+			}
+			params := ""
+			if len(q.Params) > 0 {
+				for _, p := range q.Params {
+					if !safeIdent.MatchString(p) {
+						return "", false
+					}
+				}
+				params = fmt.Sprintf(" params(%s)", strings.Join(q.Params, ", "))
+			}
+			fmt.Fprintf(&sb, "query %s(%s)%s :- %s.\n", q.Name, strings.Join(head, ", "), params, strings.Join(body, ", "))
+		}
+	}
+	return sb.String(), true
+}
+
+func renderTerm(t cq.Term) (string, bool) {
+	if t.IsVar() {
+		if !safeIdent.MatchString(t.V) {
+			return "", false
+		}
+		return t.V, true
+	}
+	switch t.C.Kind() {
+	case value.Int:
+		if t.C.Int() < 0 {
+			return "", false
+		}
+		return fmt.Sprint(t.C.Int()), true
+	case value.String:
+		if !safeString(t.C.Str()) {
+			return "", false
+		}
+		return `"` + t.C.Str() + `"`, true
+	default:
+		return "", false
+	}
+}

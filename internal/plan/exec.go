@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
-	"repro/internal/index"
 	"repro/internal/value"
 )
 
@@ -49,6 +48,14 @@ func Execute(p *Plan, ix *access.Indexed) (*Table, *ExecStats, error) {
 // returned (wrapped; test with errors.Is). The worker pool always drains
 // before ExecuteOpts returns — cancellation never leaks goroutines.
 func ExecuteOpts(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOptions) (*Table, *ExecStats, error) {
+	return ExecuteSource(ctx, p, NewSource(ix), opts)
+}
+
+// ExecuteSource is ExecuteOpts generalized over the data-access surface:
+// fetches resolve through src instead of a concrete indexed instance, so
+// the same executor serves single-node indexes and the scatter-gather
+// sources of a sharded engine.
+func ExecuteSource(ctx context.Context, p *Plan, src Source, opts ExecOptions) (*Table, *ExecStats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -58,7 +65,7 @@ func ExecuteOpts(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOpti
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
 		}
-		t, err := execOp(ctx, op, results, ix, stats, opts)
+		t, err := execOp(ctx, op, results, src, stats, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -79,6 +86,12 @@ func ExecuteOpts(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOpti
 // Set semantics are preserved with a dedup key set, so the yielded
 // sequence is byte-identical, in order, to ExecuteOpts's result rows.
 func ExecuteStream(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOptions, yield func(data.Tuple) bool) (*ExecStats, error) {
+	return ExecuteStreamSource(ctx, p, NewSource(ix), opts, yield)
+}
+
+// ExecuteStreamSource is ExecuteStream generalized over the data-access
+// surface, like ExecuteSource.
+func ExecuteStreamSource(ctx context.Context, p *Plan, src Source, opts ExecOptions, yield func(data.Tuple) bool) (*ExecStats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +102,7 @@ func ExecuteStream(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOp
 		if err := ctx.Err(); err != nil {
 			return stats, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
 		}
-		t, err := execOp(ctx, op, results, ix, stats, opts)
+		t, err := execOp(ctx, op, results, src, stats, opts)
 		if err != nil {
 			return stats, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -102,14 +115,14 @@ func ExecuteStream(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOp
 	if err := ctx.Err(); err != nil {
 		return stats, fmt.Errorf("plan: canceled before step T%d: %w", last, err)
 	}
-	if err := streamOp(ctx, p.Steps[last], results, ix, stats, yield); err != nil {
+	if err := streamOp(ctx, p.Steps[last], results, src, stats, yield); err != nil {
 		return stats, fmt.Errorf("plan: step T%d (%s): %w", last, p.Steps[last], err)
 	}
 	stats.OpsRun++
 	return stats, nil
 }
 
-func execOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
+func execOp(ctx context.Context, op Op, results []*Table, src Source, stats *ExecStats, opts ExecOptions) (*Table, error) {
 	switch o := op.(type) {
 	case unitOp:
 		return Unit(), nil
@@ -120,7 +133,7 @@ func execOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, st
 	case EmptyOp:
 		return NewTable(o.Cols...), nil
 	case FetchOp:
-		return execFetch(ctx, o, results[o.Input], ix, stats, opts)
+		return execFetch(ctx, o, results[o.Input], src, stats, opts)
 	case ProjectOp:
 		return execProject(o, results[o.Input])
 	case SelectOp:
@@ -172,7 +185,7 @@ func (s *streamSink) add(row data.Tuple) bool {
 
 // streamOp executes the final plan step sequentially, emitting its rows
 // through a streamSink instead of building a Table.
-func streamOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, stats *ExecStats, yield func(data.Tuple) bool) error {
+func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *ExecStats, yield func(data.Tuple) bool) error {
 	sink := newStreamSink(yield)
 	each := func(rows []data.Tuple, emit func(data.Tuple) data.Tuple) error {
 		for i, row := range rows {
@@ -198,7 +211,7 @@ func streamOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, 
 	case EmptyOp:
 		return nil
 	case FetchOp:
-		fe, err := newFetchEval(o, results[o.Input], ix)
+		fe, err := newFetchEval(o, results[o.Input], src)
 		if err != nil {
 			return err
 		}
@@ -311,7 +324,7 @@ func streamOp(ctx context.Context, op Op, results []*Table, ix *access.Indexed, 
 type fetchEval struct {
 	o       FetchOp
 	in      *Table
-	idx     *index.Index
+	fetch   Fetcher
 	xpos    []int
 	outCols []string
 	actions []yAction
@@ -324,9 +337,9 @@ type yAction struct {
 	checkPos int // >= 0: must equal this output position
 }
 
-func newFetchEval(o FetchOp, in *Table, ix *access.Indexed) (*fetchEval, error) {
-	idx := ix.IndexFor(o.Constraint)
-	if idx == nil {
+func newFetchEval(o FetchOp, in *Table, src Source) (*fetchEval, error) {
+	fetch := src.FetcherFor(o.Constraint)
+	if fetch == nil {
 		return nil, fmt.Errorf("no index for constraint %s", o.Constraint)
 	}
 	if len(o.XCols) != len(o.Constraint.X) {
@@ -363,7 +376,7 @@ func newFetchEval(o FetchOp, in *Table, ix *access.Indexed) (*fetchEval, error) 
 			nextPos++
 		}
 	}
-	return &fetchEval{o: o, in: in, idx: idx, xpos: xpos, outCols: outCols, actions: actions}, nil
+	return &fetchEval{o: o, in: in, fetch: fetch, xpos: xpos, outCols: outCols, actions: actions}, nil
 }
 
 // fetchItem is one distinct-key lookup: the first input row carrying the
@@ -376,7 +389,7 @@ type fetchItem struct {
 // emit looks the item up and sends the resulting output rows to sink,
 // stopping when sink returns false.
 func (f *fetchEval) emit(it fetchItem, st *ExecStats, sink func(data.Tuple) bool) bool {
-	bucket := f.idx.FetchKey(it.key)
+	bucket := f.fetch.FetchKey(it.key)
 	st.FetchKeys++
 	st.Fetched += int64(len(bucket))
 	for _, proj := range bucket {
@@ -433,8 +446,8 @@ func (f *fetchEval) runSequential(ctx context.Context, stats *ExecStats, sink fu
 	return nil
 }
 
-func execFetch(ctx context.Context, o FetchOp, in *Table, ix *access.Indexed, stats *ExecStats, opts ExecOptions) (*Table, error) {
-	f, err := newFetchEval(o, in, ix)
+func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *ExecStats, opts ExecOptions) (*Table, error) {
+	f, err := newFetchEval(o, in, src)
 	if err != nil {
 		return nil, err
 	}

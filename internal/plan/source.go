@@ -1,0 +1,41 @@
+package plan
+
+import (
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/value"
+)
+
+// Fetcher resolves the index lookups of one fetch step: given an encoded
+// X-key ā it returns D_Y(X = ā), the distinct Y-projections in canonical
+// (key-sorted) order. *index.Index implements it directly; a distributed
+// source returns a resolver that routes or scatter-gathers across shards.
+// The returned slice is shared and must not be mutated.
+type Fetcher interface {
+	FetchKey(k value.Key) []data.Tuple
+}
+
+// Source is the data-access surface a plan executes against: it resolves
+// each fetch step's access constraint to a Fetcher once, up front.
+// NewSource adapts the single-node *access.Indexed; internal/shard
+// provides a scatter-gather implementation over hash-partitioned shards.
+// FetcherFor returns nil when the source has no index for c, which fails
+// the fetch step with a descriptive error.
+type Source interface {
+	FetcherFor(c access.Constraint) Fetcher
+}
+
+// indexedSource is the single-node Source: constraints resolve to the
+// indexes of one access.Indexed.
+type indexedSource struct{ ix *access.Indexed }
+
+func (s indexedSource) FetcherFor(c access.Constraint) Fetcher {
+	if idx := s.ix.IndexFor(c); idx != nil {
+		return idx
+	}
+	return nil
+}
+
+// NewSource adapts an indexed instance to the Source interface plans
+// execute against.
+func NewSource(ix *access.Indexed) Source { return indexedSource{ix} }

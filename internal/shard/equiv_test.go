@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/live"
+	"repro/internal/schema"
+	"repro/internal/ucq"
+	"repro/internal/workload"
+)
+
+// testbed is one workload the equivalence suite runs: a schema, its
+// access schema, a fresh-instance factory and a random-CQ const pool.
+type testbed struct {
+	name   string
+	schema *schema.Schema
+	access *access.Schema
+	build  func() *data.Instance
+	consts map[schema.Attribute][]cq.Term
+}
+
+func accidentsBed(t *testing.T) testbed {
+	t.Helper()
+	build := func() *data.Instance {
+		acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+			Days: 3, AccidentsPerDay: 15, MaxVehicles: 4, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc.Instance
+	}
+	return testbed{
+		name:   "accidents",
+		schema: workload.AccidentSchema(),
+		access: workload.AccidentConstraints(),
+		build:  build,
+		consts: map[schema.Attribute][]cq.Term{
+			"date":     {cq.Const(sv(workload.DateName(0))), cq.Const(sv(workload.DateName(1)))},
+			"district": {cq.Const(sv(workload.Districts[0])), cq.Const(sv(workload.Districts[2]))},
+			"aid":      {cq.Const(iv(3))},
+			"vid":      {cq.Const(iv(5))},
+		},
+	}
+}
+
+func socialBed(t *testing.T) testbed {
+	t.Helper()
+	build := func() *data.Instance {
+		soc, err := workload.GenerateSocial(workload.SocialConfig{
+			People: 300, MaxFriends: 12, MaxLikes: 5, Seed: 22,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return soc.Instance
+	}
+	return testbed{
+		name:   "social",
+		schema: workload.SocialSchema(),
+		access: workload.SocialConstraints(12, 5),
+		build:  build,
+		consts: map[schema.Attribute][]cq.Term{
+			"pid":   {cq.Const(iv(1)), cq.Const(iv(7))},
+			"city":  {cq.Const(sv(workload.Cities[0]))},
+			"topic": {cq.Const(sv(workload.Topics[0]))},
+		},
+	}
+}
+
+// randomBed is a two-relation schema with a general-form (sqrt)
+// constraint, so the suite also exercises size-dependent bounds.
+func randomBed(t *testing.T) testbed {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("R", "a", "b"),
+		schema.MustRelation("S", "b", "c"),
+	)
+	a := access.NewSchema(
+		access.Constraint{Rel: "R", X: []schema.Attribute{"a"}, Y: []schema.Attribute{"b"}, Card: access.SqrtCard()},
+		access.NewConstraint("S", []schema.Attribute{"b"}, []schema.Attribute{"c"}, 3),
+	)
+	build := func() *data.Instance {
+		d := data.NewInstance(s)
+		for i := 0; i < 200; i++ {
+			d.MustInsert("R", iv(int64(i%40)), iv(int64(i)))
+			d.MustInsert("S", iv(int64(i)), iv(int64(i%7)))
+		}
+		return d
+	}
+	return testbed{
+		name:   "random",
+		schema: s,
+		access: a,
+		build:  build,
+		consts: map[schema.Attribute][]cq.Term{
+			"a": {cq.Const(iv(1)), cq.Const(iv(2))},
+			"b": {cq.Const(iv(10))},
+		},
+	}
+}
+
+// engines builds a loaded single-node engine and a loaded K-shard engine
+// over identical instances.
+func (tb testbed) engines(t *testing.T, k int) (*core.Engine, *Engine) {
+	t.Helper()
+	single, err := core.New(tb.schema, tb.access, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Load(tb.build()); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(tb.schema, tb.access, Options{Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Load(tb.build()); err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// queries generates the random CQ workload plus UCQs paired from
+// same-arity CQs.
+func (tb testbed) queries(t *testing.T, n int) ([]*cq.CQ, []*ucq.UCQ) {
+	t.Helper()
+	qs, err := workload.RandomCQs(tb.schema, workload.RandomCQConfig{
+		Queries: n, MaxAtoms: 3, StartProb: 0.8, FreeVars: 2, Seed: 17,
+	}, tb.consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArity := map[int][]*cq.CQ{}
+	for _, q := range qs {
+		byArity[len(q.Free)] = append(byArity[len(q.Free)], q)
+	}
+	var unions []*ucq.UCQ
+	for arity, group := range byArity {
+		if arity == 0 {
+			continue
+		}
+		for i := 0; i+1 < len(group); i += 2 {
+			u, err := ucq.New(fmt.Sprintf("u%d_%d", arity, i), group[i], group[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			unions = append(unions, u)
+		}
+	}
+	return qs, unions
+}
+
+// checkEquivalent queries both engines and demands identical outcomes:
+// same error presence, same serving mode, same rows in the same order.
+func checkEquivalent(t *testing.T, label string, single *core.Engine, sharded *Engine, q core.Query, opts ...core.QueryOption) {
+	t.Helper()
+	want, errW := single.Query(context.Background(), q, opts...)
+	got, errG := sharded.Query(context.Background(), q, opts...)
+	if (errW == nil) != (errG == nil) {
+		t.Fatalf("%s: error divergence: single=%v sharded=%v", label, errW, errG)
+	}
+	if errW != nil {
+		return
+	}
+	if want.Mode != got.Mode {
+		t.Fatalf("%s: mode %v vs %v", label, got.Mode, want.Mode)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if want.Rows[i].Key() != got.Rows[i].Key() {
+			t.Fatalf("%s: row %d: %v vs %v", label, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// TestPropertyShardedEqualsSingleNode is the acceptance property: for
+// K ∈ {1, 2, 4}, a sharded engine answers every random CQ and UCQ —
+// bounded or scan-fallback — with exactly the rows, order and mode of a
+// single-node engine on the same data.
+func TestPropertyShardedEqualsSingleNode(t *testing.T) {
+	for _, tb := range []testbed{accidentsBed(t), socialBed(t), randomBed(t)} {
+		qs, unions := tb.queries(t, 40)
+		for _, k := range []int{1, 2, 4} {
+			single, sharded := tb.engines(t, k)
+			for i, q := range qs {
+				checkEquivalent(t, fmt.Sprintf("%s K=%d cq%d", tb.name, k, i), single, sharded, q)
+			}
+			for i, u := range unions {
+				checkEquivalent(t, fmt.Sprintf("%s K=%d ucq%d", tb.name, k, i), single, sharded, u)
+			}
+		}
+	}
+}
+
+// mutateDelta occasionally corrupts a constraint-preserving accidents
+// batch so the verdict comparison sees real rejections too.
+func corruptAccidents(d *live.Delta, step int) *live.Delta {
+	if step%4 != 3 {
+		return d
+	}
+	// Re-insert an existing aid under a different district/date: breaks
+	// ψ3 (aid is a key), and the two tuples usually land on different
+	// shards (Accident partitions by date).
+	d.MustInsert("Accident", iv(3), sv("Nowhere"), sv(fmt.Sprintf("%d/1/1970", step%28+1)))
+	return d
+}
+
+// TestPropertyApplyVerdictsMatch drives both engines through the same
+// delta stream — with periodic corrupted batches — and demands
+// identical accept/reject verdicts, identical violation lists, and
+// (spot-checked) identical query results after every batch.
+func TestPropertyApplyVerdictsMatch(t *testing.T) {
+	tb := accidentsBed(t)
+	for _, k := range []int{2, 4} {
+		single, sharded := tb.engines(t, k)
+		acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+			Days: 3, AccidentsPerDay: 15, MaxVehicles: 4, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+			InsertAccidents: 4, DeleteAccidents: 2, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := workload.Q0()
+		for step := 0; step < 16; step++ {
+			delta := corruptAccidents(st.Next(), step)
+			_, errS := single.Apply(context.Background(), delta)
+			_, errH := sharded.Apply(context.Background(), delta)
+			if (errS == nil) != (errH == nil) {
+				t.Fatalf("K=%d step %d: verdicts diverge: single=%v sharded=%v", k, step, errS, errH)
+			}
+			if errS != nil {
+				var vs, vh *live.ViolationError
+				if !errors.As(errS, &vs) || !errors.As(errH, &vh) {
+					t.Fatalf("K=%d step %d: non-violation apply errors: %v / %v", k, step, errS, errH)
+				}
+				if fmt.Sprint(vs.Violations) != fmt.Sprint(vh.Violations) {
+					t.Fatalf("K=%d step %d: violations differ:\n  single:  %v\n  sharded: %v",
+						k, step, vs.Violations, vh.Violations)
+				}
+			}
+			if single.Stats().Size != sharded.Stats().Size {
+				t.Fatalf("K=%d step %d: sizes diverge %d vs %d", k, step, single.Stats().Size, sharded.Stats().Size)
+			}
+			checkEquivalent(t, fmt.Sprintf("K=%d step %d Q0", k, step), single, sharded, q)
+		}
+	}
+}
+
+// TestPropertyEquivalenceUnderConcurrentWrites runs readers against the
+// sharded engine WHILE a writer applies a deterministic delta stream
+// (race coverage: coordinator snapshot swaps vs scatter-gather reads),
+// then replays the same stream on a single-node engine and demands the
+// final states answer the whole workload identically.
+func TestPropertyEquivalenceUnderConcurrentWrites(t *testing.T) {
+	tb := socialBed(t)
+	single, sharded := tb.engines(t, 4)
+	qs, unions := tb.queries(t, 20)
+
+	soc, err := workload.GenerateSocial(workload.SocialConfig{
+		People: 300, MaxFriends: 12, MaxLikes: 5, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.NewSocialStream(soc, workload.SocialStreamConfig{
+		InsertPeople: 5, DeletePeople: 2, MaxFriends: 12, MaxLikes: 5, People: 300, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 20
+	deltas := make([]*live.Delta, batches)
+	for i := range deltas {
+		deltas[i] = st.Next()
+	}
+
+	var wg sync.WaitGroup
+	var writerDone atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for _, d := range deltas {
+			if _, err := sharded.Apply(context.Background(), d); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !writerDone.Load() {
+				q := qs[r%len(qs)]
+				if _, err := sharded.Query(context.Background(), q); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				// Streams pin their snapshot even when drained after
+				// later applies.
+				res, err := sharded.Query(context.Background(), q, core.WithStream())
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				for range res.Seq() {
+				}
+				if err := res.Err(); err != nil {
+					t.Errorf("reader stream: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for _, d := range deltas {
+		if _, err := single.Apply(context.Background(), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, q := range qs {
+		checkEquivalent(t, fmt.Sprintf("post-stream cq%d", i), single, sharded, q)
+	}
+	for i, u := range unions {
+		checkEquivalent(t, fmt.Sprintf("post-stream ucq%d", i), single, sharded, u)
+	}
+}

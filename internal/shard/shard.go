@@ -1,0 +1,681 @@
+// Package shard implements a hash-partitioned serving engine: the same
+// bounded-evaluation surface as internal/core, with every relation
+// spread across K shards by a per-relation partition key.
+//
+// The paper's access constraints compose naturally with horizontal
+// partitioning. A bounded plan touches data only through indexed
+// fetches, and a fetch for a concrete X-value ā retrieves at most N
+// tuples wherever they live: when the relation is partitioned by X the
+// whole group D_Y(X = ā) sits on one shard and the fetch ROUTES there
+// (one lookup); otherwise the group is split and the fetch SCATTERS to
+// all K shards, merging the per-shard buckets. Because index buckets
+// are kept in canonical (key-sorted) order, the merge reproduces the
+// exact bucket a single-node index would serve — so a sharded engine
+// returns byte-identical rows, in the same order, as internal/core on
+// the same data. That equivalence is property-tested in equiv_test.go.
+//
+// Consistency model: the coordinator owns one atomic snapshot holding
+// every shard's (instance, indices) version, so readers never see shard
+// 1 post-delta and shard 2 pre-delta. Apply is two-phase: every
+// shard's sub-delta is STAGED in parallel (copy-on-write, nothing
+// published), the batch is validated GLOBALLY — cardinality bounds are
+// evaluated at the global |D|, and groups of constraints not aligned
+// with the partition key are measured by merging per-shard buckets —
+// and only then does every shard publish, or none. A violation
+// anywhere rejects the whole delta with the same *live.ViolationError
+// a single-node engine would produce.
+//
+// Deliberately NOT nested core.Engines: a per-shard engine would
+// re-validate constraints against its local |D| and its local groups,
+// which both misses violations (a group split across shards) and
+// fabricates them (general-form bounds s(|D|) evaluated at the smaller
+// local size). The shards hold data; exactly one planner engine plans,
+// admits and serves through core.QueryView against a scatter-gather
+// view of them.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/live"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/specialize"
+	"repro/internal/value"
+)
+
+// Options configures a sharded engine.
+type Options struct {
+	// Shards is K, the number of hash partitions; 0 or 1 means a single
+	// shard (useful as the degenerate baseline).
+	Shards int
+	// Core configures the planner engine (plan cache size, default exec
+	// options, checker options) exactly as for a single-node engine.
+	Core core.Options
+	// PartitionKeys overrides the per-relation partition key. The
+	// default for each relation is the X-attributes of its first access
+	// constraint with a nonempty X (so that constraint's fetches route
+	// to one shard), falling back to all attributes when no constraint
+	// offers one. Fetches route only when a constraint's X matches the
+	// partition key exactly (same attributes, same order); everything
+	// else scatters.
+	PartitionKeys map[string][]schema.Attribute
+}
+
+// partition says how one relation is spread across shards.
+type partition struct {
+	attrs []schema.Attribute
+	pos   []int // positions of attrs in the relation's attribute order
+}
+
+// snapshot is one consistent cross-shard version: every shard's indexed
+// instance, the global size, and a lazily materialized union instance
+// for the scan fallback.
+type snapshot struct {
+	views []*access.Indexed
+	size  int
+
+	mergeMu sync.Mutex
+	merged  *data.Instance
+}
+
+// instance returns the union of the shards' instances, materializing it
+// on first use (a scan reads every tuple anyway, so the merge does not
+// change the fallback's asymptotics) and caching it for the snapshot's
+// lifetime. Load seeds it with the loaded instance, so scans after a
+// plain Load pay nothing.
+func (sn *snapshot) instance(s *schema.Schema) (*data.Instance, error) {
+	sn.mergeMu.Lock()
+	defer sn.mergeMu.Unlock()
+	if sn.merged != nil {
+		return sn.merged, nil
+	}
+	m := data.NewInstance(s)
+	for _, v := range sn.views {
+		for _, rs := range s.Relations() {
+			rel := v.Instance.Relation(rs.Name)
+			if rel == nil {
+				continue
+			}
+			out := m.Relation(rs.Name)
+			for _, t := range rel.Tuples() {
+				if _, err := out.Insert(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sn.merged = m
+	return m, nil
+}
+
+// Engine is the sharded counterpart of core.Engine; it implements
+// core.Queryable, so serving code switches between the two with a
+// constructor change only.
+type Engine struct {
+	Schema *schema.Schema
+	Access *access.Schema
+	Opts   Options
+
+	k       int
+	parts   map[string]partition
+	planner *core.Engine
+
+	// snap is the current consistent cross-shard snapshot (nil before
+	// the first Load). writeMu serializes Load and Apply.
+	snap    atomic.Pointer[snapshot]
+	writeMu sync.Mutex
+	applies atomic.Uint64
+}
+
+var _ core.Queryable = (*Engine)(nil)
+
+// New builds a sharded engine over K shards, deriving the partition map
+// from the access schema (see Options.PartitionKeys).
+func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("shard: negative shard count %d", opts.Shards)
+	}
+	k := opts.Shards
+	if k == 0 {
+		k = 1
+	}
+	planner, err := core.New(s, a, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Schema:  s,
+		Access:  a,
+		Opts:    opts,
+		k:       k,
+		parts:   make(map[string]partition),
+		planner: planner,
+	}
+	for _, rs := range s.Relations() {
+		attrs, ok := opts.PartitionKeys[rs.Name]
+		if !ok {
+			attrs = defaultPartitionKey(rs, a)
+		}
+		pos, err := rs.Positions(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad partition key for %s: %w", rs.Name, err)
+		}
+		e.parts[rs.Name] = partition{attrs: append([]schema.Attribute(nil), attrs...), pos: pos}
+	}
+	return e, nil
+}
+
+// defaultPartitionKey picks the X of the relation's first access
+// constraint with a nonempty X, so that constraint's indexed fetches
+// route to exactly one shard; a relation with no such constraint is
+// partitioned by all its attributes (an even spread — every access to
+// it scatters anyway).
+func defaultPartitionKey(rs schema.Relation, a *access.Schema) []schema.Attribute {
+	for _, c := range a.ForRelation(rs.Name) {
+		if len(c.X) > 0 {
+			return c.X
+		}
+	}
+	return rs.Attrs
+}
+
+// attrsEq is order-sensitive equality: routing relies on the partition
+// key encoding exactly matching the fetch key encoding.
+func attrsEq(a, b []schema.Attribute) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aligned reports whether constraint c's fetch keys coincide with its
+// relation's partition key, i.e. whether each group D_Y(X = ā) lives
+// wholly on shard shardOf(ā).
+func (e *Engine) aligned(c access.Constraint) bool {
+	return attrsEq(e.parts[c.Rel].attrs, c.X)
+}
+
+// shardOf maps an encoded partition-key value to a shard (FNV-1a: fast,
+// deterministic across processes, good spread on short keys).
+func shardOf(k value.Key, n int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// shardOfTuple places one tuple of relation rel.
+func (e *Engine) shardOfTuple(rel string, t data.Tuple) int {
+	return shardOf(value.KeyOfAt(t, e.parts[rel].pos), e.k)
+}
+
+// errNoInstance mirrors core's pre-Load refusal.
+func errNoInstance() error { return fmt.Errorf("shard: no instance loaded") }
+
+// Load hash-partitions d across the K shards, builds every shard's
+// indices in parallel, and validates D |= A GLOBALLY: cardinality
+// bounds are evaluated at the full |D| and groups of non-aligned
+// constraints are measured across shards, so the verdict matches what a
+// single-node Load of d would decide. Ownership of d transfers to the
+// engine (it becomes the cached union instance of the new snapshot).
+func (e *Engine) Load(d *data.Instance) error {
+	// Split: per-shard instances, tuples shared with d.
+	insts := make([]*data.Instance, e.k)
+	for i := range insts {
+		insts[i] = data.NewInstance(e.Schema)
+	}
+	for _, rs := range e.Schema.Relations() {
+		rel := d.Relation(rs.Name)
+		if rel == nil {
+			return fmt.Errorf("shard: instance has no relation %s", rs.Name)
+		}
+		for _, t := range rel.Tuples() {
+			if _, err := insts[e.shardOfTuple(rs.Name, t)].Relation(rs.Name).Insert(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Index every shard in parallel; local violation lists are ignored —
+	// they are computed against local sizes, the global check below is
+	// the authoritative one.
+	views := make([]*access.Indexed, e.k)
+	errs := make([]error, e.k)
+	var wg sync.WaitGroup
+	for i := 0; i < e.k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i], _, errs[i] = access.BuildIndexed(e.Access, insts[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	size := d.Size()
+	var viols []access.Violation
+	for ci, c := range e.Access.Constraints {
+		bound := c.Card.Bound(size)
+		g := 0
+		if e.aligned(c) {
+			for _, v := range views {
+				if mg := v.Index(ci).MaxGroup(); mg > g {
+					g = mg
+				}
+			}
+		} else {
+			g = mergedMaxGroup(constraintIndexes(views, ci))
+		}
+		if g > bound {
+			viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+		}
+	}
+	if len(viols) > 0 {
+		return fmt.Errorf("shard: instance violates the access schema: %v (first of %d)", viols[0], len(viols))
+	}
+
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.snap.Store(&snapshot{views: views, size: size, merged: d})
+	e.planner.SetSizeHint(size)
+	return nil
+}
+
+// Apply validates delta against the access schema across all shards and
+// publishes a new cross-shard snapshot when every cardinality bound
+// still holds — two-phase:
+//
+//	phase 1 (stage):   split the delta by partition key and stage each
+//	                   shard's sub-delta in parallel, copy-on-write,
+//	                   publishing nothing;
+//	phase 2 (commit):  validate the staged whole at the global |D| —
+//	                   including the shrink-|D| recheck of general-form
+//	                   bounds on every shard, touched or not, and merged
+//	                   cross-shard group sizes for non-aligned
+//	                   constraints — then swap in every shard's new
+//	                   version under one atomic snapshot store.
+//
+// A violation on any shard rejects the whole delta with a
+// *live.ViolationError and NO shard publishes. The returned Result
+// carries the net insert/delete counts; its Instance/Indexed are nil
+// (per-shard snapshots replace the single pair — use Instance() for the
+// union). Queries in flight keep their pre-delta snapshot.
+func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("shard: nil delta")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	sn := e.snap.Load()
+	if sn == nil {
+		return nil, errNoInstance()
+	}
+
+	subs, err := e.split(delta)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: stage every touched shard in parallel.
+	staged := make([]*live.Staged, e.k)
+	errs := make([]error, e.k)
+	var wg sync.WaitGroup
+	for i := 0; i < e.k; i++ {
+		if subs[i].Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			staged[i], errs[i] = live.Stage(ctx, subs[i], sn.views[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	oldGlobal := sn.size
+	newGlobal := oldGlobal
+	res := &live.Result{}
+	for _, st := range staged {
+		if st == nil {
+			continue
+		}
+		newGlobal += st.Size() - st.OldSize()
+		res.Inserted += st.Inserted()
+		res.Deleted += st.Deleted()
+	}
+
+	// Phase 2: global validation, then all-or-nothing publish.
+	if viols := e.validate(sn, staged, oldGlobal, newGlobal); len(viols) > 0 {
+		return nil, &live.ViolationError{Violations: viols}
+	}
+	views := make([]*access.Indexed, e.k)
+	for i := 0; i < e.k; i++ {
+		if staged[i] == nil {
+			views[i] = sn.views[i]
+			continue
+		}
+		r, err := staged[i].Commit()
+		if err != nil {
+			return nil, err
+		}
+		views[i] = r.Indexed
+	}
+	e.snap.Store(&snapshot{views: views, size: newGlobal})
+	e.planner.SetSizeHint(newGlobal)
+	e.applies.Add(1)
+	return res, nil
+}
+
+// split partitions a delta into per-shard sub-deltas by each touched
+// tuple's partition key.
+func (e *Engine) split(d *live.Delta) ([]*live.Delta, error) {
+	subs := make([]*live.Delta, e.k)
+	for i := range subs {
+		subs[i] = live.NewDelta(e.Schema)
+	}
+	err := d.Each(func(rel string, insert bool, t data.Tuple) error {
+		p, ok := e.parts[rel]
+		if !ok {
+			return fmt.Errorf("shard: delta references unknown relation %s", rel)
+		}
+		i := shardOf(value.KeyOfAt(t, p.pos), e.k)
+		if insert {
+			return subs[i].Insert(rel, t...)
+		}
+		return subs[i].Delete(rel, t...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// postIndex is the post-delta index for constraint ci on shard i: the
+// staged clone when that shard's batch touched the relation, the
+// current shared index otherwise.
+func postIndex(sn *snapshot, staged []*live.Staged, i, ci int) *index.Index {
+	if st := staged[i]; st != nil && st.Touched(ci) {
+		return st.Index(ci)
+	}
+	return sn.views[i].Index(ci)
+}
+
+// validate applies the same rules as live.(*Staged).Violations, lifted
+// to the cross-shard whole: bounds are evaluated at the GLOBAL post- and
+// pre-delta sizes, aligned constraints check per-shard groups (which
+// are exactly the global groups), and non-aligned constraints merge
+// per-shard buckets to measure the true group sizes. Violations come
+// out in constraint order with the same Group numbers a single-node
+// engine applying the unsplit delta would report.
+func (e *Engine) validate(sn *snapshot, staged []*live.Staged, oldGlobal, newGlobal int) []access.Violation {
+	var viols []access.Violation
+	for ci, c := range e.Access.Constraints {
+		bound := c.Card.Bound(newGlobal)
+		shrunk := !c.Card.IsConst() && bound < c.Card.Bound(oldGlobal)
+		touched := false
+		for _, st := range staged {
+			if st != nil && st.Touched(ci) {
+				touched = true
+				break
+			}
+		}
+		if !touched && !shrunk {
+			continue
+		}
+		g := 0
+		if e.aligned(c) {
+			if shrunk {
+				// The bound dropped with |D|: re-check every group on
+				// every shard, staged or not.
+				for i := range sn.views {
+					if mg := postIndex(sn, staged, i, ci).MaxGroup(); mg > g {
+						g = mg
+					}
+				}
+			} else {
+				// Groups never split across shards: the insert-touched
+				// buckets' post-delta sizes are the global group sizes.
+				for _, st := range staged {
+					if st == nil || !st.Touched(ci) {
+						continue
+					}
+					idx := st.Index(ci)
+					for _, k := range st.InsertKeys(ci) {
+						if n := len(idx.FetchKey(k)); n > g {
+							g = n
+						}
+					}
+				}
+			}
+		} else {
+			idxs := make([]*index.Index, len(sn.views))
+			for i := range sn.views {
+				idxs[i] = postIndex(sn, staged, i, ci)
+			}
+			if shrunk {
+				g = mergedMaxGroup(idxs)
+			} else {
+				// Only groups some shard's inserts touched can have
+				// grown; measure each by merging across all shards.
+				seen := make(map[value.Key]bool)
+				for _, st := range staged {
+					if st == nil || !st.Touched(ci) {
+						continue
+					}
+					for _, k := range st.InsertKeys(ci) {
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						if n := mergedGroupSize(idxs, k); n > g {
+							g = n
+						}
+					}
+				}
+			}
+		}
+		if g > bound {
+			viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+		}
+	}
+	return viols
+}
+
+// constraintIndexes collects the per-shard indexes backing constraint ci.
+func constraintIndexes(views []*access.Indexed, ci int) []*index.Index {
+	idxs := make([]*index.Index, len(views))
+	for i, v := range views {
+		idxs[i] = v.Index(ci)
+	}
+	return idxs
+}
+
+// mergedGroupSize is the true |D_Y(X = ā)| of a group split across
+// shards: the per-shard buckets hold distinct Y-projections, so the
+// global size is the size of their deduplicated union.
+func mergedGroupSize(idxs []*index.Index, k value.Key) int {
+	n := 0
+	var seen map[value.Key]bool
+	for _, idx := range idxs {
+		b := idx.FetchKey(k)
+		if len(b) == 0 {
+			continue
+		}
+		if n == 0 && seen == nil {
+			// First shard with data: count without dedup bookkeeping yet.
+			n = len(b)
+			seen = make(map[value.Key]bool, len(b))
+			for _, proj := range b {
+				seen[proj.Key()] = true
+			}
+			continue
+		}
+		for _, proj := range b {
+			pk := proj.Key()
+			if !seen[pk] {
+				seen[pk] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// mergedMaxGroup is max over all X-keys of the merged group size — the
+// cross-shard analogue of Index.MaxGroup, used by Load validation and
+// the shrink-|D| recheck of non-aligned constraints.
+func mergedMaxGroup(idxs []*index.Index) int {
+	keys := make(map[value.Key]bool)
+	for _, idx := range idxs {
+		idx.Buckets(func(k value.Key, _ []data.Tuple) bool {
+			keys[k] = true
+			return true
+		})
+	}
+	m := 0
+	for k := range keys {
+		if n := mergedGroupSize(idxs, k); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Query serves q through the planner engine against a scatter-gather
+// view of the current snapshot: identical planning, admission control,
+// fallbacks and streaming as core.Engine.Query. The static access
+// bound (and so the -budget admission check) is the per-request bound
+// of the ONE plan execution, not K times it: a routed fetch touches one
+// shard and a scattered fetch still retrieves at most the constraint's
+// bound across all shards combined, because the bound constrains the
+// global group.
+func (e *Engine) Query(ctx context.Context, q core.Query, opts ...core.QueryOption) (*core.Result, error) {
+	sn := e.snap.Load()
+	if sn == nil {
+		return nil, errNoInstance()
+	}
+	return e.planner.QueryView(ctx, q, e.viewOf(sn), opts...)
+}
+
+// viewOf assembles the core.View for one pinned snapshot.
+func (e *Engine) viewOf(sn *snapshot) *core.View {
+	return &core.View{
+		Size:     sn.size,
+		Source:   &gatherSource{e: e, views: sn.views},
+		Instance: func() (*data.Instance, error) { return sn.instance(e.Schema) },
+	}
+}
+
+// Explain reports coverage, verdict, plan and bound like core's, with
+// general-form bounds evaluated at the global |D|.
+func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
+	size := 0
+	if sn := e.snap.Load(); sn != nil {
+		size = sn.size
+	}
+	return e.planner.ExplainAt(q, params, size)
+}
+
+// IsCovered runs the PTIME covered-query check (data-independent).
+func (e *Engine) IsCovered(q *cq.CQ) (*cover.Result, error) { return e.planner.IsCovered(q) }
+
+// Plan synthesizes the bounded plan with its static bound at the global
+// |D|; the plan cache is the planner's, shared across all shards.
+func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+	size := 0
+	if sn := e.snap.Load(); sn != nil {
+		size = sn.size
+	}
+	return e.planner.PlanAt(q, size)
+}
+
+// Baseline evaluates q conventionally over the union of the shards.
+func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
+	sn := e.snap.Load()
+	if sn == nil {
+		return nil, errNoInstance()
+	}
+	inst, err := sn.instance(e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return eval.CQ(q, inst, mode)
+}
+
+// Specialize solves QSP (data-independent).
+func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, error) {
+	return e.planner.Specialize(q, X, k)
+}
+
+// Instance returns the union of the shards' instances (materialized
+// lazily, cached per snapshot), or nil before Load.
+func (e *Engine) Instance() *data.Instance {
+	sn := e.snap.Load()
+	if sn == nil {
+		return nil
+	}
+	inst, err := sn.instance(e.Schema)
+	if err != nil {
+		return nil
+	}
+	return inst
+}
+
+// Shards returns K.
+func (e *Engine) Shards() int { return e.k }
+
+// PartitionKey returns the partition key of the named relation.
+func (e *Engine) PartitionKey(rel string) []schema.Attribute {
+	return append([]schema.Attribute(nil), e.parts[rel].attrs...)
+}
+
+// Stats aggregates across the shards: global |D|, shard count, and the
+// serving counters.
+func (e *Engine) Stats() core.EngineStats {
+	size := 0
+	if sn := e.snap.Load(); sn != nil {
+		size = sn.size
+	}
+	return core.EngineStats{
+		Size:    size,
+		Shards:  e.k,
+		Queries: e.planner.Stats().Queries,
+		Applies: e.applies.Load(),
+	}
+}
+
+// CacheStats reports the planner's plan-cache counters (there is one
+// plan cache for the whole sharded engine: plans are data-independent,
+// so per-shard caches would only duplicate entries).
+func (e *Engine) CacheStats() core.CacheStats { return e.planner.CacheStats() }

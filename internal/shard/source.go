@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// gatherSource is the plan.Source of one cross-shard snapshot: each
+// fetch step resolves to a routed (partition-aligned) or scatter-gather
+// fetcher over the per-shard indexes. It is immutable and pinned to one
+// snapshot, so streamed results drained after later updates still read
+// their own version.
+type gatherSource struct {
+	e     *Engine
+	views []*access.Indexed
+}
+
+var _ plan.Source = (*gatherSource)(nil)
+
+func (g *gatherSource) FetcherFor(c access.Constraint) plan.Fetcher {
+	idxs := make([]*index.Index, len(g.views))
+	for i, v := range g.views {
+		idx := v.IndexFor(c)
+		if idx == nil {
+			return nil
+		}
+		idxs[i] = idx
+	}
+	if len(idxs) == 1 {
+		// K = 1: the single shard's index IS the global index.
+		return idxs[0]
+	}
+	if g.e.aligned(c) {
+		return routedFetcher{idxs: idxs}
+	}
+	return scatterFetcher{idxs: idxs}
+}
+
+// routedFetcher serves a constraint whose X equals the relation's
+// partition key: the whole group D_Y(X = ā) lives on shard shardOf(ā),
+// so a fetch is one lookup on one shard — the same cost as unsharded.
+type routedFetcher struct {
+	idxs []*index.Index
+}
+
+func (f routedFetcher) FetchKey(k value.Key) []data.Tuple {
+	return f.idxs[shardOf(k, len(f.idxs))].FetchKey(k)
+}
+
+// scatterFetcher serves a constraint not aligned with the partition
+// key: the group for ā may be split across every shard, so the fetch
+// queries all K indexes and merges their buckets. Buckets are in
+// canonical (key-sorted) order on every shard, so an ordered merge with
+// cross-shard dedup reproduces exactly the bucket a single-node index
+// would serve — same projections, same order.
+type scatterFetcher struct {
+	idxs []*index.Index
+}
+
+func (f scatterFetcher) FetchKey(k value.Key) []data.Tuple {
+	var first []data.Tuple
+	var parts [][]data.Tuple
+	for _, idx := range f.idxs {
+		b := idx.FetchKey(k)
+		if len(b) == 0 {
+			continue
+		}
+		if first == nil && parts == nil {
+			first = b
+			continue
+		}
+		if parts == nil {
+			parts = [][]data.Tuple{first}
+		}
+		parts = append(parts, b)
+	}
+	if parts == nil {
+		// Zero or one shard held the group: serve its bucket as is.
+		return first
+	}
+	return mergeBuckets(parts)
+}
+
+// mergeBuckets K-way-merges canonically sorted buckets, deduplicating
+// Y-projections that distinct tuples on different shards share. The
+// result is in canonical order — byte-identical to the single-node
+// bucket over the union of the shards' tuples.
+func mergeBuckets(parts [][]data.Tuple) []data.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]data.Tuple, 0, total)
+	pos := make([]int, len(parts))
+	for {
+		best := -1
+		var bk value.Key
+		for i, p := range parts {
+			if pos[i] >= len(p) {
+				continue
+			}
+			if k := p[pos[i]].Key(); best < 0 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, parts[best][pos[best]])
+		// Advance every part past bk: within a shard projections are
+		// distinct, so at most the head of each part equals it.
+		for i, p := range parts {
+			if pos[i] < len(p) && p[pos[i]].Key() == bk {
+				pos[i]++
+			}
+		}
+	}
+}
