@@ -3,7 +3,7 @@
 // Usage:
 //
 //	bebench                    # run every experiment
-//	bebench -exp e1            # one experiment (e1..e13)
+//	bebench -exp e1            # one experiment (e1..e14)
 //	bebench -exp e11 -workers 8  # serving-layer experiment at 8 workers
 //	bebench -exp e13 -shards 8   # sharding sweep up to 8 shards
 package main
@@ -14,12 +14,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e13) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e14) or all")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
 	shards := flag.Int("shards", 8, "max shard count for the e13 sharding sweep")
 	flag.Parse()
@@ -79,8 +80,10 @@ func run(exp string, workers, shards int) error {
 		t, err = bench.E12LiveUpdates([]int{5, 20, 80, 320}, 30)
 	case "e13":
 		t, err = bench.E13Sharding(shardCounts(shards), 30)
+	case "e14":
+		t, err = bench.E14NetworkServing(workers, time.Second)
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
 	}
 	if err != nil {
 		return err

@@ -37,7 +37,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,17 +46,17 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/eval"
 	"repro/internal/live"
 	"repro/internal/load"
+	"repro/internal/ndjson"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/schema"
+	"repro/internal/server"
 	"repro/internal/shard"
-	"repro/internal/value"
 	"repro/internal/workload"
 )
 
@@ -248,58 +247,13 @@ func run(cfg cliConfig) error {
 	return nil
 }
 
-// streamNDJSON drains a streamed Result, writing each row as one JSON
-// object per line, columns in plan order. Column names are marshaled
-// once, outside the row loop.
+// streamNDJSON drains a streamed Result through the shared NDJSON
+// encoder (the same one internal/server speaks on the wire). The
+// returned error includes a stream cut short by the -timeout deadline —
+// run propagates it to the exit code, so a truncated NDJSON pipeline
+// never reads as a complete answer.
 func streamNDJSON(w io.Writer, res *core.Result) error {
-	var names [][]byte
-	nameFor := func(j int) ([]byte, error) {
-		for len(names) <= j {
-			col := fmt.Sprintf("col%d", len(names))
-			if len(names) < len(res.Columns) {
-				col = res.Columns[len(names)]
-			}
-			enc, err := json.Marshal(col)
-			if err != nil {
-				return nil, err
-			}
-			names = append(names, enc)
-		}
-		return names[j], nil
-	}
-	for row := range res.Seq() {
-		var sb strings.Builder
-		sb.WriteByte('{')
-		for j, v := range row {
-			if j > 0 {
-				sb.WriteByte(',')
-			}
-			name, err := nameFor(j)
-			if err != nil {
-				return err
-			}
-			cell, err := json.Marshal(jsonValue(v))
-			if err != nil {
-				return err
-			}
-			sb.Write(name)
-			sb.WriteByte(':')
-			sb.Write(cell)
-		}
-		sb.WriteByte('}')
-		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
-			return err
-		}
-	}
-	return res.Err()
-}
-
-// jsonValue maps an engine value to its natural JSON type.
-func jsonValue(v value.Value) interface{} {
-	if v.Kind() == value.Int {
-		return v.Int()
-	}
-	return v.Str()
+	return ndjson.Write(w, res, nil)
 }
 
 // queryOptions assembles the per-request QueryOptions from the CLI flags.
@@ -338,19 +292,7 @@ func queryNames(queries map[string]*cq.CQ) []string {
 	return names
 }
 
-// newEngine picks the serving engine: the single-node core.Engine, or
-// the hash-partitioned shard.Engine when -shards asks for more than one.
-// Both implement core.Queryable, so nothing downstream changes.
-func newEngine(s *schema.Schema, a *access.Schema, opts core.Options, shards int) (core.Queryable, error) {
-	if shards > 1 {
-		return shard.New(s, a, shard.Options{Shards: shards, Core: opts})
-	}
-	return core.New(s, a, opts)
-}
-
 func setup(file, demo string, days, people, workers, shards int) (core.Queryable, *schema.Schema, map[string]*cq.CQ, map[string][]string, error) {
-	queries := map[string]*cq.CQ{}
-	params := map[string][]string{}
 	opts := core.Options{Exec: plan.ExecOptions{Workers: workers}}
 	switch {
 	case file != "":
@@ -362,56 +304,34 @@ func setup(file, demo string, days, people, workers, shards int) (core.Queryable
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		eng, err := newEngine(doc.Schema, doc.Access, opts, shards)
+		eng, err := shard.NewOrCore(doc.Schema, doc.Access, opts, shards)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		for _, q := range doc.Queries {
-			if !q.IsCQ() {
-				continue // the CLI operates on CQ rules; UCQs via the API
-			}
-			queries[q.Name] = q.Subs[0]
-			params[q.Name] = q.Params
+		// The CLI operates on the document's CQ rules, exactly the
+		// catalog beserve serves for the same document; UCQs go through
+		// the API (or the server's ad-hoc "text").
+		cat := server.CatalogFromDocument(doc)
+		return eng, doc.Schema, cat.Queries, cat.Params, nil
+	case demo == "accidents", demo == "social":
+		var dm *workload.Demo
+		var err error
+		if demo == "accidents" {
+			dm, err = workload.AccidentsDemo(days)
+		} else {
+			dm, err = workload.SocialDemo(people)
 		}
-		return eng, doc.Schema, queries, params, nil
-	case demo == "accidents":
-		acc, err := workload.GenerateAccidents(workload.AccidentConfig{
-			Days: days, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
-		})
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		eng, err := newEngine(acc.Schema, acc.Access, opts, shards)
+		eng, err := shard.NewOrCore(dm.Schema, dm.Access, opts, shards)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		if err := eng.Load(acc.Instance); err != nil {
+		if err := eng.Load(dm.Instance); err != nil {
 			return nil, nil, nil, nil, err
 		}
-		queries["Q0"] = workload.Q0()
-		q51, ps := workload.Q51()
-		queries["Q51"] = q51
-		params["Q51"] = ps
-		return eng, acc.Schema, queries, params, nil
-	case demo == "social":
-		soc, err := workload.GenerateSocial(workload.SocialConfig{
-			People: people, MaxFriends: 50, MaxLikes: 10, Seed: 2,
-		})
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		eng, err := newEngine(soc.Schema, soc.Access, opts, shards)
-		if err != nil {
-			return nil, nil, nil, nil, err
-		}
-		if err := eng.Load(soc.Instance); err != nil {
-			return nil, nil, nil, nil, err
-		}
-		queries["GraphSearch"] = workload.GraphSearchQuery(1, "NYC", "cycling")
-		for _, q := range workload.PatternQueries(1) {
-			queries[q.Label] = q
-		}
-		return eng, soc.Schema, queries, params, nil
+		return eng, dm.Schema, dm.Queries, dm.Params, nil
 	default:
 		return nil, nil, nil, nil, fmt.Errorf("provide -file or -demo accidents|social")
 	}

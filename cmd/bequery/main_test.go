@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/workload"
 )
@@ -277,5 +281,54 @@ func TestRunApplyDelta(t *testing.T) {
 		c.query = "Q0"
 	})); err == nil {
 		t.Error("-apply without data must error")
+	}
+}
+
+// slowWriter models a congested consumer: each row write stalls long
+// enough that a request deadline strikes mid-stream.
+type slowWriter struct{ rows int }
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	s.rows += strings.Count(string(p), "\n")
+	time.Sleep(500 * time.Microsecond)
+	return len(p), nil
+}
+
+// TestStreamDeadlinePropagatesToExitCode is the regression test for the
+// -stream timeout hole: a deadline that struck while rows were being
+// written used to leave the stream silently truncated — streamNDJSON
+// reported no error, run printed the summary, and bequery exited 0 on
+// an incomplete NDJSON pipeline. The cut must surface as an error so
+// main exits nonzero.
+func TestStreamDeadlinePropagatesToExitCode(t *testing.T) {
+	eng, _, queries, _, err := setup("", "social", 0, 100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := queries["allPairs"]
+	if !ok {
+		t.Fatal("social demo lost the allPairs query")
+	}
+	res, err := eng.Query(context.Background(), q,
+		core.WithStream(), core.WithDeadline(time.Now().Add(60*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &slowWriter{}
+	serr := streamNDJSON(w, res)
+	if serr == nil {
+		t.Fatalf("stream cut by the deadline after %d rows returned nil (bequery would exit 0)", w.rows)
+	}
+	if !errors.Is(serr, context.DeadlineExceeded) {
+		t.Fatalf("stream error = %v, want a DeadlineExceeded", serr)
+	}
+	// run's -stream branch returns this error, so main exits 1; a full
+	// drain would have emitted every row.
+	fullRes, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.rows >= len(fullRes.Rows) {
+		t.Fatalf("deadline did not cut the stream: %d of %d rows", w.rows, len(fullRes.Rows))
 	}
 }

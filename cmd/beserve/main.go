@@ -1,0 +1,194 @@
+// Command beserve exposes the bounded-evaluation engine over HTTP: the
+// network boundary in front of Engine.Query and Engine.Apply, with the
+// same consistency and admission guarantees (see internal/server).
+//
+// Usage:
+//
+//	beserve -addr :8080 -demo accidents
+//	beserve -addr :8080 -file doc.bq -data dir -shards 4
+//	beserve -demo social -people 5000 -max-inflight 128 -queue-timeout 500ms
+//
+// Endpoints:
+//
+//	POST /v1/query    {"query":"Q0","budget":100,"timeout":"2s"} → NDJSON rows
+//	POST /v1/apply    delta TSV body → {"inserted":N,"deleted":N,"size":|D|}
+//	GET  /v1/explain?query=Q0
+//	GET  /v1/schema
+//	GET  /healthz
+//	GET  /metrics
+//
+// -shards K serves through the hash-partitioned internal/shard engine;
+// the wire behavior is byte-identical to the single-node engine's. On
+// SIGINT/SIGTERM the server stops accepting, drains in-flight streaming
+// responses for up to -shutdown-grace, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// cliConfig collects every flag; one value per invocation.
+type cliConfig struct {
+	addr          string
+	file          string
+	dataDir       string
+	demo          string
+	days          int
+	people        int
+	workers       int
+	shards        int
+	maxInFlight   int
+	queueTimeout  time.Duration
+	stallTimeout  time.Duration
+	shutdownGrace time.Duration
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.file, "file", "", "input document (relations, constraints, queries)")
+	flag.StringVar(&cfg.dataDir, "data", "", "directory of <Relation>.tsv files to load with -file")
+	flag.StringVar(&cfg.demo, "demo", "", "built-in workload: accidents | social")
+	flag.IntVar(&cfg.days, "days", 20, "accidents demo: days of data")
+	flag.IntVar(&cfg.people, "people", 2000, "social demo: people")
+	flag.IntVar(&cfg.workers, "workers", 1, "default worker goroutines for plan execution (-1 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 1, "hash-partition the data across K shards (internal/shard)")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", server.DefaultMaxInFlight, "admission cap on concurrent query/apply requests")
+	flag.DurationVar(&cfg.queueTimeout, "queue-timeout", server.DefaultQueueTimeout, "how long a request may wait for an admission slot before 503")
+	flag.DurationVar(&cfg.stallTimeout, "stall-timeout", server.DefaultStallTimeout, "per-I/O deadline evicting stalled clients from their admission slot")
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second, "drain window for in-flight responses on SIGINT/SIGTERM")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, func(addr string) { log.Printf("beserve: listening on %s", addr) }); err != nil {
+		fmt.Fprintln(os.Stderr, "beserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the engine and serves until ctx is canceled, then shuts
+// down gracefully. ready, when non-nil, is called with the bound listen
+// address once the listener is up (tests use it to learn the port).
+func run(ctx context.Context, cfg cliConfig, ready func(addr string)) error {
+	srv, err := build(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	// No blanket WriteTimeout — it would cut legitimate long streams;
+	// the server's rolling per-I/O stall deadline handles dead clients.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		// Stop accepting and drain in-flight (including streaming)
+		// responses; past the grace window they are cut.
+		gctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(gctx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return <-shutdownErr
+}
+
+// build assembles the engine and catalog from the flags, mirroring
+// bequery's input sources (document+TSV data, or a built-in demo).
+func build(cfg cliConfig) (*server.Server, error) {
+	eng, cat, loaded, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !loaded {
+		return nil, fmt.Errorf("no data loaded (use -demo, or -file with -data)")
+	}
+	return server.New(eng, cat, server.Options{
+		MaxInFlight:  cfg.maxInFlight,
+		QueueTimeout: cfg.queueTimeout,
+		StallTimeout: cfg.stallTimeout,
+	})
+}
+
+// setup builds the engine and catalog; loaded reports whether data was
+// attached (checked in O(1) — materializing a sharded engine's merged
+// instance just to test for data would copy the whole dataset).
+func setup(cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
+	none := server.Catalog{}
+	opts := core.Options{Exec: plan.ExecOptions{Workers: cfg.workers}}
+	switch {
+	case cfg.file != "":
+		raw, err := os.ReadFile(cfg.file)
+		if err != nil {
+			return nil, none, false, err
+		}
+		doc, err := parser.Parse(string(raw))
+		if err != nil {
+			return nil, none, false, err
+		}
+		eng, err := shard.NewOrCore(doc.Schema, doc.Access, opts, cfg.shards)
+		if err != nil {
+			return nil, none, false, err
+		}
+		loaded := false
+		if cfg.dataDir != "" {
+			d, err := load.LoadInstance(doc.Schema, cfg.dataDir)
+			if err != nil {
+				return nil, none, false, err
+			}
+			if err := eng.Load(d); err != nil {
+				return nil, none, false, err
+			}
+			loaded = true
+		}
+		return eng, server.CatalogFromDocument(doc), loaded, nil
+	case cfg.demo == "accidents", cfg.demo == "social":
+		var dm *workload.Demo
+		var err error
+		if cfg.demo == "accidents" {
+			dm, err = workload.AccidentsDemo(cfg.days)
+		} else {
+			dm, err = workload.SocialDemo(cfg.people)
+		}
+		if err != nil {
+			return nil, none, false, err
+		}
+		eng, err := shard.NewOrCore(dm.Schema, dm.Access, opts, cfg.shards)
+		if err != nil {
+			return nil, none, false, err
+		}
+		if err := eng.Load(dm.Instance); err != nil {
+			return nil, none, false, err
+		}
+		return eng, server.Catalog{Schema: dm.Schema, Access: dm.Access, Queries: dm.Queries, Params: dm.Params}, true, nil
+	default:
+		return nil, none, false, fmt.Errorf("provide -file or -demo accidents|social")
+	}
+}

@@ -8,6 +8,8 @@
 package access
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -240,6 +242,21 @@ type Violation struct {
 func (v Violation) Error() string {
 	return fmt.Sprintf("access: %s violated: group of %d exceeds bound %d",
 		v.Constraint, v.Group, v.Bound)
+}
+
+// MarshalJSON renders the violation for wire surfaces (internal/server's
+// 409 payload): the constraint as written, the offending group size, and
+// the allowed bound. HTML escaping is off so "->" survives verbatim.
+func (v Violation) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	err := enc.Encode(struct {
+		Constraint string `json:"constraint"`
+		Group      int    `json:"group"`
+		Bound      int    `json:"bound"`
+	}{v.Constraint.String(), v.Group, v.Bound})
+	return bytes.TrimRight(buf.Bytes(), "\n"), err
 }
 
 // Indexed is an access schema whose indices have been built over a concrete

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -249,6 +250,29 @@ func TestE13ShardCountsAgree(t *testing.T) {
 	for i := range tb.Rows {
 		if cell(t, tb, i, 5) != "true" {
 			t.Errorf("row %d: sharded rows differ from K=1:\n%s", i, tb.Render())
+		}
+	}
+}
+
+// E14's defining shape: the HTTP path answers the same rows as the
+// in-process path (checked inside the driver, which errors otherwise),
+// and both QPS figures are positive. The overhead ratio itself is
+// hardware-dependent, so it is reported, not asserted.
+func TestE14WirePathAgrees(t *testing.T) {
+	tb, err := E14NetworkServing(2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
+	}
+	if cell(t, tb, 0, 4) != cell(t, tb, 1, 4) {
+		t.Errorf("wire row count differs from in-process:\n%s", tb.Render())
+	}
+	for i := range tb.Rows {
+		qps, err := strconv.ParseFloat(cell(t, tb, i, 2), 64)
+		if err != nil || qps <= 0 {
+			t.Errorf("row %d: bad QPS cell %q:\n%s", i, cell(t, tb, i, 2), tb.Render())
 		}
 	}
 }

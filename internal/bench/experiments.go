@@ -652,6 +652,7 @@ func All(workers int) ([]*Table, error) {
 		func() (*Table, error) { return E11Concurrency(4000, E11WorkerCounts(workers)) },
 		func() (*Table, error) { return E12LiveUpdates([]int{5, 20, 80}, 20) },
 		func() (*Table, error) { return E13Sharding([]int{1, 2, 4, 8}, 20) },
+		func() (*Table, error) { return E14NetworkServing(workers, 100*time.Millisecond) },
 	}
 	for _, step := range steps {
 		tb, err := step()

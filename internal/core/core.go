@@ -78,6 +78,11 @@ type Engine struct {
 	// queries and applies count served requests, for Stats.
 	queries atomic.Uint64
 	applies atomic.Uint64
+	// fetched and scanned accumulate per-request access accounting across
+	// every served query (a streamed request contributes once its iterator
+	// is drained) — the engine-wide counters behind /metrics.
+	fetched atomic.Int64
+	scanned atomic.Int64
 }
 
 // EngineStats is the aggregate health snapshot of a serving engine —
@@ -92,6 +97,12 @@ type EngineStats struct {
 	Queries uint64
 	// Applies counts successfully applied deltas since construction.
 	Applies uint64
+	// Fetched and Scanned accumulate tuple accesses across every served
+	// query: Fetched counts index retrievals on the bounded path, Scanned
+	// counts tuples read by fallback scans. A streamed request is counted
+	// once its row iterator is drained.
+	Fetched int64
+	Scanned int64
 }
 
 // Stats reports the engine's aggregate serving counters.
@@ -101,6 +112,8 @@ func (e *Engine) Stats() EngineStats {
 		Shards:  1,
 		Queries: e.queries.Load(),
 		Applies: e.applies.Load(),
+		Fetched: e.fetched.Load(),
+		Scanned: e.scanned.Load(),
 	}
 }
 

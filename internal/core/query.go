@@ -475,6 +475,7 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, src plan.Sourc
 			if st != nil {
 				res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
 				res.exec = st
+				e.fetched.Add(st.Fetched)
 			}
 			res.err = err
 			res.Stats.Elapsed = time.Since(start)
@@ -491,9 +492,18 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, src plan.Sourc
 	res.Rows = tbl.Rows
 	res.tbl, res.exec = tbl, st
 	res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
+	e.fetched.Add(st.Fetched)
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
+
+// emitStride is how many buffered scan rows a streamed emission loop
+// yields between context checks. The evaluator itself observes ctx while
+// computing the answer, but emission can dwarf evaluation when the
+// consumer is slow (a network write per row), so the emit loop must
+// observe cancellation too — otherwise a request overruns its deadline
+// for as long as the consumer keeps reading.
+const emitStride = 256
 
 // runScan answers through the conventional evaluator, materialized or
 // streamed. Scan answers are deduplicated and sorted before they can be
@@ -516,7 +526,13 @@ func (e *Engine) runScan(ctx context.Context, start time.Time, label string, col
 				return
 			}
 			res.Stats.Scanned = r.Scanned
-			for _, row := range r.Rows {
+			e.scanned.Add(r.Scanned)
+			for i, row := range r.Rows {
+				if i%emitStride == 0 && sctx.Err() != nil {
+					res.err = fmt.Errorf("core: scan stream cut after %d of %d rows: %w",
+						i, len(r.Rows), sctx.Err())
+					break
+				}
 				if !yield(row) {
 					break
 				}
@@ -534,6 +550,7 @@ func (e *Engine) runScan(ctx context.Context, start time.Time, label string, col
 	}
 	res.Rows = r.Rows
 	res.Stats.Scanned = r.Scanned
+	e.scanned.Add(r.Scanned)
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

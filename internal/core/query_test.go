@@ -696,3 +696,54 @@ func TestQueryServesPosFO(t *testing.T) {
 	}
 	_ = u
 }
+
+// TestScanStreamObservesDeadline is the regression test for the
+// streamed-scan deadline hole: the conventional evaluator honored ctx
+// while COMPUTING the answer, but the emission loop that feeds the
+// buffered rows to a slow consumer never looked at it again — so a
+// request whose deadline struck mid-emission streamed every row and
+// reported no error (bequery -stream then exited 0 on a truncated-
+// in-time pipeline). The emit loop must cut the stream and surface the
+// deadline through Result.Err.
+func TestScanStreamObservesDeadline(t *testing.T) {
+	eng := socialEngine(t, 100, Options{})
+	allPairs := workload.PatternQueries(1)[4]
+	if allPairs.Label != "allPairs" {
+		t.Fatal("workload pattern order changed")
+	}
+	// Reference: the full scan answer, materialized.
+	full, err := eng.Query(context.Background(), allPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Mode != ViaFullScan {
+		t.Fatalf("allPairs must fall back to a scan, got %v", full.Mode)
+	}
+	total := len(full.Rows)
+	if total < 1024 {
+		t.Fatalf("fixture too small to cross the emit stride: %d rows", total)
+	}
+
+	// Evaluation finishes well inside the deadline; the slow consumer
+	// (0.5ms/row, like a congested network write) makes emission cross
+	// it after ~120 rows, so the first stride check must cut the stream.
+	res, err := eng.Query(context.Background(), allPairs,
+		WithStream(), WithDeadline(time.Now().Add(60*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0
+	for range res.Seq() {
+		consumed++
+		time.Sleep(500 * time.Microsecond)
+	}
+	if res.Err() == nil {
+		t.Fatalf("stream consumed %d/%d rows past the deadline with a nil Err", consumed, total)
+	}
+	if !errors.Is(res.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want a DeadlineExceeded", res.Err())
+	}
+	if consumed >= total {
+		t.Fatalf("deadline did not cut the stream: %d of %d rows emitted", consumed, total)
+	}
+}

@@ -21,7 +21,9 @@
 package live
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -192,6 +194,27 @@ func (e *ViolationError) Error() string {
 	}
 	return fmt.Sprintf("live: delta rejected, it would violate the access schema:\n  %s",
 		strings.Join(msgs, "\n  "))
+}
+
+// RejectionMessage is the one-line wire form of a rejected delta — the
+// "message" of MarshalJSON below and of internal/server's 409 payload,
+// so the two surfaces cannot drift apart.
+const RejectionMessage = "delta rejected: it would violate the access schema"
+
+// MarshalJSON renders the rejection for embedders speaking JSON: a
+// one-line message plus the structured violation list (each entry via
+// access.Violation's own JSON form). HTML escaping is off at this level
+// too — json.Marshal would otherwise re-escape the constraint arrows
+// the inner marshaler left verbatim.
+func (e *ViolationError) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	err := enc.Encode(struct {
+		Message    string             `json:"message"`
+		Violations []access.Violation `json:"violations"`
+	}{RejectionMessage, e.Violations})
+	return bytes.TrimRight(buf.Bytes(), "\n"), err
 }
 
 // Result reports a successfully applied delta: the new snapshot pair plus

@@ -3,8 +3,10 @@ package live_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/access"
@@ -444,4 +446,30 @@ func TestPropertyIncrementalEqualsRebuildTightBounds(t *testing.T) {
 		t.Fatalf("fixture: ok=%v err=%v", ok, err)
 	}
 	propertyStream(t, s, a, d, 103, 120)
+}
+
+// TestViolationErrorJSON pins the ViolationError wire form embedders
+// marshal directly (internal/server builds its 409 payload from the
+// same RejectionMessage and per-violation JSON, golden-pinned there).
+func TestViolationErrorJSON(t *testing.T) {
+	verr := &live.ViolationError{Violations: []access.Violation{{
+		Constraint: access.NewConstraint("R", []schema.Attribute{"A"}, []schema.Attribute{"B"}, 2),
+		Group:      3,
+		Bound:      2,
+	}}}
+	// Marshal through a non-escaping encoder, as every wire surface
+	// does (a bare json.Marshal would re-escape the constraint arrow at
+	// the outermost compaction).
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(verr); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(buf.String(), "\n")
+	want := `{"message":"` + live.RejectionMessage + `",` +
+		`"violations":[{"constraint":"R(A -> B, 2)","group":3,"bound":2}]}`
+	if got != want {
+		t.Errorf("ViolationError JSON = %s, want %s", got, want)
+	}
 }

@@ -1,0 +1,79 @@
+// Package ndjson renders engine results as newline-delimited JSON — one
+// row object per line, columns in plan order. It is the ONE row encoder
+// shared by cmd/bequery's -stream mode and internal/server's /v1/query
+// response, which is what makes the network wire format byte-identical
+// to the CLI's golden files (pinned by internal/server's e2e suite).
+package ndjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// Write drains res's row iterator into w, one JSON object per line. Rows
+// are emitted as the engine produces them (for a streamed result nothing
+// is materialized); column names are marshaled once, outside the row
+// loop. After the iterator stops, Write returns the result's deferred
+// execution error, so a stream cut short by a deadline or disconnect
+// surfaces to the caller instead of reading as a complete answer.
+//
+// flush, when non-nil, runs after every line — the server passes the
+// HTTP flusher so rows reach a streaming client as they are produced.
+func Write(w io.Writer, res *core.Result, flush func()) error {
+	var names [][]byte
+	nameFor := func(j int) ([]byte, error) {
+		for len(names) <= j {
+			col := fmt.Sprintf("col%d", len(names))
+			if len(names) < len(res.Columns) {
+				col = res.Columns[len(names)]
+			}
+			enc, err := json.Marshal(col)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, enc)
+		}
+		return names[j], nil
+	}
+	for row := range res.Seq() {
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			name, err := nameFor(j)
+			if err != nil {
+				return err
+			}
+			cell, err := json.Marshal(jsonValue(v))
+			if err != nil {
+				return err
+			}
+			sb.Write(name)
+			sb.WriteByte(':')
+			sb.Write(cell)
+		}
+		sb.WriteByte('}')
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+		if flush != nil {
+			flush()
+		}
+	}
+	return res.Err()
+}
+
+// jsonValue maps an engine value to its natural JSON type.
+func jsonValue(v value.Value) interface{} {
+	if v.Kind() == value.Int {
+		return v.Int()
+	}
+	return v.Str()
+}

@@ -64,6 +64,15 @@ func (p *parser) expect(k tokKind) (token, error) {
 	return t, nil
 }
 
+// rawRule is one parsed "query" declaration before same-name rules are
+// merged into a UCQ.
+type rawRule struct {
+	name   string
+	free   []string
+	params []string
+	body   posfo.Formula
+}
+
 // Parse parses a full document and validates it: the schema is consistent,
 // every constraint refers to schema relations, and every query validates.
 // Query rules sharing a head name are merged into one UCQ.
@@ -74,12 +83,6 @@ func Parse(input string) (*Document, error) {
 	}
 	p := &parser{toks: toks}
 	doc := &Document{Schema: &schema.Schema{}, Access: access.NewSchema()}
-	type rawRule struct {
-		name   string
-		free   []string
-		params []string
-		body   posfo.Formula
-	}
 	var rules []rawRule
 	for !p.atEOF() {
 		t := p.next()
@@ -114,15 +117,55 @@ func Parse(input string) (*Document, error) {
 	if err := doc.Access.Validate(doc.Schema); err != nil {
 		return nil, err
 	}
-	// Merge rules by head name into UCQs.
+	qs, err := mergeRules(rules, doc.Schema)
+	if err != nil {
+		return nil, err
+	}
+	doc.Queries = qs
+	return doc, nil
+}
+
+// ParseQueryRules parses a fragment containing only query rules —
+// "query Name(x, ...) [params(...)] :- body." — validating them against
+// an existing schema. It is the wire-facing entry point: internal/server
+// uses it to accept ad-hoc query text over HTTP without the client
+// re-shipping the relation declarations on every request.
+func ParseQueryRules(input string, s *schema.Schema) ([]*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var rules []rawRule
+	for !p.atEOF() {
+		t := p.next()
+		if t.kind != tokIdent || t.text != "query" {
+			return nil, p.errf(t, "expected a query rule, got %q", t.text)
+		}
+		name, free, params, body, err := p.parseQueryRule()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rawRule{name: name, free: free, params: params, body: body})
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("parser: no query rules in input")
+	}
+	return mergeRules(rules, s)
+}
+
+// mergeRules merges raw rules by head name into UCQs and validates each
+// merged query against s.
+func mergeRules(rules []rawRule, s *schema.Schema) ([]*Query, error) {
 	byName := map[string]*Query{}
+	var queries []*Query
 	for _, r := range rules {
 		q, ok := byName[r.name]
 		if !ok {
 			q = &Query{Name: r.name, Free: r.free, Params: r.params,
 				PosFO: &posfo.Query{Label: r.name, Free: r.free, Body: r.body}}
 			byName[r.name] = q
-			doc.Queries = append(doc.Queries, q)
+			queries = append(queries, q)
 			continue
 		}
 		if len(q.Free) != len(r.free) {
@@ -143,8 +186,8 @@ func Parse(input string) (*Document, error) {
 		q.PosFO.Body = posfo.Or{Fs: []posfo.Formula{q.PosFO.Body, aligned}}
 		q.Params = mergeParams(q.Params, r.params)
 	}
-	for _, q := range doc.Queries {
-		if err := q.PosFO.Validate(doc.Schema); err != nil {
+	for _, q := range queries {
+		if err := q.PosFO.Validate(s); err != nil {
 			return nil, err
 		}
 		subs, err := q.PosFO.ToUCQ()
@@ -153,7 +196,7 @@ func Parse(input string) (*Document, error) {
 		}
 		q.Subs = subs
 	}
-	return doc, nil
+	return queries, nil
 }
 
 func mergeParams(a, b []string) []string {

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/load"
+	"repro/internal/ndjson"
+	"repro/internal/parser"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// bequeryTestdata resolves a path under cmd/bequery/testdata — the e2e
+// contract is that the SERVER's wire output is byte-identical to the
+// CLI's recorded golden files, so this suite reads the same fixtures
+// the CLI golden tests pin.
+func bequeryTestdata(parts ...string) string {
+	return filepath.Join(append([]string{"..", "..", "cmd", "bequery", "testdata"}, parts...)...)
+}
+
+// accidentsFixtureServer reproduces cmd/bequery's golden fixture bed
+// exactly — the accidents.bq document plus the deterministic generated
+// instance — and serves it over K shards.
+func accidentsFixtureServer(t *testing.T, shards int) *httptest.Server {
+	t.Helper()
+	raw, err := os.ReadFile(bequeryTestdata("accidents.bq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := parser.Parse(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same instance cmd/bequery's goldenData records.
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 3, AccidentsPerDay: 25, MaxVehicles: 3, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := load.SaveInstance(acc.Instance, dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := load.LoadInstance(doc.Schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng core.Queryable
+	if shards > 1 {
+		eng, err = shard.New(doc.Schema, doc.Access, shard.Options{Shards: shards})
+	} else {
+		eng, err = core.New(doc.Schema, doc.Access, core.Options{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, CatalogFromDocument(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestE2EWireMatchesCLIGolden is the end-to-end black-box proof: the
+// NDJSON body /v1/query streams over HTTP is byte-identical to the
+// golden file cmd/bequery's -stream mode records for the same query on
+// the same data — for the single-node engine and for 4 shards.
+func TestE2EWireMatchesCLIGolden(t *testing.T) {
+	golden, err := os.ReadFile(bequeryTestdata("golden", "run_stream.golden"))
+	if err != nil {
+		t.Fatalf("missing CLI golden file (record with go test ./cmd/bequery -run Golden -update): %v", err)
+	}
+	for _, shards := range []int{1, 4} {
+		ts := accidentsFixtureServer(t, shards)
+		resp := postQuery(t, ts, `{"query":"Q0"}`)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shards=%d: status = %d\n%s", shards, resp.StatusCode, body)
+		}
+		if body != string(golden) {
+			t.Errorf("shards=%d: wire output differs from the CLI golden file:\n--- golden ---\n%s--- wire ---\n%s",
+				shards, golden, body)
+		}
+	}
+}
+
+// TestE2EExplainMatchesCLIGolden pins /v1/explain to the same report
+// the CLI's explain mode records (the golden file carries a trailing
+// "query: ..." header the CLI prints identically).
+func TestE2EExplainMatchesCLIGolden(t *testing.T) {
+	golden, err := os.ReadFile(bequeryTestdata("golden", "explain.golden"))
+	if err != nil {
+		t.Fatalf("missing CLI golden file: %v", err)
+	}
+	ts := accidentsFixtureServer(t, 1)
+	resp, err := http.Get(ts.URL + "/v1/explain?query=Q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); body != string(golden) {
+		t.Errorf("explain over the wire differs from the CLI golden file:\n--- golden ---\n%s--- wire ---\n%s",
+			golden, body)
+	}
+}
+
+// TestE2EWireMatchesInProcessSocial extends the byte-identity proof to
+// the social fixture (which has no CLI golden): for every catalog query,
+// the wire body must equal the NDJSON rendering of an in-process
+// Engine.Query stream on an identically built engine — for 1 and 4
+// shards.
+func TestE2EWireMatchesInProcessSocial(t *testing.T) {
+	build := func(shards int) (core.Queryable, Catalog) {
+		soc, err := workload.GenerateSocial(workload.SocialConfig{
+			People: 400, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eng core.Queryable
+		if shards > 1 {
+			eng, err = shard.New(soc.Schema, soc.Access, shard.Options{Shards: shards})
+		} else {
+			eng, err = core.New(soc.Schema, soc.Access, core.Options{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load(soc.Instance); err != nil {
+			t.Fatal(err)
+		}
+		queries := map[string]*cq.CQ{"GraphSearch": workload.GraphSearchQuery(1, "NYC", "cycling")}
+		for _, q := range workload.PatternQueries(1) {
+			queries[q.Label] = q
+		}
+		return eng, Catalog{Schema: soc.Schema, Access: soc.Access, Queries: queries}
+	}
+	for _, shards := range []int{1, 4} {
+		// Two engines over identical data: one behind HTTP, one queried
+		// in-process — the reference the wire must reproduce.
+		wireEng, cat := build(shards)
+		refEng, _ := build(shards)
+		queries := cat.Queries
+		srv, err := New(wireEng, cat, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		for name := range queries {
+			res, err := refEng.Query(t.Context(), queries[name], core.WithStream())
+			if err != nil {
+				t.Fatalf("shards=%d %s: in-process query: %v", shards, name, err)
+			}
+			var want bytes.Buffer
+			if err := ndjson.Write(&want, res, nil); err != nil {
+				t.Fatalf("shards=%d %s: in-process stream: %v", shards, name, err)
+			}
+			resp := postQuery(t, ts, `{"query":"`+name+`"}`)
+			body := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("shards=%d %s: status = %d\n%s", shards, name, resp.StatusCode, body)
+			}
+			if body != want.String() {
+				t.Errorf("shards=%d %s: wire differs from in-process NDJSON (%d vs %d bytes)",
+					shards, name, len(body), want.Len())
+			}
+			if name == "allPairs" && !strings.Contains(resp.Header.Get("X-Beserve-Mode"), "scan") {
+				t.Errorf("allPairs should fall back to a scan, got mode %q", resp.Header.Get("X-Beserve-Mode"))
+			}
+		}
+	}
+}

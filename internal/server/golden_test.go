@@ -1,0 +1,90 @@
+package server
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them,
+// following cmd/bequery's convention:
+//
+//	go test ./internal/server -run Golden -update
+//
+// API error payloads are part of the wire contract: changes are
+// deliberate — re-record and review the diff.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (record with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("payload differs from %s (re-record with -update if deliberate):\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenErrorPayloads pins the structured error payloads of the
+// API — budget refusal, violation 409, malformed request, not-bounded
+// refusal, unknown query — byte for byte on the deterministic accidents
+// fixture. The accident constraints are constant-form, so the refused
+// bound (610 · 192) is data-independent and stable.
+func TestGoldenErrorPayloads(t *testing.T) {
+	srv, _ := accidentsServer(t, 2, 1, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, string) {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, readAll(t, resp)
+	}
+
+	resp, body := post("/v1/query", `{"query":"Q0","budget":100}`)
+	if resp.StatusCode != 422 {
+		t.Fatalf("budget refusal status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "budget_refusal.golden", body)
+
+	resp, body = post("/v1/apply", "+\tAccident\t1\tSoho\t9/9/1999\n")
+	if resp.StatusCode != 409 {
+		t.Fatalf("violation status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "violation_409.golden", body)
+
+	resp, body = post("/v1/query", `{"query":`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed request status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "malformed_request.golden", body)
+
+	resp, body = post("/v1/query", `{"text":"query Z(d) :- Accident(a, d, dt).","fallback":"refuse"}`)
+	if resp.StatusCode != 422 {
+		t.Fatalf("not-bounded refusal status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "not_bounded.golden", body)
+
+	resp, body = post("/v1/query", `{"query":"Ghost"}`)
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown query status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "unknown_query.golden", body)
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics are the server-side counters behind GET /metrics; engine-side
+// counters (size, cumulative fetched/scanned, plan-cache hits) come from
+// the engine itself at render time.
+type metrics struct {
+	// inFlight is the admission gauge: requests currently holding a slot.
+	inFlight atomic.Int64
+	// queries and applies count requests per endpoint (admitted or not).
+	queries atomic.Int64
+	applies atomic.Int64
+	// saturated counts 503 admission refusals.
+	saturated atomic.Int64
+	// rows counts NDJSON lines streamed to clients.
+	rows atomic.Int64
+	// streamCuts counts responses cut mid-stream (deadline, disconnect).
+	streamCuts atomic.Int64
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format, a fixed line order so scrapes are diffable.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	cs := s.eng.CacheStats()
+	hitRate := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		hitRate = float64(cs.Hits) / float64(lookups)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "beserve_in_flight %d\n", s.metrics.inFlight.Load())
+	fmt.Fprintf(w, "beserve_requests_total{endpoint=\"query\"} %d\n", s.metrics.queries.Load())
+	fmt.Fprintf(w, "beserve_requests_total{endpoint=\"apply\"} %d\n", s.metrics.applies.Load())
+	fmt.Fprintf(w, "beserve_saturated_total %d\n", s.metrics.saturated.Load())
+	fmt.Fprintf(w, "beserve_rows_streamed_total %d\n", s.metrics.rows.Load())
+	fmt.Fprintf(w, "beserve_stream_cuts_total %d\n", s.metrics.streamCuts.Load())
+	fmt.Fprintf(w, "beserve_engine_size %d\n", st.Size)
+	fmt.Fprintf(w, "beserve_engine_shards %d\n", st.Shards)
+	fmt.Fprintf(w, "beserve_engine_queries_total %d\n", st.Queries)
+	fmt.Fprintf(w, "beserve_engine_applies_total %d\n", st.Applies)
+	fmt.Fprintf(w, "beserve_engine_fetched_total %d\n", st.Fetched)
+	fmt.Fprintf(w, "beserve_engine_scanned_total %d\n", st.Scanned)
+	fmt.Fprintf(w, "beserve_plan_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "beserve_plan_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "beserve_plan_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "beserve_plan_cache_hit_rate %.4f\n", hitRate)
+}

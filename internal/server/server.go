@@ -1,0 +1,461 @@
+// Package server exposes a core.Queryable engine over HTTP — the network
+// boundary in front of the paper's bounded-evaluation serving stack. The
+// same consistency and admission guarantees the in-process API gives
+// hold on the wire:
+//
+//   - POST /v1/query   JSON request → NDJSON row stream. Per-request
+//     budget/timeout/fallback/workers knobs map onto core.QueryOptions;
+//     a budget refusal or a not-bounded refusal is a structured 4xx
+//     payload emitted before any data is touched. Rows are produced via
+//     core.WithStream from ONE engine snapshot, however many updates
+//     land while the response streams.
+//   - POST /v1/apply   delta TSV body → atomic Engine.Apply. All or
+//     nothing: a delta that would violate a cardinality bound is a 409
+//     carrying the full violation list, with no visible effect.
+//   - GET  /v1/explain plan/coverage report for a named query.
+//   - GET  /v1/schema  relations, constraints, named queries.
+//   - GET  /healthz    liveness plus the engine size.
+//   - GET  /metrics    Prometheus-style counters: in-flight, admission
+//     rejections, plan-cache hit rate, cumulative fetched/scanned.
+//
+// Concurrency: a bounded admission semaphore caps in-flight query/apply
+// requests; a request that cannot get a slot within the queue timeout is
+// answered 503 with Retry-After, so overload degrades by refusing fast
+// instead of queueing without bound. Each request's context is the HTTP
+// request context: a client disconnect cancels in-flight plan execution.
+// Graceful shutdown (http.Server.Shutdown, as cmd/beserve wires it)
+// stops accepting and drains streaming responses before the process —
+// and with it the snapshot — goes away.
+//
+// The server programs against core.Queryable, so fronting a single-node
+// engine or a K-shard internal/shard engine is a constructor choice.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/live"
+	"repro/internal/ndjson"
+	"repro/internal/parser"
+	"repro/internal/schema"
+)
+
+// Catalog is the serving surface the server publishes: the schemas and
+// the named queries clients may invoke (ad-hoc query text is validated
+// against Schema).
+type Catalog struct {
+	Schema *schema.Schema
+	Access *access.Schema
+	// Queries maps the names clients may pass as "query" to the CQs they
+	// run; Params carries each query's declared parameter list, for
+	// /v1/explain.
+	Queries map[string]*cq.CQ
+	Params  map[string][]string
+}
+
+// CatalogFromDocument builds the serving catalog from a parsed .bq
+// document: CQ rules become named queries (unions are served via the
+// request's ad-hoc "text" instead). cmd/bequery, cmd/beserve and the
+// e2e suite all assemble their document catalogs here, so what "-file"
+// means cannot drift between the CLI and the server.
+func CatalogFromDocument(doc *parser.Document) Catalog {
+	queries := map[string]*cq.CQ{}
+	params := map[string][]string{}
+	for _, q := range doc.Queries {
+		if q.IsCQ() {
+			queries[q.Name] = q.Subs[0]
+			params[q.Name] = q.Params
+		}
+	}
+	return Catalog{Schema: doc.Schema, Access: doc.Access, Queries: queries, Params: params}
+}
+
+// Options tunes the server; the zero value is sensible.
+type Options struct {
+	// MaxInFlight caps concurrently served /v1/query and /v1/apply
+	// requests (the admission semaphore). 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// QueueTimeout is how long a request waits for an admission slot
+	// before being answered 503; it doubles as the Retry-After hint.
+	// 0 means DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// MaxBodyBytes caps request bodies (JSON and delta TSV alike).
+	// 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// StallTimeout bounds how long a single read from (or write to) the
+	// client may block. Without it, a connected-but-stalled client — a
+	// reader that stops draining a streaming response, or an uploader
+	// that stops sending its delta — would pin its admission slot
+	// forever and eventually wedge the server at MaxInFlight. The
+	// deadline is rolling (refreshed per I/O operation), so slow-but-
+	// moving clients are fine. 0 means DefaultStallTimeout.
+	StallTimeout time.Duration
+}
+
+const (
+	DefaultMaxInFlight  = 64
+	DefaultQueueTimeout = time.Second
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultStallTimeout = 30 * time.Second
+
+	// maxWorkers bounds the per-request workers knob: the wire must not
+	// be able to ask one request for an unbounded goroutine fan-out.
+	maxWorkers = 64
+	// maxQueryText bounds ad-hoc query text; planning cost grows with
+	// query size, and no legitimate query is this long.
+	maxQueryText = 16 << 10
+	// flushStride is how many NDJSON rows are written between explicit
+	// response flushes.
+	flushStride = 256
+)
+
+// Server is an http.Handler serving a Queryable engine. Construct with
+// New; the zero value is not usable.
+type Server struct {
+	eng  core.Queryable
+	cat  Catalog
+	opts Options
+	// slots is the admission semaphore: a request holds one slot for its
+	// whole lifetime, including while its response streams.
+	slots   chan struct{}
+	mux     *http.ServeMux
+	metrics metrics
+}
+
+// New builds a server over eng. The engine must already hold data
+// (callers Load before serving, so a request never observes the
+// pre-Load state).
+func New(eng core.Queryable, cat Catalog, opts Options) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	if cat.Schema == nil {
+		return nil, fmt.Errorf("server: catalog has no schema")
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.QueueTimeout <= 0 {
+		opts.QueueTimeout = DefaultQueueTimeout
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = DefaultStallTimeout
+	}
+	s := &Server{
+		eng:   eng,
+		cat:   cat,
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxInFlight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/apply", s.handleApply)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// acquire takes an admission slot, waiting up to the queue timeout. It
+// reports false when the request should be refused (saturation) or the
+// client has gone away.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(s.opts.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// admit wraps acquire with the 503 + Retry-After refusal. The returned
+// cleanup releases the slot; ok=false means the refusal (or nothing, if
+// the client disconnected) was already written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.acquire(r.Context()) {
+		s.metrics.inFlight.Add(1)
+		return func() {
+			s.metrics.inFlight.Add(-1)
+			s.release()
+		}, true
+	}
+	if r.Context().Err() != nil {
+		// Client gone while queueing: nothing useful to write.
+		return nil, false
+	}
+	s.metrics.saturated.Add(1)
+	retry := int(s.opts.QueueTimeout / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusServiceUnavailable, apiError{
+		Code: "saturated",
+		Message: fmt.Sprintf("server at capacity (%d requests in flight); retry after %ds",
+			s.opts.MaxInFlight, retry),
+	})
+	return nil, false
+}
+
+// handleQuery serves POST /v1/query: decode and validate the request,
+// admit it, refuse-or-plan through Engine.Query, then stream the answer
+// rows as NDJSON. Planning errors surface as structured payloads with
+// real status codes; once streaming has begun, a cut (deadline, client
+// disconnect) is reported in the X-Beserve-Error trailer — a truncated
+// body never carries an empty trailer, so clients can tell short from
+// complete.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.queries.Add(1)
+	req, apiErr := decodeQueryRequest(r, s.opts.MaxBodyBytes)
+	if apiErr != nil {
+		writeError(w, apiErr.status(), *apiErr)
+		return
+	}
+	q, qopts, deadline, apiErr := s.resolve(req)
+	if apiErr != nil {
+		writeError(w, apiErr.status(), *apiErr)
+		return
+	}
+	done, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	res, err := s.eng.Query(r.Context(), q, append(qopts, core.WithStream())...)
+	if err != nil {
+		e := queryError(err)
+		writeError(w, e.status(), e)
+		return
+	}
+	// WithStream defers execution, so a deadline that has already passed
+	// (spent on queueing or planning) would otherwise surface as a 200
+	// with an empty, cut stream. Refuse it as a structured 504 while the
+	// status line is still ours to choose.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		writeError(w, http.StatusGatewayTimeout, apiError{Code: "deadline_exceeded",
+			Message: fmt.Sprintf("request timeout %s expired before execution began", req.Timeout)})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("Trailer", "X-Beserve-Fetched, X-Beserve-Scanned, X-Beserve-Elapsed, X-Beserve-Error")
+	h.Set("X-Beserve-Mode", res.Mode.String())
+	h.Set("X-Beserve-Cache-Hit", strconv.FormatBool(res.Stats.CacheHit))
+	w.WriteHeader(http.StatusOK)
+	// Flush the first row immediately (streaming clients see data as
+	// soon as it exists), then every flushStride rows; the handler
+	// return flushes the tail. Per-row flushing would cost a syscall and
+	// an undersized chunk per line on large scans.
+	flush := func() {}
+	if flusher, ok := w.(http.Flusher); ok {
+		n := 0
+		flush = func() {
+			if n%flushStride == 0 {
+				flusher.Flush()
+			}
+			n++
+		}
+	}
+	out := &stallWriter{w: w, rc: http.NewResponseController(w),
+		stall: s.opts.StallTimeout, rows: &s.metrics.rows}
+	werr := ndjson.Write(out, res, flush)
+	h.Set("X-Beserve-Fetched", strconv.FormatInt(res.Stats.Fetched, 10))
+	h.Set("X-Beserve-Scanned", strconv.FormatInt(res.Stats.Scanned, 10))
+	h.Set("X-Beserve-Elapsed", res.Stats.Elapsed.String())
+	if werr != nil {
+		s.metrics.streamCuts.Add(1)
+		h.Set("X-Beserve-Error", werr.Error())
+	}
+}
+
+// stallWriter is the streaming response writer: it counts emitted
+// NDJSON lines for /metrics, and it arms a rolling write deadline
+// before every write so a connected-but-stalled client (TCP zero
+// window) unblocks the handler after StallTimeout instead of pinning
+// its admission slot forever. The deadline is re-armed per write —
+// a slow-but-draining client never hits it, and slow row PRODUCTION
+// (engine side) does not count against it. SetWriteDeadline errors are
+// ignored: a ResponseWriter without deadline support (httptest's
+// recorder) just runs unguarded.
+type stallWriter struct {
+	w     io.Writer
+	rc    *http.ResponseController
+	stall time.Duration
+	rows  *atomic.Int64
+}
+
+func (c *stallWriter) Write(p []byte) (int, error) {
+	_ = c.rc.SetWriteDeadline(time.Now().Add(c.stall))
+	n, err := c.w.Write(p)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			c.rows.Add(1)
+		}
+	}
+	return n, err
+}
+
+// stallReader is the request-body counterpart of stallWriter: a rolling
+// read deadline per Read, so an uploader that stops sending unblocks
+// the handler after StallTimeout.
+type stallReader struct {
+	r     io.Reader
+	rc    *http.ResponseController
+	stall time.Duration
+}
+
+func (c *stallReader) Read(p []byte) (int, error) {
+	_ = c.rc.SetReadDeadline(time.Now().Add(c.stall))
+	return c.r.Read(p)
+}
+
+// handleApply serves POST /v1/apply: the body is a delta TSV (the same
+// format bequery -apply reads), applied atomically. The response
+// reports the net effect and the new |D|; a rejected delta is a 409
+// carrying every violation.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	s.metrics.applies.Add(1)
+	done, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	body := &stallReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes),
+		rc: http.NewResponseController(w), stall: s.opts.StallTimeout}
+	delta, err := live.ReadDeltaTSV(body, s.cat.Schema)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, apiError{
+				Code:    "body_too_large",
+				Message: fmt.Sprintf("delta body exceeds the %d-byte limit", s.opts.MaxBodyBytes),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, apiError{Code: "bad_delta", Message: err.Error()})
+		return
+	}
+	res, err := s.eng.Apply(r.Context(), delta)
+	if err != nil {
+		// queryError maps a *live.ViolationError to the 409 payload.
+		e := queryError(err)
+		writeError(w, e.status(), e)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Inserted int `json:"inserted"`
+		Deleted  int `json:"deleted"`
+		Size     int `json:"size"`
+	}{res.Inserted, res.Deleted, s.eng.Stats().Size})
+}
+
+// handleExplain serves GET /v1/explain?query=NAME: the engine's full
+// coverage/BEP/plan/bound report as text.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("query")
+	q, ok := s.cat.Queries[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, apiError{
+			Code:    "unknown_query",
+			Message: fmt.Sprintf("no query named %q", name),
+		})
+		return
+	}
+	out, err := s.eng.Explain(q, s.cat.Params[name])
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+// handleSchema serves GET /v1/schema: the relations, constraints and
+// named queries a client can program against.
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	type relJSON struct {
+		Name  string   `json:"name"`
+		Attrs []string `json:"attrs"`
+	}
+	type queryJSON struct {
+		Name   string   `json:"name"`
+		Free   []string `json:"free"`
+		Params []string `json:"params,omitempty"`
+	}
+	var rels []relJSON
+	for _, rel := range s.cat.Schema.Relations() {
+		attrs := make([]string, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			attrs[i] = string(a)
+		}
+		rels = append(rels, relJSON{Name: rel.Name, Attrs: attrs})
+	}
+	var constraints []string
+	if s.cat.Access != nil {
+		for _, c := range s.cat.Access.Constraints {
+			constraints = append(constraints, c.String())
+		}
+	}
+	var queries []queryJSON
+	for _, name := range sortedNames(s.cat.Queries) {
+		q := s.cat.Queries[name]
+		queries = append(queries, queryJSON{Name: name, Free: q.Free, Params: s.cat.Params[name]})
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Relations   []relJSON   `json:"relations"`
+		Constraints []string    `json:"constraints"`
+		Queries     []queryJSON `json:"queries"`
+		Shards      int         `json:"shards"`
+		Size        int         `json:"size"`
+	}{rels, constraints, queries, st.Shards, st.Size})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Size   int    `json:"size"`
+	}{"ok", s.eng.Stats().Size})
+}
+
+// sortedNames returns the catalog's query names in sorted order, so
+// /v1/schema listings are deterministic across runs.
+func sortedNames(m map[string]*cq.CQ) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

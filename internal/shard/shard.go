@@ -142,6 +142,17 @@ var _ core.Queryable = (*Engine)(nil)
 
 // New builds a sharded engine over K shards, deriving the partition map
 // from the access schema (see Options.PartitionKeys).
+// NewOrCore builds the serving engine for a K-shard deployment: the
+// plain single-node core.Engine for K ≤ 1, a sharded engine otherwise.
+// The CLIs (bequery, beserve) share it so "-shards 1" means exactly the
+// single-node engine, not a one-shard coordinator, in both binaries.
+func NewOrCore(s *schema.Schema, a *access.Schema, opts core.Options, shards int) (core.Queryable, error) {
+	if shards > 1 {
+		return New(s, a, Options{Shards: shards, Core: opts})
+	}
+	return core.New(s, a, opts)
+}
+
 func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("shard: negative shard count %d", opts.Shards)
@@ -667,11 +678,16 @@ func (e *Engine) Stats() core.EngineStats {
 	if sn := e.snap.Load(); sn != nil {
 		size = sn.size
 	}
+	// Every query is served through the planner's QueryView, so its
+	// request and access-accounting counters cover the whole fleet.
+	ps := e.planner.Stats()
 	return core.EngineStats{
 		Size:    size,
 		Shards:  e.k,
-		Queries: e.planner.Stats().Queries,
+		Queries: ps.Queries,
 		Applies: e.applies.Load(),
+		Fetched: ps.Fetched,
+		Scanned: ps.Scanned,
 	}
 }
 

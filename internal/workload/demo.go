@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/schema"
+)
+
+// Demo bundles a generated demo workload with its catalog of named
+// queries — the ONE definition of what "-demo accidents|social" means,
+// shared by cmd/bequery and cmd/beserve so the two binaries cannot
+// drift apart (the server's wire output is pinned byte-identical to the
+// CLI's, which only holds if they serve the same data and queries).
+type Demo struct {
+	Schema   *schema.Schema
+	Access   *access.Schema
+	Instance *data.Instance
+	// Queries are the named queries the demo serves; Params carries each
+	// query's declared parameter list (for explain/specialize).
+	Queries map[string]*cq.CQ
+	Params  map[string][]string
+}
+
+// AccidentsDemo builds the accidents demo at the CLI's fixed
+// generation parameters: days of data, 40 accidents/day, ≤ 6 vehicles,
+// seed 1, with Q0 and the parameterized Q51.
+func AccidentsDemo(days int) (*Demo, error) {
+	acc, err := GenerateAccidents(AccidentConfig{
+		Days: days, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q51, ps := Q51()
+	return &Demo{
+		Schema:   acc.Schema,
+		Access:   acc.Access,
+		Instance: acc.Instance,
+		Queries:  map[string]*cq.CQ{"Q0": Q0(), "Q51": q51},
+		Params:   map[string][]string{"Q51": ps},
+	}, nil
+}
+
+// SocialDemo builds the social demo at the CLI's fixed generation
+// parameters: people, ≤ 50 friends, ≤ 10 likes, seed 2, with the
+// personalized GraphSearch and the graph-pattern family anchored at
+// person 1.
+func SocialDemo(people int) (*Demo, error) {
+	soc, err := GenerateSocial(SocialConfig{
+		People: people, MaxFriends: 50, MaxLikes: 10, Seed: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := map[string]*cq.CQ{"GraphSearch": GraphSearchQuery(1, "NYC", "cycling")}
+	for _, q := range PatternQueries(1) {
+		queries[q.Label] = q
+	}
+	return &Demo{
+		Schema:   soc.Schema,
+		Access:   soc.Access,
+		Instance: soc.Instance,
+		Queries:  queries,
+		Params:   map[string][]string{},
+	}, nil
+}
