@@ -1,0 +1,210 @@
+// Command bevet runs the engine-invariant analyzers in
+// internal/analysis over this module's packages. It speaks the `go vet
+// -vettool` unit-checker protocol, so the usual way to run it is:
+//
+//	go build -o /tmp/bevet ./cmd/bevet
+//	go vet -vettool=/tmp/bevet ./...
+//
+// which analyzes every package — test files and test variants included
+// — with full type information and build caching. Invoked with package
+// patterns instead of a vet config, it loads the packages itself
+// through `go list -export` (non-test files only) as a quick
+// standalone check:
+//
+//	bevet ./...
+//
+// The protocol, mirroring x/tools' unitchecker:
+//
+//	-V=full   print an identity line ending in buildID=<hex> so the
+//	          go command can cache runs against this binary
+//	-flags    print the supported analyzer flags as JSON (none)
+//	foo.cfg   analyze the one compilation unit the go command
+//	          described in the JSON config file
+//
+// Diagnostics go to stderr as file:line:col: message; the exit status
+// is 1 if anything was reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bevet: ")
+	vFlag := flag.String("V", "", "print version information (go vet protocol; only -V=full is supported)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	flag.Parse()
+
+	if *vFlag != "" {
+		printVersion(*vFlag)
+		return
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion implements -V=full: the go command hashes this line to
+// decide whether cached vet results are still valid for this binary.
+func printVersion(v string) {
+	if v != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", v)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// vetConfig is the JSON compilation-unit description the go command
+// writes to <objdir>/vet.cfg for each package.
+type vetConfig struct {
+	ID                        string            // e.g. "repro/internal/core [repro/internal/core.test]"
+	Compiler                  string            // "gc"
+	Dir                       string            // package directory
+	ImportPath                string            // package path as the build sees it
+	GoVersion                 string            // minimum go version, e.g. "go1.24.0"
+	GoFiles                   []string          // absolute paths of the unit's Go files
+	ImportMap                 map[string]string // import path -> package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool   // package path -> is standard library
+	PackageVetx               map[string]string // package path -> facts file (unused: no facts)
+	VetxOnly                  bool              // only compute facts, report nothing
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool              // the compiler will report the errors; stay quiet
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code.
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// bevet has no cross-package facts; write an empty facts file
+	// unconditionally so the go command can cache that.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Resolve an import path as written in source to the export data
+	// file the build produced: through ImportMap first (vendoring, test
+	// variants), then PackageFile. "unsafe" never reaches the resolver —
+	// the gc importer special-cases it.
+	resolve := func(importPath string) string {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return cfg.PackageFile[path]
+	}
+
+	fset := token.NewFileSet()
+	files, pkg, info, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.GoFiles, resolve)
+	if err != nil {
+		// Parse errors: the compiler will report them; stay quiet if the
+		// go command asked us to.
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, cfg.ImportPath, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		exit = 1
+	}
+	return exit
+}
+
+// runStandalone loads the named package patterns with `go list -export`
+// and analyzes each (non-test files only; run under `go vet -vettool`
+// to cover test variants too).
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.ListExports(".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolve := func(path string) string {
+		if p := pkgs[path]; p != nil {
+			return p.Export
+		}
+		return ""
+	}
+	var targets []*analysis.ListPackage
+	for _, p := range pkgs {
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	exit := 0
+	fset := token.NewFileSet()
+	for _, p := range targets {
+		files := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, name)
+		}
+		parsed, tpkg, info, err := analysis.TypeCheck(fset, p.ImportPath, files, resolve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags, err := analysis.RunAnalyzers(fset, parsed, tpkg, p.ImportPath, info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,99 @@
+// Package analysis is bevet's engine-invariant checker suite: a small,
+// dependency-free reimplementation of the go/analysis Analyzer/Pass
+// surface (golang.org/x/tools is deliberately not a dependency — the
+// module has none) carrying five analyzers that prove, at compile time,
+// invariants the repo previously enforced only with runtime tests:
+//
+//	snapshottear — a function reads ONE pinned snapshot: mixing
+//	               Engine.Instance() and Engine.Indexed() (or either
+//	               with Snapshot()) can straddle a concurrent Apply.
+//	emitctx      — a row-emitting loop observes its context, so a
+//	               canceled request cannot stream rows forever (the
+//	               PR 5 `bequery -stream` bug class).
+//	hotpathalloc — functions marked //bevet:hotpath stay free of
+//	               allocation-heavy constructs (fmt, per-call maps,
+//	               string concatenation in loops, interface boxing):
+//	               the lint front-door for ROADMAP item 1.
+//	lockedfield  — struct fields documented `guarded by <mu>` are only
+//	               touched by functions that lock that mutex.
+//	apierr       — server handlers route every error through the
+//	               structured writeError path, never a bare http.Error
+//	               or ad-hoc non-2xx WriteHeader.
+//
+// The suite ships as cmd/bevet, which speaks the `go vet -vettool`
+// unit-checker protocol, so `go vet -vettool=$(which bevet) ./...`
+// runs it over every package (tests included) in CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker, mirroring the x/tools
+// go/analysis shape so the analyzers port verbatim if the dependency
+// ever lands.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bevet:allow <name> suppressions.
+	Name string
+	// Doc is the one-paragraph description shown by `bevet -help`.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass is the per-package unit of work handed to an Analyzer: the
+// type-checked syntax of exactly one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Pkg is the type-checked package; PkgPath is the import path the
+	// build reported (it differs from Pkg.Path() for test variants,
+	// e.g. "repro/internal/core [repro/internal/core.test]").
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full bevet suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SnapshotTear,
+		EmitCtx,
+		HotPathAlloc,
+		LockedField,
+		APIErr,
+	}
+}
+
+// NewTypesInfo allocates a types.Info with every map the analyzers
+// read, shared by the vet-tool driver, the standalone loader and the
+// analysistest harness.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is bevet's analysistest: it loads the fixture package at
+// testdata/src/<pkg>, runs one analyzer over it, and checks the
+// diagnostics against `// want "regexp"` comments in the fixtures —
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be wanted. The fixture packages import only the
+// standard library (resolved through `go list -export` data), and their
+// package paths carry no "repro/" prefix, so package-scoped analyzers
+// treat them as always-checked fixtures.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(files)
+
+	resolve, err := fixtureResolver(dir, files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	fset := token.NewFileSet()
+	parsed, tpkg, info, err := TypeCheck(fset, pkg, files, resolve)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     parsed,
+		Pkg:       tpkg,
+		PkgPath:   pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, parsed)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		if matchWant(wants[key], d.Message) {
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", k, w.re.String())
+			}
+		}
+	}
+}
+
+// fixtureResolver lists export data for every import the fixture files
+// mention and returns the path->file resolver TypeCheck needs.
+func fixtureResolver(dir string, files []string) (func(string) string, error) {
+	imports := make(map[string]bool)
+	ifset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(ifset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	patterns := make([]string, 0, len(imports))
+	for path := range imports {
+		patterns = append(patterns, path)
+	}
+	sort.Strings(patterns)
+	if len(patterns) == 0 {
+		return func(string) string { return "" }, nil
+	}
+	pkgs, err := ListExports(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return func(path string) string {
+		if p := pkgs[path]; p != nil {
+			return p.Export
+		}
+		return ""
+	}, nil
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantStringRe matches the quoted regexps after the want marker: either
+// backquoted or double-quoted Go string syntax.
+var wantStringRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses `// want "re" ["re" ...]` comments, keyed by
+// "file.go:line" of the comment (which sits on the flagged line).
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+				for _, q := range wantStringRe.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant marks and reports the first unmatched want whose regexp
+// matches the message.
+func matchWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

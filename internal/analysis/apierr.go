@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// APIErr keeps internal/server's error surface structured: every
+// non-2xx response must go through the writeError/writeJSON path that
+// speaks the {"error": {code, message, …}} envelope, so clients and
+// golden tests can match on stable codes. Flagged in handlers:
+//
+//   - any call to net/http.Error (a bare text/plain error body)
+//   - w.WriteHeader(status) with a constant status ≥ 300, or a
+//     non-constant status (which cannot be proven 2xx)
+//
+// Exempt: writeError and writeJSON themselves (the structured path —
+// writeJSON's last-resort http.Error guards against its own encoder
+// failing), WriteHeader methods of ResponseWriter wrappers (they
+// forward, they do not decide), and //bevet:allow apierr.
+var APIErr = &Analyzer{
+	Name: "apierr",
+	Doc:  "flags server error responses that bypass the structured writeError path",
+	Run:  runAPIErr,
+}
+
+func runAPIErr(pass *Pass) error {
+	if strings.HasPrefix(pass.PkgPath, "repro/") && !inPkg(pass.PkgPath, "repro/internal/server") {
+		return nil
+	}
+	eachFuncDecl(pass, func(fn *ast.FuncDecl) {
+		if allows(fn, "apierr") {
+			return
+		}
+		switch fn.Name.Name {
+		case "writeError", "writeJSON", "WriteHeader":
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+				return true
+			}
+			switch obj.Name() {
+			case "Error":
+				pass.Reportf(call.Pos(),
+					"bare http.Error bypasses the structured error envelope; route it through writeError")
+			case "WriteHeader":
+				if len(call.Args) != 1 {
+					return true
+				}
+				if status, known := constantInt(pass, call.Args[0]); known {
+					if status >= 300 {
+						pass.Reportf(call.Pos(),
+							"WriteHeader(%d) bypasses the structured error envelope; route non-2xx through writeError", status)
+					}
+				} else {
+					pass.Reportf(call.Pos(),
+						"WriteHeader with a non-constant status cannot be proven 2xx; route errors through writeError")
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// constantInt evaluates e as a compile-time integer constant.
+func constantInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}

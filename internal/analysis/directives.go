@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directives are bevet's machine-readable comment markers. They live in
+// a declaration's doc comment, one per line, in the standard Go
+// directive shape (no space after //):
+//
+//	//bevet:hotpath            — hotpathalloc checks this function
+//	//bevet:allow <analyzer>   — suppress one analyzer on this function
+//	//bevet:locked <mu>        — this function runs with <mu> held by
+//	                             its caller (lockedfield accepts it)
+type directives struct {
+	hotpath bool
+	allow   map[string]bool
+	locked  map[string]bool
+}
+
+// parseDirectives extracts bevet directives from a doc comment group.
+func parseDirectives(doc *ast.CommentGroup) directives {
+	var d directives
+	if doc == nil {
+		return d
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//bevet:")
+		if !ok {
+			continue
+		}
+		verb, arg, _ := strings.Cut(strings.TrimSpace(text), " ")
+		arg = strings.TrimSpace(arg)
+		switch verb {
+		case "hotpath":
+			d.hotpath = true
+		case "allow":
+			if d.allow == nil {
+				d.allow = make(map[string]bool)
+			}
+			d.allow[arg] = true
+		case "locked":
+			if d.locked == nil {
+				d.locked = make(map[string]bool)
+			}
+			d.locked[arg] = true
+		}
+	}
+	return d
+}
+
+// funcDirectives returns the directives on a function declaration.
+func funcDirectives(fn *ast.FuncDecl) directives {
+	return parseDirectives(fn.Doc)
+}
+
+// allows reports whether fn's doc suppresses the named analyzer.
+func allows(fn *ast.FuncDecl, analyzer string) bool {
+	return funcDirectives(fn).allow[analyzer]
+}
+
+// eachFuncDecl walks every function declaration with a body in the
+// pass's files.
+func eachFuncDecl(pass *Pass, visit func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EmitCtx generalizes the PR 5 `bequery -stream` bug: a row-emitting
+// loop that never observes its context keeps streaming after the
+// request is canceled or its deadline passes, for as long as the
+// consumer keeps reading. In the serving packages, every for/range
+// loop that calls an emit function — a func(T) bool sink value (the
+// iter.Seq convention) or a yield/emit/add method returning bool —
+// must contain a reachable ctx.Err()/ctx.Done() observation whenever a
+// context.Context is in scope. Functions with no context in scope are
+// exempt (they cannot observe what they were not given; their callers
+// own cancellation), as are functions with //bevet:allow emitctx.
+var EmitCtx = &Analyzer{
+	Name: "emitctx",
+	Doc:  "flags row-emitting loops in the serving packages that never observe a reachable context",
+	Run:  runEmitCtx,
+}
+
+// emitCtxPkgs are the serving packages the invariant covers; packages
+// outside the module (fixtures) are always checked.
+var emitCtxPkgs = []string{
+	"repro/internal/plan",
+	"repro/internal/core",
+	"repro/internal/shard",
+	"repro/internal/server",
+}
+
+// emitNames are method/function names treated as row emitters when
+// they return a single bool (the "keep going?" convention).
+var emitNames = map[string]bool{"yield": true, "emit": true, "add": true}
+
+func runEmitCtx(pass *Pass) error {
+	if strings.HasPrefix(pass.PkgPath, "repro/") && !inAnyPkg(pass.PkgPath, emitCtxPkgs) {
+		return nil
+	}
+	eachFuncDecl(pass, func(fn *ast.FuncDecl) {
+		if allows(fn, "emitctx") {
+			return
+		}
+		if !ctxInScope(pass, fn) {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if hasEmitCall(pass, body) && !observesCtx(pass, body) {
+				pass.Reportf(n.Pos(),
+					"loop emits rows but never observes the in-scope context: a canceled request keeps streaming; check ctx.Err() periodically")
+				return false // the finding covers nested loops too
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// ctxInScope reports whether any identifier typed context.Context is
+// declared or used inside fn (parameters, receivers, locals, captures).
+func ctxInScope(pass *Pass, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasEmitCall reports whether the subtree calls an emit function.
+func hasEmitCall(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *ast.Ident
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			callee = f
+		case *ast.SelectorExpr:
+			callee = f.Sel
+		default:
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(callee)
+		if obj == nil {
+			return true
+		}
+		sig, ok := obj.Type().Underlying().(*types.Signature)
+		if !ok || !returnsBool(sig) {
+			return true
+		}
+		switch obj.(type) {
+		case *types.Var:
+			// A func-typed value: the iter.Seq / sink convention wants
+			// exactly one parameter (the row).
+			if sig.Params().Len() == 1 {
+				found = true
+			}
+		case *types.Func:
+			if emitNames[callee.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func returnsBool(sig *types.Signature) bool {
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// observesCtx reports whether the subtree contains a ctx.Err() or
+// ctx.Done() call on a context.Context value.
+func observesCtx(pass *Pass, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return true
+		}
+		if isContextType(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// inAnyPkg reports whether path names one of the base packages or one
+// of their build variants (external test package, test binary, or the
+// "pkg [pkg.test]" recompilation the go command reports for tests).
+func inAnyPkg(path string, bases []string) bool {
+	for _, b := range bases {
+		if inPkg(path, b) {
+			return true
+		}
+	}
+	return false
+}
+
+func inPkg(path, base string) bool {
+	if path == base {
+		return true
+	}
+	for _, suffix := range []string{"/", "_test", ".test", " ["} {
+		if strings.HasPrefix(path, base+suffix) {
+			return true
+		}
+	}
+	return false
+}

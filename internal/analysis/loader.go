@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// The loader resolves imports the same way the gc toolchain does:
+// `go list -deps -export` compiles (or pulls from the build cache) the
+// export data of every dependency, and importer.ForCompiler reads those
+// files through a lookup function. This keeps the module dependency-free
+// — no golang.org/x/tools/go/packages — while still type-checking
+// anything the go command can build, entirely offline.
+
+// ListPackage is the slice of `go list -json` output the loader reads.
+type ListPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool // not named by the patterns, only reached through imports
+}
+
+// ListExports runs `go list -deps -export -json patterns...` in dir and
+// returns every resolved package, keyed by import path, with its export
+// data file populated.
+func ListExports(dir string, patterns []string) (map[string]*ListPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=Dir,ImportPath,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	pkgs := make(map[string]*ListPackage)
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(ListPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs[p.ImportPath] = p
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer reading gc export data files.
+// resolve maps an import path to the file holding its export data; ""
+// means unknown (the import fails, and type-checking degrades to
+// whatever the analyzers can see — they are all nil-tolerant).
+func exportImporter(fset *token.FileSet, resolve func(path string) string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file := resolve(path)
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// TypeCheck parses and type-checks one package from source files,
+// resolving imports through export data. path is the package path
+// analyzers see; files are Go source filenames. Type errors are
+// tolerated (soft mode): the analyzers are written against possibly
+// partial types.Info, so a fixture or a mid-edit tree still analyzes.
+func TypeCheck(fset *token.FileSet, path string, files []string, resolve func(string) string) ([]*ast.File, *types.Package, *types.Info, error) {
+	sort.Strings(files)
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: exportImporter(fset, resolve),
+		Error:    func(error) {}, // soft: keep going past type errors
+	}
+	pkg, _ := conf.Check(path, fset, parsed, info)
+	return parsed, pkg, info, nil
+}
+
+// RunAnalyzers executes every analyzer in the suite over one
+// type-checked package and returns the diagnostics, ordered by position
+// then message.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, pkgPath string, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			PkgPath:   pkgPath,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

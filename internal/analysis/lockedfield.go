@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockedField enforces documented mutex discipline: a struct field
+// whose comment says `guarded by <mu>` (the plan cache's counters, the
+// shard coordinator's lazily merged instance) may only be read or
+// written by functions that lock that mutex on the same receiver —
+// <base>.<mu>.Lock() or .RLock() for an access through <base> — or
+// that declare the caller holds it with //bevet:locked <mu>.
+// Composite-literal construction is naturally exempt (the struct is
+// not shared yet), as is the zero-value declaration.
+var LockedField = &Analyzer{
+	Name: "lockedfield",
+	Doc:  "flags accesses to `guarded by <mu>` struct fields outside functions holding <mu>",
+	Run:  runLockedField,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockedField(pass *Pass) error {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	eachFuncDecl(pass, func(fn *ast.FuncDecl) {
+		if allows(fn, "lockedfield") {
+			return
+		}
+		held := collectHeldLocks(pass, fn)
+		callerHolds := funcDirectives(fn).locked
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			mu, guarded := guards[selection.Obj()]
+			if !guarded {
+				return true
+			}
+			base := types.ExprString(sel.X)
+			if held[lockKey{base, mu}] || callerHolds[mu] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"access to %s.%s, guarded by %s, without holding %s.%s (lock it, or mark the function //bevet:locked %s)",
+				base, sel.Sel.Name, mu, base, mu, mu)
+			return true
+		})
+	})
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to its
+// guarding mutex name, from `guarded by <mu>` in the field's doc or
+// trailing line comment.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardComment(field.Doc)
+				if mu == "" {
+					mu = guardComment(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// lockKey identifies one acquired mutex: the rendered base expression
+// it hangs off ("" for a bare identifier mutex) and its name.
+type lockKey struct {
+	base string
+	mu   string
+}
+
+// collectHeldLocks finds every <base>.<mu>.Lock()/RLock() call in fn.
+// Holding is function-granular: bevet does not track unlock ordering,
+// it proves the function at least acquires the documented mutex.
+func collectHeldLocks(pass *Pass, fn *ast.FuncDecl) map[lockKey]bool {
+	held := make(map[lockKey]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch m := sel.X.(type) {
+		case *ast.SelectorExpr:
+			held[lockKey{types.ExprString(m.X), m.Sel.Name}] = true
+		case *ast.Ident:
+			held[lockKey{"", m.Name}] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// Each analyzer is proven against a fixture package that demonstrates
+// both the violation (with `// want` expectations) and the blessed
+// pattern next to it (no expectation — the harness fails on any
+// unwanted diagnostic, so the negatives are load-bearing).
+
+func TestSnapshotTear(t *testing.T) {
+	RunTest(t, "testdata", SnapshotTear, "snapshottear")
+}
+
+func TestEmitCtx(t *testing.T) {
+	RunTest(t, "testdata", EmitCtx, "emitctx")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	RunTest(t, "testdata", HotPathAlloc, "hotpathalloc")
+}
+
+func TestLockedField(t *testing.T) {
+	RunTest(t, "testdata", LockedField, "lockedfield")
+}
+
+func TestAPIErr(t *testing.T) {
+	RunTest(t, "testdata", APIErr, "apierr")
+}

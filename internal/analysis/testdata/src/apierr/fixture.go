@@ -1,0 +1,69 @@
+// Package apierr exercises the apierr analyzer: handlers that bypass
+// the structured error path, and the structured path itself.
+package apierr
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeError is the structured path; its own WriteHeader is the point.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// writeJSON may fall back to http.Error when its own encoder fails.
+func writeJSON(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, "encoding failed", http.StatusInternalServerError)
+	}
+}
+
+func handleBare(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `bare http\.Error bypasses the structured error envelope`
+}
+
+func handleNakedStatus(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\) bypasses the structured error envelope`
+}
+
+func handleVariableStatus(w http.ResponseWriter, r *http.Request, status int) {
+	w.WriteHeader(status) // want `non-constant status cannot be proven 2xx`
+}
+
+// handleOK writes success statuses: 2xx is the handler's business.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	_, _ = w.Write([]byte("{}"))
+}
+
+// handleStructured routes its error through writeError: the contract.
+func handleStructured(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, map[string]int{"ok": 1})
+}
+
+// legacy is grandfathered explicitly.
+//
+//bevet:allow apierr
+func legacy(w http.ResponseWriter) {
+	http.Error(w, "grandfathered", 500)
+}
+
+// recorder forwards WriteHeader; wrappers do not decide statuses.
+type recorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *recorder) WriteHeader(status int) {
+	rec.status = status
+	rec.ResponseWriter.WriteHeader(status)
+}

@@ -1,0 +1,97 @@
+// Package emitctx exercises the emitctx analyzer: row-emitting loops
+// with and without a reachable context observation.
+package emitctx
+
+import "context"
+
+type row struct{ v int }
+
+type sink struct{ n int }
+
+func (s *sink) add(r row) bool { s.n++; return true }
+
+// stream never looks at ctx: a canceled request keeps streaming.
+func stream(ctx context.Context, rows []row, yield func(row) bool) {
+	for _, r := range rows { // want `loop emits rows but never observes the in-scope context`
+		if !yield(r) {
+			return
+		}
+	}
+	_ = ctx
+}
+
+// streamChecked observes ctx inside the loop: the blessed pattern.
+func streamChecked(ctx context.Context, rows []row, yield func(row) bool) {
+	for i, r := range rows {
+		if i%256 == 0 && ctx.Err() != nil {
+			return
+		}
+		if !yield(r) {
+			return
+		}
+	}
+}
+
+// streamSelect observes ctx.Done() instead of Err(): also fine.
+func streamSelect(ctx context.Context, rows []row, yield func(row) bool) {
+	for _, r := range rows {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if !yield(r) {
+			return
+		}
+	}
+}
+
+// methodEmit calls a named emit method (the add/emit/yield convention).
+func methodEmit(ctx context.Context, rows []row, s *sink) {
+	for _, r := range rows { // want `loop emits rows but never observes the in-scope context`
+		s.add(r)
+	}
+	_ = ctx
+}
+
+// drain has no context in scope: its caller owns cancellation.
+func drain(rows []row, yield func(row) bool) {
+	for _, r := range rows {
+		if !yield(r) {
+			return
+		}
+	}
+}
+
+// count emits nothing; an unchecked loop is fine.
+func count(ctx context.Context, rows []row) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	_ = ctx
+	return n
+}
+
+// allowed opts out explicitly.
+//
+//bevet:allow emitctx
+func allowed(ctx context.Context, rows []row, yield func(row) bool) {
+	for _, r := range rows {
+		_ = yield(r)
+	}
+	_ = ctx
+}
+
+// nonEmitCallee calls a func value with the wrong shape (two params):
+// not an emit sink.
+func nonEmitCallee(ctx context.Context, rows []row, cmp func(row, row) bool) int {
+	n := 0
+	for _, r := range rows {
+		if cmp(r, r) {
+			n++
+		}
+	}
+	_ = ctx
+	return n
+}

@@ -1,0 +1,112 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: per-row
+// functions marked //bevet:hotpath and the allocation patterns they
+// must avoid.
+package hotpathalloc
+
+import (
+	"fmt"
+	"strings"
+)
+
+func sinkAny(x any) { _ = x }
+
+// formats calls into fmt; v is already interface-typed so only the fmt
+// call is flagged.
+//
+//bevet:hotpath
+func formats(v any) string {
+	return fmt.Sprint(v) // want `calls fmt\.Sprint`
+}
+
+// concats grows a string in a loop.
+//
+//bevet:hotpath
+func concats(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want `concatenates strings in a loop`
+	}
+	return s
+}
+
+// concatsBinary uses the binary form inside the loop.
+//
+//bevet:hotpath
+func concatsBinary(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p // want `concatenates strings in a loop`
+	}
+	return s
+}
+
+// perCallMap allocates a map every call.
+//
+//bevet:hotpath
+func perCallMap(keys []string) int {
+	seen := make(map[string]bool) // want `allocates a map per call`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// perCallMapLiteral allocates via a literal.
+//
+//bevet:hotpath
+func perCallMapLiteral() map[string]int {
+	return map[string]int{} // want `allocates a map per call`
+}
+
+// boxes passes a concrete int to an interface parameter.
+//
+//bevet:hotpath
+func boxes(v int) {
+	sinkAny(v) // want `boxes a concrete value into an interface parameter`
+}
+
+// builderConcat is the blessed rewrite: no diagnostics.
+//
+//bevet:hotpath
+func builderConcat(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// passThrough forwards an interface value and a spread slice: neither
+// boxes.
+//
+//bevet:hotpath
+func passThrough(v any, vs []any) {
+	sinkAny(v)
+	sinkAll(vs...)
+}
+
+func sinkAll(xs ...any) {
+	for range xs {
+	}
+}
+
+// unmarked may allocate freely: the directive is the contract.
+func unmarked(keys []string) string {
+	seen := make(map[string]bool)
+	s := ""
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			s += k
+		}
+	}
+	return fmt.Sprint(len(s))
+}
+
+// granted is marked hot but explicitly suppressed.
+//
+//bevet:hotpath
+//bevet:allow hotpathalloc
+func granted(v int) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,72 @@
+// Package lockedfield exercises the lockedfield analyzer: fields
+// documented `guarded by <mu>` and the functions that touch them.
+package lockedfield
+
+import "sync"
+
+type cache struct {
+	mu     sync.Mutex
+	hits   int // guarded by mu
+	misses int // guarded by mu
+	// size is the current entry count.
+	// guarded by mu
+	size     int
+	capacity int // immutable after construction
+}
+
+func (c *cache) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	c.size++
+}
+
+func (c *cache) readUnlocked() int {
+	return c.hits // want `access to c\.hits, guarded by mu, without holding c\.mu`
+}
+
+func (c *cache) writeUnlocked() {
+	c.misses = 0 // want `access to c\.misses, guarded by mu, without holding c\.mu`
+}
+
+// readLocked documents that its caller holds mu.
+//
+//bevet:locked mu
+func (c *cache) readLocked() int { return c.hits + c.misses }
+
+// readAllowed opts out of the analyzer entirely.
+//
+//bevet:allow lockedfield
+func (c *cache) readAllowed() int { return c.size }
+
+// cap reads an unguarded field: fine anywhere.
+func (c *cache) cap() int { return c.capacity }
+
+// newCache constructs via composite literal: the struct is not shared
+// yet, so keyed initialization is exempt by construction.
+func newCache(n int) *cache {
+	return &cache{capacity: n, size: 0}
+}
+
+type registry struct {
+	rw    sync.RWMutex
+	table map[string]int // guarded by rw
+}
+
+// lookup holds the read lock.
+func (r *registry) lookup(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.table[k]
+}
+
+func (r *registry) peek(k string) int {
+	return r.table[k] // want `access to r\.table, guarded by rw, without holding r\.rw`
+}
+
+// wrongLock holds mu of a different object, not its own rw.
+func (r *registry) wrongLock(other *cache, k string) int {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	return r.table[k] // want `access to r\.table, guarded by rw, without holding r\.rw`
+}

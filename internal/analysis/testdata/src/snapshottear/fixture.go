@@ -1,0 +1,79 @@
+// Package snapshottear exercises the snapshottear analyzer: a local
+// Engine shape with the three snapshot accessors, callers that tear,
+// and callers that stay pinned.
+package snapshottear
+
+type Instance struct{ rows int }
+
+type Index struct{ keys int }
+
+// Engine mimics the core engine: each accessor is one atomic snapshot
+// pointer load.
+type Engine struct {
+	inst Instance
+	ix   Index
+}
+
+func (e *Engine) Instance() *Instance { return &e.inst }
+
+func (e *Engine) Indexed() *Index { return &e.ix }
+
+// Snapshot is the accessor exemption: its own body is the one place
+// both raw loads belong.
+func (e *Engine) Snapshot() (*Instance, *Index) { return e.Instance(), e.Indexed() }
+
+func tornPair(e *Engine) int {
+	inst := e.Instance()
+	ix := e.Indexed() // want `calls both e\.Instance\(\) and e\.Indexed\(\)`
+	return inst.rows + ix.keys
+}
+
+func tornSnapshotInstance(e *Engine) int {
+	inst, ix := e.Snapshot()
+	extra := e.Instance() // want `mixes e\.Snapshot\(\) with e\.Instance\(\)`
+	return inst.rows + ix.keys + extra.rows
+}
+
+func tornSnapshotIndexed(e *Engine) int {
+	inst, ix := e.Snapshot()
+	extra := e.Indexed() // want `mixes e\.Snapshot\(\) with e\.Indexed\(\)`
+	return inst.rows + ix.keys + extra.keys
+}
+
+// pinned is the blessed pattern: one Snapshot() pair.
+func pinned(e *Engine) int {
+	inst, ix := e.Snapshot()
+	return inst.rows + ix.keys
+}
+
+// singleAccessor makes one load; nothing to tear against.
+func singleAccessor(e *Engine) int {
+	return e.Instance().rows
+}
+
+// twoEngines reads different engines; the pair cannot tear.
+func twoEngines(a, b *Engine) int {
+	return a.Instance().rows + b.Indexed().keys
+}
+
+// measureTear is the sanctioned suppression (the race test that counts
+// tears on purpose).
+//
+//bevet:allow snapshottear
+func measureTear(e *Engine) int {
+	return e.Instance().rows + e.Indexed().keys
+}
+
+// Store is not an Engine: same method names, no diagnostic.
+type Store struct {
+	inst Instance
+	ix   Index
+}
+
+func (s *Store) Instance() *Instance { return &s.inst }
+
+func (s *Store) Indexed() *Index { return &s.ix }
+
+func storeReads(s *Store) int {
+	return s.Instance().rows + s.Indexed().keys
+}

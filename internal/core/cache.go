@@ -45,14 +45,16 @@ type CacheStats struct {
 // cq.CanonicalKey. All methods are safe for concurrent use.
 type planCache struct {
 	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used; values are *planEntry
-	items    map[string]*list.Element
-	hits     int64
-	misses   int64
+	capacity int                      // immutable after newPlanCache
+	ll       *list.List               // guarded by mu; front = most recently used; values are *planEntry
+	items    map[string]*list.Element // guarded by mu
+	hits     int64                    // guarded by mu
+	misses   int64                    // guarded by mu
 	// size is the |D| of the latest restamp. Entries are normalized to it
 	// on put, so a planning pass that read an older snapshot cannot land
 	// a bound the concurrent restamp would have refreshed.
+	//
+	// guarded by mu
 	size int
 }
 

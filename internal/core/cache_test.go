@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -58,12 +59,12 @@ func TestPlanCacheHitsAndMisses(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
 		t.Fatalf("after repeat plans: %+v", st)
 	}
-	// Execute goes through the same cache.
-	if _, _, err := eng.Execute(q); err != nil {
+	// Query goes through the same cache.
+	if _, err := eng.Query(context.Background(), q, WithFallback(FallbackRefuse)); err != nil {
 		t.Fatal(err)
 	}
 	if st = eng.CacheStats(); st.Hits != 3 {
-		t.Fatalf("Execute must hit the plan cache: %+v", st)
+		t.Fatalf("Query must hit the plan cache: %+v", st)
 	}
 }
 
@@ -89,7 +90,7 @@ func TestPlanCacheCachesNotBounded(t *testing.T) {
 		}
 	}
 	for i := 0; i < 2; i++ {
-		res, err := eng.ExecuteAuto(unbounded)
+		res, err := eng.Query(context.Background(), unbounded)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,11 +228,11 @@ func TestPlanCacheDisabledAndLRU(t *testing.T) {
 	}
 }
 
-// TestConcurrentExecuteAuto hammers one Engine from many goroutines with a
+// TestConcurrentQuery hammers one Engine from many goroutines with a
 // mix of bounded and unbounded queries; run with -race this verifies the
 // documented guarantee that an Engine is safe for concurrent readers after
 // Load, including the shared plan cache.
-func TestConcurrentExecuteAuto(t *testing.T) {
+func TestConcurrentQuery(t *testing.T) {
 	soc, err := workload.GenerateSocial(workload.SocialConfig{
 		People: 300, MaxFriends: 10, MaxLikes: 5, Seed: 2,
 	})
@@ -251,7 +252,7 @@ func TestConcurrentExecuteAuto(t *testing.T) {
 	// Reference answers, computed single-threaded.
 	want := make([]int, len(queries))
 	for i, q := range queries {
-		res, err := eng.ExecuteAuto(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +269,7 @@ func TestConcurrentExecuteAuto(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				qi := (g + i) % len(queries)
-				res, err := eng.ExecuteAuto(queries[qi])
+				res, err := eng.Query(context.Background(), queries[qi])
 				if err != nil {
 					errs <- fmt.Errorf("goroutine %d: %w", g, err)
 					return

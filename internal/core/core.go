@@ -12,8 +12,7 @@
 // access schema A; for each query, compute exact answers by accessing a
 // bounded amount of data when Q is covered/bounded, and otherwise fall
 // back to envelopes or user-driven specialization. Engine.Query is the
-// one serving entry point implementing it for CQs, UCQs and ∃FO⁺ alike;
-// the Execute* methods are deprecated wrappers kept for migration.
+// one serving entry point implementing it for CQs, UCQs and ∃FO⁺ alike.
 package core
 
 import (
@@ -57,8 +56,8 @@ type Options struct {
 // Concurrency: the Engine serves reads and writes concurrently with
 // snapshot isolation. The loaded data lives in an immutable snapshot
 // (instance + indices) behind an atomic pointer: Query, IsCovered,
-// CheckBounded, Plan, Explain, the deprecated Execute* wrappers and the
-// envelope/specialize entry points may all be called from many goroutines
+// CheckBounded, Plan, Explain and the envelope/specialize entry points
+// may all be called from many goroutines
 // at once, and each request reads exactly one snapshot. Load and Apply
 // are writers, serialized against each other internally; they build a new
 // snapshot on the side and publish it with one pointer swap, so they
@@ -398,20 +397,6 @@ func (e *NotBoundedError) Error() string {
 	return msg
 }
 
-// Execute answers q through its bounded plan. Load must have been called.
-// Execution honors Opts.Exec: with Workers > 1, fetch fan-out and hash
-// joins run on a bounded worker pool.
-//
-// Deprecated: use Query with WithFallback(FallbackRefuse); Execute is a
-// thin wrapper over it.
-func (e *Engine) Execute(q *cq.CQ) (*plan.Table, *plan.ExecStats, error) {
-	res, err := e.Query(context.Background(), q, WithFallback(FallbackRefuse))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.tbl, res.exec, nil
-}
-
 // Mode says which of the paper's serving strategies answered a query.
 type Mode int
 
@@ -438,43 +423,6 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
-}
-
-// AutoResult is the outcome shape of the deprecated ExecuteAuto wrappers.
-type AutoResult struct {
-	Mode Mode
-	// Columns names the answer columns, in every mode.
-	Columns []string
-	// Rows is the answer set.
-	Rows []data.Tuple
-	// Fetched counts tuples retrieved via indices (bounded path).
-	Fetched int64
-	// Scanned counts tuples read by the fallback evaluator (scan path).
-	Scanned int64
-}
-
-// autoFromResult adapts the unified Result to the legacy AutoResult.
-func autoFromResult(res *Result) *AutoResult {
-	return &AutoResult{
-		Mode:    res.Mode,
-		Columns: res.Columns,
-		Rows:    res.Rows,
-		Fetched: res.Stats.Fetched,
-		Scanned: res.Stats.Scanned,
-	}
-}
-
-// ExecuteAuto implements the Conclusion's strategy: bounded plan when
-// possible, conventional evaluation otherwise.
-//
-// Deprecated: use Query (whose default fallback is the conventional
-// scan); ExecuteAuto is a thin wrapper over it.
-func (e *Engine) ExecuteAuto(q *cq.CQ) (*AutoResult, error) {
-	res, err := e.Query(context.Background(), q)
-	if err != nil {
-		return nil, err
-	}
-	return autoFromResult(res), nil
 }
 
 func asNotBounded(err error, target **NotBoundedError) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestEndToEndQ0(t *testing.T) {
 	if p.FetchCount() == 0 || bound.Fetched <= 0 {
 		t.Errorf("plan should fetch: %s / %s", p, bound)
 	}
-	got, stats, err := e.Execute(q)
+	got, err := e.Query(context.Background(), q, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,39 +58,39 @@ func TestEndToEndQ0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Len() != len(want.Rows) {
-		t.Fatalf("bounded=%d baseline=%d rows", got.Len(), len(want.Rows))
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("bounded=%d baseline=%d rows", len(got.Rows), len(want.Rows))
 	}
-	if stats.Fetched > bound.Fetched {
-		t.Errorf("execution fetched %d > static bound %d", stats.Fetched, bound.Fetched)
+	if got.Stats.Fetched > bound.Fetched {
+		t.Errorf("execution fetched %d > static bound %d", got.Stats.Fetched, bound.Fetched)
 	}
 }
 
-func TestExecuteAutoBoundedPath(t *testing.T) {
+func TestQueryBoundedPath(t *testing.T) {
 	e := newAccidentEngine(t)
-	res, err := e.ExecuteAuto(workload.Q0())
+	res, err := e.Query(context.Background(), workload.Q0())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Mode != ViaBoundedPlan {
 		t.Fatalf("Q0 must go through the bounded plan, got %v", res.Mode)
 	}
-	if res.Fetched == 0 {
+	if res.Stats.Fetched == 0 {
 		t.Error("bounded path must report fetches")
 	}
 }
 
-func TestExecuteAutoFallback(t *testing.T) {
+func TestQueryScanFallback(t *testing.T) {
 	e := newAccidentEngine(t)
 	q, _ := workload.Q51() // unparameterized: not bounded
-	res, err := e.ExecuteAuto(q)
+	res, err := e.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Mode != ViaFullScan {
 		t.Fatalf("Q51 must fall back to scanning, got %v", res.Mode)
 	}
-	if res.Scanned == 0 {
+	if res.Stats.Scanned == 0 {
 		t.Error("scan path must report scanned tuples")
 	}
 	// Agreement with direct baseline.
@@ -170,11 +171,11 @@ func TestEngineWithoutInstance(t *testing.T) {
 		t.Errorf("Plan should not need an instance: %v", err)
 	}
 	// Execution does.
-	if _, _, err := e.Execute(workload.Q0()); err == nil {
-		t.Error("Execute without Load must fail")
+	if _, err := e.Query(context.Background(), workload.Q0(), WithFallback(FallbackRefuse)); err == nil {
+		t.Error("Query without Load must fail")
 	}
-	if _, err := e.ExecuteAuto(workload.Q0()); err == nil {
-		t.Error("ExecuteAuto without Load must fail")
+	if _, err := e.Query(context.Background(), workload.Q0()); err == nil {
+		t.Error("Query with scan fallback without Load must fail")
 	}
 }
 
@@ -209,12 +210,12 @@ func TestPlanGoesThroughRewrites(t *testing.T) {
 	if err := e.Load(d); err != nil {
 		t.Fatal(err)
 	}
-	tbl, _, err := e.Execute(q)
+	res, err := e.Query(context.Background(), q, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Len() != 0 {
-		t.Errorf("A-unsatisfiable query must answer empty: %v", tbl.Rows)
+	if len(res.Rows) != 0 {
+		t.Errorf("A-unsatisfiable query must answer empty: %v", res.Rows)
 	}
 	_ = p
 }
@@ -244,7 +245,7 @@ func TestGraphSearchEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := workload.GraphSearchQuery(7, "NYC", "cycling")
-	got, stats, err := e.Execute(q)
+	got, err := e.Query(context.Background(), q, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestGraphSearchEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Len() != len(want.Rows) {
-		t.Fatalf("bounded=%d baseline=%d", got.Len(), len(want.Rows))
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("bounded=%d baseline=%d", len(got.Rows), len(want.Rows))
 	}
-	if stats.Fetched >= want.Scanned {
+	if got.Stats.Fetched >= want.Scanned {
 		t.Errorf("personalized search should touch far less data: fetched=%d scanned=%d",
-			stats.Fetched, want.Scanned)
+			got.Stats.Fetched, want.Scanned)
 	}
 }

@@ -101,10 +101,6 @@ type Result struct {
 	// Stats is the request's unified accounting.
 	Stats Stats
 
-	// tbl and exec preserve the execution-layer shapes for the deprecated
-	// Execute* wrappers.
-	tbl    *plan.Table
-	exec   *plan.ExecStats
 	stream func(yield func(data.Tuple) bool)
 	err    error
 }
@@ -231,8 +227,10 @@ type View struct {
 	Source plan.Source
 	// Instance returns the instance scans evaluate. It may be expensive
 	// (a sharded coordinator materializes the union of its shards
-	// lazily), so it is only called when a scan actually runs.
-	Instance func() (*data.Instance, error)
+	// lazily), so it is only called when a scan actually runs, and it
+	// must observe ctx so a canceled request does not pay for a merge
+	// nobody will read.
+	Instance func(ctx context.Context) (*data.Instance, error)
 }
 
 // viewOf builds the single-node View over one pinned snapshot.
@@ -240,7 +238,7 @@ func viewOf(sn *snapshot) *View {
 	return &View{
 		Size:     sn.instance.Size(),
 		Source:   plan.NewSource(sn.indexed),
-		Instance: func() (*data.Instance, error) { return sn.instance, nil },
+		Instance: func(context.Context) (*data.Instance, error) { return sn.instance, nil },
 	}
 }
 
@@ -379,7 +377,7 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, q.Label, q.Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			inst, err := v.Instance()
+			inst, err := v.Instance(sctx)
 			if err != nil {
 				return nil, err
 			}
@@ -446,7 +444,7 @@ func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg 
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget}
 		}
 		return e.runScan(ctx, start, u.Label, u.Subs[0].Free, cfg, func(sctx context.Context) (*eval.Result, error) {
-			inst, err := v.Instance()
+			inst, err := v.Instance(sctx)
 			if err != nil {
 				return nil, err
 			}
@@ -474,7 +472,6 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, src plan.Sourc
 			st, err := plan.ExecuteStreamSource(sctx, p, src, cfg.exec, yield)
 			if st != nil {
 				res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
-				res.exec = st
 				e.fetched.Add(st.Fetched)
 			}
 			res.err = err
@@ -490,7 +487,6 @@ func (e *Engine) runBounded(ctx context.Context, start time.Time, src plan.Sourc
 		return nil, err
 	}
 	res.Rows = tbl.Rows
-	res.tbl, res.exec = tbl, st
 	res.Stats.Fetched, res.Stats.FetchKeys = st.Fetched, st.FetchKeys
 	e.fetched.Add(st.Fetched)
 	res.Stats.Elapsed = time.Since(start)

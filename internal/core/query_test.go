@@ -76,8 +76,7 @@ func sameTuples(a, b []data.Tuple) bool {
 // Query must return byte-identical rows (same order), identical stats and
 // the same mode as the primitive execution paths the legacy entry points
 // were built from — plan.Execute on the synthesized plan for bounded
-// queries, eval.CQ for scans — and the deprecated wrappers must agree
-// field by field with Query.
+// queries, eval.CQ for scans.
 func TestQueryEquivalentToLegacyPaths(t *testing.T) {
 	type fixture struct {
 		name string
@@ -141,14 +140,17 @@ func TestQueryEquivalentToLegacyPaths(t *testing.T) {
 	bounded, scanned := 0, 0
 	for _, fx := range fixtures {
 		for _, q := range fx.qs {
-			// Reference answer from the primitive paths.
+			// Reference answer from the primitive paths, over one pinned
+			// snapshot pair (mixing Instance() and Indexed() could tear
+			// across a concurrent Apply — bevet's snapshottear flags it).
 			var wantRows []data.Tuple
 			var wantMode Mode
 			var wantFetched, wantScanned int64
+			refInst, refIx := fx.ref.Snapshot()
 			p, _, perr := fx.ref.Plan(q)
 			switch {
 			case perr == nil:
-				tbl, st, err := plan.Execute(p, fx.ref.Indexed())
+				tbl, st, err := plan.Execute(p, refIx)
 				if err != nil {
 					t.Fatalf("%s/%s: reference execute: %v", fx.name, q.Label, err)
 				}
@@ -159,7 +161,7 @@ func TestQueryEquivalentToLegacyPaths(t *testing.T) {
 				if !asNotBounded(perr, &nb) {
 					continue // planning rejected the random query on both paths
 				}
-				r, err := eval.CQ(q, fx.ref.Instance(), eval.HashJoin)
+				r, err := eval.CQ(q, refInst, eval.HashJoin)
 				if err != nil {
 					t.Fatalf("%s/%s: reference eval: %v", fx.name, q.Label, err)
 				}
@@ -187,26 +189,18 @@ func TestQueryEquivalentToLegacyPaths(t *testing.T) {
 					t.Fatalf("%s/%s: result must carry columns in mode %v", fx.name, q.Label, res.Mode)
 				}
 
-				// The deprecated wrappers must agree with Query exactly.
-				auto, err := fx.eng.ExecuteAuto(q)
-				if err != nil {
-					t.Fatalf("%s/%s: ExecuteAuto: %v", fx.name, q.Label, err)
-				}
-				if auto.Mode != res.Mode || !sameTuples(auto.Rows, res.Rows) ||
-					auto.Fetched != res.Stats.Fetched || auto.Scanned != res.Stats.Scanned ||
-					fmt.Sprint(auto.Columns) != fmt.Sprint(res.Columns) {
-					t.Fatalf("%s/%s: ExecuteAuto diverges from Query", fx.name, q.Label)
-				}
+				// FallbackRefuse must serve exactly the bounded answers and
+				// refuse everything else (the contract Execute used to wrap).
+				refuse, err := fx.eng.Query(context.Background(), q, WithFallback(FallbackRefuse))
 				if wantMode == ViaBoundedPlan {
-					tbl, st, err := fx.eng.Execute(q)
 					if err != nil {
-						t.Fatalf("%s/%s: Execute: %v", fx.name, q.Label, err)
+						t.Fatalf("%s/%s: Query(FallbackRefuse): %v", fx.name, q.Label, err)
 					}
-					if !sameTuples(tbl.Rows, res.Rows) || st.Fetched != res.Stats.Fetched {
-						t.Fatalf("%s/%s: Execute diverges from Query", fx.name, q.Label)
+					if !sameTuples(refuse.Rows, res.Rows) || refuse.Stats.Fetched != res.Stats.Fetched {
+						t.Fatalf("%s/%s: FallbackRefuse diverges from the default fallback", fx.name, q.Label)
 					}
-				} else if _, _, err := fx.eng.Execute(q); err == nil {
-					t.Fatalf("%s/%s: Execute must refuse a non-bounded query", fx.name, q.Label)
+				} else if err == nil {
+					t.Fatalf("%s/%s: Query(FallbackRefuse) must refuse a non-bounded query", fx.name, q.Label)
 				}
 			}
 		}
@@ -392,13 +386,6 @@ func TestResultColumnsEveryMode(t *testing.T) {
 	if fmt.Sprint(res.Columns) != fmt.Sprint(q51.Free) {
 		t.Fatalf("scan mode columns = %v, want the free tuple %v", res.Columns, q51.Free)
 	}
-	auto, err := eng.ExecuteAuto(q51)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fmt.Sprint(auto.Columns) != fmt.Sprint(q51.Free) {
-		t.Fatalf("AutoResult must carry columns on the scan path too, got %v", auto.Columns)
-	}
 }
 
 // TestQueryEnvelopeFallback serves a non-bounded query via its upper
@@ -479,7 +466,7 @@ func TestUCQPlanCache(t *testing.T) {
 	eng, u := example35Engine(t)
 	base := eng.CacheStats()
 
-	first, _, err := eng.ExecuteUCQ(u)
+	first, err := eng.Query(context.Background(), u, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,7 +475,7 @@ func TestUCQPlanCache(t *testing.T) {
 		t.Fatalf("first union call must miss once: %+v", st)
 	}
 
-	second, _, err := eng.ExecuteUCQ(u)
+	second, err := eng.Query(context.Background(), u, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,11 +514,11 @@ func TestUCQPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := eng.ExecuteUCQ(bad); err == nil {
+	if _, err := eng.Query(context.Background(), bad, WithFallback(FallbackRefuse)); err == nil {
 		t.Fatal("uncovered union must refuse under FallbackRefuse semantics")
 	}
 	st = eng.CacheStats()
-	if _, _, err := eng.ExecuteUCQ(bad); err == nil {
+	if _, err := eng.Query(context.Background(), bad, WithFallback(FallbackRefuse)); err == nil {
 		t.Fatal("uncovered union must refuse again")
 	}
 	if got := eng.CacheStats(); got.Hits != st.Hits+1 {
@@ -671,7 +658,7 @@ func TestWithDeadline(t *testing.T) {
 }
 
 // TestQueryServesPosFO routes an ∃FO⁺ formula through the unified entry
-// point and checks it agrees with the deprecated ExecutePosFO wrapper.
+// point: normalization to a UCQ happens inside Query.
 func TestQueryServesPosFO(t *testing.T) {
 	eng, u := example35Engine(t)
 	f := &posfo.Query{
@@ -687,12 +674,9 @@ func TestQueryServesPosFO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := eng.ExecutePosFO(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Mode != legacy.Mode || !sameTuples(res.Rows, legacy.Rows) {
-		t.Fatal("Query(posfo) must agree with ExecutePosFO")
+	// Rp(1, y, z) holds for y ∈ {10, 20} in the Example 3.5 instance.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
 	}
 	_ = u
 }

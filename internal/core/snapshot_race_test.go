@@ -23,6 +23,11 @@ import (
 //     once per call: every result is internally consistent with a single
 //     version (Baseline's rows always match a fresh evaluation over the
 //     instance Snapshot reports before-or-after, never a mix).
+//
+// The legacy two-call pattern below is the tear bevet's snapshottear
+// analyzer exists to reject; this test measures it on purpose.
+//
+//bevet:allow snapshottear
 func TestSnapshotPinnedUnderApply(t *testing.T) {
 	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
 		Days: 2, AccidentsPerDay: 10, MaxVehicles: 3, Seed: 11,

@@ -1,13 +1,11 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/bep"
 	"repro/internal/cq"
 	"repro/internal/plan"
-	"repro/internal/posfo"
 	"repro/internal/ucq"
 )
 
@@ -82,44 +80,6 @@ func (e *Engine) planUCQUncached(u *ucq.UCQ, sizeHint int) (*plan.Plan, plan.Bou
 		return nil, plan.Bound{}, err
 	}
 	return p, b, nil
-}
-
-// ExecuteUCQ answers a covered UCQ through its bounded plan, honoring
-// Opts.Exec like Execute does.
-//
-// Deprecated: use Query with WithFallback(FallbackRefuse); ExecuteUCQ is
-// a thin wrapper over it.
-func (e *Engine) ExecuteUCQ(u *ucq.UCQ) (*plan.Table, *plan.ExecStats, error) {
-	res, err := e.Query(context.Background(), u, WithFallback(FallbackRefuse))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.tbl, res.exec, nil
-}
-
-// ExecuteAutoUCQ answers a UCQ via its bounded plan when covered, falling
-// back to conventional union evaluation otherwise.
-//
-// Deprecated: use Query; ExecuteAutoUCQ is a thin wrapper over it.
-func (e *Engine) ExecuteAutoUCQ(u *ucq.UCQ) (*AutoResult, error) {
-	res, err := e.Query(context.Background(), u)
-	if err != nil {
-		return nil, err
-	}
-	return autoFromResult(res), nil
-}
-
-// ExecutePosFO answers an ∃FO⁺ query by normalizing it to a UCQ first
-// ("a query in ∃FO⁺ is equivalent to a query in UCQ", Section 3.1).
-//
-// Deprecated: use Query, which accepts *posfo.Query directly; ExecutePosFO
-// is a thin wrapper over it.
-func (e *Engine) ExecutePosFO(q *posfo.Query) (*AutoResult, error) {
-	res, err := e.Query(context.Background(), q)
-	if err != nil {
-		return nil, err
-	}
-	return autoFromResult(res), nil
 }
 
 // CoverageReport tallies BEP verdicts over a workload (the E4-style

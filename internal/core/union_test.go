@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/access"
@@ -68,7 +69,7 @@ func TestEngineUCQPipeline(t *testing.T) {
 	if bound.Fetched <= 0 {
 		t.Errorf("bound = %v", bound)
 	}
-	got, stats, err := eng.ExecuteUCQ(u)
+	got, err := eng.Query(context.Background(), u, WithFallback(FallbackRefuse))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,17 +77,17 @@ func TestEngineUCQPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Len() != len(want.Rows) {
-		t.Fatalf("bounded=%d naive=%d", got.Len(), len(want.Rows))
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("bounded=%d naive=%d", len(got.Rows), len(want.Rows))
 	}
-	if stats.Fetched > bound.Fetched {
-		t.Errorf("fetched %d > bound %d", stats.Fetched, bound.Fetched)
+	if got.Stats.Fetched > bound.Fetched {
+		t.Errorf("fetched %d > bound %d", got.Stats.Fetched, bound.Fetched)
 	}
 }
 
-func TestExecuteAutoUCQBothPaths(t *testing.T) {
+func TestQueryUCQBothPaths(t *testing.T) {
 	eng, u := example35Engine(t)
-	res, err := eng.ExecuteAutoUCQ(u)
+	res, err := eng.Query(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestExecuteAutoUCQBothPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = eng.ExecuteAutoUCQ(u2)
+	res, err = eng.Query(context.Background(), u2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExecuteAutoUCQBothPaths(t *testing.T) {
 	}
 }
 
-func TestExecutePosFO(t *testing.T) {
+func TestQueryPosFO(t *testing.T) {
 	eng, _ := example35Engine(t)
 	// Q(y) :- Rp(1, y, z) ∨ Rp(y, w, 30): a genuine ∃FO⁺ disjunction.
 	q := &posfo.Query{
@@ -119,7 +120,7 @@ func TestExecutePosFO(t *testing.T) {
 			posfo.Atom{Rel: "Rp", Args: []cq.Term{cq.Var("y"), cq.Var("w"), cq.Const(iv(30))}},
 		}},
 	}
-	res, err := eng.ExecutePosFO(q)
+	res, err := eng.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -167,6 +167,8 @@ func newStreamSink(yield func(data.Tuple) bool) *streamSink {
 
 // add forwards a row if unseen; it reports whether the consumer still
 // wants more rows.
+//
+//bevet:hotpath
 func (s *streamSink) add(row data.Tuple) bool {
 	if s.stopped {
 		return false
@@ -387,7 +389,10 @@ type fetchItem struct {
 }
 
 // emit looks the item up and sends the resulting output rows to sink,
-// stopping when sink returns false.
+// stopping when sink returns false. It runs once per input row of every
+// fetch node, so it must stay allocation-free.
+//
+//bevet:hotpath
 func (f *fetchEval) emit(it fetchItem, st *ExecStats, sink func(data.Tuple) bool) bool {
 	bucket := f.fetch.FetchKey(it.key)
 	st.FetchKeys++
@@ -482,8 +487,15 @@ func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *Exe
 	}
 	spans := splitSpans(len(items), opts.workersFor(len(items)))
 	if len(spans) <= 1 {
-		// Dedup collapsed the input below the parallel threshold.
-		for _, it := range items {
+		// Dedup collapsed the input below the parallel threshold. Each
+		// emit fetches index buckets, so this loop observes ctx like the
+		// sequential path does.
+		for i, it := range items {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			f.emit(it, stats, func(r data.Tuple) bool { out.Add(r); return true })
 		}
 		return out, nil
@@ -528,6 +540,8 @@ type keyedRow struct {
 // mergeKeyedParts merges worker-local keyed rows into out in partition
 // order, pre-sizing the table for the total row count. Because partitions
 // are contiguous input ranges, this reproduces the sequential insert order.
+//
+//bevet:hotpath
 func mergeKeyedParts(out *Table, partRows [][]keyedRow) {
 	total := 0
 	for _, part := range partRows {
@@ -587,6 +601,9 @@ func compileConds(o SelectOp, in *Table) ([]cond, error) {
 	return conds, nil
 }
 
+// condsMatch runs once per fetched row; it must stay allocation-free.
+//
+//bevet:hotpath
 func condsMatch(conds []cond, row data.Tuple) bool {
 	for _, c := range conds {
 		if c.r >= 0 {
@@ -704,7 +721,11 @@ func (js *joinState) build(ctx context.Context, workers int) error {
 }
 
 // probe matches one left row against the hash table, sending joined rows
-// to sink; it reports whether the consumer still wants more rows.
+// to sink; it reports whether the consumer still wants more rows. It runs
+// once per left row, so it must stay free of incidental allocation (the
+// appends build the output row itself).
+//
+//bevet:hotpath
 func (js *joinState) probe(lr data.Tuple, sink func(data.Tuple) bool) bool {
 	k := value.KeyOfAt(lr, js.sharedL)
 	for _, rr := range js.table[k] {

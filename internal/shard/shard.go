@@ -86,15 +86,17 @@ type snapshot struct {
 	size  int
 
 	mergeMu sync.Mutex
-	merged  *data.Instance
+	merged  *data.Instance // guarded by mergeMu
 }
 
 // instance returns the union of the shards' instances, materializing it
 // on first use (a scan reads every tuple anyway, so the merge does not
 // change the fallback's asymptotics) and caching it for the snapshot's
 // lifetime. Load seeds it with the loaded instance, so scans after a
-// plain Load pay nothing.
-func (sn *snapshot) instance(s *schema.Schema) (*data.Instance, error) {
+// plain Load pay nothing. The merge walks every tuple in the database,
+// so it observes ctx between relations: a canceled request must not pay
+// for a union nobody will read.
+func (sn *snapshot) instance(ctx context.Context, s *schema.Schema) (*data.Instance, error) {
 	sn.mergeMu.Lock()
 	defer sn.mergeMu.Unlock()
 	if sn.merged != nil {
@@ -103,6 +105,9 @@ func (sn *snapshot) instance(s *schema.Schema) (*data.Instance, error) {
 	m := data.NewInstance(s)
 	for _, v := range sn.views {
 		for _, rs := range s.Relations() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rel := v.Instance.Relation(rs.Name)
 			if rel == nil {
 				continue
@@ -604,7 +609,7 @@ func (e *Engine) viewOf(sn *snapshot) *core.View {
 	return &core.View{
 		Size:     sn.size,
 		Source:   &gatherSource{e: e, views: sn.views},
-		Instance: func() (*data.Instance, error) { return sn.instance(e.Schema) },
+		Instance: func(ctx context.Context) (*data.Instance, error) { return sn.instance(ctx, e.Schema) },
 	}
 }
 
@@ -637,7 +642,7 @@ func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
 	if sn == nil {
 		return nil, errNoInstance()
 	}
-	inst, err := sn.instance(e.Schema)
+	inst, err := sn.instance(context.Background(), e.Schema)
 	if err != nil {
 		return nil, err
 	}
@@ -656,7 +661,7 @@ func (e *Engine) Instance() *data.Instance {
 	if sn == nil {
 		return nil
 	}
-	inst, err := sn.instance(e.Schema)
+	inst, err := sn.instance(context.Background(), e.Schema)
 	if err != nil {
 		return nil
 	}

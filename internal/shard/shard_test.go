@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/data"
 	"repro/internal/live"
 	"repro/internal/schema"
@@ -410,5 +411,41 @@ func TestQueryablePolymorphism(t *testing.T) {
 	}
 	if sharded.Stats().Queries == 0 {
 		t.Fatal("query counter did not advance")
+	}
+}
+
+// TestScanMergeObservesContext pins the shard-side cancellation
+// contract: after an Apply the fresh snapshot has no cached union, so a
+// scan-fallback query must materialize one tuple by tuple — and a
+// canceled request must not pay for a merge nobody will read.
+func TestScanMergeObservesContext(t *testing.T) {
+	_, sharded := newAccidents(t, 4, 2)
+	delta := live.NewDelta(sharded.Schema)
+	delta.MustInsert("Accident", iv(999999), sv("Nowhere"), sv("9/9/1999"))
+	if _, err := sharded.Apply(context.Background(), delta); err != nil {
+		t.Fatal(err)
+	}
+	sn := sharded.snap.Load()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sn.instance(canceled, sharded.Schema); !errors.Is(err, context.Canceled) {
+		t.Fatalf("merge under canceled ctx = %v, want context.Canceled", err)
+	}
+	// The refused merge must not have cached a partial union: a live
+	// request afterwards still gets the full scan fallback.
+	unanchored := &cq.CQ{Label: "allAccidents", Free: []string{"d"},
+		Atoms: []cq.Atom{cq.NewAtom("Accident", cq.Var("a"), cq.Var("d"), cq.Var("t"))}}
+	if _, err := sharded.Query(canceled, unanchored); !errors.Is(err, context.Canceled) {
+		t.Fatalf("scan query under canceled ctx = %v, want context.Canceled", err)
+	}
+	res, err := sharded.Query(context.Background(), unanchored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != core.ViaFullScan {
+		t.Fatalf("unanchored query must fall back to scan, got %v", res.Mode)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("scan after merge returned no rows")
 	}
 }

@@ -12,6 +12,10 @@ type Key string
 
 // KeyOf encodes vals into a Key. The encoding is injective: each element is
 // tagged with its kind and length-prefixed, so ("a","b") and ("ab",) differ.
+// Every index probe and hash-join bucket goes through a key encode, so
+// this must not pick up incidental allocation.
+//
+//bevet:hotpath
 func KeyOf(vals ...Value) Key {
 	var b strings.Builder
 	// Rough preallocation: tag+len plus payload per value.
@@ -38,6 +42,8 @@ func KeyOf(vals ...Value) Key {
 
 // KeyOfAt encodes the projection of row onto positions cols. It avoids the
 // intermediate slice that KeyOf(project(row, cols)...) would allocate.
+//
+//bevet:hotpath
 func KeyOfAt(row []Value, cols []int) Key {
 	var b strings.Builder
 	n := 0
