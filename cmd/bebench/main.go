@@ -3,15 +3,24 @@
 // Usage:
 //
 //	bebench                    # run every experiment
-//	bebench -exp e1            # one experiment (e1..e14)
+//	bebench -exp e1            # one experiment (e1..e15)
 //	bebench -exp e11 -workers 8  # serving-layer experiment at 8 workers
 //	bebench -exp e13 -shards 8   # sharding sweep up to 8 shards
+//	bebench -exp e15 -json .     # write BENCH_E15.json next to the tables
+//
+// -json dir additionally persists each experiment's headline metrics as
+// BENCH_<ID>.json — {"experiment","commit","metrics":[{name,value,unit}]}
+// — the machine-readable trajectory the repo commits so CI can diff a
+// fresh run against the last recorded baseline and flag regressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -20,11 +29,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e14) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e15) or all")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
 	shards := flag.Int("shards", 8, "max shard count for the e13 sharding sweep")
+	jsonDir := flag.String("json", "", "also write BENCH_<ID>.json metric files into this directory")
 	flag.Parse()
-	if err := run(strings.ToLower(*exp), *workers, *shards); err != nil {
+	if err := run(strings.ToLower(*exp), *workers, *shards, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "bebench:", err)
 		os.Exit(1)
 	}
@@ -40,16 +50,61 @@ func shardCounts(max int) []int {
 	return out
 }
 
-func run(exp string, workers, shards int) error {
+// benchRecord is the on-disk shape of one BENCH_<ID>.json file.
+type benchRecord struct {
+	Experiment string         `json:"experiment"`
+	Commit     string         `json:"commit"`
+	Metrics    []bench.Metric `json:"metrics"`
+}
+
+// gitCommit identifies the working tree for the trajectory record;
+// "unknown" outside a git checkout rather than an error — the metrics
+// are still worth writing.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeJSON persists t's headline metrics as dir/BENCH_<ID>.json.
+// Tables without metrics are skipped — no file beats an empty lie.
+func writeJSON(dir string, t *bench.Table) error {
+	if len(t.Metrics) == 0 {
+		return nil
+	}
+	rec := benchRecord{Experiment: t.ID, Commit: gitCommit(), Metrics: t.Metrics}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bebench: wrote %s\n", path)
+	return nil
+}
+
+func run(exp string, workers, shards int, jsonDir string) error {
+	emit := func(tables ...*bench.Table) error {
+		for _, t := range tables {
+			fmt.Println(t.Render())
+			if jsonDir != "" {
+				if err := writeJSON(jsonDir, t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	if exp == "all" {
 		tables, err := bench.All(workers)
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
-			fmt.Println(t.Render())
-		}
-		return nil
+		return emit(tables...)
 	}
 	var t *bench.Table
 	var err error
@@ -82,12 +137,13 @@ func run(exp string, workers, shards int) error {
 		t, err = bench.E13Sharding(shardCounts(shards), 30)
 	case "e14":
 		t, err = bench.E14NetworkServing(workers, time.Second)
+	case "e15":
+		t, err = bench.E15Durability(40, 30)
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Println(t.Render())
-	return nil
+	return emit(t)
 }

@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"testing"
 
+	"repro/internal/durable"
 	"repro/internal/load"
 	"repro/internal/workload"
 )
@@ -105,6 +106,55 @@ func TestGoldenRunStream(t *testing.T) {
 		})
 		checkGolden(t, "run_stream.golden", out)
 	}
+}
+
+// TestGoldenWALDump pins the -wal-dump rendering over a deterministic
+// three-record log with a torn tail — the exact artifact a crash
+// mid-append leaves behind, and the reason the tool exists. The trailing
+// garbage must render as a diagnostic line, not an error.
+func TestGoldenWALDump(t *testing.T) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 2, AccidentsPerDay: 10, MaxVehicles: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+		InsertAccidents: 3, DeleteAccidents: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := durable.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.AppendDelta(v, st.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write([]byte{9, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run(cfg(func(c *cliConfig) {
+			c.file = filepath.Join("testdata", "accidents.bq")
+			c.walDump = dir
+		}))
+	})
+	checkGolden(t, "wal_dump.golden", out)
 }
 
 // TestGoldenExplain pins the explain report (coverage diagnostics, BEP

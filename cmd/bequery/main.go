@@ -8,6 +8,8 @@
 //	bequery -demo accidents -query Q0 -mode run [-save dir]
 //	bequery -demo accidents -query Q0 -mode run -budget 100 -timeout 2s -fallback refuse
 //	bequery -demo accidents -apply delta.tsv -query Q0 -mode run -stream
+//	bequery -demo accidents -data-dir /var/lib/beserve -query Q0 -mode run
+//	bequery -demo accidents -wal-dump /var/lib/beserve
 //
 // The run mode serves queries through the unified Engine.Query API:
 // -budget refuses a query before execution when its static access bound
@@ -27,6 +29,17 @@
 // (internal/shard): indexed fetches aligned with a relation's partition
 // key route to one shard, everything else scatters and merges, and both
 // results and update verdicts are identical to the unsharded engine's.
+//
+// -data-dir attaches a durability directory (internal/durable, the same
+// layout beserve writes): a directory already holding state is recovered
+// — checkpoint plus WAL replay — and the initial -demo/-data load is
+// skipped, so bequery can query exactly what a crashed server had
+// committed; -apply batches are WAL-logged before they become visible.
+//
+// -wal-dump renders a durability directory's write-ahead log human-
+// readably (one header line per record plus the delta TSV body) and
+// exits; the schema still comes from -file or -demo. A torn tail — the
+// signature of a crash mid-append — is reported, not an error.
 //
 // With -demo, a built-in workload (accidents | social) supplies schema,
 // constraints, data and the named query, so no file is needed. With -data,
@@ -48,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/live"
 	"repro/internal/load"
@@ -60,30 +74,43 @@ import (
 	"repro/internal/workload"
 )
 
+// durableEngine is the durability surface shared by core.Engine and
+// shard.Engine; discovered by assertion so core.Queryable stays a pure
+// serving interface (mirrors cmd/beserve).
+type durableEngine interface {
+	Durable(ctx context.Context, dir string, hook durable.Hook) (bool, error)
+	Checkpoint(ctx context.Context) (uint64, error)
+	CloseDurable() error
+}
+
 // cliConfig collects every flag; one value per invocation.
 type cliConfig struct {
-	file     string
-	dataDir  string
-	saveDir  string
-	demo     string
-	apply    string
-	query    string
-	mode     string
-	k        int
-	days     int
-	people   int
-	workers  int
-	shards   int
-	budget   int64
-	timeout  time.Duration
-	fallback string
-	stream   bool
+	file       string
+	dataDir    string
+	durableDir string
+	walDump    string
+	saveDir    string
+	demo       string
+	apply      string
+	query      string
+	mode       string
+	k          int
+	days       int
+	people     int
+	workers    int
+	shards     int
+	budget     int64
+	timeout    time.Duration
+	fallback   string
+	stream     bool
 }
 
 func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.file, "file", "", "input document (relations, constraints, queries)")
 	flag.StringVar(&cfg.dataDir, "data", "", "directory of <Relation>.tsv files to load with -file")
+	flag.StringVar(&cfg.durableDir, "data-dir", "", "durability directory (WAL + checkpoints); existing state is recovered and the initial load skipped")
+	flag.StringVar(&cfg.walDump, "wal-dump", "", "render the WAL in this durability directory and exit (schema from -file or -demo)")
 	flag.StringVar(&cfg.saveDir, "save", "", "export the loaded instance as TSV into this directory")
 	flag.StringVar(&cfg.demo, "demo", "", "built-in workload: accidents | social")
 	flag.StringVar(&cfg.apply, "apply", "", "delta TSV file to apply through Engine.Apply before operating")
@@ -106,11 +133,30 @@ func main() {
 }
 
 func run(cfg cliConfig) error {
-	eng, sch, queries, params, err := setup(cfg.file, cfg.demo, cfg.days, cfg.people, cfg.workers, cfg.shards)
+	if cfg.walDump != "" {
+		// Inspection only: the document/demo supplies the schema the WAL
+		// records are decoded under; no engine state (and no durable
+		// attach) is needed, so skip -data-dir for the schema-only setup.
+		schemaOnly := cfg
+		schemaOnly.durableDir = ""
+		_, sch, _, _, _, err := setup(schemaOnly)
+		if err != nil {
+			return err
+		}
+		return durable.DumpWAL(os.Stdout, cfg.walDump, sch)
+	}
+	eng, sch, queries, params, restored, err := setup(cfg)
 	if err != nil {
 		return err
 	}
-	if cfg.dataDir != "" {
+	if de, ok := eng.(durableEngine); ok && cfg.durableDir != "" {
+		defer de.CloseDurable()
+	}
+	if restored {
+		fmt.Printf("recovered committed state from %s (version %d, |D| %d)\n",
+			cfg.durableDir, eng.Stats().Version, eng.Stats().Size)
+	}
+	if cfg.dataDir != "" && !restored {
 		d, err := load.LoadInstance(sch, cfg.dataDir)
 		if err != nil {
 			return err
@@ -292,47 +338,72 @@ func queryNames(queries map[string]*cq.CQ) []string {
 	return names
 }
 
-func setup(file, demo string, days, people, workers, shards int) (core.Queryable, *schema.Schema, map[string]*cq.CQ, map[string][]string, error) {
-	opts := core.Options{Exec: plan.ExecOptions{Workers: workers}}
+// attachDurable wires -data-dir into the engine: recovery if the
+// directory holds state, otherwise just the WAL/checkpoint plumbing for
+// -apply batches to come. restored=true means the engine is already
+// serving the recovered snapshot and the caller must skip its load.
+func attachDurable(eng core.Queryable, dir string) (bool, error) {
+	if dir == "" {
+		return false, nil
+	}
+	de, ok := eng.(durableEngine)
+	if !ok {
+		return false, fmt.Errorf("engine does not support -data-dir")
+	}
+	return de.Durable(context.Background(), dir, nil)
+}
+
+func setup(cfg cliConfig) (core.Queryable, *schema.Schema, map[string]*cq.CQ, map[string][]string, bool, error) {
+	opts := core.Options{Exec: plan.ExecOptions{Workers: cfg.workers}}
 	switch {
-	case file != "":
-		raw, err := os.ReadFile(file)
+	case cfg.file != "":
+		raw, err := os.ReadFile(cfg.file)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, false, err
 		}
 		doc, err := parser.Parse(string(raw))
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, false, err
 		}
-		eng, err := shard.NewOrCore(doc.Schema, doc.Access, opts, shards)
+		eng, err := shard.NewOrCore(doc.Schema, doc.Access, opts, cfg.shards)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, false, err
+		}
+		restored, err := attachDurable(eng, cfg.durableDir)
+		if err != nil {
+			return nil, nil, nil, nil, false, err
 		}
 		// The CLI operates on the document's CQ rules, exactly the
 		// catalog beserve serves for the same document; UCQs go through
 		// the API (or the server's ad-hoc "text").
 		cat := server.CatalogFromDocument(doc)
-		return eng, doc.Schema, cat.Queries, cat.Params, nil
-	case demo == "accidents", demo == "social":
+		return eng, doc.Schema, cat.Queries, cat.Params, restored, nil
+	case cfg.demo == "accidents", cfg.demo == "social":
 		var dm *workload.Demo
 		var err error
-		if demo == "accidents" {
-			dm, err = workload.AccidentsDemo(days)
+		if cfg.demo == "accidents" {
+			dm, err = workload.AccidentsDemo(cfg.days)
 		} else {
-			dm, err = workload.SocialDemo(people)
+			dm, err = workload.SocialDemo(cfg.people)
 		}
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, false, err
 		}
-		eng, err := shard.NewOrCore(dm.Schema, dm.Access, opts, shards)
+		eng, err := shard.NewOrCore(dm.Schema, dm.Access, opts, cfg.shards)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, false, err
 		}
-		if err := eng.Load(dm.Instance); err != nil {
-			return nil, nil, nil, nil, err
+		restored, err := attachDurable(eng, cfg.durableDir)
+		if err != nil {
+			return nil, nil, nil, nil, false, err
 		}
-		return eng, dm.Schema, dm.Queries, dm.Params, nil
+		if !restored {
+			if err := eng.Load(dm.Instance); err != nil {
+				return nil, nil, nil, nil, false, err
+			}
+		}
+		return eng, dm.Schema, dm.Queries, dm.Params, restored, nil
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("provide -file or -demo accidents|social")
+		return nil, nil, nil, nil, false, fmt.Errorf("provide -file or -demo accidents|social")
 	}
 }

@@ -27,7 +27,7 @@ func cfg(fn func(*cliConfig)) cliConfig {
 }
 
 func TestSetupFromDocument(t *testing.T) {
-	eng, _, queries, params, err := setup(filepath.Join("testdata", "accidents.bq"), "", 0, 0, 1, 1)
+	eng, _, queries, params, _, err := setup(cfg(func(c *cliConfig) { c.file = filepath.Join("testdata", "accidents.bq") }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,6 +284,52 @@ func TestRunApplyDelta(t *testing.T) {
 	}
 }
 
+// TestRunDataDirRecovery drives -data-dir across two invocations: the
+// first loads the demo, WAL-logs an applied delta, and exits; the second
+// must recover the committed state — demo load skipped, the delta's
+// tuples present — exactly as a beserve restart would.
+func TestRunDataDirRecovery(t *testing.T) {
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "delta.tsv")
+	delta := "+\tAccident\t900001\tQueen's Park\t1/5/2005\n" +
+		"+\tCasualty\t900001\t900001\t1\t900001\n" +
+		"+\tVehicle\t900001\tzed\t2001\n"
+	if err := os.WriteFile(deltaPath, []byte(delta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		ddir := filepath.Join(dir, "state", map[int]string{1: "k1", 4: "k4"}[shards])
+		if err := run(cfg(func(c *cliConfig) {
+			c.demo = "accidents"
+			c.days = 2
+			c.shards = shards
+			c.durableDir = ddir
+			c.apply = deltaPath
+			c.query = "Q0"
+			c.mode = "check"
+		})); err != nil {
+			t.Fatalf("shards=%d first run: %v", shards, err)
+		}
+		out := captureStdout(t, func() error {
+			return run(cfg(func(c *cliConfig) {
+				c.demo = "accidents"
+				c.days = 2
+				c.shards = shards
+				c.durableDir = ddir
+				c.query = "Q0"
+				c.mode = "run"
+				c.stream = true
+			}))
+		})
+		if !strings.Contains(out, "recovered committed state from "+ddir+" (version 1") {
+			t.Errorf("shards=%d: recovery banner missing:\n%s", shards, out)
+		}
+		if !strings.Contains(out, "2001") {
+			t.Errorf("shards=%d: WAL-logged driver age missing after recovery:\n%s", shards, out)
+		}
+	}
+}
+
 // slowWriter models a congested consumer: each row write stalls long
 // enough that a request deadline strikes mid-stream.
 type slowWriter struct{ rows int }
@@ -301,7 +347,7 @@ func (s *slowWriter) Write(p []byte) (int, error) {
 // an incomplete NDJSON pipeline. The cut must surface as an error so
 // main exits nonzero.
 func TestStreamDeadlinePropagatesToExitCode(t *testing.T) {
-	eng, _, queries, _, err := setup("", "social", 0, 100, 1, 1)
+	eng, _, queries, _, _, err := setup(cfg(func(c *cliConfig) { c.demo = "social"; c.people = 100 }))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,21 +6,31 @@
 //
 //	beserve -addr :8080 -demo accidents
 //	beserve -addr :8080 -file doc.bq -data dir -shards 4
+//	beserve -addr :8080 -demo accidents -data-dir /var/lib/beserve
 //	beserve -demo social -people 5000 -max-inflight 128 -queue-timeout 500ms
 //
 // Endpoints:
 //
-//	POST /v1/query    {"query":"Q0","budget":100,"timeout":"2s"} → NDJSON rows
-//	POST /v1/apply    delta TSV body → {"inserted":N,"deleted":N,"size":|D|}
+//	POST /v1/query      {"query":"Q0","budget":100,"timeout":"2s"} → NDJSON rows
+//	POST /v1/apply      delta TSV body → {"inserted":N,"deleted":N,"size":|D|}
+//	POST /v1/checkpoint → {"version":N} (requires -data-dir)
 //	GET  /v1/explain?query=Q0
 //	GET  /v1/schema
 //	GET  /healthz
 //	GET  /metrics
 //
 // -shards K serves through the hash-partitioned internal/shard engine;
-// the wire behavior is byte-identical to the single-node engine's. On
-// SIGINT/SIGTERM the server stops accepting, drains in-flight streaming
-// responses for up to -shutdown-grace, then exits.
+// the wire behavior is byte-identical to the single-node engine's.
+//
+// -data-dir enables durability (internal/durable): every applied delta
+// is WAL-logged and fsynced before it becomes visible, so a restart —
+// including kill -9 — recovers every committed delta. On startup, a
+// data directory that already holds state is recovered (checkpoint +
+// WAL replay) and the initial -demo/-data load is skipped; /healthz
+// reports the recovered version. On SIGINT/SIGTERM the server stops
+// accepting, drains in-flight streaming responses for up to
+// -shutdown-grace, then writes a final checkpoint so the next start
+// recovers without replay.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/load"
 	"repro/internal/parser"
 	"repro/internal/plan"
@@ -44,11 +55,21 @@ import (
 	"repro/internal/workload"
 )
 
+// durableEngine is the durability surface shared by core.Engine and
+// shard.Engine; discovered by assertion so core.Queryable stays a pure
+// serving interface.
+type durableEngine interface {
+	Durable(ctx context.Context, dir string, hook durable.Hook) (bool, error)
+	Checkpoint(ctx context.Context) (uint64, error)
+	CloseDurable() error
+}
+
 // cliConfig collects every flag; one value per invocation.
 type cliConfig struct {
 	addr          string
 	file          string
 	dataDir       string
+	durableDir    string
 	demo          string
 	days          int
 	people        int
@@ -65,6 +86,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.file, "file", "", "input document (relations, constraints, queries)")
 	flag.StringVar(&cfg.dataDir, "data", "", "directory of <Relation>.tsv files to load with -file")
+	flag.StringVar(&cfg.durableDir, "data-dir", "", "durability directory (WAL + checkpoints); existing state is recovered and the initial load skipped")
 	flag.StringVar(&cfg.demo, "demo", "", "built-in workload: accidents | social")
 	flag.IntVar(&cfg.days, "days", 20, "accidents demo: days of data")
 	flag.IntVar(&cfg.people, "people", 2000, "social demo: people")
@@ -84,10 +106,12 @@ func main() {
 }
 
 // run builds the engine and serves until ctx is canceled, then shuts
-// down gracefully. ready, when non-nil, is called with the bound listen
-// address once the listener is up (tests use it to learn the port).
+// down gracefully — and, when -data-dir is set, writes a final
+// checkpoint after the drain so the next start recovers replay-free.
+// ready, when non-nil, is called with the bound listen address once the
+// listener is up (tests use it to learn the port).
 func run(ctx context.Context, cfg cliConfig, ready func(addr string)) error {
-	srv, err := build(cfg)
+	srv, finalize, err := build(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -117,30 +141,78 @@ func run(ctx context.Context, cfg cliConfig, ready func(addr string)) error {
 	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
-	return <-shutdownErr
+	err = <-shutdownErr
+	// The drain is over: no writer can race the parting checkpoint.
+	if ferr := finalize(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // build assembles the engine and catalog from the flags, mirroring
-// bequery's input sources (document+TSV data, or a built-in demo).
-func build(cfg cliConfig) (*server.Server, error) {
-	eng, cat, loaded, err := setup(cfg)
+// bequery's input sources (document+TSV data, or a built-in demo). The
+// returned finalize runs at shutdown (after the drain): it writes the
+// parting checkpoint and closes the durable store; a no-op without
+// -data-dir.
+func build(ctx context.Context, cfg cliConfig) (*server.Server, func() error, error) {
+	eng, cat, loaded, err := setup(ctx, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !loaded {
-		return nil, fmt.Errorf("no data loaded (use -demo, or -file with -data)")
+		return nil, nil, fmt.Errorf("no data loaded (use -demo, or -file with -data, or -data-dir with recoverable state)")
 	}
-	return server.New(eng, cat, server.Options{
+	srv, err := server.New(eng, cat, server.Options{
 		MaxInFlight:  cfg.maxInFlight,
 		QueueTimeout: cfg.queueTimeout,
 		StallTimeout: cfg.stallTimeout,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	finalize := func() error { return nil }
+	if de, ok := eng.(durableEngine); ok && cfg.durableDir != "" {
+		finalize = func() error {
+			v, err := de.Checkpoint(context.Background())
+			if err != nil {
+				de.CloseDurable()
+				return fmt.Errorf("parting checkpoint: %w", err)
+			}
+			log.Printf("beserve: checkpointed version %d", v)
+			return de.CloseDurable()
+		}
+	}
+	return srv, finalize, nil
+}
+
+// attachDurable wires -data-dir into the engine: recovery if the
+// directory holds state, otherwise just the WAL/checkpoint plumbing for
+// writes to come. restored=true means the engine is already serving the
+// recovered snapshot and the caller must skip its initial load.
+func attachDurable(ctx context.Context, eng core.Queryable, dir string) (bool, error) {
+	if dir == "" {
+		return false, nil
+	}
+	de, ok := eng.(durableEngine)
+	if !ok {
+		return false, fmt.Errorf("engine does not support -data-dir")
+	}
+	restored, err := de.Durable(ctx, dir, nil)
+	if err != nil {
+		return false, err
+	}
+	if restored {
+		log.Printf("beserve: recovered committed state from %s (version %d)", dir, eng.Stats().Version)
+	}
+	return restored, nil
 }
 
 // setup builds the engine and catalog; loaded reports whether data was
 // attached (checked in O(1) — materializing a sharded engine's merged
-// instance just to test for data would copy the whole dataset).
-func setup(cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
+// instance just to test for data would copy the whole dataset). With
+// -data-dir, a directory already holding durable state short-circuits
+// the load: the recovered snapshot IS the data.
+func setup(ctx context.Context, cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
 	none := server.Catalog{}
 	opts := core.Options{Exec: plan.ExecOptions{Workers: cfg.workers}}
 	switch {
@@ -157,8 +229,12 @@ func setup(cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
 		if err != nil {
 			return nil, none, false, err
 		}
-		loaded := false
-		if cfg.dataDir != "" {
+		restored, err := attachDurable(ctx, eng, cfg.durableDir)
+		if err != nil {
+			return nil, none, false, err
+		}
+		loaded := restored
+		if cfg.dataDir != "" && !restored {
 			d, err := load.LoadInstance(doc.Schema, cfg.dataDir)
 			if err != nil {
 				return nil, none, false, err
@@ -184,8 +260,14 @@ func setup(cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
 		if err != nil {
 			return nil, none, false, err
 		}
-		if err := eng.Load(dm.Instance); err != nil {
+		restored, err := attachDurable(ctx, eng, cfg.durableDir)
+		if err != nil {
 			return nil, none, false, err
+		}
+		if !restored {
+			if err := eng.Load(dm.Instance); err != nil {
+				return nil, none, false, err
+			}
 		}
 		return eng, server.Catalog{Schema: dm.Schema, Access: dm.Access, Queries: dm.Queries, Params: dm.Params}, true, nil
 	default:

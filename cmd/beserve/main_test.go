@@ -23,13 +23,14 @@ func cfg(fn func(*cliConfig)) cliConfig {
 }
 
 func TestSetupErrors(t *testing.T) {
-	if _, err := build(cfg(nil)); err == nil {
+	ctx := context.Background()
+	if _, _, err := build(ctx, cfg(nil)); err == nil {
 		t.Error("no input source must error")
 	}
-	if _, err := build(cfg(func(c *cliConfig) { c.demo = "bogus" })); err == nil {
+	if _, _, err := build(ctx, cfg(func(c *cliConfig) { c.demo = "bogus" })); err == nil {
 		t.Error("unknown demo must error")
 	}
-	if _, err := build(cfg(func(c *cliConfig) { c.file = "does-not-exist.bq" })); err == nil {
+	if _, _, err := build(ctx, cfg(func(c *cliConfig) { c.file = "does-not-exist.bq" })); err == nil {
 		t.Error("missing document must error")
 	}
 }

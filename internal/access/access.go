@@ -296,6 +296,28 @@ func BuildIndexed(a *Schema, d *data.Instance) (*Indexed, []Violation, error) {
 // Index returns the index backing constraint i.
 func (ix *Indexed) Index(i int) *index.Index { return ix.indexes[i] }
 
+// RestoreIndexed wraps pre-built indexes around an instance WITHOUT
+// rebuilding or re-validating them — the recovery fast path of
+// internal/durable, where the indexes come deserialized from a
+// CRC-checked checkpoint. idxs[i] must index Constraints[i] (same
+// relation; the caller restored X and Y from the constraint itself).
+// Unlike BuildIndexed, no D |= A check runs: a checkpoint records a
+// state that was validated when it was committed.
+func RestoreIndexed(a *Schema, d *data.Instance, idxs []*index.Index) (*Indexed, error) {
+	if len(idxs) != len(a.Constraints) {
+		return nil, fmt.Errorf("access: restore has %d indexes for %d constraints", len(idxs), len(a.Constraints))
+	}
+	for i, c := range a.Constraints {
+		if idxs[i] == nil {
+			return nil, fmt.Errorf("access: restore missing index for constraint %s", c)
+		}
+		if idxs[i].Rel != c.Rel {
+			return nil, fmt.Errorf("access: restored index on %s for constraint %s", idxs[i].Rel, c)
+		}
+	}
+	return &Indexed{Access: a, Instance: d, indexes: append([]*index.Index(nil), idxs...)}, nil
+}
+
 // CloneWith returns an Indexed over inst that shares ix's indexes except
 // those replaced in repl (keyed by constraint position). It is the
 // access-schema-level copy-on-write step of a snapshotted update: ix and

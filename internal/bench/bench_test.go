@@ -276,3 +276,21 @@ func TestE14WirePathAgrees(t *testing.T) {
 		}
 	}
 }
+
+// E15's defining shape: restart-by-recovery must beat cold TSV
+// re-ingest. The PR's acceptance floor is 3x; the test asserts 2x so a
+// noisy CI box cannot flake a genuinely healthy ratio, while the
+// committed BENCH_E15.json records the real measurement.
+func TestE15RecoveryBeatsColdIngest(t *testing.T) {
+	tb, err := E15Durability(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Metrics) != 3 || tb.Metrics[2].Name != "recovery_speedup" {
+		t.Fatalf("metrics = %+v", tb.Metrics)
+	}
+	if speedup := tb.Metrics[2].Value; speedup < 2 {
+		t.Errorf("recovery speedup %.2fx, want comfortably above 1 (acceptance floor 3x at full scale):\n%s",
+			speedup, tb.Render())
+	}
+}

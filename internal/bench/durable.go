@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+// E15Durability measures what the durable subsystem buys on restart:
+// recovering an engine from its data directory (binary checkpoint decode
+// + WAL replay of the post-checkpoint deltas, no index rebuild, no
+// re-validation) versus the cold path a durability-free server is stuck
+// with — re-parsing the full instance from TSV and Engine.Load rebuilding
+// every index and re-checking every constraint. The setup applies
+// `deltas` stream batches with a checkpoint two deltas before the end —
+// the shape beserve actually produces, since it checkpoints on SIGTERM
+// and on every admin trigger, so a crash loses only a short WAL tail —
+// and recovery exercises both halves of its job: checkpoint decode plus
+// tail replay. Times are medians of five runs; the headline speedup is
+// the committed BENCH_E15.json trajectory number (the PR's acceptance
+// floor is 3×).
+func E15Durability(days, deltas int) (*Table, error) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: days, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dataDir, err := os.MkdirTemp("", "bench-e15-durable-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dataDir)
+	tsvDir, err := os.MkdirTemp("", "bench-e15-tsv-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tsvDir)
+
+	ctx := context.Background()
+	eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Durable(ctx, dataDir, nil); err != nil {
+		return nil, err
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		return nil, err
+	}
+	st, err := workload.NewAccidentStream(acc, workload.AccidentStreamConfig{
+		InsertAccidents: 5, DeleteAccidents: 2, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= deltas; i++ {
+		if _, err := eng.Apply(ctx, st.Next()); err != nil {
+			return nil, err
+		}
+		if i == deltas-2 {
+			if _, err := eng.Checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	size := eng.Stats().Size
+	version := eng.Stats().Version
+	// The cold path must ingest the same final state, so export it.
+	if err := load.SaveInstance(eng.Instance(), tsvDir); err != nil {
+		return nil, err
+	}
+	if err := eng.CloseDurable(); err != nil {
+		return nil, err
+	}
+
+	recMS, err := medianMS(5, func() error {
+		e, err := core.New(acc.Schema, acc.Access, core.Options{})
+		if err != nil {
+			return err
+		}
+		restored, err := e.Durable(ctx, dataDir, nil)
+		if err != nil {
+			return err
+		}
+		if !restored || e.Stats().Version != version || e.Stats().Size != size {
+			return fmt.Errorf("bench: recovery landed on version %d size %d, want %d/%d",
+				e.Stats().Version, e.Stats().Size, version, size)
+		}
+		return e.CloseDurable()
+	})
+	if err != nil {
+		return nil, err
+	}
+	coldMS, err := medianMS(5, func() error {
+		d, err := load.LoadInstance(acc.Schema, tsvDir)
+		if err != nil {
+			return err
+		}
+		e, err := core.New(acc.Schema, acc.Access, core.Options{})
+		if err != nil {
+			return err
+		}
+		return e.Load(d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	speedup := coldMS / recMS
+
+	t := &Table{
+		ID:     "E15",
+		Title:  "durability — restart via checkpoint+WAL replay vs cold TSV re-ingest",
+		Header: []string{"path", "ms (median of 5)", "|D| (tuples)", "version"},
+	}
+	t.AddRow("recover (checkpoint + WAL replay)", fmt.Sprintf("%.2f", recMS), size, version)
+	t.AddRow("cold ingest (TSV parse + Load)", fmt.Sprintf("%.2f", coldMS), size, version)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("recovery is %.1fx faster: the checkpoint restores tuples and index buckets verbatim, skipping parse, validation and index build; the WAL contributes only the %d post-checkpoint deltas", speedup, 2))
+	t.AddMetric("recovery_ms", recMS, "ms")
+	t.AddMetric("cold_ingest_ms", coldMS, "ms")
+	t.AddMetric("recovery_speedup", speedup, "x")
+	return t, nil
+}
+
+// medianMS runs f n times and returns the median wall-clock milliseconds.
+// One unmeasured warmup run and a GC barrier before every timed run keep
+// allocator debt from earlier phases (setup, the other path's runs) out
+// of the numbers — without them the first timed run absorbs whatever
+// garbage the previous phase left behind and the medians swing wildly.
+func medianMS(n int, f func() error) (float64, error) {
+	if err := f(); err != nil {
+		return 0, err
+	}
+	times := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		runtime.GC()
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}

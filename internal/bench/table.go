@@ -18,6 +18,22 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics are the machine-readable headline numbers of the
+	// experiment — what bebench -json persists as BENCH_<ID>.json so the
+	// perf trajectory survives across commits and CI can diff it.
+	Metrics []Metric
+}
+
+// Metric is one named headline number.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// AddMetric records a headline number on the table.
+func (t *Table) AddMetric(name string, value float64, unit string) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Value: value, Unit: unit})
 }
 
 // AddRow appends a row, stringifying the cells.

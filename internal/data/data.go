@@ -109,6 +109,20 @@ func (r *Relation) Delete(t Tuple) (bool, error) {
 // derived state such as indices. The surviving tuples move to a fresh
 // backing slice, so slices previously returned by Tuples stay intact.
 func (r *Relation) DeleteBatch(ts []Tuple) ([]Tuple, error) {
+	return r.deleteBatch(ts, false)
+}
+
+// DeleteBatchInPlace is DeleteBatch minus the fresh-backing-slice
+// guarantee: survivors are compacted within the existing backing array,
+// clobbering any slice previously obtained from Tuples. It exists for
+// WAL replay during recovery, where the relation was just decoded, is
+// owned exclusively, and a full copy of the survivors per replayed
+// delta would dominate the replay.
+func (r *Relation) DeleteBatchInPlace(ts []Tuple) ([]Tuple, error) {
+	return r.deleteBatch(ts, true)
+}
+
+func (r *Relation) deleteBatch(ts []Tuple, inPlace bool) ([]Tuple, error) {
 	doomed := make(map[value.Key]bool, len(ts))
 	for _, t := range ts {
 		if len(t) != r.Schema.Arity() {
@@ -117,12 +131,85 @@ func (r *Relation) DeleteBatch(ts []Tuple) ([]Tuple, error) {
 		}
 		doomed[t.Key()] = true
 	}
+	// The scan is prefiltered on first cells: a tuple can only be doomed
+	// if its first value matches some doomed tuple's first value. Doomed
+	// tuples cluster on few distinct first cells (a delta deletes a
+	// handful of entities plus their satellite rows), so when the
+	// distinct set is small a linear probe of == comparisons beats
+	// hashing every scanned tuple; past maxLinearCells it falls back to a
+	// map. (Arity-0 relations hold at most one tuple; no prefilter
+	// there.)
+	const maxLinearCells = 16
+	var cells []value.Value
+	var cellSet map[value.Value]bool
+	for _, t := range ts {
+		if len(t) == 0 {
+			continue
+		}
+		if cellSet != nil {
+			cellSet[t[0]] = true
+			continue
+		}
+		dup := false
+		for _, c := range cells {
+			if c == t[0] {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if len(cells) == maxLinearCells {
+			cellSet = make(map[value.Value]bool, len(ts))
+			for _, c := range cells {
+				cellSet[c] = true
+			}
+			cellSet[t[0]] = true
+			continue
+		}
+		cells = append(cells, t[0])
+	}
 	var removed []Tuple
-	kept := make([]Tuple, 0, len(r.tuples))
-	for _, u := range r.tuples {
-		k := u.Key()
-		if doomed[k] && r.seen[k] {
-			delete(r.seen, k)
+	// In-place mode compacts survivors down within the existing array:
+	// the write index never passes the read index, and the bulk tail
+	// moves via append's memmove.
+	var kept []Tuple
+	if inPlace {
+		kept = r.tuples[:0]
+	} else {
+		kept = make([]Tuple, 0, len(r.tuples))
+	}
+	// On a prefilter hit the tuple is re-keyed allocation-free: AppendKey
+	// into a scratch buffer, map lookups via Key(buf) which the compiler
+	// compiles without a copy. Once every doomed tuple has been found the
+	// rest of the scan is a bulk append.
+	var buf []byte
+	for i, u := range r.tuples {
+		if len(removed) == len(doomed) {
+			kept = append(kept, r.tuples[i:]...)
+			break
+		}
+		if len(u) > 0 {
+			hit := false
+			if cellSet != nil {
+				hit = cellSet[u[0]]
+			} else {
+				for _, c := range cells {
+					if c == u[0] {
+						hit = true
+						break
+					}
+				}
+			}
+			if !hit {
+				kept = append(kept, u)
+				continue
+			}
+		}
+		buf = value.AppendKey(buf[:0], u...)
+		if doomed[value.Key(buf)] && r.seen[value.Key(buf)] {
+			delete(r.seen, value.Key(string(buf)))
 			removed = append(removed, u)
 			continue
 		}
@@ -146,6 +233,35 @@ func (r *Relation) Clone() *Relation {
 		cp.seen[k] = true
 	}
 	return cp
+}
+
+// InstallTuples replaces r's contents wholesale with ts, whose element i
+// has precomputed key keys[i] (= ts[i].Key()). It is the bulk-restore
+// entry point for checkpoint recovery, where tuples are decoded from
+// their canonical Key encodings and re-deriving each key through Insert
+// would double the decode cost. Arity and duplicates are still validated;
+// the tuple/key correspondence is the caller's contract. Ownership of ts
+// transfers to r.
+func (r *Relation) InstallTuples(ts []Tuple, keys []value.Key) error {
+	if len(ts) != len(keys) {
+		return fmt.Errorf("data: %s: %d tuples but %d keys", r.Schema.Name, len(ts), len(keys))
+	}
+	// Headroom beyond len(ts): recovery replays WAL deltas straight after
+	// the restore, and a map sized exactly to its contents pays a full
+	// incremental rehash on the first few inserts.
+	seen := make(map[value.Key]bool, len(ts)+len(ts)/8+16)
+	for i, t := range ts {
+		if len(t) != r.Schema.Arity() {
+			return fmt.Errorf("data: %s: tuple %d has arity %d, want %d", r.Schema.Name, i, len(t), r.Schema.Arity())
+		}
+		if seen[keys[i]] {
+			return fmt.Errorf("data: %s: duplicate tuple %v", r.Schema.Name, t)
+		}
+		seen[keys[i]] = true
+	}
+	r.tuples = ts
+	r.seen = seen
+	return nil
 }
 
 // Contains reports whether tuple t is present.

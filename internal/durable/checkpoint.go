@@ -1,0 +1,529 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/index"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Checkpoint file layout, little-endian:
+//
+//	magic "BECKPT01" | u32 payloadLen | u32 crc32c(payload) | payload
+//
+// payload:
+//
+//	u8  ckptFormatVersion (=1)
+//	uvarint version
+//	u32 catalogHash                      (schema+access fingerprint)
+//	relation sections, in schema order, each length-prefixed
+//	(uvarint sectionLen | section):
+//	    uvarint nameLen | name
+//	    uvarint numTuples
+//	    per tuple: uvarint keyLen | value.KeyOf(tuple) bytes
+//	index sections, one per access constraint, in constraint order,
+//	each length-prefixed:
+//	    uvarint numBuckets
+//	    uvarint numPairs                 (total projections, a presize hint)
+//	    per bucket (sorted X-key order, as index.Dump emits):
+//	        uvarint keyLen | raw X-key bytes
+//	        uvarint numProjections
+//	        per projection: uvarint keyLen | value.KeyOf(projection)
+//	        bytes, then uvarint multiplicity count
+//
+// Tuples and projections are stored AS their canonical value.Key
+// encodings — the injective kind-tagged byte string every index probe
+// already computes. Decode gets both the values (value.DecodeKey) and
+// the dedup-map / bucket keys from one blob with no per-cell text
+// parsing and no key re-encoding, which is what makes recovery beat a
+// cold TSV re-ingest (experiment E15). DecodeKey rejects non-canonical
+// varint paddings, so decode-then-encode is still a byte-for-byte fixed
+// point (FuzzCheckpoint).
+//
+// The section length prefixes exist for decode parallelism: every
+// section fills disjoint state (one relation, or one constraint's
+// index), so decode carves the payload into sections up front and runs
+// them concurrently — restore speed then scales with cores, which a
+// sequential cold ingest cannot do.
+//
+// Tuples are serialized in Tuples() order and bulk-installed in that
+// order on decode, and buckets install verbatim via index.InstallBucket
+// — so a recovered snapshot's scan order, bucket order, and
+// multiplicities are bit-for-bit those of the snapshot that was
+// checkpointed. That is what lets the crash suite demand byte-identical
+// query output.
+
+const (
+	ckptFormatVersion = 1
+	// maxCkptPayload bounds a checkpoint payload; a length above it is
+	// corruption.
+	maxCkptPayload = 1 << 31
+)
+
+var ckptMagic = []byte("BECKPT01")
+
+// State is one recovered (or to-be-checkpointed) engine snapshot: the
+// instance/index pair plus the committed version it represents.
+type State struct {
+	Instance *data.Instance
+	Indexed  *access.Indexed
+	Version  uint64
+}
+
+// EncodeCheckpoint renders the full checkpoint file image for st.
+func EncodeCheckpoint(sc *schema.Schema, st *State) ([]byte, error) {
+	var p bytes.Buffer
+	p.WriteByte(ckptFormatVersion)
+	p.Write(binary.AppendUvarint(nil, st.Version))
+	var h [4]byte
+	binary.LittleEndian.PutUint32(h[:], catalogHash(sc, st.Indexed.Access))
+	p.Write(h[:])
+
+	var sect bytes.Buffer
+	for _, rs := range sc.Relations() {
+		r := st.Instance.Relation(rs.Name)
+		if r == nil {
+			return nil, fmt.Errorf("durable: instance has no relation %s", rs.Name)
+		}
+		sect.Reset()
+		writeBytes(&sect, []byte(rs.Name))
+		tuples := r.Tuples()
+		sect.Write(binary.AppendUvarint(nil, uint64(len(tuples))))
+		for _, t := range tuples {
+			writeBytes(&sect, []byte(t.Key()))
+		}
+		writeBytes(&p, sect.Bytes())
+	}
+
+	for ci := range st.Indexed.Access.Constraints {
+		ix := st.Indexed.Index(ci)
+		// Count buckets and pairs first: Dump visits in sorted key order
+		// both times. The totals go in the file so decode can presize its
+		// maps before installing.
+		buckets, pairs := 0, 0
+		err := ix.Dump(func(_ value.Key, projs []data.Tuple, _ []value.Key, _ []int) error {
+			buckets++
+			pairs += len(projs)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sect.Reset()
+		sect.Write(binary.AppendUvarint(nil, uint64(buckets)))
+		sect.Write(binary.AppendUvarint(nil, uint64(pairs)))
+		err = ix.Dump(func(k value.Key, projs []data.Tuple, projKeys []value.Key, counts []int) error {
+			writeBytes(&sect, []byte(k))
+			sect.Write(binary.AppendUvarint(nil, uint64(len(projs))))
+			for i := range projs {
+				writeBytes(&sect, []byte(projKeys[i]))
+				sect.Write(binary.AppendUvarint(nil, uint64(counts[i])))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		writeBytes(&p, sect.Bytes())
+	}
+
+	payload := p.Bytes()
+	if len(payload) > maxCkptPayload {
+		return nil, fmt.Errorf("durable: checkpoint of %d bytes exceeds limit", len(payload))
+	}
+	out := make([]byte, 0, len(ckptMagic)+frameHeader+len(payload))
+	out = append(out, ckptMagic...)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	out = append(out, hdr[:]...)
+	return append(out, payload...), nil
+}
+
+func writeBytes(p *bytes.Buffer, b []byte) {
+	p.Write(binary.AppendUvarint(nil, uint64(len(b))))
+	p.Write(b)
+}
+
+// DecodeCheckpoint parses a checkpoint file image, rebuilding the
+// instance and installing the serialized index buckets verbatim. It
+// never panics on arbitrary input; any structural violation — bad
+// magic, CRC mismatch, catalog mismatch, non-canonical bucket order,
+// trailing garbage — is an error.
+func DecodeCheckpoint(buf []byte, sc *schema.Schema, a *access.Schema) (*State, error) {
+	if len(buf) < len(ckptMagic)+frameHeader {
+		return nil, fmt.Errorf("durable: checkpoint header: %w", io.ErrUnexpectedEOF)
+	}
+	if !bytes.Equal(buf[:len(ckptMagic)], ckptMagic) {
+		return nil, fmt.Errorf("durable: bad checkpoint magic")
+	}
+	hdr := buf[len(ckptMagic):]
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if uint64(n) > maxCkptPayload {
+		return nil, fmt.Errorf("durable: checkpoint claims %d bytes, limit %d", n, maxCkptPayload)
+	}
+	if uint64(len(hdr)-frameHeader) != uint64(n) {
+		return nil, fmt.Errorf("durable: checkpoint payload is %d bytes, header says %d", len(hdr)-frameHeader, n)
+	}
+	payload := hdr[frameHeader:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, fmt.Errorf("durable: checkpoint checksum mismatch (%08x != %08x)", got, want)
+	}
+
+	// One string conversion up front; every bytesVal below is then a
+	// zero-copy substring.
+	r := &reader{b: string(payload)}
+	fv, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if fv != ckptFormatVersion {
+		return nil, fmt.Errorf("durable: checkpoint format version %d, want %d", fv, ckptFormatVersion)
+	}
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if want := catalogHash(sc, a); ch != want {
+		return nil, fmt.Errorf("durable: checkpoint catalog hash %08x, running catalog %08x — was it written under a different schema?", ch, want)
+	}
+
+	// Carve the payload into its length-prefixed sections, then decode
+	// them concurrently: each section fills disjoint state (one relation
+	// of inst, or one slot of idxs), so the only synchronization needed
+	// is the WaitGroup. Errors land in per-section slots and the first
+	// one (in section order, for determinism) wins.
+	rels := sc.Relations()
+	sections := make([]string, len(rels)+len(a.Constraints))
+	for i := range sections {
+		s, err := r.bytesVal()
+		if err != nil {
+			return nil, err
+		}
+		sections[i] = s
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("durable: %d trailing bytes after checkpoint payload", len(r.b)-r.off)
+	}
+
+	inst := data.NewInstance(sc)
+	idxs := make([]*index.Index, len(a.Constraints))
+	errs := make([]error, len(sections))
+	var wg sync.WaitGroup
+	for i, rs := range rels {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = decodeRelationSection(sections[i], rs, inst)
+		}()
+	}
+	for ci, c := range a.Constraints {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ix, err := decodeIndexSection(sections[len(rels)+ci], sc, c)
+			idxs[ci] = ix
+			errs[len(rels)+ci] = err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	indexed, err := access.RestoreIndexed(a, inst, idxs)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &State{Instance: inst, Indexed: indexed, Version: version}, nil
+}
+
+// decodeRelationSection restores one relation of inst from its
+// checkpoint section.
+func decodeRelationSection(sec string, rs schema.Relation, inst *data.Instance) error {
+	r := &reader{b: sec}
+	name, err := r.bytesVal()
+	if err != nil {
+		return err
+	}
+	if name != rs.Name {
+		return fmt.Errorf("durable: checkpoint relation %q, schema expects %s", name, rs.Name)
+	}
+	nt, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Claimed counts are attacker-controlled; a tuple blob takes at
+	// least one payload byte (arity one per value), so the remaining
+	// payload bounds honest preallocation exactly.
+	hint := min(int(nt), r.remaining())
+	ts := make([]data.Tuple, 0, hint)
+	keys := make([]value.Key, 0, hint)
+	arena := make([]value.Value, 0, min(int(nt)*rs.Arity(), r.remaining()))
+	for i := uint64(0); i < nt; i++ {
+		blob, err := r.bytesVal()
+		if err != nil {
+			return err
+		}
+		// The blob substring IS the dedup-map key, and the values are
+		// carved out of one arena per relation — no per-tuple copies.
+		k := value.Key(blob)
+		start := len(arena)
+		arena, err = value.AppendDecodeKey(arena, k)
+		if err != nil {
+			return fmt.Errorf("durable: checkpoint tuple: %w", err)
+		}
+		if len(arena)-start != rs.Arity() {
+			return fmt.Errorf("durable: checkpoint tuple of arity %d, %s wants %d", len(arena)-start, rs.Name, rs.Arity())
+		}
+		ts = append(ts, data.Tuple(arena[start:len(arena):len(arena)]))
+		keys = append(keys, k)
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("durable: %d trailing bytes in relation section %s", len(r.b)-r.off, rs.Name)
+	}
+	if err := inst.Relation(rs.Name).InstallTuples(ts, keys); err != nil {
+		return fmt.Errorf("durable: checkpoint tuples: %w", err)
+	}
+	return nil
+}
+
+// decodeIndexSection restores one constraint's index from its
+// checkpoint section.
+func decodeIndexSection(sec string, sc *schema.Schema, c access.Constraint) (*index.Index, error) {
+	rs, ok := sc.Relation(c.Rel)
+	if !ok {
+		return nil, fmt.Errorf("durable: constraint %s over unknown relation", c)
+	}
+	ix, err := index.New(rs, c.X, c.Y)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	r := &reader{b: sec}
+	nb, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	npairs, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Presize the index maps from the file's own totals, clamped by
+	// the bytes actually left in the payload.
+	ix.Grow(min(int(nb), r.remaining()), min(int(npairs), r.remaining()))
+	arena := make([]value.Value, 0, min(int(npairs)*len(c.Y), r.remaining()))
+	// The per-bucket projs/projKeys/counts slices are carved out of
+	// section-wide arenas too: buckets here are tiny (bounded by the
+	// constraint's cardinality) and numerous, so one allocation per
+	// bucket per slice would dominate the decode.
+	pairHint := min(int(npairs), r.remaining())
+	projArena := make([]data.Tuple, 0, pairHint)
+	keyArena := make([]value.Key, 0, pairHint)
+	countArena := make([]int, 0, pairHint)
+	for b := uint64(0); b < nb; b++ {
+		key, err := r.bytesVal()
+		if err != nil {
+			return nil, err
+		}
+		np, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pstart, kstart, cstart := len(projArena), len(keyArena), len(countArena)
+		for p := uint64(0); p < np; p++ {
+			blob, err := r.bytesVal()
+			if err != nil {
+				return nil, err
+			}
+			pk := value.Key(blob)
+			start := len(arena)
+			arena, err = value.AppendDecodeKey(arena, pk)
+			if err != nil {
+				return nil, fmt.Errorf("durable: checkpoint projection: %w", err)
+			}
+			if len(arena)-start != len(c.Y) {
+				return nil, fmt.Errorf("durable: checkpoint projection of arity %d, constraint %s wants %d", len(arena)-start, c, len(c.Y))
+			}
+			cnt, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if cnt == 0 || cnt > uint64(maxCkptPayload) {
+				return nil, fmt.Errorf("durable: checkpoint multiplicity %d out of range", cnt)
+			}
+			projArena = append(projArena, data.Tuple(arena[start:len(arena):len(arena)]))
+			keyArena = append(keyArena, pk)
+			countArena = append(countArena, int(cnt))
+		}
+		err = ix.InstallBucket(value.Key(key),
+			projArena[pstart:len(projArena):len(projArena)],
+			keyArena[kstart:len(keyArena):len(keyArena)],
+			countArena[cstart:len(countArena):len(countArena)])
+		if err != nil {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("durable: %d trailing bytes in index section for %s", len(r.b)-r.off, c)
+	}
+	return ix, nil
+}
+
+// reader is a bounds-checked cursor over a checkpoint payload; every
+// read returns an error instead of panicking when the buffer runs out.
+// It walks a string, not a []byte: bytesVal substrings are then free to
+// use directly as value.Key map keys and as DecodeKey input without a
+// per-item copy — they pin the whole payload, which is fine because the
+// decoded instance retains most of it as tuple values anyway.
+type reader struct {
+	b   string
+	off int
+}
+
+// remaining returns the unread payload bytes — the honest upper bound
+// for any claimed item count, since every item costs at least one byte.
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("durable: checkpoint payload: %w", io.ErrUnexpectedEOF)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("durable: checkpoint payload: %w", io.ErrUnexpectedEOF)
+	}
+	v := binary.LittleEndian.Uint32([]byte(r.b[r.off : r.off+4]))
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for n := 0; r.off+n < len(r.b); n++ {
+		c := r.b[r.off+n]
+		if c < 0x80 {
+			if n > 0 && c == 0 {
+				break // non-canonical zero padding: re-encode wouldn't be a fixed point
+			}
+			if n == 9 && c > 1 {
+				break // overflows uint64
+			}
+			r.off += n + 1
+			return v | uint64(c)<<shift, nil
+		}
+		if n == 9 {
+			break
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("durable: checkpoint payload: bad varint")
+}
+
+func (r *reader) bytesVal() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return "", fmt.Errorf("durable: checkpoint payload: %w", io.ErrUnexpectedEOF)
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// WriteCheckpoint persists st as a checkpoint: temp-file write, fsync,
+// atomic rename, directory fsync. Encoding reads only the caller's
+// pinned immutable snapshot, so it runs concurrently with appends and
+// readers — only the final rename-and-compact step touches the WAL
+// lock. Afterwards the two newest checkpoints are retained, older ones
+// removed, and the WAL compacted so it only holds records newer than
+// the OLDER retained checkpoint — keeping a fallback chain in case the
+// newest checkpoint is unreadable on recovery.
+func (s *Store) WriteCheckpoint(sc *schema.Schema, st *State) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	img, err := EncodeCheckpoint(sc, st)
+	if err != nil {
+		return err
+	}
+	final := s.checkpointPath(st.Version)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: writing checkpoint: %w", err)
+	}
+	s.fire(PointCheckpointWritten)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	s.fire(PointCheckpointSynced)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: publishing checkpoint: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.fire(PointCheckpointRenamed)
+
+	// Retention: keep the two newest checkpoints, then compact the WAL
+	// down to records the older retained checkpoint still needs.
+	vs := s.checkpointVersions()
+	for len(vs) > 2 {
+		if err := os.Remove(s.checkpointPath(vs[0])); err != nil {
+			return fmt.Errorf("durable: pruning checkpoint: %w", err)
+		}
+		vs = vs[1:]
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	return s.compactLocked(vs[0])
+}
+
+// readCheckpoint loads and decodes the checkpoint at version v.
+func (s *Store) readCheckpoint(v uint64, sc *schema.Schema, a *access.Schema) (*State, error) {
+	buf, err := os.ReadFile(s.checkpointPath(v))
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	st, err := DecodeCheckpoint(buf, sc, a)
+	if err != nil {
+		return nil, err
+	}
+	if st.Version != v {
+		return nil, fmt.Errorf("durable: checkpoint file %s holds version %d", s.checkpointPath(v), st.Version)
+	}
+	return st, nil
+}

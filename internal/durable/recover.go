@@ -1,0 +1,96 @@
+package durable
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/live"
+	"repro/internal/schema"
+)
+
+// Recover rebuilds the newest committed state no newer than maxVersion:
+// the newest readable checkpoint at or below maxVersion, plus WAL
+// replay of every committed record after it. Single-node engines pass
+// NoLimit; the sharded coordinator passes the minimum cross-shard
+// version so every shard recovers onto the same cut, and any WAL suffix
+// past maxVersion — records from a cross-shard commit that never
+// completed on every shard — is truncated so appends can resume at
+// maxVersion+1.
+//
+// Replay drives each delta through live.Replay — in place, skipping
+// both Violations and Stage's copy-on-write clones: the deltas were
+// validated when first committed, replaying a prefix of committed
+// deltas cannot reach a state that was never live, and the freshly
+// decoded checkpoint has no other referents to isolate. A nil State
+// (and nil error) means the directory holds no durable state at all —
+// a fresh store.
+//
+// If the newest checkpoint is unreadable (truncated by an unlucky
+// crash, bit rot), Recover falls back to the next-newest — the WAL is
+// compacted only down to the OLDER retained checkpoint precisely so
+// this fallback still has every record it needs.
+func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema, maxVersion uint64) (*State, error) {
+	last, ok := s.LastVersion()
+	if !ok {
+		return nil, nil
+	}
+	if last > maxVersion {
+		last = maxVersion
+	}
+
+	// Newest-first over checkpoints at or below the cut; remember the
+	// first decode error in case no checkpoint works out.
+	var base *State
+	var firstErr error
+	vs := s.checkpointVersions()
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i] > maxVersion {
+			continue
+		}
+		st, err := s.readCheckpoint(vs[i], sc, a)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		base = st
+		break
+	}
+	if base == nil {
+		if firstErr != nil {
+			return nil, fmt.Errorf("durable: no readable checkpoint: %w", firstErr)
+		}
+		// A WAL with no checkpoint at all: nothing to replay onto. This
+		// only happens if a Load's base checkpoint was lost, which the
+		// commit protocol never produces.
+		return nil, fmt.Errorf("durable: WAL present but no checkpoint to replay onto")
+	}
+
+	recs, err := s.records(sc, base.Version, last)
+	if err != nil {
+		return nil, err
+	}
+	want := base.Version
+	cur := base.Indexed
+	for _, r := range recs {
+		want++
+		if r.version != want {
+			return nil, fmt.Errorf("durable: WAL replay expected version %d, found %d", want, r.version)
+		}
+		if err := live.Replay(ctx, r.delta, cur); err != nil {
+			return nil, fmt.Errorf("durable: replaying version %d: %w", r.version, err)
+		}
+	}
+	if want != last {
+		return nil, fmt.Errorf("durable: WAL replay reached version %d, expected %d", want, last)
+	}
+
+	// Drop any diverged suffix past the cut so future appends at
+	// last+1 line up with the recovered state.
+	if err := s.TruncateAfter(last); err != nil {
+		return nil, err
+	}
+	return &State{Instance: cur.Instance, Indexed: cur, Version: last}, nil
+}

@@ -39,7 +39,12 @@ type Index struct {
 	xpos, ypos []int
 	buckets    map[value.Key][]data.Tuple
 	// counts tracks, per (X, Y) pair, how many relation tuples project to
-	// it; a bucket entry is removed when its count reaches zero.
+	// it; a bucket entry is removed when its count reaches zero. The map
+	// stores ONLY multiplicities >= 2: a projection present in its bucket
+	// with no counts entry has multiplicity 1. Multiplicity 1 is the
+	// overwhelmingly common case, so the implicit representation keeps the
+	// map (and its per-pair concatenated keys) near-empty — Clone copies
+	// almost nothing and checkpoint restore skips the map entirely.
 	counts map[value.Key]int
 	// owned says which bucket slices this index may mutate in place. nil
 	// means all of them (a freshly built index); after a Clone, both
@@ -83,6 +88,21 @@ func New(rs schema.Relation, x, y []schema.Attribute) (*Index, error) {
 	}, nil
 }
 
+// Grow presizes an EMPTY index for buckets X-groups holding pairs
+// distinct (X, Y) pairs in total, so a bulk restore (InstallBucket per
+// bucket) fills the maps without incremental rehashing. Go maps only
+// take a size hint at make time, hence the replace-while-empty rule; on
+// a non-empty index Grow is a no-op rather than an error, since it is
+// purely an optimization hint. The counts map is left alone: it holds
+// only the (rare) multiplicity >= 2 pairs, so pairs would oversize it.
+func (ix *Index) Grow(buckets, pairs int) {
+	if len(ix.buckets) != 0 {
+		return
+	}
+	ix.buckets = make(map[value.Key][]data.Tuple, buckets)
+	_ = pairs
+}
+
 // Build constructs the index on X for Y over r. Buckets are appended
 // during the scan and sorted once at the end: per-tuple sorted insertion
 // would cost O(g) shifts and O(log g) key re-encodings per tuple on a
@@ -93,24 +113,26 @@ func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Multiplicities are tracked in a transient full map (existence checks
+	// against an unsorted bucket would be quadratic); only the >= 2 tail
+	// survives into idx.counts.
+	cnt := make(map[value.Key]int)
 	for _, t := range r.Tuples() {
-		idx.insertAppend(t)
+		k := value.KeyOfAt(t, idx.xpos)
+		proj := t.Project(idx.ypos)
+		dk := pairKey(k, proj.Key())
+		cnt[dk]++
+		if cnt[dk] == 1 {
+			idx.buckets[k] = append(idx.buckets[k], proj)
+		}
+	}
+	for dk, n := range cnt {
+		if n >= 2 {
+			idx.counts[dk] = n
+		}
 	}
 	idx.sortBuckets()
 	return idx, nil
-}
-
-// insertAppend is Insert without the canonical-position search: the new
-// projection goes to the bucket's end. Only Build may use it, followed
-// by sortBuckets.
-func (ix *Index) insertAppend(t data.Tuple) {
-	k := value.KeyOfAt(t, ix.xpos)
-	proj := t.Project(ix.ypos)
-	dk := pairKey(k, proj.Key())
-	ix.counts[dk]++
-	if ix.counts[dk] == 1 {
-		ix.buckets[k] = append(ix.buckets[k], proj)
-	}
 }
 
 // sortBuckets restores the canonical per-bucket order after a bulk
@@ -155,27 +177,34 @@ func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
 	proj := t.Project(ix.ypos)
 	pk := proj.Key()
-	dk := pairKey(k, pk)
-	ix.counts[dk]++
 	b := ix.buckets[k]
-	if ix.counts[dk] == 1 {
-		// Binary search for the canonical position; bucket sizes are bounded
-		// by the constraint's cardinality, so the per-probe key encodings
-		// stay cheap.
-		at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
-		if !ix.ownsBucket(k) {
-			// Copy-on-write: this bucket's backing array is shared with a
-			// pre-clone version whose readers still hold it.
-			nb := make([]data.Tuple, len(b), len(b)+1)
-			copy(nb, b)
-			b = nb
-			ix.claimBucket(k)
+	// Binary search for the canonical position; bucket sizes are bounded
+	// by the constraint's cardinality, so the per-probe key encodings
+	// stay cheap.
+	at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
+	if at < len(b) && b[at].Key() == pk {
+		// Pair already present: bump its multiplicity (implicit 1 when
+		// absent from counts).
+		dk := pairKey(k, pk)
+		n := ix.counts[dk]
+		if n == 0 {
+			n = 1
 		}
-		b = append(b, nil)
-		copy(b[at+1:], b[at:])
-		b[at] = proj
-		ix.buckets[k] = b
+		ix.counts[dk] = n + 1
+		return k, len(b)
 	}
+	if !ix.ownsBucket(k) {
+		// Copy-on-write: this bucket's backing array is shared with a
+		// pre-clone version whose readers still hold it.
+		nb := make([]data.Tuple, len(b), len(b)+1)
+		copy(nb, b)
+		b = nb
+		ix.claimBucket(k)
+	}
+	b = append(b, nil)
+	copy(b[at+1:], b[at:])
+	b[at] = proj
+	ix.buckets[k] = b
 	return k, len(b)
 }
 
@@ -187,29 +216,31 @@ func (ix *Index) Delete(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
 	proj := t.Project(ix.ypos)
 	pk := proj.Key()
-	dk := pairKey(k, pk)
-	n, ok := ix.counts[dk]
-	if !ok {
-		return k, len(ix.buckets[k])
-	}
-	if n > 1 {
-		ix.counts[dk] = n - 1
-		return k, len(ix.buckets[k])
-	}
-	delete(ix.counts, dk)
 	b := ix.buckets[k]
+	at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
+	if at == len(b) || b[at].Key() != pk {
+		// Pair was never inserted; deleting it is a no-op.
+		return k, len(b)
+	}
+	dk := pairKey(k, pk)
+	if n, ok := ix.counts[dk]; ok { // multiplicity >= 2
+		if n > 2 {
+			ix.counts[dk] = n - 1
+		} else {
+			delete(ix.counts, dk) // back to the implicit 1
+		}
+		return k, len(b)
+	}
+	// Multiplicity 1: the projection leaves the bucket.
 	var nb []data.Tuple
 	if ix.ownsBucket(k) {
-		nb = b[:0]
+		nb = b[:at]
 	} else {
-		nb = make([]data.Tuple, 0, len(b)-1)
+		nb = make([]data.Tuple, at, len(b)-1)
+		copy(nb, b[:at])
 		ix.claimBucket(k)
 	}
-	for _, p := range b {
-		if p.Key() != pk {
-			nb = append(nb, p)
-		}
-	}
+	nb = append(nb, b[at+1:]...)
 	if len(nb) == 0 {
 		delete(ix.buckets, k)
 		delete(ix.owned, k)
@@ -243,6 +274,77 @@ func (ix *Index) Clone() *Index {
 	}
 	ix.owned = make(map[value.Key]bool)
 	return cp
+}
+
+// Dump visits every bucket in sorted X-key order, with projections in
+// canonical order and, aligned with them, each projection's Key and the
+// multiplicity of each (X, Y) pair — the complete serializable state of
+// the index. It is the checkpoint-writing hook of internal/durable: Dump
+// plus InstallBucket round-trips an index exactly, so recovery restores
+// buckets verbatim instead of re-running Build's scan-and-sort. The
+// projection keys are surfaced so the checkpoint codec can serialize
+// tuples AS their keys without re-encoding. It stops at the first error
+// f returns. Slices passed to f are shared; f must not mutate or retain
+// them past the call.
+func (ix *Index) Dump(f func(k value.Key, projs []data.Tuple, projKeys []value.Key, counts []int) error) error {
+	counts := make([]int, 0, 16)
+	projKeys := make([]value.Key, 0, 16)
+	for _, k := range ix.Keys() {
+		b := ix.buckets[k]
+		counts = counts[:0]
+		projKeys = projKeys[:0]
+		for _, proj := range b {
+			pk := proj.Key()
+			projKeys = append(projKeys, pk)
+			n := ix.counts[pairKey(k, pk)]
+			if n == 0 {
+				n = 1 // implicit multiplicity
+			}
+			counts = append(counts, n)
+		}
+		if err := f(k, b, projKeys, counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallBucket installs one serialized bucket into a fresh index (built
+// with New) — the recovery fast path: no per-tuple canonical-position
+// search, no end-of-build sort, no projection-key re-encode. projs must
+// already be in canonical (strictly ascending projection-key) order with
+// their keys in projKeys and multiplicities in counts; all three come
+// from a Dump of the index being restored, and projKeys[i] = projs[i].Key()
+// is the caller's contract (the checkpoint codec decodes each projection
+// FROM its key, so the correspondence holds by construction). The bucket
+// must not already be present. Ownership of projs transfers to the
+// index.
+func (ix *Index) InstallBucket(k value.Key, projs []data.Tuple, projKeys []value.Key, counts []int) error {
+	if len(projs) == 0 || len(projs) != len(counts) || len(projs) != len(projKeys) {
+		return fmt.Errorf("index: bucket of %d projections with %d keys, %d counts", len(projs), len(projKeys), len(counts))
+	}
+	if _, ok := ix.buckets[k]; ok {
+		return fmt.Errorf("index: bucket %q installed twice", string(k))
+	}
+	prev := value.Key("")
+	for i, proj := range projs {
+		if len(proj) != len(ix.ypos) {
+			return fmt.Errorf("index: projection arity %d, want %d", len(proj), len(ix.ypos))
+		}
+		if counts[i] < 1 {
+			return fmt.Errorf("index: projection multiplicity %d", counts[i])
+		}
+		pk := projKeys[i]
+		if i > 0 && pk <= prev {
+			return fmt.Errorf("index: bucket not in canonical order")
+		}
+		prev = pk
+		if counts[i] > 1 {
+			ix.counts[pairKey(k, pk)] = counts[i]
+		}
+	}
+	ix.buckets[k] = projs
+	return nil
 }
 
 // Fetch returns the distinct Y-projections D_Y(X = ā) for the X-value ā.

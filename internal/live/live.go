@@ -434,6 +434,61 @@ func (st *Staged) Commit() (*Result, error) {
 	}, nil
 }
 
+// Replay applies d to ix IN PLACE: no relation or index clones, no
+// validation, no new snapshot pair. It exists for WAL replay during
+// recovery, where the caller holds the only reference to a freshly
+// decoded checkpoint state and replays a prefix of already-committed
+// deltas onto it — paying Stage's copy-on-write cost (O(|relation|)
+// clones per delta) there would make recovery scale with |D| x deltas
+// for no benefit, since there are no concurrent readers to isolate.
+// Never call it on a published snapshot: mutating shared state breaks
+// the engine's isolation guarantee. If Replay errors, ix is partially
+// mutated and must be discarded.
+func Replay(ctx context.Context, d *Delta, ix *access.Indexed) error {
+	if ix == nil || ix.Instance == nil {
+		return fmt.Errorf("live: no indexed instance to replay onto")
+	}
+	cs := ix.Access.Constraints
+	for _, name := range d.Relations() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("live: replay canceled: %w", err)
+		}
+		rd := d.rels[name]
+		r := ix.Instance.Relation(name)
+		if r == nil {
+			return fmt.Errorf("live: instance has no relation %s", name)
+		}
+		var idxs []int
+		for ci, c := range cs {
+			if c.Rel == name {
+				idxs = append(idxs, ci)
+			}
+		}
+		removed, err := r.DeleteBatchInPlace(rd.deletes)
+		if err != nil {
+			return fmt.Errorf("live: %w", err)
+		}
+		for _, t := range removed {
+			for _, ci := range idxs {
+				ix.Index(ci).Delete(t)
+			}
+		}
+		for _, t := range rd.inserts {
+			fresh, err := r.Insert(t)
+			if err != nil {
+				return fmt.Errorf("live: %w", err)
+			}
+			if !fresh {
+				continue
+			}
+			for _, ci := range idxs {
+				ix.Index(ci).Insert(t)
+			}
+		}
+	}
+	return nil
+}
+
 // Apply materializes ix's instance with d applied, validating the result
 // against the access schema. Per relation, deletes are applied before
 // inserts (so a tuple both deleted and inserted in one batch ends up

@@ -21,6 +21,8 @@ type metrics struct {
 	rows atomic.Int64
 	// streamCuts counts responses cut mid-stream (deadline, disconnect).
 	streamCuts atomic.Int64
+	// checkpoints counts successful POST /v1/checkpoint requests.
+	checkpoints atomic.Int64
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -39,8 +41,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "beserve_saturated_total %d\n", s.metrics.saturated.Load())
 	fmt.Fprintf(w, "beserve_rows_streamed_total %d\n", s.metrics.rows.Load())
 	fmt.Fprintf(w, "beserve_stream_cuts_total %d\n", s.metrics.streamCuts.Load())
+	fmt.Fprintf(w, "beserve_checkpoints_total %d\n", s.metrics.checkpoints.Load())
 	fmt.Fprintf(w, "beserve_engine_size %d\n", st.Size)
 	fmt.Fprintf(w, "beserve_engine_shards %d\n", st.Shards)
+	fmt.Fprintf(w, "beserve_engine_version %d\n", st.Version)
 	fmt.Fprintf(w, "beserve_engine_queries_total %d\n", st.Queries)
 	fmt.Fprintf(w, "beserve_engine_applies_total %d\n", st.Applies)
 	fmt.Fprintf(w, "beserve_engine_fetched_total %d\n", st.Fetched)

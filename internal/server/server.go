@@ -164,6 +164,7 @@ func New(eng core.Queryable, cat Catalog, opts Options) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/apply", s.handleApply)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -379,6 +380,52 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}{res.Inserted, res.Deleted, s.eng.Stats().Size})
 }
 
+// Checkpointer is the optional durability surface of an engine: both
+// core.Engine and shard.Engine implement it when opened with a data
+// directory. The server discovers it by assertion rather than widening
+// core.Queryable — read-only embedders of the Queryable interface owe
+// nothing to durability.
+type Checkpointer interface {
+	Checkpoint(ctx context.Context) (uint64, error)
+}
+
+// handleCheckpoint serves POST /v1/checkpoint: persist the current
+// snapshot as a compact checkpoint and compact the WAL behind it — the
+// admin hook operators call before a planned restart so recovery is
+// replay-free. The response reports the version captured. An engine
+// running without a data directory answers 409 "not_durable".
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ck, ok := s.eng.(Checkpointer)
+	if !ok {
+		writeError(w, http.StatusConflict, apiError{
+			Code:    "not_durable",
+			Message: "engine was started without a data directory",
+		})
+		return
+	}
+	done, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+	v, err := ck.Checkpoint(r.Context())
+	if err != nil {
+		if errors.Is(err, core.ErrNotDurable) {
+			writeError(w, http.StatusConflict, apiError{
+				Code:    "not_durable",
+				Message: "engine was started without a data directory",
+			})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		return
+	}
+	s.metrics.checkpoints.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Version uint64 `json:"version"`
+	}{v})
+}
+
 // handleExplain serves GET /v1/explain?query=NAME: the engine's full
 // coverage/BEP/plan/bound report as text.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -441,12 +488,17 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	}{rels, constraints, queries, st.Shards, st.Size})
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: liveness, the engine size, and the
+// committed snapshot version — after a durable restart the version
+// resumes where the previous process stopped, which is how the e2e
+// suite (and operators) confirm recovery actually replayed the log.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Size   int    `json:"size"`
-	}{"ok", s.eng.Stats().Size})
+		Status  string `json:"status"`
+		Size    int    `json:"size"`
+		Version uint64 `json:"version"`
+	}{"ok", st.Size, st.Version})
 }
 
 // sortedNames returns the catalog's query names in sorted order, so

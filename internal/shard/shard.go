@@ -37,6 +37,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +46,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/cq"
 	"repro/internal/data"
+	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/live"
@@ -84,6 +86,10 @@ type partition struct {
 type snapshot struct {
 	views []*access.Indexed
 	size  int
+	// version is the committed cross-shard version: 0 after Load, +1 per
+	// Apply; every shard's WAL carries a record for every version, so
+	// all shards recover onto the same cut.
+	version uint64
 
 	mergeMu sync.Mutex
 	merged  *data.Instance // guarded by mergeMu
@@ -137,10 +143,15 @@ type Engine struct {
 	planner *core.Engine
 
 	// snap is the current consistent cross-shard snapshot (nil before
-	// the first Load). writeMu serializes Load and Apply.
+	// the first Load). writeMu serializes Load and Apply and protects
+	// store attachment (Durable).
 	snap    atomic.Pointer[snapshot]
 	writeMu sync.Mutex
 	applies atomic.Uint64
+	// stores, when non-nil, holds one durable store per shard
+	// (dir/shard-<i>); every Apply appends the committed version to all
+	// K WALs in shard order. guarded by writeMu.
+	stores []*durable.Store
 }
 
 var _ core.Queryable = (*Engine)(nil)
@@ -315,9 +326,178 @@ func (e *Engine) Load(d *data.Instance) error {
 
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	if e.stores != nil {
+		// Restart the durable history: per-shard base checkpoints at
+		// version 0, all written before the snapshot publishes.
+		for i, st := range e.stores {
+			if err := st.Reset(); err != nil {
+				return err
+			}
+			base := &durable.State{Instance: insts[i], Indexed: views[i], Version: 0}
+			if err := st.WriteCheckpoint(e.Schema, base); err != nil {
+				return err
+			}
+		}
+	}
 	e.snap.Store(&snapshot{views: views, size: size, merged: d})
 	e.planner.SetSizeHint(size)
 	return nil
+}
+
+// Durable attaches per-shard durability directories under dir
+// (dir/shard-0 … dir/shard-<K-1>): every subsequent Apply appends the
+// committed version to all K WALs — in shard order, before the
+// cross-shard snapshot publishes — and Load writes per-shard base
+// checkpoints. If the directories already hold durable state, the
+// engine recovers onto one consistent cross-shard cut: V = the minimum
+// committed version across shards (a crash mid-fanout leaves a prefix
+// of shards one version ahead; their diverged WAL suffix is truncated),
+// every shard replays to exactly V, and the recovered snapshot is
+// published (restored == true). Directories where only SOME shards have
+// state — an initial load that crashed partway — are reset wholesale
+// and report restored == false, so the caller re-ingests; Load is
+// idempotent, nothing committed is lost. Call once, before serving.
+func (e *Engine) Durable(ctx context.Context, dir string, hook durable.Hook) (restored bool, err error) {
+	stores := make([]*durable.Store, e.k)
+	closeAll := func() {
+		for _, st := range stores {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	withState := 0
+	cut := durable.NoLimit
+	for i := range stores {
+		st, err := durable.Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), hook)
+		if err != nil {
+			closeAll()
+			return false, err
+		}
+		stores[i] = st
+		if v, ok := st.LastVersion(); ok {
+			withState++
+			if v < cut {
+				cut = v
+			}
+		}
+	}
+
+	attach := func() error {
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		if e.stores != nil {
+			return fmt.Errorf("shard: engine already has durable stores")
+		}
+		e.stores = stores
+		return nil
+	}
+
+	if withState < e.k {
+		// Fresh directories, or a partial initial load: no consistent cut
+		// exists, so wipe whatever half-written state is there and let the
+		// caller Load from source.
+		for _, st := range stores {
+			if err := st.Reset(); err != nil {
+				closeAll()
+				return false, err
+			}
+		}
+		if err := attach(); err != nil {
+			closeAll()
+			return false, err
+		}
+		return false, nil
+	}
+
+	// Recover every shard to exactly the cut, in parallel.
+	states := make([]*durable.State, e.k)
+	errs := make([]error, e.k)
+	var wg sync.WaitGroup
+	for i := range stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			states[i], errs[i] = stores[i].Recover(ctx, e.Schema, e.Access, cut)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			closeAll()
+			return false, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if states[i] == nil || states[i].Version != cut {
+			closeAll()
+			return false, fmt.Errorf("shard %d: recovered no state at cut version %d", i, cut)
+		}
+	}
+	views := make([]*access.Indexed, e.k)
+	size := 0
+	for i, st := range states {
+		views[i] = st.Indexed
+		size += st.Instance.Size()
+	}
+	if err := attach(); err != nil {
+		closeAll()
+		return false, err
+	}
+	e.writeMu.Lock()
+	e.snap.Store(&snapshot{views: views, size: size, version: cut})
+	e.writeMu.Unlock()
+	e.planner.SetSizeHint(size)
+	return true, nil
+}
+
+// Checkpoint persists every shard's current snapshot (all at the same
+// pinned cross-shard version) and compacts the WALs behind them,
+// returning the version captured. core.ErrNotDurable if Durable was
+// never called.
+func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
+	_ = ctx
+	e.writeMu.Lock()
+	stores := e.stores
+	sn := e.snap.Load()
+	e.writeMu.Unlock()
+	if stores == nil {
+		return 0, core.ErrNotDurable
+	}
+	if sn == nil {
+		return 0, errNoInstance()
+	}
+	errs := make([]error, len(stores))
+	var wg sync.WaitGroup
+	for i, st := range stores {
+		wg.Add(1)
+		go func(i int, st *durable.Store) {
+			defer wg.Done()
+			errs[i] = st.WriteCheckpoint(e.Schema, &durable.State{
+				Instance: sn.views[i].Instance, Indexed: sn.views[i], Version: sn.version,
+			})
+		}(i, st)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return sn.version, nil
+}
+
+// CloseDurable detaches and closes every shard's durable store. Safe to
+// call when durability was never enabled.
+func (e *Engine) CloseDurable() error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	var first error
+	for _, st := range e.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.stores = nil
+	return first
 }
 
 // Apply validates delta against the access schema across all shards and
@@ -407,7 +587,26 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 		}
 		views[i] = r.Indexed
 	}
-	e.snap.Store(&snapshot{views: views, size: newGlobal})
+	// Durability point: every shard's WAL gets a record for this version
+	// — an empty sub-delta for untouched shards — in shard order, BEFORE
+	// the cross-shard snapshot publishes. Versions therefore stay in
+	// lockstep across shards, and a crash mid-fanout leaves a prefix of
+	// shards one version ahead; recovery truncates that diverged suffix
+	// back to the minimum committed version. An append failure aborts
+	// the whole publish: the pre-delta snapshot keeps serving, and the
+	// shards already appended are rolled back to the committed version
+	// so the next Apply lines up again.
+	if e.stores != nil {
+		for i, st := range e.stores {
+			if err := st.AppendDelta(sn.version+1, subs[i]); err != nil {
+				for _, prev := range e.stores[:i] {
+					_ = prev.TruncateAfter(sn.version)
+				}
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	e.snap.Store(&snapshot{views: views, size: newGlobal, version: sn.version + 1})
 	e.planner.SetSizeHint(newGlobal)
 	e.applies.Add(1)
 	return res, nil
@@ -680,8 +879,10 @@ func (e *Engine) PartitionKey(rel string) []schema.Attribute {
 // serving counters.
 func (e *Engine) Stats() core.EngineStats {
 	size := 0
+	version := uint64(0)
 	if sn := e.snap.Load(); sn != nil {
 		size = sn.size
+		version = sn.version
 	}
 	// Every query is served through the planner's QueryView, so its
 	// request and access-accounting counters cover the whole fleet.
@@ -693,6 +894,7 @@ func (e *Engine) Stats() core.EngineStats {
 		Applies: e.applies.Load(),
 		Fetched: ps.Fetched,
 		Scanned: ps.Scanned,
+		Version: version,
 	}
 }
 

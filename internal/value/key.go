@@ -2,6 +2,7 @@ package value
 
 import (
 	"encoding/binary"
+	"fmt"
 	"strings"
 )
 
@@ -38,6 +39,110 @@ func KeyOf(vals ...Value) Key {
 		}
 	}
 	return Key(b.String())
+}
+
+// uvarintStr is binary.Uvarint over a string tail, so decoding never
+// converts the tail to []byte (which allocates and copies per call). It
+// additionally rejects non-canonical encodings — varints padded with
+// zero high-order groups — since a padded group's final byte is 0x00
+// and a minimal multi-byte encoding's never is. Returns consumed
+// bytes, or 0 on truncated/overflowing/non-canonical input.
+func uvarintStr(s string, i int) (uint64, int) {
+	var x uint64
+	var shift uint
+	for n := 0; i+n < len(s); n++ {
+		b := s[i+n]
+		if b < 0x80 {
+			if n > 0 && b == 0 {
+				return 0, 0 // non-canonical padding
+			}
+			if n == 9 && b > 1 {
+				return 0, 0 // overflows uint64
+			}
+			return x | uint64(b)<<shift, n + 1
+		}
+		if n == 9 {
+			return 0, 0 // more than MaxVarintLen64 bytes
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0 // truncated
+}
+
+// DecodeKey parses a Key back into the value sequence that produced it.
+// It is the exact inverse of KeyOf: on success, KeyOf(vals...) reproduces
+// k byte for byte. Non-canonical encodings are rejected rather than
+// normalised, so a Key either round-trips exactly or fails to decode.
+// The checkpoint codec relies on this to store tuples as their Keys and
+// still guarantee that decode-then-encode is a fixed point. Decoded
+// string values share k's backing memory.
+func DecodeKey(k Key) ([]Value, error) {
+	return AppendDecodeKey(nil, k)
+}
+
+// AppendDecodeKey is DecodeKey appending into dst, for bulk decoders
+// that carve many small value slices out of one arena allocation
+// instead of paying one allocation per key.
+func AppendDecodeKey(dst []Value, k Key) ([]Value, error) {
+	b := string(k)
+	vals := dst
+	for i := 0; i < len(b); {
+		kind := Kind(b[i])
+		i++
+		switch kind {
+		case Null:
+			vals = append(vals, Value{})
+		case Int:
+			u, n := uvarintStr(b, i)
+			if n == 0 {
+				return nil, fmt.Errorf("value: key offset %d: bad varint", i)
+			}
+			i += n
+			// Undo binary.PutVarint's zig-zag mapping.
+			v := int64(u >> 1)
+			if u&1 != 0 {
+				v = ^v
+			}
+			vals = append(vals, NewInt(v))
+		case String:
+			l, n := uvarintStr(b, i)
+			if n == 0 {
+				return nil, fmt.Errorf("value: key offset %d: bad length varint", i)
+			}
+			i += n
+			if l > uint64(len(b)-i) {
+				return nil, fmt.Errorf("value: key offset %d: string length %d overruns key", i, l)
+			}
+			vals = append(vals, NewString(b[i:i+int(l)]))
+			i += int(l)
+		default:
+			return nil, fmt.Errorf("value: key offset %d: unknown kind %d", i-1, uint8(kind))
+		}
+	}
+	return vals, nil
+}
+
+// AppendKey appends the Key encoding of vals to dst and returns the
+// extended slice. It is KeyOf for callers that scan many tuples and
+// want to reuse one scratch buffer instead of materializing a string
+// per tuple; dst[:0] round trips make the loop allocation-free, and a
+// map lookup via m[Key(dst)] compiles without a copy.
+func AppendKey(dst []byte, vals ...Value) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range vals {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case Int:
+			k := binary.PutVarint(buf[:], v.i)
+			dst = append(dst, buf[:k]...)
+		case String:
+			k := binary.PutUvarint(buf[:], uint64(len(v.s)))
+			dst = append(dst, buf[:k]...)
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
 }
 
 // KeyOfAt encodes the projection of row onto positions cols. It avoids the
