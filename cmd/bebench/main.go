@@ -139,8 +139,10 @@ func run(exp string, workers, shards int, jsonDir string) error {
 		t, err = bench.E14NetworkServing(workers, time.Second)
 	case "e15":
 		t, err = bench.E15Durability(40, 30)
+	case "e16":
+		t, err = bench.E16TraceOverhead(40, time.Second)
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
 	}
 	if err != nil {
 		return err

@@ -36,6 +36,14 @@
 // skipped, so bequery can query exactly what a crashed server had
 // committed; -apply batches are WAL-logged before they become visible.
 //
+// -profile traces the request and prints an EXPLAIN ANALYZE span tree —
+// one {"profile": ...} JSON line after the answer (the stream's last
+// line with -stream, the same wire shape beserve's "profile": true
+// speaks) — covering planning, every index fetch, joins, dedup, and the
+// per-shard route/scatter traffic under -shards. With -apply it also
+// profiles the update (stage/validate/commit, WAL append). -slow-query-ms
+// N logs a structured JSON line to stderr when the request exceeds N ms.
+//
 // -wal-dump renders a durability directory's write-ahead log human-
 // readably (one header line per record plus the delta TSV body) and
 // exits; the schema still comes from -file or -demo. A torn tail — the
@@ -66,6 +74,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/load"
 	"repro/internal/ndjson"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -103,6 +112,8 @@ type cliConfig struct {
 	timeout    time.Duration
 	fallback   string
 	stream     bool
+	profile    bool
+	slowMS     int
 }
 
 func main() {
@@ -125,6 +136,8 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "run: per-request execution deadline (0 = none)")
 	flag.StringVar(&cfg.fallback, "fallback", "scan", "run: strategy for non-bounded queries: scan | refuse | envelope")
 	flag.BoolVar(&cfg.stream, "stream", false, "run: stream rows as NDJSON while the plan produces them")
+	flag.BoolVar(&cfg.profile, "profile", false, "run: print an EXPLAIN ANALYZE span tree ({\"profile\": ...}) after the answer")
+	flag.IntVar(&cfg.slowMS, "slow-query-ms", 0, "run: log a structured slow-query line to stderr when the request exceeds this many milliseconds (0 = off)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bequery:", err)
@@ -173,7 +186,16 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := eng.Apply(context.Background(), delta)
+		// -profile traces the apply too: stage/validate/commit and the
+		// WAL append get their own span tree, printed before the query's.
+		actx := context.Background()
+		var atr *obs.Trace
+		if cfg.profile {
+			atr = obs.NewTrace("apply")
+			actx = obs.NewContext(actx, atr)
+		}
+		res, err := eng.Apply(actx, delta)
+		aroot := atr.Finish()
 		if err != nil {
 			return err
 		}
@@ -181,6 +203,9 @@ func run(cfg cliConfig) error {
 		// sharded engine would materialize the whole union just to count.
 		fmt.Printf("applied %s: +%d -%d tuples, |D| now %d\n",
 			cfg.apply, res.Inserted, res.Deleted, eng.Stats().Size)
+		if err := ndjson.WriteProfile(os.Stdout, aroot, nil); err != nil {
+			return err
+		}
 	}
 	if cfg.saveDir != "" {
 		if eng.Instance() == nil {
@@ -227,7 +252,17 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := eng.Query(context.Background(), q, opts...)
+		// A trace rides the request when -profile or -slow-query-ms asks
+		// for one; otherwise the engine's record sites stay on their
+		// zero-cost disabled path.
+		slow := obs.NewSlowLog(os.Stderr, time.Duration(cfg.slowMS)*time.Millisecond)
+		ctx := context.Background()
+		var tr *obs.Trace
+		if cfg.profile || slow.Enabled() {
+			tr = obs.NewTrace("query")
+			ctx = obs.NewContext(ctx, tr)
+		}
+		res, err := eng.Query(ctx, q, opts...)
 		var be *core.BudgetError
 		if errors.As(err, &be) {
 			// Admission control working as intended: report the refusal
@@ -241,15 +276,24 @@ func run(cfg cliConfig) error {
 		if cfg.stream {
 			// NDJSON: one row object per line on stdout as the engine
 			// produces it; the summary goes to stderr so pipelines stay
-			// machine-readable.
+			// machine-readable. The profile trailer is the stream's last
+			// line — the same wire shape the server speaks.
 			if err := streamNDJSON(os.Stdout, res); err != nil {
 				return err
 			}
+			root := tr.Finish()
+			if cfg.profile {
+				if err := ndjson.WriteProfile(os.Stdout, root, nil); err != nil {
+					return err
+				}
+			}
+			recordSlow(slow, cfg.query, q, res, root)
 			fmt.Fprintf(os.Stderr, "answered via %s; fetched=%d scanned=%d cached=%v in %v\n",
 				res.Mode, res.Stats.Fetched, res.Stats.Scanned,
 				res.Stats.CacheHit, res.Stats.Elapsed.Round(time.Microsecond))
 			return nil
 		}
+		root := tr.Finish()
 		fmt.Printf("answered via %s; fetched=%d scanned=%d rows=%d cached=%v in %v\n",
 			res.Mode, res.Stats.Fetched, res.Stats.Scanned, len(res.Rows),
 			res.Stats.CacheHit, res.Stats.Elapsed.Round(time.Microsecond))
@@ -267,6 +311,12 @@ func run(cfg cliConfig) error {
 			}
 			fmt.Println("  " + strings.Join(cells, "\t"))
 		}
+		if cfg.profile {
+			if err := ndjson.WriteProfile(os.Stdout, root, nil); err != nil {
+				return err
+			}
+		}
+		recordSlow(slow, cfg.query, q, res, root)
 	case "baseline":
 		res, err := eng.Baseline(q, eval.HashJoin)
 		if err != nil {
@@ -291,6 +341,30 @@ func run(cfg cliConfig) error {
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 	return nil
+}
+
+// recordSlow feeds one finished request into the slow-query log (a nil
+// log makes it a no-op): the same line schema beserve emits, so one jq
+// recipe reads both.
+func recordSlow(slow *obs.SlowLog, name string, q core.Query, res *core.Result, root *obs.Span) {
+	if !slow.Enabled() {
+		return
+	}
+	entry := obs.SlowEntry{
+		Query:     name,
+		Mode:      res.Mode.String(),
+		Fetched:   res.Stats.Fetched,
+		Scanned:   res.Stats.Scanned,
+		FetchKeys: res.Stats.FetchKeys,
+		CacheHit:  res.Stats.CacheHit,
+	}
+	if ck, ok := q.(interface{ CanonicalKey() string }); ok {
+		entry.CacheKey = ck.CanonicalKey()
+	}
+	if res.Bound != nil {
+		entry.Bound = res.Bound.Fetched
+	}
+	slow.Record(entry, res.Stats.Elapsed, root)
 }
 
 // streamNDJSON drains a streamed Result through the shared NDJSON

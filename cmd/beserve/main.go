@@ -22,6 +22,11 @@
 // -shards K serves through the hash-partitioned internal/shard engine;
 // the wire behavior is byte-identical to the single-node engine's.
 //
+// -slow-query-ms N logs every /v1/query slower than N ms as one
+// structured JSON line on stderr (canonical plan-cache key, bound,
+// stats, top-3 spans). -debug-addr serves net/http/pprof on a separate
+// listener, so CPU/heap profiles never share a port with the API.
+//
 // -data-dir enables durability (internal/durable): every applied delta
 // is WAL-logged and fsynced before it becomes visible, so a restart —
 // including kill -9 — recovers every committed delta. On startup, a
@@ -40,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/server"
@@ -79,6 +86,8 @@ type cliConfig struct {
 	queueTimeout  time.Duration
 	stallTimeout  time.Duration
 	shutdownGrace time.Duration
+	slowMS        int
+	debugAddr     string
 }
 
 func main() {
@@ -96,6 +105,8 @@ func main() {
 	flag.DurationVar(&cfg.queueTimeout, "queue-timeout", server.DefaultQueueTimeout, "how long a request may wait for an admission slot before 503")
 	flag.DurationVar(&cfg.stallTimeout, "stall-timeout", server.DefaultStallTimeout, "per-I/O deadline evicting stalled clients from their admission slot")
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second, "drain window for in-flight responses on SIGINT/SIGTERM")
+	flag.IntVar(&cfg.slowMS, "slow-query-ms", 0, "log a structured slow-query line to stderr when a /v1/query exceeds this many milliseconds (0 = off)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,6 +129,18 @@ func run(ctx context.Context, cfg cliConfig, ready func(addr string)) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
+	}
+	if cfg.debugAddr != "" {
+		// The pprof surface lives on its own listener so it can be bound
+		// to localhost (or firewalled) independently of the serving
+		// address, and never shares a mux with the public API.
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		log.Printf("beserve: pprof on http://%s/debug/pprof/", dln.Addr())
+		go http.Serve(dln, debugMux())
 	}
 	if ready != nil {
 		ready(ln.Addr().String())
@@ -149,6 +172,19 @@ func run(ctx context.Context, cfg cliConfig, ready func(addr string)) error {
 	return err
 }
 
+// debugMux serves net/http/pprof on explicit routes — registering on a
+// fresh mux rather than relying on the package's DefaultServeMux side
+// effects, so the debug surface is exactly these five handlers.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // build assembles the engine and catalog from the flags, mirroring
 // bequery's input sources (document+TSV data, or a built-in demo). The
 // returned finalize runs at shutdown (after the drain): it writes the
@@ -166,6 +202,7 @@ func build(ctx context.Context, cfg cliConfig) (*server.Server, func() error, er
 		MaxInFlight:  cfg.maxInFlight,
 		QueueTimeout: cfg.queueTimeout,
 		StallTimeout: cfg.stallTimeout,
+		SlowLog:      obs.NewSlowLog(os.Stderr, time.Duration(cfg.slowMS)*time.Millisecond),
 	})
 	if err != nil {
 		return nil, nil, err

@@ -98,6 +98,9 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 	}
 	t.AddRow("plan path3 (cold)", tCold, 1.0, "-")
 	t.AddRow("plan path3 (cached)", tHit, tCold/maxF(tHit, 0.01), "-")
+	t.AddMetric("plan_cold_us", tCold, "us")
+	t.AddMetric("plan_cached_us", tHit, "us")
+	t.AddMetric("plan_cache_speedup", tCold/maxF(tHit, 0.01), "x")
 
 	// (b) Parallel execution: identical plan, varying worker counts.
 	p, _, err := warm.Plan(q)
@@ -128,6 +131,13 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 			same = fmt.Sprint(sameRows(tbl, baseTbl) && stats.Fetched == baseFetched)
 		}
 		t.AddRow(fmt.Sprintf("exec path3 workers=%d", w), el, baseTime/maxF(el, 0.01), same)
+		if i == 0 {
+			t.AddMetric("exec_1worker_us", el, "us")
+		}
+		if i == len(workerCounts)-1 {
+			t.AddMetric("exec_max_workers_us", el, "us")
+			t.AddMetric("exec_parallel_speedup", baseTime/maxF(el, 0.01), "x")
+		}
 	}
 	t.Notes = append(t.Notes,
 		"cached planning must be orders of magnitude below cold synthesis — that is the repeat-query win",

@@ -654,6 +654,7 @@ func All(workers int) ([]*Table, error) {
 		func() (*Table, error) { return E13Sharding([]int{1, 2, 4, 8}, 20) },
 		func() (*Table, error) { return E14NetworkServing(workers, 100*time.Millisecond) },
 		func() (*Table, error) { return E15Durability(20, 20) },
+		func() (*Table, error) { return E16TraceOverhead(20, 100*time.Millisecond) },
 	}
 	for _, step := range steps {
 		tb, err := step()

@@ -109,6 +109,11 @@ func E12LiveUpdates(days []int, batches int) (*Table, error) {
 		t.AddRow(fmt.Sprintf("ingest %d-op batches", deltas[0].Len()),
 			acc.Instance.Size(), applyUS/float64(batches), reloadUS/float64(batches),
 			reloadUS/maxF(applyUS, 0.01))
+		if d == days[len(days)-1] {
+			t.AddMetric("apply_us_per_batch", applyUS/float64(batches), "us")
+			t.AddMetric("reload_us_per_batch", reloadUS/float64(batches), "us")
+			t.AddMetric("apply_speedup", reloadUS/maxF(applyUS, 0.01), "x")
+		}
 	}
 
 	// (b) Q0 QPS with and without a background writer, on the largest |D|.
@@ -118,6 +123,8 @@ func E12LiveUpdates(days []int, batches int) (*Table, error) {
 	}
 	t.AddRow("Q0 QPS idle writer", "-", fmt.Sprintf("%.0f q/s", qps), "-", "-")
 	t.AddRow("Q0 QPS under write stream", "-", fmt.Sprintf("%.0f q/s", qpsUnderWrites), "-", "-")
+	t.AddMetric("qps_idle", qps, "q/s")
+	t.AddMetric("qps_under_writes", qpsUnderWrites, "q/s")
 	t.Notes = append(t.Notes,
 		"apply cost tracks the delta size; reload cost tracks |D| — the gap widens as the dataset grows",
 		"snapshot isolation: the write stream never blocks readers, so QPS under writes stays the same order")

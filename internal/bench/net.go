@@ -80,6 +80,9 @@ func E14NetworkServing(clients int, window time.Duration) (*Table, error) {
 		ratio = wire / inProc
 	}
 	t.AddRow("accidents/Q0", "HTTP/NDJSON", fmt.Sprintf("%.0f", wire), fmt.Sprintf("%.2f", ratio), wireRows)
+	t.AddMetric("qps_in_process", inProc, "q/s")
+	t.AddMetric("qps_wire", wire, "q/s")
+	t.AddMetric("wire_ratio", ratio, "x")
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d concurrent clients, %v window, keep-alive connections", clients, window),
 		"wire rows are checked equal to in-process rows before timing — the paths answer identically",

@@ -154,6 +154,15 @@ func E13Sharding(shardCounts []int, batches int) (*Table, error) {
 			}
 			t.AddRow(bed.name, k, fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.0f", applyUS/float64(batches)),
 				rows, rows == baseRows)
+			if bed.name == "accidents/Q0" {
+				if k == shardCounts[0] {
+					t.AddMetric("accidents_qps_k1", qps, "q/s")
+				}
+				if k == shardCounts[len(shardCounts)-1] {
+					t.AddMetric(fmt.Sprintf("accidents_qps_k%d", k), qps, "q/s")
+					t.AddMetric(fmt.Sprintf("accidents_apply_us_k%d", k), applyUS/float64(batches), "us")
+				}
+			}
 		}
 	}
 	t.Notes = append(t.Notes,

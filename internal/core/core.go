@@ -31,6 +31,7 @@ import (
 	"repro/internal/envelope"
 	"repro/internal/eval"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/specialize"
@@ -237,7 +238,6 @@ func (e *Engine) Durable(ctx context.Context, dir string, hook durable.Hook) (re
 // applies proceed concurrently; only the final rename briefly holds the
 // WAL lock. ErrNotDurable if the engine has no store.
 func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
-	_ = ctx
 	e.writeMu.Lock()
 	st := e.store
 	sn := e.current()
@@ -248,9 +248,12 @@ func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
 	if sn == nil {
 		return 0, errNoInstance()
 	}
+	sp := obs.FromContext(ctx).Start("checkpoint.write")
 	err := st.WriteCheckpoint(e.Schema, &durable.State{
 		Instance: sn.instance, Indexed: sn.indexed, Version: sn.version,
 	})
+	sp.SetRows(int64(sn.instance.Size()))
+	sp.End()
 	return sn.version, err
 }
 
@@ -298,7 +301,11 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 	// published — the engine keeps serving the pre-delta version and the
 	// WAL was rolled back to the previous record boundary.
 	if e.store != nil {
-		if err := e.store.AppendDelta(sn.version+1, delta); err != nil {
+		wsp := obs.FromContext(ctx).Start("wal.append+fsync")
+		err := e.store.AppendDelta(sn.version+1, delta)
+		wsp.SetRows(int64(delta.Len()))
+		wsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/envelope"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/posfo"
 	"repro/internal/ucq"
@@ -334,9 +335,28 @@ func (e *Engine) serveSubs(ctx context.Context, start time.Time, label string, s
 	return e.serveUCQ(ctx, start, u, cfg, v)
 }
 
+// endPlanSpan closes a plan-phase span with its cache verdict. The
+// profile's "plan" span covers boundedness analysis, plan synthesis and
+// the cache lookup that may short-circuit both.
+func endPlanSpan(sp *obs.Span, hit bool, err error) {
+	switch {
+	case sp == nil:
+	case err != nil:
+		sp.SetDetail("no bounded plan")
+	case hit:
+		sp.SetDetail("cache hit")
+	default:
+		sp.SetDetail("cache miss")
+	}
+	sp.End()
+}
+
 // serveCQ serves a single conjunctive query against one data view.
 func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg queryConfig, v *View) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	psp := tr.Start("plan")
 	p, b, _, hit, err := e.planWithDecision(q, v.Size)
+	endPlanSpan(psp, hit, err)
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: q.Label, Budget: cfg.budget, Bound: &b}
@@ -351,7 +371,9 @@ func (e *Engine) serveCQ(ctx context.Context, start time.Time, q *cq.CQ, cfg que
 	case FallbackRefuse:
 		return nil, err
 	case FallbackEnvelope:
+		esp := tr.Start("plan.envelope")
 		pu, bu, up, hitU, eerr := e.envelopePlanCached(q, v.Size)
+		endPlanSpan(esp, hitU, eerr)
 		if eerr != nil {
 			// The search itself failed (e.g. too many atoms for the
 			// relaxation search) — that diagnostic beats the generic
@@ -424,7 +446,10 @@ func (e *Engine) envelopePlanCached(q *cq.CQ, sizeHint int) (*plan.Plan, plan.Bo
 // serveUCQ serves a union of conjunctive queries, against one data view
 // like serveCQ.
 func (e *Engine) serveUCQ(ctx context.Context, start time.Time, u *ucq.UCQ, cfg queryConfig, v *View) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	psp := tr.Start("plan")
 	p, b, hit, err := e.planUCQCached(u, v.Size)
+	endPlanSpan(psp, hit, err)
 	if err == nil {
 		if cfg.budget >= 0 && b.Fetched > cfg.budget {
 			return nil, &BudgetError{Query: u.Label, Budget: cfg.budget, Bound: &b}
@@ -515,12 +540,19 @@ func (e *Engine) runScan(ctx context.Context, start time.Time, label string, col
 		res.stream = func(yield func(data.Tuple) bool) {
 			sctx, cancel := cfg.applyDeadline(ctx)
 			defer cancel()
+			sp := obs.FromContext(ctx).Start("scan")
 			r, err := evalFn(sctx)
 			if err != nil {
+				sp.End()
 				res.err = err
 				res.Stats.Elapsed = time.Since(start)
 				return
 			}
+			// Scanned lives on the child eval.cq spans (one per sub-CQ,
+			// so a union's breakdown is visible); duplicating it here
+			// would double-count in any tree sum.
+			sp.SetRows(int64(len(r.Rows)))
+			sp.End()
 			res.Stats.Scanned = r.Scanned
 			e.scanned.Add(r.Scanned)
 			for i, row := range r.Rows {
@@ -540,10 +572,14 @@ func (e *Engine) runScan(ctx context.Context, start time.Time, label string, col
 	}
 	sctx, cancel := cfg.applyDeadline(ctx)
 	defer cancel()
+	sp := obs.FromContext(ctx).Start("scan")
 	r, err := evalFn(sctx)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.SetRows(int64(len(r.Rows)))
+	sp.End()
 	res.Rows = r.Rows
 	res.Stats.Scanned = r.Scanned
 	e.scanned.Add(r.Scanned)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -41,6 +42,8 @@ func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema
 
 	// Newest-first over checkpoints at or below the cut; remember the
 	// first decode error in case no checkpoint works out.
+	tr := obs.FromContext(ctx)
+	csp := tr.Start("recover.checkpoint")
 	var base *State
 	var firstErr error
 	vs := s.checkpointVersions()
@@ -58,6 +61,10 @@ func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema
 		base = st
 		break
 	}
+	if base != nil {
+		csp.SetRows(int64(base.Instance.Size()))
+	}
+	csp.End()
 	if base == nil {
 		if firstErr != nil {
 			return nil, fmt.Errorf("durable: no readable checkpoint: %w", firstErr)
@@ -68,8 +75,10 @@ func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema
 		return nil, fmt.Errorf("durable: WAL present but no checkpoint to replay onto")
 	}
 
+	rsp := tr.Start("recover.replay")
 	recs, err := s.records(sc, base.Version, last)
 	if err != nil {
+		rsp.End()
 		return nil, err
 	}
 	want := base.Version
@@ -77,12 +86,16 @@ func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema
 	for _, r := range recs {
 		want++
 		if r.version != want {
+			rsp.End()
 			return nil, fmt.Errorf("durable: WAL replay expected version %d, found %d", want, r.version)
 		}
 		if err := live.Replay(ctx, r.delta, cur); err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("durable: replaying version %d: %w", r.version, err)
 		}
 	}
+	rsp.SetRows(int64(len(recs)))
+	rsp.End()
 	if want != last {
 		return nil, fmt.Errorf("durable: WAL replay reached version %d, expected %d", want, last)
 	}

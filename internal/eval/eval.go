@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -74,6 +75,17 @@ func CQ(q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
 // conventional fallback of a serving engine from running away on an
 // abandoned request.
 func CQCtx(ctx context.Context, q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
+	sp := obs.FromContext(ctx).StartDetail("eval.cq", q.Label)
+	r, err := cqCtx(ctx, q, d, mode)
+	if err == nil {
+		sp.SetScanned(r.Scanned)
+		sp.SetRows(int64(len(r.Rows)))
+	}
+	sp.End()
+	return r, err
+}
+
+func cqCtx(ctx context.Context, q *cq.CQ, d *data.Instance, mode Mode) (*Result, error) {
 	c := q.Canonicalize()
 	if c.Unsat {
 		return &Result{}, nil

@@ -31,6 +31,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/data"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/value"
 )
@@ -505,12 +506,23 @@ func Replay(ctx context.Context, d *Delta, ix *access.Indexed) error {
 // Apply is Stage + Violations + Commit; coordinators that need to
 // validate across several staged shards call the pieces directly.
 func Apply(ctx context.Context, d *Delta, ix *access.Indexed) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("apply.stage")
 	st, err := Stage(ctx, d, ix)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	if viols := st.Violations(st.OldSize(), st.Size()); len(viols) > 0 {
+	sp.SetRows(int64(st.Inserted() + st.Deleted()))
+	sp.End()
+	sp = tr.Start("apply.validate")
+	viols := st.Violations(st.OldSize(), st.Size())
+	sp.End()
+	if len(viols) > 0 {
 		return nil, &ViolationError{Violations: viols}
 	}
-	return st.Commit()
+	sp = tr.Start("apply.commit")
+	res, err := st.Commit()
+	sp.End()
+	return res, err
 }

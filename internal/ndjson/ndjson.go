@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -68,6 +69,32 @@ func Write(w io.Writer, res *core.Result, flush func()) error {
 		}
 	}
 	return res.Err()
+}
+
+// WriteProfile emits the EXPLAIN ANALYZE trailer: one NDJSON line whose
+// single "profile" key holds the request's finished span tree. It goes
+// after the row lines (and, over HTTP, before the trailers), so a plain
+// row consumer distinguishes it by the key — no row object ever has a
+// "profile" column because column names come from query variables.
+// Shared by bequery -profile and the server's "profile": true so the
+// wire output stays byte-identical to the CLI.
+func WriteProfile(w io.Writer, root *obs.Span, flush func()) error {
+	if root == nil {
+		return nil
+	}
+	enc, err := json.Marshal(struct {
+		Profile *obs.Span `json:"profile"`
+	}{root})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, string(enc)); err != nil {
+		return err
+	}
+	if flush != nil {
+		flush()
+	}
+	return nil
 }
 
 // jsonValue maps an engine value to its natural JSON type.

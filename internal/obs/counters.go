@@ -1,0 +1,73 @@
+// ShardCounters: per-shard route-vs-scatter accounting for traced
+// requests. The shard engine's fetchers run on whatever goroutine the
+// plan executor schedules, so they can't open spans (span nesting
+// follows the coordinator's stack); instead a traced request carries
+// one of these and the fetchers bump atomics. At Trace.Finish an
+// OnFinish hook folds the totals into synthesized per-shard spans:
+// "shard 2 route" / "shard 2 scatter" with keys and rows.
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// ShardCounters accumulates per-shard fetch accounting for one traced
+// request. Index by shard; route and scatter are counted separately so
+// a profile shows whether the planner's alignment analysis paid off.
+type ShardCounters struct {
+	shards []shardCell
+}
+
+type shardCell struct {
+	routeKeys   atomic.Int64
+	routeRows   atomic.Int64
+	scatterKeys atomic.Int64
+	scatterRows atomic.Int64
+}
+
+// NewShardCounters returns counters for k shards and registers the
+// finish hook that turns them into spans on tr. Returns nil (a no-op
+// receiver) when tr is nil.
+func NewShardCounters(tr *Trace, k int) *ShardCounters {
+	if tr == nil || k <= 0 {
+		return nil
+	}
+	sc := &ShardCounters{shards: make([]shardCell, k)}
+	tr.OnFinish(func(t *Trace) { sc.emit(t) })
+	return sc
+}
+
+// Route records an aligned (single-shard routed) fetch: one key lookup
+// on shard i yielding rows tuples.
+func (sc *ShardCounters) Route(i int, keys, rows int64) {
+	if sc == nil {
+		return
+	}
+	sc.shards[i].routeKeys.Add(keys)
+	sc.shards[i].routeRows.Add(rows)
+}
+
+// Scatter records a broadcast fetch's per-shard share: the key was
+// asked of shard i and yielded rows tuples.
+func (sc *ShardCounters) Scatter(i int, keys, rows int64) {
+	if sc == nil {
+		return
+	}
+	sc.shards[i].scatterKeys.Add(keys)
+	sc.shards[i].scatterRows.Add(rows)
+}
+
+// emit synthesizes the per-shard spans onto t. Shards that saw no
+// traffic emit nothing, so a routed-only profile stays terse.
+func (sc *ShardCounters) emit(t *Trace) {
+	for i := range sc.shards {
+		c := &sc.shards[i]
+		if k, r := c.routeKeys.Load(), c.routeRows.Load(); k > 0 || r > 0 {
+			t.AddCounterSpan("shard "+strconv.Itoa(i)+" route", "", r, r, k)
+		}
+		if k, r := c.scatterKeys.Load(), c.scatterRows.Load(); k > 0 || r > 0 {
+			t.AddCounterSpan("shard "+strconv.Itoa(i)+" scatter", "", r, r, k)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Prometheus-style fixed-bucket histograms for the /metrics surface.
+// Stdlib-only: bucket counts are atomics, the float sum is maintained
+// by a Float64bits compare-and-swap, and exposition renders the
+// cumulative le-bucket form Prometheus expects. Bucket bounds are fixed
+// at construction so the exposition's line set — which the server's
+// golden test pins — never varies at runtime.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, concurrency-safe histogram. Observe is
+// lock-free; Write renders the Prometheus exposition lines.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64       // upper bounds, ascending; +Inf implicit
+	buckets []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count   atomic.Uint64
+	sum     atomic.Uint64 // Float64bits of the running sum
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. The +Inf bucket is implicit.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets is the bound set shared by the query- and
+// apply-latency histograms: 100µs to ~10s, roughly ×3 steps.
+func LatencyBuckets() []float64 {
+	return []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+}
+
+// SizeBuckets is the bound set for per-request magnitude histograms
+// (fetch keys issued, rows streamed): 1 to 1e6, decade steps with a
+// mid-decade point.
+func SizeBuckets() []float64 {
+	return []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000, 1000000}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Write renders the histogram in Prometheus text exposition format:
+// HELP and TYPE headers, cumulative le buckets ending at +Inf, then
+// _sum and _count.
+func (h *Histogram) Write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest round-trip decimal, no exponent for the magnitudes we use.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}

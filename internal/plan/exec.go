@@ -3,9 +3,11 @@ package plan
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -60,12 +62,21 @@ func ExecuteSource(ctx context.Context, p *Plan, src Source, opts ExecOptions) (
 		return nil, nil, err
 	}
 	stats := &ExecStats{}
+	tr := obs.FromContext(ctx)
 	results := make([]*Table, len(p.Steps))
 	for i, op := range p.Steps {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
 		}
+		sp, f0, k0 := startStepSpan(tr, i, op, stats)
 		t, err := execOp(ctx, op, results, src, stats, opts)
+		if sp != nil {
+			if err == nil {
+				sp.SetRows(int64(t.Len()))
+			}
+			sp.SetFetch(stats.Fetched-f0, stats.FetchKeys-k0)
+			sp.End()
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -76,6 +87,48 @@ func ExecuteSource(ctx context.Context, p *Plan, src Source, opts ExecOptions) (
 		}
 	}
 	return results[len(results)-1], stats, nil
+}
+
+// startStepSpan opens the per-operator profile span for plan step i and
+// snapshots the fetch accounting, so the span's Fetched/Keys are the
+// step's delta. A nil trace costs a nil check and nothing else.
+func startStepSpan(tr *obs.Trace, i int, op Op, stats *ExecStats) (sp *obs.Span, f0, k0 int64) {
+	if tr == nil {
+		return nil, 0, 0
+	}
+	sp = tr.StartDetail(opKind(op), "T"+strconv.Itoa(i)+" = "+op.String())
+	return sp, stats.Fetched, stats.FetchKeys
+}
+
+// opKind names a span after its operator class; the full operator text
+// goes in the span's Detail.
+func opKind(op Op) string {
+	switch op.(type) {
+	case unitOp:
+		return "unit"
+	case ConstOp:
+		return "const"
+	case EmptyOp:
+		return "empty"
+	case FetchOp:
+		return "fetch"
+	case ProjectOp:
+		return "project"
+	case SelectOp:
+		return "select"
+	case ProductOp:
+		return "product"
+	case JoinOp:
+		return "join"
+	case UnionOp:
+		return "union"
+	case DiffOp:
+		return "diff"
+	case RenameOp:
+		return "rename"
+	default:
+		return "op"
+	}
 }
 
 // ExecuteStream runs p like ExecuteOpts but hands the final step's rows to
@@ -96,13 +149,22 @@ func ExecuteStreamSource(ctx context.Context, p *Plan, src Source, opts ExecOpti
 		return nil, err
 	}
 	stats := &ExecStats{}
+	tr := obs.FromContext(ctx)
 	results := make([]*Table, len(p.Steps))
 	last := len(p.Steps) - 1
 	for i, op := range p.Steps[:last] {
 		if err := ctx.Err(); err != nil {
 			return stats, fmt.Errorf("plan: canceled before step T%d: %w", i, err)
 		}
+		sp, f0, k0 := startStepSpan(tr, i, op, stats)
 		t, err := execOp(ctx, op, results, src, stats, opts)
+		if sp != nil {
+			if err == nil {
+				sp.SetRows(int64(t.Len()))
+			}
+			sp.SetFetch(stats.Fetched-f0, stats.FetchKeys-k0)
+			sp.End()
+		}
 		if err != nil {
 			return stats, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
@@ -115,7 +177,27 @@ func ExecuteStreamSource(ctx context.Context, p *Plan, src Source, opts ExecOpti
 	if err := ctx.Err(); err != nil {
 		return stats, fmt.Errorf("plan: canceled before step T%d: %w", last, err)
 	}
-	if err := streamOp(ctx, p.Steps[last], results, src, stats, yield); err != nil {
+	// The final step streams through the dedup sink; its span counts the
+	// rows actually yielded downstream (post-dedup, post-early-stop).
+	var sp *obs.Span
+	var f0, k0, yielded int64
+	sunk := yield
+	if tr != nil {
+		sp = tr.StartDetail(opKind(p.Steps[last])+"+stream+dedup",
+			"T"+strconv.Itoa(last)+" = "+p.Steps[last].String())
+		f0, k0 = stats.Fetched, stats.FetchKeys
+		sunk = func(row data.Tuple) bool {
+			yielded++
+			return yield(row)
+		}
+	}
+	err := streamOp(ctx, p.Steps[last], results, src, stats, sunk)
+	if sp != nil {
+		sp.SetRows(yielded)
+		sp.SetFetch(stats.Fetched-f0, stats.FetchKeys-k0)
+		sp.End()
+	}
+	if err != nil {
 		return stats, fmt.Errorf("plan: step T%d (%s): %w", last, p.Steps[last], err)
 	}
 	stats.OpsRun++

@@ -4,7 +4,54 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// endpoint indexes the per-endpoint request counters. Every route the
+// mux knows gets its own label; anything else (404s, bad methods) lands
+// under "other" so no request is invisible to /metrics.
+type endpoint int
+
+const (
+	epQuery endpoint = iota
+	epApply
+	epCheckpoint
+	epExplain
+	epSchema
+	epHealthz
+	epMetrics
+	epOther
+	epCount
+)
+
+// endpointNames are the {endpoint=...} label values, indexed by endpoint.
+var endpointNames = [epCount]string{
+	"query", "apply", "checkpoint", "explain", "schema", "healthz", "metrics", "other",
+}
+
+// endpointOf maps a mux pattern (what mux.Handler reports before
+// dispatch) to its counter.
+func endpointOf(pattern string) endpoint {
+	switch pattern {
+	case "POST /v1/query":
+		return epQuery
+	case "POST /v1/apply":
+		return epApply
+	case "POST /v1/checkpoint":
+		return epCheckpoint
+	case "GET /v1/explain":
+		return epExplain
+	case "GET /v1/schema":
+		return epSchema
+	case "GET /healthz":
+		return epHealthz
+	case "GET /metrics":
+		return epMetrics
+	default:
+		return epOther
+	}
+}
 
 // metrics are the server-side counters behind GET /metrics; engine-side
 // counters (size, cumulative fetched/scanned, plan-cache hits) come from
@@ -12,9 +59,13 @@ import (
 type metrics struct {
 	// inFlight is the admission gauge: requests currently holding a slot.
 	inFlight atomic.Int64
-	// queries and applies count requests per endpoint (admitted or not).
-	queries atomic.Int64
-	applies atomic.Int64
+	// requests counts every request per endpoint, counted at dispatch —
+	// before decode, admission or the handler — so refused and malformed
+	// requests are visible too.
+	requests [epCount]atomic.Int64
+	// responses counts finished responses by status class: index 0 is
+	// 2xx, 1 is 4xx, 2 is 5xx.
+	responses [3]atomic.Int64
 	// saturated counts 503 admission refusals.
 	saturated atomic.Int64
 	// rows counts NDJSON lines streamed to clients.
@@ -23,10 +74,49 @@ type metrics struct {
 	streamCuts atomic.Int64
 	// checkpoints counts successful POST /v1/checkpoint requests.
 	checkpoints atomic.Int64
+
+	// The fixed-bucket histograms: request latency and per-request
+	// magnitude distributions. Allocated in New.
+	queryLatency *obs.Histogram
+	applyLatency *obs.Histogram
+	fetchKeys    *obs.Histogram
+	rowsOut      *obs.Histogram
+}
+
+// respClasses are the {class=...} label values, in exposition order.
+var respClasses = [3]string{"2xx", "4xx", "5xx"}
+
+// countResponse buckets a finished response's status code into its
+// class counter. Classes outside 2xx/4xx/5xx (the server never emits
+// 1xx/3xx) are ignored rather than miscounted.
+func (m *metrics) countResponse(status int) {
+	switch {
+	case status >= 200 && status < 300:
+		m.responses[0].Add(1)
+	case status >= 400 && status < 500:
+		m.responses[1].Add(1)
+	case status >= 500 && status < 600:
+		m.responses[2].Add(1)
+	}
+}
+
+// newHistograms allocates the server's fixed-bucket histograms. Bucket
+// bounds are construction-time constants, so the /metrics exposition's
+// line set is fixed — the golden test pins it.
+func (m *metrics) newHistograms() {
+	m.queryLatency = obs.NewHistogram("beserve_query_latency_seconds",
+		"End-to-end /v1/query latency including response streaming.", obs.LatencyBuckets())
+	m.applyLatency = obs.NewHistogram("beserve_apply_latency_seconds",
+		"Engine.Apply latency for /v1/apply requests.", obs.LatencyBuckets())
+	m.fetchKeys = obs.NewHistogram("beserve_query_fetch_keys",
+		"Distinct index lookups per /v1/query request.", obs.SizeBuckets())
+	m.rowsOut = obs.NewHistogram("beserve_query_rows_streamed",
+		"NDJSON rows streamed per /v1/query response.", obs.SizeBuckets())
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
-// format, a fixed line order so scrapes are diffable.
+// format, a fixed line order so scrapes are diffable (pinned by the
+// golden test in metrics_test.go).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	cs := s.eng.CacheStats()
@@ -36,8 +126,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "beserve_in_flight %d\n", s.metrics.inFlight.Load())
-	fmt.Fprintf(w, "beserve_requests_total{endpoint=\"query\"} %d\n", s.metrics.queries.Load())
-	fmt.Fprintf(w, "beserve_requests_total{endpoint=\"apply\"} %d\n", s.metrics.applies.Load())
+	for ep := endpoint(0); ep < epCount; ep++ {
+		fmt.Fprintf(w, "beserve_requests_total{endpoint=%q} %d\n",
+			endpointNames[ep], s.metrics.requests[ep].Load())
+	}
+	for i, class := range respClasses {
+		fmt.Fprintf(w, "beserve_responses_total{class=%q} %d\n",
+			class, s.metrics.responses[i].Load())
+	}
 	fmt.Fprintf(w, "beserve_saturated_total %d\n", s.metrics.saturated.Load())
 	fmt.Fprintf(w, "beserve_rows_streamed_total %d\n", s.metrics.rows.Load())
 	fmt.Fprintf(w, "beserve_stream_cuts_total %d\n", s.metrics.streamCuts.Load())
@@ -53,4 +149,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "beserve_plan_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "beserve_plan_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "beserve_plan_cache_hit_rate %.4f\n", hitRate)
+	s.metrics.queryLatency.Write(w)
+	s.metrics.applyLatency.Write(w)
+	s.metrics.fetchKeys.Write(w)
+	s.metrics.rowsOut.Write(w)
 }

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExpositionGolden pins the FULL /metrics line set and its
+// order: every line's name+labels part, in sequence. Dashboards and the
+// CI e2e scrape parse this surface by prefix, so an accidental rename,
+// reorder, or dropped series must fail loudly here, not in production.
+func TestMetricsExpositionGolden(t *testing.T) {
+	srv, _ := accidentsServer(t, 2, 1, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Values vary run to run (latency sums, engine size); the series
+	// names and their order do not. Strip each line to its name+labels.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, line := range strings.Split(strings.TrimSpace(readAll(t, resp)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			// HELP/TYPE comments: keep the kind and the series name.
+			f := strings.Fields(line)
+			got = append(got, f[0]+" "+f[1]+" "+f[2])
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			got = append(got, line[:i])
+		}
+	}
+
+	histogram := func(name string) []string {
+		lines := []string{"# HELP " + name, "# TYPE " + name}
+		var les []string
+		if strings.HasSuffix(name, "_seconds") {
+			les = []string{"0.0001", "0.0003", "0.001", "0.003", "0.01",
+				"0.03", "0.1", "0.3", "1", "3", "10"}
+		} else {
+			les = []string{"1", "5", "10", "50", "100", "500", "1000",
+				"5000", "10000", "100000", "1000000"}
+		}
+		for _, le := range append(les, "+Inf") {
+			lines = append(lines, name+`_bucket{le="`+le+`"}`)
+		}
+		return append(lines, name+"_sum", name+"_count")
+	}
+	want := []string{
+		"beserve_in_flight",
+		`beserve_requests_total{endpoint="query"}`,
+		`beserve_requests_total{endpoint="apply"}`,
+		`beserve_requests_total{endpoint="checkpoint"}`,
+		`beserve_requests_total{endpoint="explain"}`,
+		`beserve_requests_total{endpoint="schema"}`,
+		`beserve_requests_total{endpoint="healthz"}`,
+		`beserve_requests_total{endpoint="metrics"}`,
+		`beserve_requests_total{endpoint="other"}`,
+		`beserve_responses_total{class="2xx"}`,
+		`beserve_responses_total{class="4xx"}`,
+		`beserve_responses_total{class="5xx"}`,
+		"beserve_saturated_total",
+		"beserve_rows_streamed_total",
+		"beserve_stream_cuts_total",
+		"beserve_checkpoints_total",
+		"beserve_engine_size",
+		"beserve_engine_shards",
+		"beserve_engine_version",
+		"beserve_engine_queries_total",
+		"beserve_engine_applies_total",
+		"beserve_engine_fetched_total",
+		"beserve_engine_scanned_total",
+		"beserve_plan_cache_hits_total",
+		"beserve_plan_cache_misses_total",
+		"beserve_plan_cache_entries",
+		"beserve_plan_cache_hit_rate",
+	}
+	want = append(want, histogram("beserve_query_latency_seconds")...)
+	want = append(want, histogram("beserve_apply_latency_seconds")...)
+	want = append(want, histogram("beserve_query_fetch_keys")...)
+	want = append(want, histogram("beserve_query_rows_streamed")...)
+
+	if len(got) != len(want) {
+		t.Fatalf("exposition has %d lines, want %d\ngot:\n%s", len(got), len(want),
+			strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exposition line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMetricsEndpointAndClassCounters drives one request at every
+// endpoint (plus an unrouted path) and checks each shows up under its
+// own label, and that response classes are bucketed correctly.
+func TestMetricsEndpointAndClassCounters(t *testing.T) {
+	srv, _ := accidentsServer(t, 2, 1, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+	}
+	readAll(t, postQuery(t, ts, `{"query":"Q0"}`))          // 200 → query, 2xx
+	readAll(t, postQuery(t, ts, `{"query":"NoSuchQuery"}`)) // 404 → query, 4xx
+	get("/v1/explain?query=Q0")                             // 200 → explain, 2xx
+	get("/v1/schema")                                       // 200 → schema, 2xx
+	get("/healthz")                                         // 200 → healthz, 2xx
+	get("/no/such/route")                                   // 404 → other, 4xx
+
+	// ONE scrape for every assertion: each GET /metrics is itself a
+	// counted 2xx response, so scraping per-metric would shift the
+	// counts under the test.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := readAll(t, resp)
+	value := func(name string) string {
+		for _, line := range strings.Split(scrape, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				return strings.TrimPrefix(line, name+" ")
+			}
+		}
+		t.Fatalf("metric %s not exposed", name)
+		return ""
+	}
+	wantCounts := map[string]string{
+		`beserve_requests_total{endpoint="query"}`:   "2",
+		`beserve_requests_total{endpoint="apply"}`:   "0",
+		`beserve_requests_total{endpoint="explain"}`: "1",
+		`beserve_requests_total{endpoint="schema"}`:  "1",
+		`beserve_requests_total{endpoint="healthz"}`: "1",
+		`beserve_requests_total{endpoint="metrics"}`: "1",
+		`beserve_requests_total{endpoint="other"}`:   "1",
+		`beserve_responses_total{class="2xx"}`:       "4",
+		`beserve_responses_total{class="4xx"}`:       "2",
+		`beserve_responses_total{class="5xx"}`:       "0",
+		// The query latency histogram observed exactly the one query
+		// that executed (the 404 never reached the engine).
+		`beserve_query_latency_seconds_bucket{le="+Inf"}`: "1",
+	}
+	for name, want := range wantCounts {
+		if got := value(name); got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// TestQueryProfileTrailer exercises "profile": true on the wire: the
+// response's last NDJSON line must be a {"profile": ...} object whose
+// span tree names the plan and fetch phases and reconciles with the
+// X-Beserve-Fetched trailer.
+func TestQueryProfileTrailer(t *testing.T) {
+	srv, _ := accidentsServer(t, 2, 4, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postQuery(t, ts, `{"query":"Q0","profile":true}`)
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	last := lines[len(lines)-1]
+	var trailer struct {
+		Profile *struct {
+			Name      string `json:"name"`
+			ElapsedNS int64  `json:"elapsed_ns"`
+			Children  []json.RawMessage
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil || trailer.Profile == nil {
+		t.Fatalf("last line is not a profile trailer: %v\n%s", err, last)
+	}
+	if trailer.Profile.Name != "query" || trailer.Profile.ElapsedNS <= 0 {
+		t.Errorf("root span = %+v", trailer.Profile)
+	}
+	for _, want := range []string{`"name":"plan"`, `"name":"fetch"`, `"name":"shard 0 route"`} {
+		if !strings.Contains(last, want) {
+			t.Errorf("profile lacks %s:\n%s", want, last)
+		}
+	}
+	// Every earlier line is a row object — none may carry the key.
+	for _, line := range lines[:len(lines)-1] {
+		if strings.Contains(line, `"profile"`) {
+			t.Errorf("row line carries a profile key: %s", line)
+		}
+	}
+	// Without the flag, no trailer.
+	body = readAll(t, postQuery(t, ts, `{"query":"Q0"}`))
+	if strings.Contains(body, `"profile"`) {
+		t.Errorf("unprofiled response carries a profile:\n%s", body)
+	}
+}

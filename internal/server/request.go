@@ -35,6 +35,10 @@ type QueryRequest struct {
 	// Workers bounds this request's execution pool; 0 uses the engine
 	// default, -1 uses GOMAXPROCS, at most 64.
 	Workers int `json:"workers,omitempty"`
+	// Profile requests an EXPLAIN ANALYZE trailer: the response's last
+	// NDJSON line is {"profile": <span tree>} with per-operator timings
+	// and row counts for this request.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // decodeQueryRequest reads and decodes the JSON body. Every failure is

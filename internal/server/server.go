@@ -47,6 +47,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/live"
 	"repro/internal/ndjson"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/schema"
 )
@@ -101,6 +102,11 @@ type Options struct {
 	// deadline is rolling (refreshed per I/O operation), so slow-but-
 	// moving clients are fine. 0 means DefaultStallTimeout.
 	StallTimeout time.Duration
+	// SlowLog, when non-nil, logs every /v1/query whose wall-clock
+	// crosses its threshold as one structured JSON line (cache key,
+	// bound, stats, top-3 spans). Requests then carry a trace even
+	// without "profile": true, so the log has spans to digest.
+	SlowLog *obs.SlowLog
 }
 
 const (
@@ -161,6 +167,7 @@ func New(eng core.Queryable, cat Catalog, opts Options) (*Server, error) {
 		opts:  opts,
 		slots: make(chan struct{}, opts.MaxInFlight),
 	}
+	s.metrics.newHistograms()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/apply", s.handleApply)
@@ -173,8 +180,51 @@ func New(eng core.Queryable, cat Catalog, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP dispatches to the endpoint handlers.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP counts the request under its endpoint label (resolved from
+// the mux pattern BEFORE dispatch, so refused and malformed requests
+// are counted too), serves it through a status-capturing writer, and
+// buckets the finished response by status class.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_, pattern := s.mux.Handler(r)
+	s.metrics.requests[endpointOf(pattern)].Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	s.metrics.countResponse(sw.status())
+}
+
+// statusWriter records the response status for the status-class
+// counters. Unwrap keeps http.ResponseController (flush, deadlines)
+// working through the wrapper — handlers must use the controller, not
+// direct type assertions, for those optional interfaces.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// status is the recorded code; a handler that never wrote anything is
+// an implicit 200.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // acquire takes an admission slot, waiting up to the queue timeout. It
 // reports false when the request should be refused (saturation) or the
@@ -236,7 +286,6 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 // body never carries an empty trailer, so clients can tell short from
 // complete.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
 	req, apiErr := decodeQueryRequest(r, s.opts.MaxBodyBytes)
 	if apiErr != nil {
 		writeError(w, apiErr.status(), *apiErr)
@@ -252,7 +301,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer done()
-	res, err := s.eng.Query(r.Context(), q, append(qopts, core.WithStream())...)
+	// The request carries a trace when the client asked for a profile or
+	// the operator runs a slow-query log — otherwise the engine's record
+	// sites stay on their zero-cost disabled path.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if req.Profile || s.opts.SlowLog.Enabled() {
+		tr = obs.NewTrace("query")
+		defer tr.Finish()
+		ctx = obs.NewContext(ctx, tr)
+	}
+	res, err := s.eng.Query(ctx, q, append(qopts, core.WithStream())...)
 	if err != nil {
 		e := queryError(err)
 		writeError(w, e.status(), e)
@@ -276,20 +335,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Flush the first row immediately (streaming clients see data as
 	// soon as it exists), then every flushStride rows; the handler
 	// return flushes the tail. Per-row flushing would cost a syscall and
-	// an undersized chunk per line on large scans.
-	flush := func() {}
-	if flusher, ok := w.(http.Flusher); ok {
-		n := 0
-		flush = func() {
-			if n%flushStride == 0 {
-				flusher.Flush()
-			}
-			n++
+	// an undersized chunk per line on large scans. The flush goes
+	// through ResponseController so it traverses the statusWriter
+	// wrapper (Unwrap), where a direct http.Flusher assertion would not.
+	rc := http.NewResponseController(w)
+	n := 0
+	flush := func() {
+		if n%flushStride == 0 {
+			_ = rc.Flush()
 		}
+		n++
 	}
-	out := &stallWriter{w: w, rc: http.NewResponseController(w),
-		stall: s.opts.StallTimeout, rows: &s.metrics.rows}
+	out := &stallWriter{w: w, rc: rc, stall: s.opts.StallTimeout, rows: &s.metrics.rows}
 	werr := ndjson.Write(out, res, flush)
+	root := tr.Finish()
+	if req.Profile && werr == nil {
+		// EXPLAIN ANALYZE trailer: one {"profile": <span tree>} line
+		// after the rows. Written to w directly so the rows-streamed
+		// counters keep counting answer rows only.
+		werr = ndjson.WriteProfile(w, root, func() { _ = rc.Flush() })
+	}
 	h.Set("X-Beserve-Fetched", strconv.FormatInt(res.Stats.Fetched, 10))
 	h.Set("X-Beserve-Scanned", strconv.FormatInt(res.Stats.Scanned, 10))
 	h.Set("X-Beserve-Elapsed", res.Stats.Elapsed.String())
@@ -297,6 +362,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.metrics.streamCuts.Add(1)
 		h.Set("X-Beserve-Error", werr.Error())
 	}
+	s.metrics.queryLatency.Observe(res.Stats.Elapsed.Seconds())
+	s.metrics.fetchKeys.Observe(float64(res.Stats.FetchKeys))
+	s.metrics.rowsOut.Observe(float64(out.n))
+	s.recordSlowQuery(req, q, res, root)
+}
+
+// recordSlowQuery emits the structured slow-query line when the request
+// crossed the operator's threshold.
+func (s *Server) recordSlowQuery(req *QueryRequest, q core.Query, res *core.Result, root *obs.Span) {
+	sl := s.opts.SlowLog
+	if !sl.Enabled() {
+		return
+	}
+	entry := obs.SlowEntry{
+		Query:     req.Query,
+		Mode:      res.Mode.String(),
+		Fetched:   res.Stats.Fetched,
+		Scanned:   res.Stats.Scanned,
+		FetchKeys: res.Stats.FetchKeys,
+		CacheHit:  res.Stats.CacheHit,
+	}
+	if entry.Query == "" {
+		entry.Query = req.Text
+	}
+	if ck, ok := q.(interface{ CanonicalKey() string }); ok {
+		entry.CacheKey = ck.CanonicalKey()
+	}
+	if res.Bound != nil {
+		entry.Bound = res.Bound.Fetched
+	}
+	sl.Record(entry, res.Stats.Elapsed, root)
 }
 
 // stallWriter is the streaming response writer: it counts emitted
@@ -313,6 +409,9 @@ type stallWriter struct {
 	rc    *http.ResponseController
 	stall time.Duration
 	rows  *atomic.Int64
+	// n counts this response's lines (the global counter aggregates all
+	// requests) — it feeds the rows-per-request histogram.
+	n int64
 }
 
 func (c *stallWriter) Write(p []byte) (int, error) {
@@ -321,6 +420,7 @@ func (c *stallWriter) Write(p []byte) (int, error) {
 	for _, b := range p[:n] {
 		if b == '\n' {
 			c.rows.Add(1)
+			c.n++
 		}
 	}
 	return n, err
@@ -345,7 +445,6 @@ func (c *stallReader) Read(p []byte) (int, error) {
 // reports the net effect and the new |D|; a rejected delta is a 409
 // carrying every violation.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	s.metrics.applies.Add(1)
 	done, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -366,7 +465,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, apiError{Code: "bad_delta", Message: err.Error()})
 		return
 	}
+	start := time.Now()
 	res, err := s.eng.Apply(r.Context(), delta)
+	s.metrics.applyLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		// queryError maps a *live.ViolationError to the 409 payload.
 		e := queryError(err)

@@ -50,6 +50,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/specialize"
@@ -454,7 +455,6 @@ func (e *Engine) Durable(ctx context.Context, dir string, hook durable.Hook) (re
 // returning the version captured. core.ErrNotDurable if Durable was
 // never called.
 func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
-	_ = ctx
 	e.writeMu.Lock()
 	stores := e.stores
 	sn := e.snap.Load()
@@ -465,6 +465,8 @@ func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
 	if sn == nil {
 		return 0, errNoInstance()
 	}
+	csp := obs.FromContext(ctx).Start("checkpoint.write")
+	defer csp.End()
 	errs := make([]error, len(stores))
 	var wg sync.WaitGroup
 	for i, st := range stores {
@@ -538,7 +540,11 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 		return nil, err
 	}
 
-	// Phase 1: stage every touched shard in parallel.
+	// Phase 1: stage every touched shard in parallel. The span covers
+	// the whole fanout — per-shard staging runs on worker goroutines,
+	// which never open spans of their own.
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("apply.stage")
 	staged := make([]*live.Staged, e.k)
 	errs := make([]error, e.k)
 	var wg sync.WaitGroup
@@ -553,6 +559,7 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 		}(i)
 	}
 	wg.Wait()
+	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -572,9 +579,13 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 	}
 
 	// Phase 2: global validation, then all-or-nothing publish.
-	if viols := e.validate(sn, staged, oldGlobal, newGlobal); len(viols) > 0 {
+	sp = tr.Start("apply.validate")
+	viols := e.validate(sn, staged, oldGlobal, newGlobal)
+	sp.End()
+	if len(viols) > 0 {
 		return nil, &live.ViolationError{Violations: viols}
 	}
+	sp = tr.Start("apply.commit")
 	views := make([]*access.Indexed, e.k)
 	for i := 0; i < e.k; i++ {
 		if staged[i] == nil {
@@ -583,10 +594,12 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 		}
 		r, err := staged[i].Commit()
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		views[i] = r.Indexed
 	}
+	sp.End()
 	// Durability point: every shard's WAL gets a record for this version
 	// — an empty sub-delta for untouched shards — in shard order, BEFORE
 	// the cross-shard snapshot publishes. Versions therefore stay in
@@ -597,14 +610,18 @@ func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, er
 	// shards already appended are rolled back to the committed version
 	// so the next Apply lines up again.
 	if e.stores != nil {
+		wsp := tr.Start("wal.append+fsync")
 		for i, st := range e.stores {
 			if err := st.AppendDelta(sn.version+1, subs[i]); err != nil {
 				for _, prev := range e.stores[:i] {
 					_ = prev.TruncateAfter(sn.version)
 				}
+				wsp.End()
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}
 		}
+		wsp.SetRows(int64(delta.Len()))
+		wsp.End()
 	}
 	e.snap.Store(&snapshot{views: views, size: newGlobal, version: sn.version + 1})
 	e.planner.SetSizeHint(newGlobal)
@@ -800,15 +817,31 @@ func (e *Engine) Query(ctx context.Context, q core.Query, opts ...core.QueryOpti
 	if sn == nil {
 		return nil, errNoInstance()
 	}
-	return e.planner.QueryView(ctx, q, e.viewOf(sn), opts...)
+	v := e.viewOf(sn)
+	// A traced request gets per-shard route/scatter accounting: the
+	// fetchers bump counters (they run on plan-executor worker
+	// goroutines, so they can't open spans) and Trace.Finish folds the
+	// totals into "shard N route"/"shard N scatter" spans.
+	if tr := obs.FromContext(ctx); tr != nil && e.k > 1 {
+		v.Source.(*gatherSource).sc = obs.NewShardCounters(tr, e.k)
+	}
+	return e.planner.QueryView(ctx, q, v, opts...)
 }
 
 // viewOf assembles the core.View for one pinned snapshot.
 func (e *Engine) viewOf(sn *snapshot) *core.View {
 	return &core.View{
-		Size:     sn.size,
-		Source:   &gatherSource{e: e, views: sn.views},
-		Instance: func(ctx context.Context) (*data.Instance, error) { return sn.instance(ctx, e.Schema) },
+		Size:   sn.size,
+		Source: &gatherSource{e: e, views: sn.views},
+		Instance: func(ctx context.Context) (*data.Instance, error) {
+			sp := obs.FromContext(ctx).Start("shard.merge")
+			inst, err := sn.instance(ctx, e.Schema)
+			if inst != nil {
+				sp.SetRows(int64(inst.Size()))
+			}
+			sp.End()
+			return inst, err
+		},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/data"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/value"
 )
@@ -16,6 +17,10 @@ import (
 type gatherSource struct {
 	e     *Engine
 	views []*access.Indexed
+	// sc, when non-nil, is the traced request's per-shard accounting —
+	// the fetchers bump it so the profile can show route-vs-scatter
+	// traffic per shard. Nil on every untraced request.
+	sc *obs.ShardCounters
 }
 
 var _ plan.Source = (*gatherSource)(nil)
@@ -34,9 +39,9 @@ func (g *gatherSource) FetcherFor(c access.Constraint) plan.Fetcher {
 		return idxs[0]
 	}
 	if g.e.aligned(c) {
-		return routedFetcher{idxs: idxs}
+		return routedFetcher{idxs: idxs, sc: g.sc}
 	}
-	return scatterFetcher{idxs: idxs}
+	return scatterFetcher{idxs: idxs, sc: g.sc}
 }
 
 // routedFetcher serves a constraint whose X equals the relation's
@@ -44,10 +49,16 @@ func (g *gatherSource) FetcherFor(c access.Constraint) plan.Fetcher {
 // so a fetch is one lookup on one shard — the same cost as unsharded.
 type routedFetcher struct {
 	idxs []*index.Index
+	sc   *obs.ShardCounters
 }
 
 func (f routedFetcher) FetchKey(k value.Key) []data.Tuple {
-	return f.idxs[shardOf(k, len(f.idxs))].FetchKey(k)
+	i := shardOf(k, len(f.idxs))
+	b := f.idxs[i].FetchKey(k)
+	if f.sc != nil {
+		f.sc.Route(i, 1, int64(len(b)))
+	}
+	return b
 }
 
 // scatterFetcher serves a constraint not aligned with the partition
@@ -58,13 +69,17 @@ func (f routedFetcher) FetchKey(k value.Key) []data.Tuple {
 // would serve — same projections, same order.
 type scatterFetcher struct {
 	idxs []*index.Index
+	sc   *obs.ShardCounters
 }
 
 func (f scatterFetcher) FetchKey(k value.Key) []data.Tuple {
 	var first []data.Tuple
 	var parts [][]data.Tuple
-	for _, idx := range f.idxs {
+	for i, idx := range f.idxs {
 		b := idx.FetchKey(k)
+		if f.sc != nil {
+			f.sc.Scatter(i, 1, int64(len(b)))
+		}
 		if len(b) == 0 {
 			continue
 		}

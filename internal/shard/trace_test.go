@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// sumSpans walks a span tree accumulating the per-operator accounting,
+// keeping the plan-step fetch spans separate from the synthesized
+// per-shard counter spans (which report the SAME traffic pre-merge and
+// would otherwise double-count).
+type spanSums struct {
+	fetched, keys, scanned int64
+	shardFetched           int64
+	shardSpans             int
+	planSpans              int
+}
+
+func sumSpans(s *obs.Span, acc *spanSums) {
+	switch {
+	case strings.HasPrefix(s.Name, "shard ") && s.Name != "shard.merge":
+		acc.shardFetched += s.Fetched
+		acc.shardSpans++
+	case s.Name == "plan" || s.Name == "plan.envelope":
+		acc.planSpans++
+	default:
+		acc.fetched += s.Fetched
+		acc.keys += s.Keys
+		acc.scanned += s.Scanned
+	}
+	for _, c := range s.Children {
+		sumSpans(c, acc)
+	}
+}
+
+// TestPropertyProfileReconcilesWithStats is the profile's accounting
+// contract: over random CQs, on the single-node engine and on a 4-shard
+// engine, the span tree's per-operator fetch/scan counts sum to exactly
+// the request's Result.Stats, and the root span's wall-clock covers the
+// engine-measured elapsed time. A drift here means the profile lies
+// about where the request's budget went.
+func TestPropertyProfileReconcilesWithStats(t *testing.T) {
+	tb := accidentsBed(t)
+	qs, _ := tb.queries(t, 40)
+
+	single, err := core.New(tb.schema, tb.access, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Load(tb.build()); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(tb.schema, tb.access, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Load(tb.build()); err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []struct {
+		name string
+		eng  core.Queryable
+		k    int
+	}{{"shards=1", single, 1}, {"shards=4", sharded, 4}}
+
+	for _, e := range engines {
+		for _, q := range qs {
+			tr := obs.NewTrace("query")
+			ctx := obs.NewContext(context.Background(), tr)
+			res, err := e.eng.Query(ctx, q)
+			root := tr.Finish()
+			if err != nil {
+				continue // refusals and planning errors carry no profile contract
+			}
+			var acc spanSums
+			sumSpans(root, &acc)
+			if acc.fetched != res.Stats.Fetched {
+				t.Errorf("%s/%s: fetch spans sum to %d fetched, Stats.Fetched = %d",
+					e.name, q.Label, acc.fetched, res.Stats.Fetched)
+			}
+			if acc.keys != res.Stats.FetchKeys {
+				t.Errorf("%s/%s: fetch spans sum to %d keys, Stats.FetchKeys = %d",
+					e.name, q.Label, acc.keys, res.Stats.FetchKeys)
+			}
+			if acc.scanned != res.Stats.Scanned {
+				t.Errorf("%s/%s: scan spans sum to %d scanned, Stats.Scanned = %d",
+					e.name, q.Label, acc.scanned, res.Stats.Scanned)
+			}
+			if res.Mode == core.ViaBoundedPlan && acc.planSpans == 0 {
+				t.Errorf("%s/%s: bounded-plan request has no plan span", e.name, q.Label)
+			}
+			if root.ElapsedNS < res.Stats.Elapsed.Nanoseconds() {
+				t.Errorf("%s/%s: root span %dns shorter than Stats.Elapsed %dns",
+					e.name, q.Label, root.ElapsedNS, res.Stats.Elapsed.Nanoseconds())
+			}
+			// The per-shard counter spans must appear exactly when the
+			// sharded engine fetched anything, and their pre-merge traffic
+			// can only meet or exceed the post-merge Stats.Fetched.
+			if e.k > 1 && res.Stats.Fetched > 0 {
+				if acc.shardSpans == 0 {
+					t.Errorf("%s/%s: fetched %d tuples but no per-shard spans",
+						e.name, q.Label, res.Stats.Fetched)
+				}
+				if acc.shardFetched < res.Stats.Fetched {
+					t.Errorf("%s/%s: shard spans carry %d rows < Stats.Fetched %d",
+						e.name, q.Label, acc.shardFetched, res.Stats.Fetched)
+				}
+			}
+			if e.k == 1 && acc.shardSpans != 0 {
+				t.Errorf("%s/%s: single-node trace has %d shard spans", e.name, q.Label, acc.shardSpans)
+			}
+		}
+	}
+}
