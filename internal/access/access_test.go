@@ -109,7 +109,7 @@ func TestBuildIndexedSatisfied(t *testing.T) {
 	if idx == nil {
 		t.Fatal("IndexFor psi1 returned nil")
 	}
-	got := idx.Fetch([]value.Value{value.NewString("1/5/2005")})
+	got := idx.Fetch([]value.Value{value.NewString("1/5/2005")}).Tuples()
 	if len(got) != 2 {
 		t.Errorf("aids on 1/5/2005 = %d, want 2", len(got))
 	}

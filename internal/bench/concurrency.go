@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -114,6 +115,9 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 	var baseFetched int64
 	for i, w := range workerCounts {
 		opts := plan.ExecOptions{Workers: w}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		var tbl *plan.Table
 		var stats *plan.ExecStats
@@ -124,6 +128,7 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 			}
 		}
 		el := float64(time.Since(start).Microseconds()) / execReps
+		runtime.ReadMemStats(&ms1)
 		same := "-"
 		if i == 0 {
 			baseTime, baseTbl, baseFetched = el, tbl, stats.Fetched
@@ -133,6 +138,14 @@ func E11Concurrency(people int, workerCounts []int) (*Table, error) {
 		t.AddRow(fmt.Sprintf("exec path3 workers=%d", w), el, baseTime/maxF(el, 0.01), same)
 		if i == 0 {
 			t.AddMetric("exec_1worker_us", el, "us")
+			// Throughput and memory pressure of the sequential hot path:
+			// answer rows per second, heap allocated per execution, and
+			// GC stop-the-world pause attributable to each execution.
+			// These are the columnar rewrite's acceptance metrics — the
+			// old row-at-a-time executor allocated per fetched row.
+			t.AddMetric("exec_rows_per_sec", float64(tbl.Len())/(el/1e6), "rows/s")
+			t.AddMetric("exec_alloc_mb", float64(ms1.TotalAlloc-ms0.TotalAlloc)/execReps/(1<<20), "mb")
+			t.AddMetric("exec_gc_pause_us", float64(ms1.PauseTotalNs-ms0.PauseTotalNs)/execReps/1e3, "us")
 		}
 		if i == len(workerCounts)-1 {
 			t.AddMetric("exec_max_workers_us", el, "us")

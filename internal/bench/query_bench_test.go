@@ -1,0 +1,38 @@
+package bench
+
+// BenchmarkQ0Query pins the end-to-end serving cost of the standard
+// bounded query — plan-cache hit, bounded execution, result assembly —
+// on the accidents workload. Run with -benchmem: the B/op figure is the
+// executor's per-query allocation budget, the first thing that creeps
+// when a hot-path change starts boxing rows again.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func BenchmarkQ0Query(b *testing.B) {
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 30, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(acc.Instance); err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Q0()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -197,6 +197,9 @@ func (e *Engine) Load(d *data.Instance) error {
 			return err
 		}
 	}
+	// The loaded instance is now read-only until a mutating Apply clones
+	// it; drop the load-time dedup maps (rebuilt on demand by writers).
+	d.ReleaseDedup()
 	e.snap.Store(&snapshot{instance: d, indexed: ix, version: 0})
 	e.cache.restamp(d.Size())
 	return nil

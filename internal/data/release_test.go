@@ -1,0 +1,76 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestReleaseDedup is the regression test for the old retention bug:
+// relations kept their load-time `seen` dedup map alive forever, roughly
+// doubling resident memory for a read-only instance. ReleaseDedup drops
+// the maps; reads keep working (Contains falls back to a columnar scan),
+// and the first mutation rebuilds the map with identical set semantics.
+func TestReleaseDedup(t *testing.T) {
+	r := NewRelation(schema.MustRelation("R", "A", "B"))
+	for i := int64(0); i < 10; i++ {
+		r.MustInsert(value.NewInt(i), value.NewString("s"))
+	}
+	r.ReleaseDedup()
+	if r.seen != nil {
+		t.Fatal("ReleaseDedup left the seen map in place")
+	}
+
+	// Reads work without the map.
+	if !r.Contains(Tuple{value.NewInt(3), value.NewString("s")}) {
+		t.Fatal("Contains lost a present tuple after release")
+	}
+	if r.Contains(Tuple{value.NewInt(3), value.NewString("zzz")}) {
+		t.Fatal("Contains invented a tuple after release")
+	}
+
+	// Mutation rebuilds the map and set semantics hold: a duplicate
+	// insert is refused, a fresh one lands.
+	if fresh, err := r.Insert(Tuple{value.NewInt(3), value.NewString("s")}); err != nil || fresh {
+		t.Fatalf("duplicate insert after release: fresh=%v err=%v", fresh, err)
+	}
+	if fresh, err := r.Insert(Tuple{value.NewInt(99), value.NewString("s")}); err != nil || !fresh {
+		t.Fatalf("fresh insert after release: fresh=%v err=%v", fresh, err)
+	}
+	if r.seen == nil {
+		t.Fatal("mutation did not rebuild the seen map")
+	}
+	if r.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", r.Len())
+	}
+
+	// Delete after release also works through the rebuilt map.
+	if gone, err := r.Delete(Tuple{value.NewInt(0), value.NewString("s")}); err != nil || !gone {
+		t.Fatalf("delete after release: gone=%v err=%v", gone, err)
+	}
+	if r.Contains(Tuple{value.NewInt(0), value.NewString("s")}) {
+		t.Fatal("deleted tuple still present")
+	}
+}
+
+// TestInstanceReleaseDedup exercises the instance-wide release used after
+// Load/recovery.
+func TestInstanceReleaseDedup(t *testing.T) {
+	sc := schema.MustNew(
+		schema.MustRelation("R", "A"),
+		schema.MustRelation("S", "B"),
+	)
+	d := NewInstance(sc)
+	d.MustInsert("R", value.NewInt(1))
+	d.MustInsert("S", value.NewInt(2))
+	d.ReleaseDedup()
+	for _, name := range []string{"R", "S"} {
+		if d.Relation(name).seen != nil {
+			t.Fatalf("relation %s kept its seen map", name)
+		}
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", d.Size())
+	}
+}

@@ -55,7 +55,7 @@ import (
 // them concurrently — restore speed then scales with cores, which a
 // sequential cold ingest cannot do.
 //
-// Tuples are serialized in Tuples() order and bulk-installed in that
+// Tuples are serialized in relation row order and bulk-installed in that
 // order on decode, and buckets install verbatim via index.InstallBucket
 // — so a recovered snapshot's scan order, bucket order, and
 // multiplicities are bit-for-bit those of the snapshot that was
@@ -96,10 +96,11 @@ func EncodeCheckpoint(sc *schema.Schema, st *State) ([]byte, error) {
 		}
 		sect.Reset()
 		writeBytes(&sect, []byte(rs.Name))
-		tuples := r.Tuples()
-		sect.Write(binary.AppendUvarint(nil, uint64(len(tuples))))
-		for _, t := range tuples {
-			writeBytes(&sect, []byte(t.Key()))
+		sect.Write(binary.AppendUvarint(nil, uint64(r.Len())))
+		var kb []byte
+		for ri := 0; ri < r.Len(); ri++ {
+			kb = r.AppendRowKey(kb[:0], ri)
+			writeBytes(&sect, kb)
 		}
 		writeBytes(&p, sect.Bytes())
 	}
@@ -270,34 +271,21 @@ func decodeRelationSection(sec string, rs schema.Relation, inst *data.Instance) 
 	}
 	// Claimed counts are attacker-controlled; a tuple blob takes at
 	// least one payload byte (arity one per value), so the remaining
-	// payload bounds honest preallocation exactly.
-	hint := min(int(nt), r.remaining())
-	ts := make([]data.Tuple, 0, hint)
-	keys := make([]value.Key, 0, hint)
-	arena := make([]value.Value, 0, min(int(nt)*rs.Arity(), r.remaining()))
+	// payload bounds honest preallocation exactly. The blob substrings
+	// ARE the tuples: InstallKeys decodes their cells straight into the
+	// columns, so no []Tuple is materialized here at all.
+	keys := make([]value.Key, 0, min(int(nt), r.remaining()))
 	for i := uint64(0); i < nt; i++ {
 		blob, err := r.bytesVal()
 		if err != nil {
 			return err
 		}
-		// The blob substring IS the dedup-map key, and the values are
-		// carved out of one arena per relation — no per-tuple copies.
-		k := value.Key(blob)
-		start := len(arena)
-		arena, err = value.AppendDecodeKey(arena, k)
-		if err != nil {
-			return fmt.Errorf("durable: checkpoint tuple: %w", err)
-		}
-		if len(arena)-start != rs.Arity() {
-			return fmt.Errorf("durable: checkpoint tuple of arity %d, %s wants %d", len(arena)-start, rs.Name, rs.Arity())
-		}
-		ts = append(ts, data.Tuple(arena[start:len(arena):len(arena)]))
-		keys = append(keys, k)
+		keys = append(keys, value.Key(blob))
 	}
 	if r.off != len(r.b) {
 		return fmt.Errorf("durable: %d trailing bytes in relation section %s", len(r.b)-r.off, rs.Name)
 	}
-	if err := inst.Relation(rs.Name).InstallTuples(ts, keys); err != nil {
+	if err := inst.Relation(rs.Name).InstallKeys(keys); err != nil {
 		return fmt.Errorf("durable: checkpoint tuples: %w", err)
 	}
 	return nil
@@ -326,13 +314,14 @@ func decodeIndexSection(sec string, sc *schema.Schema, c access.Constraint) (*in
 	// Presize the index maps from the file's own totals, clamped by
 	// the bytes actually left in the payload.
 	ix.Grow(min(int(nb), r.remaining()), min(int(npairs), r.remaining()))
+	// Buckets here are tiny (bounded by the constraint's cardinality) and
+	// numerous, so everything per-bucket is carved out of section-wide
+	// arenas: projection cells are decoded straight into flat storage the
+	// index takes ownership of (InstallBucketFlat), and the key/count
+	// slices ride section arenas too — a restore costs a handful of
+	// allocations per section, not several per bucket.
 	arena := make([]value.Value, 0, min(int(npairs)*len(c.Y), r.remaining()))
-	// The per-bucket projs/projKeys/counts slices are carved out of
-	// section-wide arenas too: buckets here are tiny (bounded by the
-	// constraint's cardinality) and numerous, so one allocation per
-	// bucket per slice would dominate the decode.
 	pairHint := min(int(npairs), r.remaining())
-	projArena := make([]data.Tuple, 0, pairHint)
 	keyArena := make([]value.Key, 0, pairHint)
 	countArena := make([]int, 0, pairHint)
 	for b := uint64(0); b < nb; b++ {
@@ -344,7 +333,7 @@ func decodeIndexSection(sec string, sc *schema.Schema, c access.Constraint) (*in
 		if err != nil {
 			return nil, err
 		}
-		pstart, kstart, cstart := len(projArena), len(keyArena), len(countArena)
+		astart, kstart, cstart := len(arena), len(keyArena), len(countArena)
 		for p := uint64(0); p < np; p++ {
 			blob, err := r.bytesVal()
 			if err != nil {
@@ -366,12 +355,11 @@ func decodeIndexSection(sec string, sc *schema.Schema, c access.Constraint) (*in
 			if cnt == 0 || cnt > uint64(maxCkptPayload) {
 				return nil, fmt.Errorf("durable: checkpoint multiplicity %d out of range", cnt)
 			}
-			projArena = append(projArena, data.Tuple(arena[start:len(arena):len(arena)]))
 			keyArena = append(keyArena, pk)
 			countArena = append(countArena, int(cnt))
 		}
-		err = ix.InstallBucket(value.Key(key),
-			projArena[pstart:len(projArena):len(projArena)],
+		err = ix.InstallBucketFlat(value.Key(key),
+			arena[astart:len(arena):len(arena)],
 			keyArena[kstart:len(keyArena):len(keyArena)],
 			countArena[cstart:len(countArena):len(countArena)])
 		if err != nil {

@@ -105,5 +105,8 @@ func (s *Store) Recover(ctx context.Context, sc *schema.Schema, a *access.Schema
 	if err := s.TruncateAfter(last); err != nil {
 		return nil, err
 	}
+	// The recovered instance publishes read-only; release the replay-time
+	// dedup maps (a mutating Apply clones first and rebuilds on demand).
+	cur.Instance.ReleaseDedup()
 	return &State{Instance: cur.Instance, Indexed: cur, Version: last}, nil
 }

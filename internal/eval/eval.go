@@ -162,6 +162,10 @@ func scanEval(ctx context.Context, c *cq.Canonical, d *data.Instance) (*Result, 
 	seen := make(map[value.Key]bool)
 	assign := make(map[string]value.Value)
 
+	// One row buffer per atom depth: the recursion re-reads rows into the
+	// depth's buffer, never retaining them (values copied into assign).
+	bufs := make([]data.Tuple, len(c.Atoms))
+
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(c.Atoms) {
@@ -181,13 +185,15 @@ func scanEval(ctx context.Context, c *cq.Canonical, d *data.Instance) (*Result, 
 		if rel == nil {
 			return fmt.Errorf("eval: instance has no relation %s", a.Rel)
 		}
-		for _, tup := range rel.Tuples() {
+		for ri := 0; ri < rel.Len(); ri++ {
 			res.Scanned++
 			if res.Scanned%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return fmt.Errorf("eval: %w", err)
 				}
 			}
+			bufs[i] = rel.AppendRow(bufs[i], ri)
+			tup := bufs[i]
 			var bound []string
 			ok := true
 			for j, arg := range a.Args {
@@ -265,18 +271,23 @@ func hashEval(ctx context.Context, c *cq.Canonical, d *data.Instance) (*Result, 
 				keyVar = append(keyVar, arg.V)
 			}
 		}
-		// Build: bucket tuples passing constant and intra-atom equality checks.
+		// Build: bucket tuples passing constant and intra-atom equality
+		// checks. Rows are screened through a reused buffer; only matches
+		// are materialized (the buckets retain them).
 		table := make(map[value.Key][]data.Tuple)
-		for _, tup := range rel.Tuples() {
+		var buf data.Tuple
+		for ri := 0; ri < rel.Len(); ri++ {
 			res.Scanned++
 			if res.Scanned%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("eval: %w", err)
 				}
 			}
-			if !atomLocalMatch(a, tup) {
+			buf = rel.AppendRow(buf, ri)
+			if !atomLocalMatch(a, buf) {
 				continue
 			}
+			tup := rel.RowTuple(ri)
 			k := value.KeyOfAt(tup, keyPos)
 			table[k] = append(table[k], tup)
 		}

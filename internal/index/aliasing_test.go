@@ -1,0 +1,156 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestFetchResultIsImmutableView is the regression test for the aliasing
+// bug this package used to have: Fetch returned the index's internal
+// bucket slice by reference, so a caller mutating (or appending to) the
+// result corrupted the index for every later reader. Fetch now returns
+// an immutable Bucket view; Tuples() materializes fresh copies.
+func TestFetchResultIsImmutableView(t *testing.T) {
+	r := buildRel(t, [][]int64{{1, 10, 0}, {1, 20, 0}, {2, 30, 0}})
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []value.Value{value.NewInt(1)}
+
+	// Scribble over every tuple the caller-facing surface hands out.
+	got := ix.Fetch(key).Tuples()
+	for _, tup := range got {
+		for i := range tup {
+			tup[i] = value.NewInt(-999)
+		}
+	}
+
+	// The index must be untouched: same projections, same order.
+	b := ix.Fetch(key)
+	if b.Len() != 2 {
+		t.Fatalf("bucket size changed after caller mutation: %d, want 2", b.Len())
+	}
+	if b.At(0, 0) != value.NewInt(10) || b.At(1, 0) != value.NewInt(20) {
+		t.Fatalf("caller mutation corrupted the index: %v", b.Tuples())
+	}
+
+	// AppendRow into a caller buffer must also hand out values, not
+	// aliases of index memory.
+	var buf data.Tuple
+	buf = b.AppendRow(buf, 0)
+	buf[0] = value.NewInt(-1)
+	if ix.Fetch(key).At(0, 0) != value.NewInt(10) {
+		t.Fatal("AppendRow result aliased index memory")
+	}
+}
+
+// TestBucketViewStableAcrossMutation pins the snapshot semantics of the
+// view: a Bucket fetched before an (owned, in-place) index mutation must
+// keep serving the rows it had — the view is capped to the fetch-time
+// length and mutations of a cloned index never write through shared
+// backing.
+func TestBucketViewStableAcrossMutation(t *testing.T) {
+	r := buildRel(t, [][]int64{{1, 10, 0}, {1, 30, 0}})
+	ix, err := Build(r, []schema.Attribute{"A"}, []schema.Attribute{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Fetch([]value.Value{value.NewInt(1)})
+	if before.Len() != 2 {
+		t.Fatalf("setup: bucket size %d, want 2", before.Len())
+	}
+
+	cl := ix.Clone()
+	cl.Insert(data.Tuple{value.NewInt(1), value.NewInt(20), value.NewInt(1)})
+	cl.Delete(data.Tuple{value.NewInt(1), value.NewInt(10), value.NewInt(0)})
+
+	if before.Len() != 2 || before.At(0, 0) != value.NewInt(10) || before.At(1, 0) != value.NewInt(30) {
+		t.Fatalf("pre-mutation view changed under clone mutation: %v", before.Tuples())
+	}
+}
+
+// FuzzPairKey checks injectivity of the composite (group key, projection
+// key) encoding: two pairs collide iff they are equal component-wise.
+// The keys fed in are genuine value.Key encodings — including strings
+// containing NUL and the separator byte — since those are the only
+// inputs pairKey ever sees.
+func FuzzPairKey(f *testing.F) {
+	f.Add(int64(1), "a", int64(2), "b")
+	f.Add(int64(0), "", int64(0), "\x00")
+	f.Add(int64(1), "x\x00y", int64(1), "x")
+	f.Add(int64(-1), "\x00\x00", int64(255), "")
+	f.Fuzz(func(t *testing.T, n1 int64, s1 string, n2 int64, s2 string) {
+		k1 := value.KeyOf(value.NewInt(n1), value.NewString(s1))
+		k2 := value.KeyOf(value.NewInt(n2), value.NewString(s2))
+		pk1 := value.KeyOf(value.NewString(s1))
+		pk2 := value.KeyOf(value.NewString(s2))
+		for _, c := range [][4]value.Key{
+			{k1, pk1, k2, pk2},
+			{k1, pk2, k2, pk1},
+			{k1, pk1, k1, pk2},
+			{k1, pk1, k2, pk1},
+		} {
+			same := c[0] == c[2] && c[1] == c[3]
+			if (pairKey(c[0], c[1]) == pairKey(c[2], c[3])) != same {
+				t.Fatalf("pairKey injectivity violated: (%q,%q) vs (%q,%q)", c[0], c[1], c[2], c[3])
+			}
+		}
+	})
+}
+
+// TestMergeBucketsMatchesSingleIndex checks the K-way merge against a
+// single index over the union of the parts: same projections, same
+// canonical order, byte-identical keys.
+func TestMergeBucketsMatchesSingleIndex(t *testing.T) {
+	rs := schema.MustRelation("R", "A", "B", "C")
+	x, y := []schema.Attribute{"A"}, []schema.Attribute{"B", "C"}
+	mk := func(a, b, c int64) data.Tuple {
+		return data.Tuple{value.NewInt(a), value.NewInt(b), value.NewInt(c)}
+	}
+	// Three parts with overlapping projections; the union index is the
+	// reference.
+	parts := [][]data.Tuple{
+		{mk(1, 5, 0), mk(1, 1, 0)},
+		{mk(1, 3, 0), mk(1, 5, 0)}, // (5,0) shared with part 0
+		{mk(1, 2, 0)},
+	}
+	union := data.NewRelation(rs)
+	var views []Bucket
+	for pi, ts := range parts {
+		pr := data.NewRelation(rs)
+		for _, tp := range ts {
+			pr.MustInsert(tp...)
+			// Cross-part duplicates are the interesting case; the union
+			// relation's set semantics absorb them like a single node would.
+			union.Insert(tp)
+		}
+		ix, err := Build(pr, x, y)
+		if err != nil {
+			t.Fatalf("part %d: %v", pi, err)
+		}
+		views = append(views, ix.Fetch([]value.Value{value.NewInt(1)}))
+	}
+	ref, err := Build(union, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fetch([]value.Value{value.NewInt(1)})
+
+	got := MergeBuckets(views)
+	if got.Len() != want.Len() {
+		t.Fatalf("merged %d projections, want %d", got.Len(), want.Len())
+	}
+	var gb, wb []byte
+	for i := 0; i < got.Len(); i++ {
+		gb = got.AppendKeyOf(gb[:0], i)
+		wb = want.AppendKeyOf(wb[:0], i)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("merged projection %d differs: %q vs %q", i, gb, wb)
+		}
+	}
+}

@@ -10,9 +10,17 @@
 // its last witnessing tuple does. Clone produces an independently
 // maintainable copy whose mutations never touch the original — the
 // building block for snapshot-isolated index versions.
+//
+// Buckets are flat: one contiguous []value.Value per X-group holding the
+// Y-projections back to back (stride = |Y|), addressed through an interned
+// slot id instead of a map of boxed tuple slices. Fetches hand out an
+// immutable Bucket view over that array — callers read cells (At), encode
+// row keys (AppendKeyOf) or fill their own buffers (AppendRow), and cannot
+// reach the backing store to corrupt COW-shared snapshot state.
 package index
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -20,6 +28,124 @@ import (
 	"repro/internal/schema"
 	"repro/internal/value"
 )
+
+// Bucket is the immutable fetch result D_Y(X = ā): n distinct
+// Y-projections of stride cells each, in canonical (key-sorted) order,
+// viewed over the index's flat backing array. The zero Bucket is empty.
+// Views are valid for the lifetime of the index version they came from;
+// the copy-on-write discipline (mutate only unpublished clones) keeps
+// published versions frozen.
+type Bucket struct {
+	vals   []value.Value
+	stride int
+	n      int
+}
+
+// Len returns the number of Y-projections in the bucket.
+func (b Bucket) Len() int { return b.n }
+
+// At returns cell j of projection i.
+//
+//bevet:hotpath
+func (b Bucket) At(i, j int) value.Value { return b.vals[i*b.stride+j] }
+
+// AppendKeyOf appends the injective key encoding of projection i to dst.
+//
+//bevet:hotpath
+func (b Bucket) AppendKeyOf(dst []byte, i int) []byte {
+	base := i * b.stride
+	for j := 0; j < b.stride; j++ {
+		dst = value.AppendValueKey(dst, b.vals[base+j])
+	}
+	return dst
+}
+
+// AppendRow materializes projection i into dst (reset to length 0 first)
+// and returns it, so a fetch loop reuses one caller-owned buffer.
+//
+//bevet:hotpath
+func (b Bucket) AppendRow(dst data.Tuple, i int) data.Tuple {
+	dst = dst[:0]
+	base := i * b.stride
+	for j := 0; j < b.stride; j++ {
+		dst = append(dst, b.vals[base+j])
+	}
+	return dst
+}
+
+// Tuples materializes the bucket as freshly allocated tuples — the
+// convenience (and test) surface; hot paths iterate with At/AppendRow.
+func (b Bucket) Tuples() []data.Tuple {
+	out := make([]data.Tuple, b.n)
+	for i := range out {
+		out[i] = b.AppendRow(make(data.Tuple, 0, b.stride), i)
+	}
+	return out
+}
+
+// MergeBuckets K-way-merges canonically sorted buckets of equal stride,
+// deduplicating Y-projections that distinct tuples on different shards
+// share. The result is in canonical order with fresh backing —
+// byte-identical to the single-node bucket over the union of the shards'
+// tuples. It is the cross-shard scatter-gather merge of internal/shard.
+func MergeBuckets(parts []Bucket) Bucket {
+	if len(parts) == 0 {
+		return Bucket{}
+	}
+	stride := parts[0].stride
+	total := 0
+	for _, p := range parts {
+		total += p.n
+	}
+	out := Bucket{vals: make([]value.Value, 0, total*stride), stride: stride}
+	pos := make([]int, len(parts))
+	keys := make([][]byte, len(parts))
+	for i, p := range parts {
+		if p.n > 0 {
+			keys[i] = p.AppendKeyOf(nil, 0)
+		}
+	}
+	for {
+		best := -1
+		for i, p := range parts {
+			if pos[i] >= p.n {
+				continue
+			}
+			if best < 0 || bytes.Compare(keys[i], keys[best]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		bk := keys[best]
+		out.vals = append(out.vals, parts[best].vals[pos[best]*stride:(pos[best]+1)*stride]...)
+		out.n++
+		// Advance every part past bk: within a shard projections are
+		// distinct, so at most the head of each part equals it. best
+		// advances last — bk aliases its key buffer.
+		for i, p := range parts {
+			if i == best || pos[i] >= p.n || !bytes.Equal(keys[i], bk) {
+				continue
+			}
+			pos[i]++
+			if pos[i] < p.n {
+				keys[i] = p.AppendKeyOf(keys[i][:0], pos[i])
+			}
+		}
+		pos[best]++
+		if pos[best] < parts[best].n {
+			keys[best] = parts[best].AppendKeyOf(keys[best][:0], pos[best])
+		}
+	}
+}
+
+// bucket is one X-group's storage slot: n Y-projections of stride cells,
+// flattened back to back in vals in canonical order.
+type bucket struct {
+	vals []value.Value
+	n    int
+}
 
 // Index is a hash index on attributes X for attributes Y over one relation
 // instance. Buckets hold distinct Y-projections (set semantics), so the
@@ -37,7 +163,12 @@ type Index struct {
 	X, Y []schema.Attribute
 
 	xpos, ypos []int
-	buckets    map[value.Key][]data.Tuple
+	// ids interns each X-key to its bucket slot. Slots are never reused:
+	// deleting a group's last projection removes its ids entry and leaves
+	// an empty tombstone slot behind (bounded by the version's historical
+	// group count; bulk rebuilds start fresh).
+	ids     map[value.Key]uint32
+	buckets []bucket
 	// counts tracks, per (X, Y) pair, how many relation tuples project to
 	// it; a bucket entry is removed when its count reaches zero. The map
 	// stores ONLY multiplicities >= 2: a projection present in its bucket
@@ -46,22 +177,28 @@ type Index struct {
 	// map (and its per-pair concatenated keys) near-empty — Clone copies
 	// almost nothing and checkpoint restore skips the map entirely.
 	counts map[value.Key]int
-	// owned says which bucket slices this index may mutate in place. nil
+	// owned says which bucket slots this index may mutate in place. nil
 	// means all of them (a freshly built index); after a Clone, both
-	// sides own nothing and re-copy each bucket on first write, so
-	// mutations on either side never reach the other.
-	owned map[value.Key]bool
+	// sides own nothing and re-copy a bucket's cells on first write, so
+	// mutations on either side never reach the other. Slots appended
+	// after the clone (>= len(owned)) are owned by construction.
+	owned []bool
+
+	// pkBuf/cmpBuf are writer-only key-encoding scratch for Insert and
+	// Delete; the copy-on-write discipline keeps them off concurrent
+	// read paths.
+	pkBuf, cmpBuf []byte
 }
 
-// ownsBucket reports whether the bucket for k may be mutated in place.
-func (ix *Index) ownsBucket(k value.Key) bool {
-	return ix.owned == nil || ix.owned[k]
+// ownsBucket reports whether the bucket in slot may be mutated in place.
+func (ix *Index) ownsBucket(slot uint32) bool {
+	return ix.owned == nil || int(slot) >= len(ix.owned) || ix.owned[slot]
 }
 
-// claimBucket marks the bucket for k as owned (called after copying it).
-func (ix *Index) claimBucket(k value.Key) {
-	if ix.owned != nil {
-		ix.owned[k] = true
+// claimBucket marks the bucket in slot as owned (called after copying it).
+func (ix *Index) claimBucket(slot uint32) {
+	if ix.owned != nil && int(slot) < len(ix.owned) {
+		ix.owned[slot] = true
 	}
 }
 
@@ -78,93 +215,168 @@ func New(rs schema.Relation, x, y []schema.Attribute) (*Index, error) {
 		return nil, fmt.Errorf("index: bad Y: %w", err)
 	}
 	return &Index{
-		Rel:     rs.Name,
-		X:       append([]schema.Attribute(nil), x...),
-		Y:       append([]schema.Attribute(nil), y...),
-		xpos:    xpos,
-		ypos:    ypos,
-		buckets: make(map[value.Key][]data.Tuple),
-		counts:  make(map[value.Key]int),
+		Rel:    rs.Name,
+		X:      append([]schema.Attribute(nil), x...),
+		Y:      append([]schema.Attribute(nil), y...),
+		xpos:   xpos,
+		ypos:   ypos,
+		ids:    make(map[value.Key]uint32),
+		counts: make(map[value.Key]int),
 	}, nil
 }
 
 // Grow presizes an EMPTY index for buckets X-groups holding pairs
 // distinct (X, Y) pairs in total, so a bulk restore (InstallBucket per
-// bucket) fills the maps without incremental rehashing. Go maps only
-// take a size hint at make time, hence the replace-while-empty rule; on
-// a non-empty index Grow is a no-op rather than an error, since it is
+// bucket) fills the structures without incremental rehashing. Go maps
+// only take a size hint at make time, hence the replace-while-empty rule;
+// on a non-empty index Grow is a no-op rather than an error, since it is
 // purely an optimization hint. The counts map is left alone: it holds
 // only the (rare) multiplicity >= 2 pairs, so pairs would oversize it.
 func (ix *Index) Grow(buckets, pairs int) {
-	if len(ix.buckets) != 0 {
+	if len(ix.ids) != 0 {
 		return
 	}
-	ix.buckets = make(map[value.Key][]data.Tuple, buckets)
+	ix.ids = make(map[value.Key]uint32, buckets)
+	ix.buckets = make([]bucket, 0, buckets)
 	_ = pairs
 }
 
-// Build constructs the index on X for Y over r. Buckets are appended
-// during the scan and sorted once at the end: per-tuple sorted insertion
-// would cost O(g) shifts and O(log g) key re-encodings per tuple on a
-// group of size g — quadratic in g before an oversized group is even
-// rejected by validation — while append-then-sort is O(g log g) total.
+// Build constructs the index on X for Y over r. Projections are appended
+// to their flat buckets during one columnar scan (duplicates included),
+// then each bucket is sorted and compacted once at the end: per-tuple
+// sorted insertion would cost O(g) shifts and O(log g) key re-encodings
+// per tuple on a group of size g — quadratic in g before an oversized
+// group is even rejected by validation — while append-then-sort is
+// O(g log g) total.
 func Build(r *data.Relation, x, y []schema.Attribute) (*Index, error) {
 	idx, err := New(r.Schema, x, y)
 	if err != nil {
 		return nil, err
 	}
-	// Multiplicities are tracked in a transient full map (existence checks
-	// against an unsorted bucket would be quadratic); only the >= 2 tail
-	// survives into idx.counts.
-	cnt := make(map[value.Key]int)
-	for _, t := range r.Tuples() {
-		k := value.KeyOfAt(t, idx.xpos)
-		proj := t.Project(idx.ypos)
-		dk := pairKey(k, proj.Key())
-		cnt[dk]++
-		if cnt[dk] == 1 {
-			idx.buckets[k] = append(idx.buckets[k], proj)
+	var kbuf []byte
+	for i := 0; i < r.Len(); i++ {
+		kbuf = r.AppendKeyAt(kbuf[:0], i, idx.xpos)
+		slot, ok := idx.ids[value.Key(kbuf)]
+		if !ok {
+			slot = uint32(len(idx.buckets))
+			idx.buckets = append(idx.buckets, bucket{})
+			idx.ids[value.Key(string(kbuf))] = slot
 		}
-	}
-	for dk, n := range cnt {
-		if n >= 2 {
-			idx.counts[dk] = n
+		b := &idx.buckets[slot]
+		for _, c := range idx.ypos {
+			b.vals = append(b.vals, r.ValueAt(i, c))
 		}
+		b.n++
 	}
-	idx.sortBuckets()
+	idx.finalize()
 	return idx, nil
 }
 
-// sortBuckets restores the canonical per-bucket order after a bulk
-// append-only build.
-func (ix *Index) sortBuckets() {
-	for _, b := range ix.buckets {
-		if len(b) < 2 {
+// finalize restores the canonical per-bucket order after a bulk
+// append-only build, collapsing duplicate (X, Y) pairs into multiplicity
+// counts.
+func (ix *Index) finalize() {
+	stride := len(ix.ypos)
+	for k, slot := range ix.ids {
+		b := &ix.buckets[slot]
+		if stride == 0 {
+			// Empty Y: every tuple of the group projects to the empty
+			// tuple; the bucket is that single projection with the group's
+			// tuple count as its multiplicity.
+			if b.n >= 2 {
+				ix.counts[pairKey(k, "")] = b.n
+			}
+			b.n = 1
 			continue
 		}
-		keys := make([]value.Key, len(b))
-		for i, proj := range b {
-			keys[i] = proj.Key()
+		if b.n < 2 {
+			continue
 		}
-		sort.Sort(&keyedBucket{projs: b, keys: keys})
+		keys := make([]value.Key, b.n)
+		for i := range keys {
+			keys[i] = value.KeyOf(b.vals[i*stride : (i+1)*stride]...)
+		}
+		sort.Sort(&flatBucket{vals: b.vals, keys: keys, stride: stride})
+		w := 0
+		for i := 0; i < b.n; {
+			j := i
+			for j < b.n && keys[j] == keys[i] {
+				j++
+			}
+			if run := j - i; run >= 2 {
+				ix.counts[pairKey(k, keys[i])] = run
+			}
+			if w != i {
+				copy(b.vals[w*stride:(w+1)*stride], b.vals[i*stride:(i+1)*stride])
+			}
+			w++
+			i = j
+		}
+		b.vals = b.vals[: w*stride : w*stride]
+		b.n = w
 	}
 }
 
-// keyedBucket sorts a bucket by precomputed projection keys.
-type keyedBucket struct {
-	projs []data.Tuple
-	keys  []value.Key
+// flatBucket sorts a flat bucket by precomputed projection keys.
+type flatBucket struct {
+	vals   []value.Value
+	keys   []value.Key
+	stride int
 }
 
-func (s *keyedBucket) Len() int           { return len(s.projs) }
-func (s *keyedBucket) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
-func (s *keyedBucket) Swap(i, j int) {
-	s.projs[i], s.projs[j] = s.projs[j], s.projs[i]
+func (s *flatBucket) Len() int           { return len(s.keys) }
+func (s *flatBucket) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *flatBucket) Swap(i, j int) {
 	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	vi, vj := s.vals[i*s.stride:], s.vals[j*s.stride:]
+	for c := 0; c < s.stride; c++ {
+		vi[c], vj[c] = vj[c], vi[c]
+	}
 }
 
 // pairKey is the injective encoding of (X-key, Y-projection-key).
+//
+// Injectivity holds even though the separator byte 0x00 can occur inside
+// an encoded key: valid key encodings of a FIXED arity are prefix-free.
+// A key decodes deterministically left to right — each value reads its
+// tag byte, then (for ints) one varint or (for strings) one length
+// varint plus exactly that many payload bytes — so decoding |X| values
+// consumes an unambiguous number of bytes with nothing left over. If
+// k1+SEP+p1 == k2+SEP+p2 with |k| covering the same arity X on both
+// sides, decoding X values from the equal concatenations consumes the
+// same prefix, hence k1 == k2 and (skipping SEP) p1 == p2. Within one
+// index every stored k has arity |X| and every pk arity |Y|, so distinct
+// (k, pk) pairs never collide — FuzzPairKey in index_test.go asserts
+// exactly this. (The separator is redundant given prefix-freeness; it is
+// kept because the byte layout reaches the checkpoint-adjacent counts
+// map and changing it buys nothing.)
 func pairKey(k, pk value.Key) value.Key { return k + "\x00" + pk }
+
+// cmpProj compares projection i of b (encoded into the cmpBuf scratch)
+// with the encoded projection key pk.
+func (ix *Index) cmpProj(b *bucket, i int, pk []byte) int {
+	stride := len(ix.ypos)
+	ix.cmpBuf = ix.cmpBuf[:0]
+	for j := 0; j < stride; j++ {
+		ix.cmpBuf = value.AppendValueKey(ix.cmpBuf, b.vals[i*stride+j])
+	}
+	return bytes.Compare(ix.cmpBuf, pk)
+}
+
+// search finds the canonical position of pk in b: the first index whose
+// projection key is >= pk, and whether it is an exact match.
+func (ix *Index) search(b *bucket, pk []byte) (int, bool) {
+	lo, hi := 0, b.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.cmpProj(b, mid, pk) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < b.n && ix.cmpProj(b, lo, pk) == 0
+}
 
 // Insert maintains the index for one inserted tuple, returning the
 // tuple's X-key and the bucket size after the insert (so callers can
@@ -175,37 +387,44 @@ func pairKey(k, pk value.Key) value.Key { return k + "\x00" + pk }
 // canonical (key-sorted) order.
 func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
-	proj := t.Project(ix.ypos)
-	pk := proj.Key()
-	b := ix.buckets[k]
-	// Binary search for the canonical position; bucket sizes are bounded
-	// by the constraint's cardinality, so the per-probe key encodings
-	// stay cheap.
-	at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
-	if at < len(b) && b[at].Key() == pk {
+	ix.pkBuf = value.AppendKeyAt(ix.pkBuf[:0], t, ix.ypos)
+	slot, ok := ix.ids[k]
+	if !ok {
+		slot = uint32(len(ix.buckets))
+		ix.buckets = append(ix.buckets, bucket{})
+		ix.ids[k] = slot
+	}
+	b := &ix.buckets[slot]
+	at, found := ix.search(b, ix.pkBuf)
+	if found {
 		// Pair already present: bump its multiplicity (implicit 1 when
 		// absent from counts).
-		dk := pairKey(k, pk)
+		dk := pairKey(k, value.Key(string(ix.pkBuf)))
 		n := ix.counts[dk]
 		if n == 0 {
 			n = 1
 		}
 		ix.counts[dk] = n + 1
-		return k, len(b)
+		return k, b.n
 	}
-	if !ix.ownsBucket(k) {
+	stride := len(ix.ypos)
+	if !ix.ownsBucket(slot) {
 		// Copy-on-write: this bucket's backing array is shared with a
 		// pre-clone version whose readers still hold it.
-		nb := make([]data.Tuple, len(b), len(b)+1)
-		copy(nb, b)
-		b = nb
-		ix.claimBucket(k)
+		nv := make([]value.Value, len(b.vals), len(b.vals)+stride)
+		copy(nv, b.vals)
+		b.vals = nv
+		ix.claimBucket(slot)
 	}
-	b = append(b, nil)
-	copy(b[at+1:], b[at:])
-	b[at] = proj
-	ix.buckets[k] = b
-	return k, len(b)
+	for j := 0; j < stride; j++ {
+		b.vals = append(b.vals, value.Value{})
+	}
+	copy(b.vals[(at+1)*stride:], b.vals[at*stride:])
+	for j := 0; j < stride; j++ {
+		b.vals[at*stride+j] = t[ix.ypos[j]]
+	}
+	b.n++
+	return k, b.n
 }
 
 // Delete maintains the index for one deleted tuple, returning the tuple's
@@ -214,47 +433,53 @@ func (ix *Index) Insert(t data.Tuple) (value.Key, int) {
 // tuple that was never inserted is a no-op.
 func (ix *Index) Delete(t data.Tuple) (value.Key, int) {
 	k := value.KeyOfAt(t, ix.xpos)
-	proj := t.Project(ix.ypos)
-	pk := proj.Key()
-	b := ix.buckets[k]
-	at := sort.Search(len(b), func(i int) bool { return b[i].Key() >= pk })
-	if at == len(b) || b[at].Key() != pk {
-		// Pair was never inserted; deleting it is a no-op.
-		return k, len(b)
+	slot, ok := ix.ids[k]
+	if !ok {
+		return k, 0
 	}
-	dk := pairKey(k, pk)
+	ix.pkBuf = value.AppendKeyAt(ix.pkBuf[:0], t, ix.ypos)
+	b := &ix.buckets[slot]
+	at, found := ix.search(b, ix.pkBuf)
+	if !found {
+		// Pair was never inserted; deleting it is a no-op.
+		return k, b.n
+	}
+	dk := pairKey(k, value.Key(string(ix.pkBuf)))
 	if n, ok := ix.counts[dk]; ok { // multiplicity >= 2
 		if n > 2 {
 			ix.counts[dk] = n - 1
 		} else {
 			delete(ix.counts, dk) // back to the implicit 1
 		}
-		return k, len(b)
+		return k, b.n
 	}
 	// Multiplicity 1: the projection leaves the bucket.
-	var nb []data.Tuple
-	if ix.ownsBucket(k) {
-		nb = b[:at]
+	stride := len(ix.ypos)
+	if !ix.ownsBucket(slot) {
+		nv := make([]value.Value, len(b.vals)-stride)
+		copy(nv, b.vals[:at*stride])
+		copy(nv[at*stride:], b.vals[(at+1)*stride:])
+		b.vals = nv
+		ix.claimBucket(slot)
 	} else {
-		nb = make([]data.Tuple, at, len(b)-1)
-		copy(nb, b[:at])
-		ix.claimBucket(k)
+		copy(b.vals[at*stride:], b.vals[(at+1)*stride:])
+		b.vals = b.vals[: len(b.vals)-stride : len(b.vals)-stride]
 	}
-	nb = append(nb, b[at+1:]...)
-	if len(nb) == 0 {
-		delete(ix.buckets, k)
-		delete(ix.owned, k)
+	b.n--
+	if b.n == 0 {
+		// Tombstone the slot: the group is gone, the slot id is retired.
+		delete(ix.ids, k)
+		b.vals = nil
 		return k, 0
 	}
-	ix.buckets[k] = nb
-	return k, len(nb)
+	return k, b.n
 }
 
 // Clone returns a copy of ix that can be maintained incrementally while
 // readers keep using ix: mutations on either side never reach the other.
-// Bucket slices are shared until first write — Clone renounces in-place
-// mutation rights on BOTH sides, so each re-copies a bucket the first
-// time it changes it.
+// Bucket cell arrays are shared until first write — Clone renounces
+// in-place mutation rights on BOTH sides, so each re-copies a bucket the
+// first time it changes it.
 func (ix *Index) Clone() *Index {
 	cp := &Index{
 		Rel:     ix.Rel,
@@ -262,17 +487,18 @@ func (ix *Index) Clone() *Index {
 		Y:       ix.Y,
 		xpos:    ix.xpos,
 		ypos:    ix.ypos,
-		buckets: make(map[value.Key][]data.Tuple, len(ix.buckets)),
+		ids:     make(map[value.Key]uint32, len(ix.ids)),
+		buckets: append([]bucket(nil), ix.buckets...),
 		counts:  make(map[value.Key]int, len(ix.counts)),
-		owned:   make(map[value.Key]bool),
+		owned:   make([]bool, len(ix.buckets)),
 	}
-	for k, b := range ix.buckets {
-		cp.buckets[k] = b
+	for k, slot := range ix.ids {
+		cp.ids[k] = slot
 	}
 	for dk, n := range ix.counts {
 		cp.counts[dk] = n
 	}
-	ix.owned = make(map[value.Key]bool)
+	ix.owned = make([]bool, len(ix.buckets))
 	return cp
 }
 
@@ -284,17 +510,22 @@ func (ix *Index) Clone() *Index {
 // buckets verbatim instead of re-running Build's scan-and-sort. The
 // projection keys are surfaced so the checkpoint codec can serialize
 // tuples AS their keys without re-encoding. It stops at the first error
-// f returns. Slices passed to f are shared; f must not mutate or retain
-// them past the call.
+// f returns. Slices passed to f are shared (the projections view the flat
+// bucket storage); f must not mutate or retain them past the call.
 func (ix *Index) Dump(f func(k value.Key, projs []data.Tuple, projKeys []value.Key, counts []int) error) error {
+	stride := len(ix.ypos)
 	counts := make([]int, 0, 16)
 	projKeys := make([]value.Key, 0, 16)
+	projs := make([]data.Tuple, 0, 16)
 	for _, k := range ix.Keys() {
-		b := ix.buckets[k]
+		b := &ix.buckets[ix.ids[k]]
 		counts = counts[:0]
 		projKeys = projKeys[:0]
-		for _, proj := range b {
-			pk := proj.Key()
+		projs = projs[:0]
+		for i := 0; i < b.n; i++ {
+			proj := data.Tuple(b.vals[i*stride : (i+1)*stride : (i+1)*stride])
+			pk := value.KeyOf(proj...)
+			projs = append(projs, proj)
 			projKeys = append(projKeys, pk)
 			n := ix.counts[pairKey(k, pk)]
 			if n == 0 {
@@ -302,7 +533,7 @@ func (ix *Index) Dump(f func(k value.Key, projs []data.Tuple, projKeys []value.K
 			}
 			counts = append(counts, n)
 		}
-		if err := f(k, b, projKeys, counts); err != nil {
+		if err := f(k, projs, projKeys, counts); err != nil {
 			return err
 		}
 	}
@@ -317,19 +548,20 @@ func (ix *Index) Dump(f func(k value.Key, projs []data.Tuple, projKeys []value.K
 // from a Dump of the index being restored, and projKeys[i] = projs[i].Key()
 // is the caller's contract (the checkpoint codec decodes each projection
 // FROM its key, so the correspondence holds by construction). The bucket
-// must not already be present. Ownership of projs transfers to the
-// index.
+// must not already be present. The projections' cells are copied into the
+// index's flat storage; projs itself is not retained.
 func (ix *Index) InstallBucket(k value.Key, projs []data.Tuple, projKeys []value.Key, counts []int) error {
 	if len(projs) == 0 || len(projs) != len(counts) || len(projs) != len(projKeys) {
 		return fmt.Errorf("index: bucket of %d projections with %d keys, %d counts", len(projs), len(projKeys), len(counts))
 	}
-	if _, ok := ix.buckets[k]; ok {
+	if _, ok := ix.ids[k]; ok {
 		return fmt.Errorf("index: bucket %q installed twice", string(k))
 	}
+	stride := len(ix.ypos)
 	prev := value.Key("")
 	for i, proj := range projs {
-		if len(proj) != len(ix.ypos) {
-			return fmt.Errorf("index: projection arity %d, want %d", len(proj), len(ix.ypos))
+		if len(proj) != stride {
+			return fmt.Errorf("index: projection arity %d, want %d", len(proj), stride)
 		}
 		if counts[i] < 1 {
 			return fmt.Errorf("index: projection multiplicity %d", counts[i])
@@ -343,39 +575,107 @@ func (ix *Index) InstallBucket(k value.Key, projs []data.Tuple, projKeys []value
 			ix.counts[pairKey(k, pk)] = counts[i]
 		}
 	}
-	ix.buckets[k] = projs
+	flat := make([]value.Value, 0, len(projs)*stride)
+	for _, proj := range projs {
+		flat = append(flat, proj...)
+	}
+	slot := uint32(len(ix.buckets))
+	ix.buckets = append(ix.buckets, bucket{vals: flat, n: len(projs)})
+	ix.ids[k] = slot
 	return nil
 }
 
-// Fetch returns the distinct Y-projections D_Y(X = ā) for the X-value ā.
-// The returned slice is shared; callers must not mutate it.
-func (ix *Index) Fetch(xvals []value.Value) []data.Tuple {
-	return ix.buckets[value.KeyOf(xvals...)]
+// InstallBucketFlat is InstallBucket for restorers that decode
+// projections straight into stride-aligned flat storage: cells holds the
+// bucket's projections back to back (projection i at cells[i*stride :
+// (i+1)*stride]), and the index takes ownership of cells instead of
+// copying it — the checkpoint decoder carves all buckets of a section
+// out of one arena, so a restore costs one cell allocation per section,
+// not one per bucket. Ordering, multiplicity and arity validation match
+// InstallBucket exactly.
+func (ix *Index) InstallBucketFlat(k value.Key, cells []value.Value, projKeys []value.Key, counts []int) error {
+	stride := len(ix.ypos)
+	if len(projKeys) == 0 || len(projKeys) != len(counts) || len(cells) != len(projKeys)*stride {
+		return fmt.Errorf("index: flat bucket of %d cells with %d keys, %d counts (stride %d)", len(cells), len(projKeys), len(counts), stride)
+	}
+	if _, ok := ix.ids[k]; ok {
+		return fmt.Errorf("index: bucket %q installed twice", string(k))
+	}
+	prev := value.Key("")
+	for i, pk := range projKeys {
+		if counts[i] < 1 {
+			return fmt.Errorf("index: projection multiplicity %d", counts[i])
+		}
+		if i > 0 && pk <= prev {
+			return fmt.Errorf("index: bucket not in canonical order")
+		}
+		prev = pk
+		if counts[i] > 1 {
+			ix.counts[pairKey(k, pk)] = counts[i]
+		}
+	}
+	slot := uint32(len(ix.buckets))
+	ix.buckets = append(ix.buckets, bucket{vals: cells[:len(cells):len(cells)], n: len(projKeys)})
+	ix.ids[k] = slot
+	return nil
 }
 
-// FetchKey is Fetch with a pre-encoded key, avoiding re-encoding in hot loops.
-func (ix *Index) FetchKey(k value.Key) []data.Tuple { return ix.buckets[k] }
+// view builds the immutable fetch view of one storage slot.
+//
+//bevet:hotpath
+func (ix *Index) view(slot uint32) Bucket {
+	b := &ix.buckets[slot]
+	stride := len(ix.ypos)
+	return Bucket{vals: b.vals[: b.n*stride : b.n*stride], stride: stride, n: b.n}
+}
+
+// FetchBytes returns the distinct Y-projections D_Y(X = ā) for the
+// encoded X-key held in k — the hot-path fetch: the caller encodes keys
+// into a reused scratch buffer and the map probe copies nothing.
+//
+//bevet:hotpath
+func (ix *Index) FetchBytes(k []byte) Bucket {
+	slot, ok := ix.ids[value.Key(k)]
+	if !ok {
+		return Bucket{stride: len(ix.ypos)}
+	}
+	return ix.view(slot)
+}
+
+// FetchKey is FetchBytes for a materialized key.
+func (ix *Index) FetchKey(k value.Key) Bucket {
+	slot, ok := ix.ids[k]
+	if !ok {
+		return Bucket{stride: len(ix.ypos)}
+	}
+	return ix.view(slot)
+}
+
+// Fetch returns D_Y(X = ā) for the X-value ā.
+func (ix *Index) Fetch(xvals []value.Value) Bucket {
+	return ix.FetchKey(value.KeyOf(xvals...))
+}
 
 // MaxGroup returns the largest bucket size: max over ā of |D_Y(X = ā)|.
 // This is the quantity a cardinality constraint bounds.
 func (ix *Index) MaxGroup() int {
 	m := 0
-	for _, b := range ix.buckets {
-		if len(b) > m {
-			m = len(b)
+	for _, slot := range ix.ids {
+		if n := ix.buckets[slot].n; n > m {
+			m = n
 		}
 	}
 	return m
 }
 
 // Groups returns the number of distinct X-values present.
-func (ix *Index) Groups() int { return len(ix.buckets) }
+func (ix *Index) Groups() int { return len(ix.ids) }
 
 // Keys returns the distinct X-keys present, sorted; mainly for tests and
 // diagnostics that compare two indices.
 func (ix *Index) Keys() []value.Key {
-	out := make([]value.Key, 0, len(ix.buckets))
-	for k := range ix.buckets {
+	out := make([]value.Key, 0, len(ix.ids))
+	for k := range ix.ids {
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -383,13 +683,13 @@ func (ix *Index) Keys() []value.Key {
 }
 
 // Buckets calls f for every (X-key, bucket) pair, in unspecified key
-// order, stopping early when f returns false. Bucket slices are shared
-// (and in canonical projection-key order); callers must not mutate them.
-// It is the bulk-read hook coordinators use to merge per-shard group
-// sizes without materializing sorted key lists.
-func (ix *Index) Buckets(f func(k value.Key, bucket []data.Tuple) bool) {
-	for k, b := range ix.buckets {
-		if !f(k, b) {
+// order, stopping early when f returns false. Buckets are immutable views
+// in canonical projection-key order. It is the bulk-read hook
+// coordinators use to merge per-shard group sizes without materializing
+// sorted key lists.
+func (ix *Index) Buckets(f func(k value.Key, b Bucket) bool) {
+	for k, slot := range ix.ids {
+		if !f(k, ix.view(slot)) {
 			return
 		}
 	}

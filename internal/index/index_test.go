@@ -28,11 +28,11 @@ func TestBuildAndFetch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ix.Fetch([]value.Value{value.NewInt(1)})
+	got := ix.Fetch([]value.Value{value.NewInt(1)}).Tuples()
 	if len(got) != 2 {
 		t.Fatalf("Fetch(A=1) returned %d tuples, want 2", len(got))
 	}
-	if got := ix.Fetch([]value.Value{value.NewInt(9)}); len(got) != 0 {
+	if got := ix.Fetch([]value.Value{value.NewInt(9)}).Tuples(); len(got) != 0 {
 		t.Errorf("Fetch(A=9) = %v, want empty", got)
 	}
 }
@@ -44,7 +44,7 @@ func TestFetchReturnsDistinctYProjections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ix.Fetch([]value.Value{value.NewInt(1)}); len(got) != 1 {
+	if got := ix.Fetch([]value.Value{value.NewInt(1)}).Tuples(); len(got) != 1 {
 		t.Errorf("distinct Y-projection count = %d, want 1", len(got))
 	}
 }
@@ -56,7 +56,7 @@ func TestEmptyXIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ix.Fetch(nil)
+	got := ix.Fetch(nil).Tuples()
 	if len(got) != 2 { // distinct C values: 100, 300
 		t.Errorf("Fetch(∅) = %d tuples, want 2", len(got))
 	}
@@ -82,7 +82,7 @@ func TestCompositeKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ix.Fetch([]value.Value{value.NewInt(1), value.NewInt(2)})
+	got := ix.Fetch([]value.Value{value.NewInt(1), value.NewInt(2)}).Tuples()
 	if len(got) != 1 || got[0][0] != value.NewInt(100) {
 		t.Errorf("Fetch(1,2) = %v", got)
 	}
@@ -116,7 +116,7 @@ func TestKeyIndexProperty(t *testing.T) {
 			return false
 		}
 		for a, bs := range want {
-			got := ix.Fetch([]value.Value{value.NewInt(int64(a))})
+			got := ix.Fetch([]value.Value{value.NewInt(int64(a))}).Tuples()
 			if len(got) != len(bs) {
 				return false
 			}
@@ -145,7 +145,7 @@ func assertSameIndex(t *testing.T, ix *Index, r *data.Relation, x, y []schema.At
 		t.Fatalf("Groups = %d, rebuild says %d", got, want)
 	}
 	for _, k := range ref.Keys() {
-		got, want := ix.FetchKey(k), ref.FetchKey(k)
+		got, want := ix.FetchKey(k).Tuples(), ref.FetchKey(k).Tuples()
 		if len(got) != len(want) {
 			t.Fatalf("key %q: %d projections, rebuild says %d", k, len(got), len(want))
 		}
@@ -190,17 +190,17 @@ func TestIncrementalInsertDelete(t *testing.T) {
 	t2 := ins(2, 10, 100)
 	t3 := ins(3, 10, 101)
 	assertSameIndex(t, ix, r, x, y)
-	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 2 {
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)}).Tuples()); g != 2 {
 		t.Fatalf("bucket for aid=10 has %d projections, want 2", g)
 	}
 	del(t1)
 	assertSameIndex(t, ix, r, x, y)
-	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 2 {
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)}).Tuples()); g != 2 {
 		t.Fatalf("after deleting one of two witnesses: %d projections, want 2", g)
 	}
 	del(t2)
 	assertSameIndex(t, ix, r, x, y)
-	if g := len(ix.Fetch([]value.Value{value.NewInt(10)})); g != 1 {
+	if g := len(ix.Fetch([]value.Value{value.NewInt(10)}).Tuples()); g != 1 {
 		t.Fatalf("after deleting both witnesses: %d projections, want 1", g)
 	}
 	del(t3)
@@ -253,7 +253,7 @@ func TestIncrementalMatchesRebuildQuick(t *testing.T) {
 			return false
 		}
 		for _, k := range ref.Keys() {
-			if len(ix.FetchKey(k)) != len(ref.FetchKey(k)) {
+			if len(ix.FetchKey(k).Tuples()) != len(ref.FetchKey(k).Tuples()) {
 				return false
 			}
 		}
@@ -274,19 +274,19 @@ func TestCloneIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := len(ix.Fetch([]value.Value{value.NewInt(0)}))
+	before := len(ix.Fetch([]value.Value{value.NewInt(0)}).Tuples())
 
 	cl := ix.Clone()
 	cl.Insert(data.Tuple{value.NewInt(0), value.NewInt(99)})
 	cl.Delete(data.Tuple{value.NewInt(1), value.NewInt(1)})
 
-	if got := len(ix.Fetch([]value.Value{value.NewInt(0)})); got != before {
+	if got := len(ix.Fetch([]value.Value{value.NewInt(0)}).Tuples()); got != before {
 		t.Errorf("clone insert leaked into original: %d, want %d", got, before)
 	}
-	if got := len(ix.Fetch([]value.Value{value.NewInt(1)})); got != 2 {
+	if got := len(ix.Fetch([]value.Value{value.NewInt(1)}).Tuples()); got != 2 {
 		t.Errorf("clone delete leaked into original: %d, want 2", got)
 	}
-	if got := len(cl.Fetch([]value.Value{value.NewInt(0)})); got != before+1 {
+	if got := len(cl.Fetch([]value.Value{value.NewInt(0)}).Tuples()); got != before+1 {
 		t.Errorf("clone missing its own insert: %d, want %d", got, before+1)
 	}
 }
@@ -304,10 +304,10 @@ func TestCloneIsolationBothDirections(t *testing.T) {
 	cl := ix.Clone()
 	ix.Insert(data.Tuple{value.NewInt(0), value.NewInt(2)})
 	ix.Delete(data.Tuple{value.NewInt(0), value.NewInt(1)})
-	if got := len(cl.Fetch([]value.Value{value.NewInt(0)})); got != 1 {
+	if got := len(cl.Fetch([]value.Value{value.NewInt(0)}).Tuples()); got != 1 {
 		t.Errorf("original's mutations leaked into the clone: %d projections, want 1", got)
 	}
-	b := cl.Fetch([]value.Value{value.NewInt(0)})
+	b := cl.Fetch([]value.Value{value.NewInt(0)}).Tuples()
 	if b[0][0] != value.NewInt(1) {
 		t.Errorf("clone bucket content changed: %v", b)
 	}
@@ -342,8 +342,8 @@ func TestCanonicalBucketOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bF := ixF.Fetch([]value.Value{value.NewInt(1)})
-	bR := ixR.Fetch([]value.Value{value.NewInt(1)})
+	bF := ixF.Fetch([]value.Value{value.NewInt(1)}).Tuples()
+	bR := ixR.Fetch([]value.Value{value.NewInt(1)}).Tuples()
 	if len(bF) != len(tuples) || len(bR) != len(tuples) {
 		t.Fatalf("bucket sizes %d/%d, want %d", len(bF), len(bR), len(tuples))
 	}
@@ -359,7 +359,7 @@ func TestCanonicalBucketOrder(t *testing.T) {
 	// Delete + reinsert in a different relative position: still canonical.
 	ixF.Delete(mk(1, 1, 3))
 	ixF.Insert(mk(1, 1, 3))
-	bF = ixF.Fetch([]value.Value{value.NewInt(1)})
+	bF = ixF.Fetch([]value.Value{value.NewInt(1)}).Tuples()
 	for i := 1; i < len(bF); i++ {
 		if !(bF[i-1].Key() < bF[i].Key()) {
 			t.Fatalf("delete/reinsert broke canonical order: %v", bF)

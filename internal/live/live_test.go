@@ -68,17 +68,17 @@ func TestApplyInsertDeleteBasic(t *testing.T) {
 		t.Fatalf("net effect: +%d -%d, want +1 -1", res.Inserted, res.Deleted)
 	}
 	// Old snapshot untouched.
-	if d.Size() != 2 || len(ix.Index(0).Fetch([]value.Value{iv(1)})) != 1 {
+	if d.Size() != 2 || len(ix.Index(0).Fetch([]value.Value{iv(1)}).Tuples()) != 1 {
 		t.Fatal("pre-delta snapshot was mutated")
 	}
 	// New snapshot reflects the delta, incrementally.
 	if res.Instance.Size() != 2 {
 		t.Fatalf("new size = %d, want 2", res.Instance.Size())
 	}
-	if got := len(res.Indexed.Index(0).Fetch([]value.Value{iv(1)})); got != 2 {
+	if got := len(res.Indexed.Index(0).Fetch([]value.Value{iv(1)}).Tuples()); got != 2 {
 		t.Fatalf("R-index group = %d, want 2", got)
 	}
-	if got := len(res.Indexed.Index(1).Fetch([]value.Value{iv(1)})); got != 0 {
+	if got := len(res.Indexed.Index(1).Fetch([]value.Value{iv(1)}).Tuples()); got != 0 {
 		t.Fatalf("S-index group = %d, want 0", got)
 	}
 }
@@ -275,7 +275,7 @@ func sameIndexed(t *testing.T, got, want *access.Indexed) {
 			t.Fatalf("constraint %d: %d groups incrementally, %d rebuilt", ci, gi.Groups(), wi.Groups())
 		}
 		for _, k := range wi.Keys() {
-			g, w := gi.FetchKey(k), wi.FetchKey(k)
+			g, w := gi.FetchKey(k).Tuples(), wi.FetchKey(k).Tuples()
 			if len(g) != len(w) {
 				t.Fatalf("constraint %d key %q: %d projections incrementally, %d rebuilt", ci, k, len(g), len(w))
 			}

@@ -48,8 +48,10 @@ func saveRelation(r *data.Relation, path string) error {
 	if _, err := w.WriteString(strings.Join(header, "\t") + "\n"); err != nil {
 		return err
 	}
-	for _, t := range r.Tuples() {
-		cells := make([]string, len(t))
+	var t data.Tuple
+	cells := make([]string, len(r.Schema.Attrs))
+	for ri := 0; ri < r.Len(); ri++ {
+		t = r.AppendRow(t, ri)
 		for i, v := range t {
 			cells[i] = EncodeValue(v)
 		}

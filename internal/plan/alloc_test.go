@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/data"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Allocation-regression tests for the execution hot path: the per-row
+// work of fetch (key encode → index probe → row assembly), join probe
+// and dedup must allocate nothing. Each test pins one primitive with
+// testing.AllocsPerRun at exactly 0 allocations per row, so any future
+// boxing, map-key copy or buffer regrowth sneaking back in fails loudly
+// rather than showing up as a benchmark drift.
+
+// allocFixture builds a small indexed instance: R(A -> B,C) with
+// STRING B values (strings are the easy way to re-introduce per-row
+// allocations) and an input table of rows keying into it.
+func allocFixture(t testing.TB) (*access.Indexed, *Table, FetchOp) {
+	t.Helper()
+	sc := schema.MustNew(schema.MustRelation("R", "A", "B", "C"))
+	c := access.NewConstraint("R", attrs("A"), attrs("B", "C"), 8)
+	a := access.NewSchema(c)
+	d := data.NewInstance(sc)
+	r := d.Relation("R")
+	names := []string{"ada", "grace", "edsger", "barbara"}
+	for i := int64(0); i < 64; i++ {
+		r.MustInsert(value.NewInt(i%16), value.NewString(names[i%4]), value.NewInt(i))
+	}
+	ix, viols, err := access.BuildIndexed(a, d)
+	if err != nil || len(viols) > 0 {
+		t.Fatalf("BuildIndexed: %v %v", viols, err)
+	}
+	in := NewTable("x")
+	for i := int64(0); i < 16; i++ {
+		in.Add(data.Tuple{value.NewInt(i)})
+	}
+	return ix, in, FetchOp{Constraint: c, Input: 0, XCols: []string{"x"}, YOut: []string{"b", "c"}}
+}
+
+// TestFetchRowPathAllocs drives the full sequential fetch inner loop —
+// argDedup, key encoding into scratch, FetchBytes probe, emitBucket row
+// assembly — with a drop sink, and demands zero allocations per input
+// row once the fetchEval scratch is warm.
+func TestFetchRowPathAllocs(t *testing.T) {
+	ix, in, op := allocFixture(t)
+	f, err := newFetchEval(op, in, NewSource(ix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &ExecStats{}
+	sink := func(data.Tuple) bool { return true }
+	ctx := context.Background()
+	// Warm the key scratch once.
+	if err := f.runSequential(ctx, stats, sink); err != nil {
+		t.Fatal(err)
+	}
+	// argDedup's map is per-run state, so measure the per-row remainder:
+	// each run re-walks all 16 input rows and every bucket row.
+	avg := testing.AllocsPerRun(100, func() {
+		dd := fetchAllocProbe{f: f, stats: stats}
+		dd.run(t)
+	})
+	// One argDedup per run is setup, not per-row work: its struct, map
+	// header and presized bucket array cost a constant <= 4 allocations
+	// regardless of row count. Everything per-row must be zero.
+	if avg > 4 {
+		t.Fatalf("fetch inner loop allocates %.1f/run (want setup-only <= 4)", avg)
+	}
+}
+
+// fetchAllocProbe re-runs the sequential fetch loop body outside
+// runSequential's error plumbing so AllocsPerRun sees only the row work.
+type fetchAllocProbe struct {
+	f     *fetchEval
+	stats *ExecStats
+}
+
+func (p *fetchAllocProbe) run(t testing.TB) {
+	f := p.f
+	dd := newArgDedup(f.in.Rows, f.xpos)
+	for i, row := range f.in.Rows {
+		if dd.seen(i) {
+			continue
+		}
+		f.keyBuf = value.AppendKeyAt(f.keyBuf[:0], row, f.xpos)
+		if !f.emitBucket(row, f.fetch.FetchBytes(f.keyBuf), f.rowBuf, p.stats, func(data.Tuple) bool { return true }) {
+			t.Fatal("sink stopped")
+		}
+	}
+}
+
+// TestScanRowPathAllocs pins the relation scan primitives: materializing
+// a row into a caller buffer and encoding row/projection keys into
+// scratch are allocation-free.
+func TestScanRowPathAllocs(t *testing.T) {
+	sc := schema.MustNew(schema.MustRelation("R", "A", "B"))
+	d := data.NewInstance(sc)
+	r := d.Relation("R")
+	for i := int64(0); i < 32; i++ {
+		r.MustInsert(value.NewInt(i), value.NewString("s"))
+	}
+	buf := make(data.Tuple, 0, 2)
+	var kb []byte
+	cols := []int{1}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < r.Len(); i++ {
+			buf = r.AppendRow(buf, i)
+			kb = r.AppendRowKey(kb[:0], i)
+			kb = r.AppendKeyAt(kb[:0], i, cols)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("scan row path allocates %.1f/run, want 0", avg)
+	}
+}
+
+// TestDedupAllocs pins the executor's set-semantics dedup: re-adding an
+// existing row through the scratch-buffer insert allocates nothing.
+func TestDedupAllocs(t *testing.T) {
+	tab := NewTable("a", "b")
+	row := data.Tuple{value.NewInt(1), value.NewString("dup")}
+	tab.Add(row.Clone())
+	scratch := row.Clone()
+	avg := testing.AllocsPerRun(1000, func() {
+		if tab.AddScratch(scratch) {
+			t.Fatal("duplicate row was admitted")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("duplicate AddScratch allocates %.1f/row, want 0", avg)
+	}
+}
+
+// TestJoinProbeAllocs pins the join probe: hashing the left row,
+// scanning the group, verifying equality and assembling the joined row
+// in a caller buffer allocate nothing.
+func TestJoinProbeAllocs(t *testing.T) {
+	l := NewTable("a", "b")
+	r := NewTable("b", "c")
+	for i := int64(0); i < 8; i++ {
+		l.Add(data.Tuple{value.NewInt(i), value.NewString("k")})
+		r.Add(data.Tuple{value.NewString("k"), value.NewInt(i * 10)})
+	}
+	js := newJoinState(l, r)
+	if err := js.build(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make(data.Tuple, 0, len(l.Cols)+len(js.extraR))
+	sink := func(data.Tuple) bool { return true }
+	avg := testing.AllocsPerRun(200, func() {
+		for _, lr := range l.Rows {
+			if !js.probe(lr, buf, sink) {
+				t.Fatal("sink stopped")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("join probe allocates %.1f/run, want 0", avg)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/data"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/value"
 )
@@ -136,7 +137,7 @@ func opKind(op Op) string {
 // large answers are never fully buffered. yield returning false stops the
 // final step early (no error). Every earlier step executes exactly as
 // ExecuteOpts (including parallelism); the final step runs sequentially.
-// Set semantics are preserved with a dedup key set, so the yielded
+// Set semantics are preserved with a dedup index, so the yielded
 // sequence is byte-identical, in order, to ExecuteOpts's result rows.
 func ExecuteStream(ctx context.Context, p *Plan, ix *access.Indexed, opts ExecOptions, yield func(data.Tuple) bool) (*ExecStats, error) {
 	return ExecuteStreamSource(ctx, p, NewSource(ix), opts, yield)
@@ -237,14 +238,19 @@ func execOp(ctx context.Context, op Op, results []*Table, src Source, stats *Exe
 
 // streamSink dedups final-step rows and forwards them to a consumer,
 // recording an early stop (consumer returned false — not an error).
+// Incoming rows may live in reused scratch buffers, so a NEW row is
+// copied before it is recorded and yielded; duplicates are recognized
+// without copying. Consumers may therefore retain yielded rows.
 type streamSink struct {
-	seen    map[value.Key]bool
+	rows    []data.Tuple
+	first   map[uint64]int32
+	more    map[uint64][]int32
 	yield   func(data.Tuple) bool
 	stopped bool
 }
 
 func newStreamSink(yield func(data.Tuple) bool) *streamSink {
-	return &streamSink{seen: make(map[value.Key]bool), yield: yield}
+	return &streamSink{first: make(map[uint64]int32), yield: yield}
 }
 
 // add forwards a row if unseen; it reports whether the consumer still
@@ -255,36 +261,62 @@ func (s *streamSink) add(row data.Tuple) bool {
 	if s.stopped {
 		return false
 	}
-	k := row.Key()
-	if s.seen[k] {
-		return true
+	h := hashRow(row)
+	if i, ok := s.first[h]; ok {
+		if rowsEqual(s.rows[i], row) {
+			return true
+		}
+		dup := false
+		for _, j := range s.more[h] {
+			if rowsEqual(s.rows[j], row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			return true
+		}
 	}
-	s.seen[k] = true
-	if !s.yield(row) {
+	kept := append(data.Tuple(nil), row...)
+	s.record(h)
+	s.rows = append(s.rows, kept)
+	if !s.yield(kept) {
 		s.stopped = true
 		return false
 	}
 	return true
 }
 
+// record indexes the row about to be appended; the collision branch
+// allocates by design and runs ~never.
+func (s *streamSink) record(h uint64) {
+	if _, ok := s.first[h]; !ok {
+		s.first[h] = int32(len(s.rows))
+		return
+	}
+	if s.more == nil {
+		s.more = make(map[uint64][]int32)
+	}
+	s.more[h] = append(s.more[h], int32(len(s.rows)))
+}
+
 // streamOp executes the final plan step sequentially, emitting its rows
 // through a streamSink instead of building a Table.
 func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *ExecStats, yield func(data.Tuple) bool) error {
 	sink := newStreamSink(yield)
-	each := func(rows []data.Tuple, emit func(data.Tuple) data.Tuple) error {
+	each := func(rows []data.Tuple) error {
 		for i, row := range rows {
 			if i%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 			}
-			if !sink.add(emit(row)) {
+			if !sink.add(row) {
 				return nil
 			}
 		}
 		return nil
 	}
-	ident := func(row data.Tuple) data.Tuple { return row }
 	switch o := op.(type) {
 	case unitOp:
 		sink.add(data.Tuple{})
@@ -301,14 +333,30 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 		}
 		return fe.runSequential(ctx, stats, sink.add)
 	case ProjectOp:
-		pos, err := results[o.Input].ColIndexes(o.Cols)
+		in := results[o.Input]
+		pos, err := in.ColIndexes(o.Cols)
 		if err != nil {
 			return err
 		}
 		if o.As != nil && len(o.As) != len(o.Cols) {
 			return fmt.Errorf("project rename arity mismatch")
 		}
-		return each(results[o.Input].Rows, func(row data.Tuple) data.Tuple { return row.Project(pos) })
+		buf := make(data.Tuple, 0, len(pos))
+		for i, row := range in.Rows {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			buf = buf[:0]
+			for _, p := range pos {
+				buf = append(buf, row[p])
+			}
+			if !sink.add(buf) {
+				return nil
+			}
+		}
+		return nil
 	case SelectOp:
 		in := results[o.Input]
 		conds, err := compileConds(o, in)
@@ -331,6 +379,7 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 		if err := checkProductCols(l, r); err != nil {
 			return err
 		}
+		buf := make(data.Tuple, 0, len(l.Cols)+len(r.Cols))
 		n := 0
 		for _, lr := range l.Rows {
 			for _, rr := range r.Rows {
@@ -340,7 +389,8 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 					}
 				}
 				n++
-				if !sink.add(append(append(data.Tuple{}, lr...), rr...)) {
+				buf = append(append(buf[:0], lr...), rr...)
+				if !sink.add(buf) {
 					return nil
 				}
 			}
@@ -352,13 +402,14 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 		if err := js.build(ctx, 1); err != nil {
 			return err
 		}
+		buf := make(data.Tuple, 0, len(l.Cols)+len(js.extraR))
 		for i, lr := range l.Rows {
 			if i%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 			}
-			if !js.probe(lr, func(row data.Tuple) bool { return sink.add(row) }) {
+			if !js.probe(lr, buf, sink.add) {
 				return nil
 			}
 		}
@@ -368,26 +419,23 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 		if len(l.Cols) != len(r.Cols) {
 			return fmt.Errorf("union: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
 		}
-		if err := each(l.Rows, ident); err != nil || sink.stopped {
+		if err := each(l.Rows); err != nil || sink.stopped {
 			return err
 		}
-		return each(r.Rows, ident)
+		return each(r.Rows)
 	case DiffOp:
 		l, r := results[o.L], results[o.R]
 		if len(l.Cols) != len(r.Cols) {
 			return fmt.Errorf("difference: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
 		}
-		drop := make(map[value.Key]bool, r.Len())
-		for _, row := range r.Rows {
-			drop[row.Key()] = true
-		}
+		drop := newDropSet(r.Rows)
 		for i, row := range l.Rows {
 			if i%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 			}
-			if !drop[row.Key()] && !sink.add(row) {
+			if !drop.has(row) && !sink.add(row) {
 				return nil
 			}
 		}
@@ -396,15 +444,15 @@ func streamOp(ctx context.Context, op Op, results []*Table, src Source, stats *E
 		if _, err := renamedCols(o, results[o.Input]); err != nil {
 			return err
 		}
-		return each(results[o.Input].Rows, ident)
+		return each(results[o.Input].Rows)
 	default:
 		return fmt.Errorf("unknown operation %T", op)
 	}
 }
 
 // fetchEval is the per-step state of a fetch: resolved index, input key
-// positions, and the Y-emission actions. It is shared by the materializing
-// and streaming executors so both produce identical rows.
+// positions, the Y-emission actions, and the sequential path's scratch
+// buffers (key encoding and output row assembly).
 type fetchEval struct {
 	o       FetchOp
 	in      *Table
@@ -412,6 +460,8 @@ type fetchEval struct {
 	xpos    []int
 	outCols []string
 	actions []yAction
+	keyBuf  []byte
+	rowBuf  data.Tuple
 }
 
 // yAction says how one Y attribute lands in the output row: skipped,
@@ -460,51 +510,61 @@ func newFetchEval(o FetchOp, in *Table, src Source) (*fetchEval, error) {
 			nextPos++
 		}
 	}
-	return &fetchEval{o: o, in: in, fetch: fetch, xpos: xpos, outCols: outCols, actions: actions}, nil
+	return &fetchEval{
+		o: o, in: in, fetch: fetch, xpos: xpos, outCols: outCols, actions: actions,
+		rowBuf: make(data.Tuple, len(outCols)),
+	}, nil
 }
 
-// fetchItem is one distinct-key lookup: the first input row carrying the
-// key, and the key itself.
+// fetchItem is one distinct-key lookup of the parallel path: the first
+// input row carrying the key, and the key's encoded bytes.
 type fetchItem struct {
 	row data.Tuple
-	key value.Key
+	key []byte
 }
 
-// emit looks the item up and sends the resulting output rows to sink,
-// stopping when sink returns false. It runs once per input row of every
-// fetch node, so it must stay allocation-free.
+// emitBucket assembles the output rows of one bucket into the out scratch
+// buffer and sends each to sink, stopping when sink returns false. It
+// runs once per distinct key of every fetch node and out is reused across
+// every bucket row, so the loop allocates nothing; sinks copy a row iff
+// they keep it.
 //
 //bevet:hotpath
-func (f *fetchEval) emit(it fetchItem, st *ExecStats, sink func(data.Tuple) bool) bool {
-	bucket := f.fetch.FetchKey(it.key)
+func (f *fetchEval) emitBucket(row data.Tuple, b index.Bucket, out data.Tuple, st *ExecStats, sink func(data.Tuple) bool) bool {
 	st.FetchKeys++
-	st.Fetched += int64(len(bucket))
-	for _, proj := range bucket {
-		outRow := make(data.Tuple, len(f.outCols))
+	st.Fetched += int64(b.Len())
+	nx := len(f.o.XCols)
+	for bi := 0; bi < b.Len(); bi++ {
+		out = out[:len(f.outCols)]
 		for i, p := range f.xpos {
-			outRow[i] = it.row[p]
+			out[i] = row[p]
+		}
+		// Y positions start null: the equate check uses null as its
+		// "not yet bound" sentinel.
+		for i := nx; i < len(out); i++ {
+			out[i] = value.Value{}
 		}
 		ok := true
-		cursor := len(f.o.XCols)
+		cursor := nx
 		for i, act := range f.actions {
-			v := proj[i]
+			v := b.At(bi, i)
 			switch {
 			case act.skip:
 			case act.checkPos >= 0:
-				if outRow[act.checkPos].IsNull() {
-					outRow[act.checkPos] = v
-				} else if outRow[act.checkPos] != v {
+				if out[act.checkPos].IsNull() {
+					out[act.checkPos] = v
+				} else if out[act.checkPos] != v {
 					ok = false
 				}
 			default:
-				outRow[cursor] = v
+				out[cursor] = v
 				cursor++
 			}
 			if !ok {
 				break
 			}
 		}
-		if ok && !sink(outRow) {
+		if ok && !sink(out) {
 			return false
 		}
 	}
@@ -512,21 +572,21 @@ func (f *fetchEval) emit(it fetchItem, st *ExecStats, sink func(data.Tuple) bool
 }
 
 // runSequential streams the fetch over the input rows in order, deduping
-// keys inline with no item buffer.
+// keys inline with no item buffer. The per-row path — hash dedup, key
+// encoding into scratch, bucket probe, row assembly — is allocation-free.
 func (f *fetchEval) runSequential(ctx context.Context, stats *ExecStats, sink func(data.Tuple) bool) error {
-	seenKeys := make(map[value.Key]bool)
+	dd := newArgDedup(f.in.Rows, f.xpos)
 	for i, row := range f.in.Rows {
 		if i%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		key := value.KeyOfAt(row, f.xpos)
-		if seenKeys[key] {
+		if dd.seen(i) {
 			continue
 		}
-		seenKeys[key] = true
-		if !f.emit(fetchItem{row: row, key: key}, stats, sink) {
+		f.keyBuf = value.AppendKeyAt(f.keyBuf[:0], row, f.xpos)
+		if !f.emitBucket(row, f.fetch.FetchBytes(f.keyBuf), f.rowBuf, stats, sink) {
 			return nil
 		}
 	}
@@ -545,14 +605,14 @@ func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *Exe
 	// workersFor(len(in.Rows)) == 1 implies parallelism would never
 	// trigger.
 	if opts.workersFor(len(in.Rows)) <= 1 {
-		err := f.runSequential(ctx, stats, func(r data.Tuple) bool { out.Add(r); return true })
+		err := f.runSequential(ctx, stats, func(r data.Tuple) bool { out.AddScratch(r); return true })
 		return out, err
 	}
 
 	// Distinct input keys in first-occurrence order: each key is looked up
 	// exactly once regardless of worker count, so FetchKeys/Fetched match
 	// the sequential accounting and stay within the static access bound.
-	seenKeys := make(map[value.Key]bool, len(in.Rows))
+	dd := newArgDedup(in.Rows, f.xpos)
 	items := make([]fetchItem, 0, len(in.Rows))
 	for i, row := range in.Rows {
 		if i%cancelStride == 0 {
@@ -560,12 +620,10 @@ func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *Exe
 				return nil, err
 			}
 		}
-		key := value.KeyOfAt(row, f.xpos)
-		if seenKeys[key] {
+		if dd.seen(i) {
 			continue
 		}
-		seenKeys[key] = true
-		items = append(items, fetchItem{row: row, key: key})
+		items = append(items, fetchItem{row: row, key: value.AppendKeyAt(nil, row, f.xpos)})
 	}
 	spans := splitSpans(len(items), opts.workersFor(len(items)))
 	if len(spans) <= 1 {
@@ -578,27 +636,31 @@ func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *Exe
 					return nil, err
 				}
 			}
-			f.emit(it, stats, func(r data.Tuple) bool { out.Add(r); return true })
+			f.emitBucket(it.row, f.fetch.FetchBytes(it.key), f.rowBuf, stats,
+				func(r data.Tuple) bool { out.AddScratch(r); return true })
 		}
 		return out, nil
 	}
 	// Parallel path: contiguous key partitions, worker-local row buffers
 	// and stats, then an ordered merge — the output row order and set
-	// semantics are identical to the sequential path. Workers precompute
-	// each row's dedup key so the merge only pays for map inserts; each
+	// semantics are identical to the sequential path. Workers assemble
+	// rows in worker-local scratch, copy kept rows, and precompute each
+	// row's dedup hash so the merge only pays for map inserts; each
 	// worker observes ctx and bails early on cancellation.
-	partRows := make([][]keyedRow, len(spans))
+	partRows := make([][]hashedRow, len(spans))
 	partStats := make([]ExecStats, len(spans))
 	runSpans(spans, func(part int, s span) {
+		scratch := make(data.Tuple, len(f.outCols))
 		sink := func(r data.Tuple) bool {
-			partRows[part] = append(partRows[part], keyedRow{row: r, key: r.Key()})
+			kept := append(data.Tuple(nil), r...)
+			partRows[part] = append(partRows[part], hashedRow{row: kept, hash: hashRow(kept)})
 			return true
 		}
 		for i, it := range items[s.Lo:s.Hi] {
 			if i%cancelStride == 0 && ctx.Err() != nil {
 				return
 			}
-			f.emit(it, &partStats[part], sink)
+			f.emitBucket(it.row, f.fetch.FetchBytes(it.key), scratch, &partStats[part], sink)
 		}
 	})
 	if err := ctx.Err(); err != nil {
@@ -608,23 +670,23 @@ func execFetch(ctx context.Context, o FetchOp, in *Table, src Source, stats *Exe
 		stats.FetchKeys += partStats[part].FetchKeys
 		stats.Fetched += partStats[part].Fetched
 	}
-	mergeKeyedParts(out, partRows)
+	mergeHashedParts(out, partRows)
 	return out, nil
 }
 
-// keyedRow pairs a row with its precomputed dedup key, produced on worker
-// goroutines and merged in order on the caller's goroutine.
-type keyedRow struct {
-	row data.Tuple
-	key value.Key
+// hashedRow pairs a row with its precomputed dedup hash, produced on
+// worker goroutines and merged in order on the caller's goroutine.
+type hashedRow struct {
+	row  data.Tuple
+	hash uint64
 }
 
-// mergeKeyedParts merges worker-local keyed rows into out in partition
-// order, pre-sizing the table for the total row count. Because partitions
-// are contiguous input ranges, this reproduces the sequential insert order.
+// mergeHashedParts merges worker-local rows into out in partition order,
+// pre-sizing the table for the total row count. Because partitions are
+// contiguous input ranges, this reproduces the sequential insert order.
 //
 //bevet:hotpath
-func mergeKeyedParts(out *Table, partRows [][]keyedRow) {
+func mergeHashedParts(out *Table, partRows [][]hashedRow) {
 	total := 0
 	for _, part := range partRows {
 		total += len(part)
@@ -632,7 +694,7 @@ func mergeKeyedParts(out *Table, partRows [][]keyedRow) {
 	out.grow(total)
 	for _, part := range partRows {
 		for _, r := range part {
-			out.addKeyed(r.row, r.key)
+			out.addHashed(r.row, r.hash)
 		}
 	}
 }
@@ -650,8 +712,13 @@ func execProject(o ProjectOp, in *Table) (*Table, error) {
 		cols = o.As
 	}
 	out := NewTable(cols...)
+	buf := make(data.Tuple, 0, len(pos))
 	for _, row := range in.Rows {
-		out.Add(row.Project(pos))
+		buf = buf[:0]
+		for _, p := range pos {
+			buf = append(buf, row[p])
+		}
+		out.AddScratch(buf)
 	}
 	return out, nil
 }
@@ -727,6 +794,7 @@ func execProduct(ctx context.Context, l, r *Table) (*Table, error) {
 		return nil, err
 	}
 	out := NewTable(append(append([]string(nil), l.Cols...), r.Cols...)...)
+	buf := make(data.Tuple, 0, len(l.Cols)+len(r.Cols))
 	n := 0
 	for _, lr := range l.Rows {
 		for _, rr := range r.Rows {
@@ -736,20 +804,24 @@ func execProduct(ctx context.Context, l, r *Table) (*Table, error) {
 				}
 			}
 			n++
-			out.Add(append(append(data.Tuple{}, lr...), rr...))
+			buf = append(append(buf[:0], lr...), rr...)
+			out.AddScratch(buf)
 		}
 	}
 	return out, nil
 }
 
 // joinState is the column analysis and hash table of a natural join,
-// shared by the materializing and streaming executors.
+// shared by the materializing and streaming executors. The hash table
+// groups right-row INDEXES by the 64-bit hash of their join columns;
+// probes confirm the join element-wise, so hash collisions cost a
+// compare, never a wrong row.
 type joinState struct {
 	r                *Table
 	sharedL, sharedR []int
 	extraR           []int
 	extraCols        []string
-	table            map[value.Key][]data.Tuple
+	groups           map[uint64][]int32
 }
 
 func newJoinState(l, r *Table) *joinState {
@@ -767,11 +839,11 @@ func newJoinState(l, r *Table) *joinState {
 	return js
 }
 
-// build fills the hash table from the right side. Key encoding (the
+// build fills the hash table from the right side. Row hashing (the
 // expensive part) parallelizes over contiguous chunks; the map insertions
 // stay sequential and ordered.
 func (js *joinState) build(ctx context.Context, workers int) error {
-	js.table = make(map[value.Key][]data.Tuple, js.r.Len())
+	js.groups = make(map[uint64][]int32, js.r.Len())
 	if workers <= 1 {
 		for i, rr := range js.r.Rows {
 			if i%cancelStride == 0 {
@@ -779,39 +851,56 @@ func (js *joinState) build(ctx context.Context, workers int) error {
 					return err
 				}
 			}
-			k := value.KeyOfAt(rr, js.sharedR)
-			js.table[k] = append(js.table[k], rr)
+			h := hashRowAt(rr, js.sharedR)
+			js.groups[h] = append(js.groups[h], int32(i))
 		}
 		return nil
 	}
-	buildKeys := make([]value.Key, js.r.Len())
+	hashes := make([]uint64, js.r.Len())
 	runSpans(splitSpans(js.r.Len(), workers), func(_ int, s span) {
 		for i := s.Lo; i < s.Hi; i++ {
 			if (i-s.Lo)%cancelStride == 0 && ctx.Err() != nil {
 				return
 			}
-			buildKeys[i] = value.KeyOfAt(js.r.Rows[i], js.sharedR)
+			hashes[i] = hashRowAt(js.r.Rows[i], js.sharedR)
 		}
 	})
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for i, rr := range js.r.Rows {
-		js.table[buildKeys[i]] = append(js.table[buildKeys[i]], rr)
+	for i := range js.r.Rows {
+		js.groups[hashes[i]] = append(js.groups[hashes[i]], int32(i))
 	}
 	return nil
 }
 
-// probe matches one left row against the hash table, sending joined rows
-// to sink; it reports whether the consumer still wants more rows. It runs
-// once per left row, so it must stay free of incidental allocation (the
-// appends build the output row itself).
+// probe matches one left row against the hash table, assembling joined
+// rows in the out scratch buffer and sending each to sink; it reports
+// whether the consumer still wants more rows. It runs once per left row,
+// so it must stay allocation-free — out is caller-owned with capacity for
+// the full output width, and sinks copy a row iff they keep it.
 //
 //bevet:hotpath
-func (js *joinState) probe(lr data.Tuple, sink func(data.Tuple) bool) bool {
-	k := value.KeyOfAt(lr, js.sharedL)
-	for _, rr := range js.table[k] {
-		if !sink(append(append(data.Tuple{}, lr...), rr.Project(js.extraR)...)) {
+func (js *joinState) probe(lr data.Tuple, out data.Tuple, sink func(data.Tuple) bool) bool {
+	h := hashRowAt(lr, js.sharedL)
+	for _, ri := range js.groups[h] {
+		rr := js.r.Rows[ri]
+		match := true
+		for i, lc := range js.sharedL {
+			if lr[lc] != rr[js.sharedR[i]] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		out = out[:0]
+		out = append(out, lr...)
+		for _, p := range js.extraR {
+			out = append(out, rr[p])
+		}
+		if !sink(out) {
 			return false
 		}
 	}
@@ -824,39 +913,43 @@ func execJoin(ctx context.Context, l, r *Table, opts ExecOptions) (*Table, error
 	if err := js.build(ctx, opts.workersFor(r.Len())); err != nil {
 		return nil, err
 	}
+	width := len(l.Cols) + len(js.extraR)
 
 	// Probe phase: contiguous chunks of the left side probe the (now
 	// read-only) hash table into worker-local buffers; the ordered merge
 	// reproduces the sequential output order and set semantics.
 	spans := splitSpans(l.Len(), opts.workersFor(l.Len()))
 	if len(spans) <= 1 {
+		buf := make(data.Tuple, 0, width)
 		for i, lr := range l.Rows {
 			if i%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			js.probe(lr, func(row data.Tuple) bool { out.Add(row); return true })
+			js.probe(lr, buf, func(row data.Tuple) bool { out.AddScratch(row); return true })
 		}
 		return out, nil
 	}
-	partRows := make([][]keyedRow, len(spans))
+	partRows := make([][]hashedRow, len(spans))
 	runSpans(spans, func(part int, s span) {
+		buf := make(data.Tuple, 0, width)
 		sink := func(row data.Tuple) bool {
-			partRows[part] = append(partRows[part], keyedRow{row: row, key: row.Key()})
+			kept := append(data.Tuple(nil), row...)
+			partRows[part] = append(partRows[part], hashedRow{row: kept, hash: hashRow(kept)})
 			return true
 		}
 		for i, lr := range l.Rows[s.Lo:s.Hi] {
 			if i%cancelStride == 0 && ctx.Err() != nil {
 				return
 			}
-			js.probe(lr, sink)
+			js.probe(lr, buf, sink)
 		}
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mergeKeyedParts(out, partRows)
+	mergeHashedParts(out, partRows)
 	return out, nil
 }
 
@@ -874,17 +967,43 @@ func execUnion(l, r *Table) (*Table, error) {
 	return out, nil
 }
 
+// dropSet is the right-side membership index of a set difference:
+// hash-grouped row indexes confirmed element-wise.
+type dropSet struct {
+	rows   []data.Tuple
+	groups map[uint64][]int32
+}
+
+func newDropSet(rows []data.Tuple) *dropSet {
+	d := &dropSet{rows: rows, groups: make(map[uint64][]int32, len(rows))}
+	for i, row := range rows {
+		h := hashRow(row)
+		d.groups[h] = append(d.groups[h], int32(i))
+	}
+	return d
+}
+
+// has reports whether an equal row is in the set; it runs once per
+// left-side row and allocates nothing.
+//
+//bevet:hotpath
+func (d *dropSet) has(row data.Tuple) bool {
+	for _, i := range d.groups[hashRow(row)] {
+		if rowsEqual(d.rows[i], row) {
+			return true
+		}
+	}
+	return false
+}
+
 func execDiff(l, r *Table) (*Table, error) {
 	if len(l.Cols) != len(r.Cols) {
 		return nil, fmt.Errorf("difference: arity mismatch %d vs %d", len(l.Cols), len(r.Cols))
 	}
-	drop := make(map[value.Key]bool, r.Len())
-	for _, row := range r.Rows {
-		drop[row.Key()] = true
-	}
+	drop := newDropSet(r.Rows)
 	out := NewTable(l.Cols...)
 	for _, row := range l.Rows {
-		if !drop[row.Key()] {
+		if !drop.has(row) {
 			out.Add(row)
 		}
 	}

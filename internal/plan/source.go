@@ -2,17 +2,17 @@ package plan
 
 import (
 	"repro/internal/access"
-	"repro/internal/data"
-	"repro/internal/value"
+	"repro/internal/index"
 )
 
 // Fetcher resolves the index lookups of one fetch step: given an encoded
-// X-key ā it returns D_Y(X = ā), the distinct Y-projections in canonical
-// (key-sorted) order. *index.Index implements it directly; a distributed
-// source returns a resolver that routes or scatter-gathers across shards.
-// The returned slice is shared and must not be mutated.
+// X-key ā (raw bytes, typically a reused scratch buffer — the probe
+// copies nothing) it returns D_Y(X = ā), the distinct Y-projections in
+// canonical (key-sorted) order as an immutable index.Bucket view.
+// *index.Index implements it directly; a distributed source returns a
+// resolver that routes or scatter-gathers across shards.
 type Fetcher interface {
-	FetchKey(k value.Key) []data.Tuple
+	FetchBytes(k []byte) index.Bucket
 }
 
 // Source is the data-access surface a plan executes against: it resolves

@@ -15,16 +15,42 @@ import (
 )
 
 // Table is an intermediate result T_i: named columns over rows with set
-// semantics (duplicate rows are not stored).
+// semantics (duplicate rows are not stored). Dedup is hash-based — a
+// 64-bit row hash resolves to candidate row indexes verified by
+// element-wise comparison — so inserting through a reused scratch buffer
+// (AddScratch) encodes no per-row keys and allocates nothing for
+// duplicates; new rows are carved from a chunked arena instead of one
+// allocation each.
 type Table struct {
 	Cols []string
 	Rows []data.Tuple
-	seen map[value.Key]bool
+
+	// first maps a row hash to the first row index bearing it; more holds
+	// the (astronomically rare) additional indexes of colliding hashes.
+	// Row equality is always confirmed element-wise, so hash collisions
+	// cost a compare, never a wrong answer.
+	first map[uint64]int32
+	more  map[uint64][]int32
+
+	// arena backs rows copied in via AddScratch: rows are carved from
+	// chunked slabs, so a million-row table costs hundreds of allocations
+	// instead of a million. Committed rows are never moved or reused.
+	arena []value.Value
 }
+
+// Arena slab sizing (in cells): chunks start small — a bounded query's
+// intermediate tables are often a handful of rows, and a fixed big slab
+// per table would cost more zeroed memory than the old per-row copies —
+// and double per refill up to arenaChunkMax, so large tables still pay
+// O(log n) allocations.
+const (
+	arenaChunkMin = 64
+	arenaChunkMax = 4096
+)
 
 // NewTable returns an empty table with the given columns.
 func NewTable(cols ...string) *Table {
-	return &Table{Cols: append([]string(nil), cols...), seen: make(map[value.Key]bool)}
+	return &Table{Cols: append([]string(nil), cols...)}
 }
 
 // Unit returns the zero-column table holding the single empty row — the
@@ -35,35 +61,113 @@ func Unit() *Table {
 	return t
 }
 
-// Add inserts a row under set semantics, reporting whether it was new.
-func (t *Table) Add(row data.Tuple) bool {
-	return t.addKeyed(row, row.Key())
+// contains reports whether an equal row is already stored under hash h.
+//
+//bevet:hotpath
+func (t *Table) contains(h uint64, row data.Tuple) bool {
+	i, ok := t.first[h]
+	if !ok {
+		return false
+	}
+	if rowsEqual(t.Rows[i], row) {
+		return true
+	}
+	for _, j := range t.more[h] {
+		if rowsEqual(t.Rows[j], row) {
+			return true
+		}
+	}
+	return false
 }
 
-// grow pre-sizes the table's dedup map and row slice for n upcoming
+// record indexes the row about to be appended under hash h. Kept out of
+// the hot-path annotations: the collision branch allocates by design and
+// runs ~never.
+func (t *Table) record(h uint64) {
+	if t.first == nil {
+		t.first = make(map[uint64]int32)
+	}
+	if _, ok := t.first[h]; !ok {
+		t.first[h] = int32(len(t.Rows))
+		return
+	}
+	if t.more == nil {
+		t.more = make(map[uint64][]int32)
+	}
+	t.more[h] = append(t.more[h], int32(len(t.Rows)))
+}
+
+// Add inserts a row under set semantics, reporting whether it was new.
+// The row itself is stored — callers passing a buffer they will reuse
+// must use AddScratch.
+func (t *Table) Add(row data.Tuple) bool {
+	return t.addHashed(row, hashRow(row))
+}
+
+// addHashed is Add with the row's hash precomputed — the parallel
+// executor hashes rows on worker goroutines so the ordered merge only
+// pays for the map insert.
+func (t *Table) addHashed(row data.Tuple, h uint64) bool {
+	if t.contains(h, row) {
+		return false
+	}
+	t.record(h)
+	t.Rows = append(t.Rows, row)
+	return true
+}
+
+// AddScratch inserts the row currently held in a reused scratch buffer:
+// duplicates are detected without copying, and a new row is copied into
+// the table's arena. This is the zero-allocation-per-row insert of the
+// fetch/join hot path.
+//
+//bevet:hotpath
+func (t *Table) AddScratch(row data.Tuple) bool {
+	h := hashRow(row)
+	if t.contains(h, row) {
+		return false
+	}
+	t.record(h)
+	t.Rows = append(t.Rows, t.arenaRow(row))
+	return true
+}
+
+// arenaRow copies row into the arena and returns the stored copy. The
+// chunk a row lands in never grows past its capacity, so earlier rows
+// are never moved.
+//
+//bevet:hotpath
+func (t *Table) arenaRow(row data.Tuple) data.Tuple {
+	if len(row) == 0 {
+		return data.Tuple{}
+	}
+	if len(t.arena)+len(row) > cap(t.arena) {
+		n := cap(t.arena) * 2
+		if n < arenaChunkMin {
+			n = arenaChunkMin
+		}
+		if n > arenaChunkMax {
+			n = arenaChunkMax
+		}
+		if len(row) > n {
+			n = len(row)
+		}
+		t.arena = make([]value.Value, 0, n)
+	}
+	base := len(t.arena)
+	t.arena = append(t.arena, row...)
+	return data.Tuple(t.arena[base : base+len(row) : base+len(row)])
+}
+
+// grow pre-sizes the table's dedup index and row slice for n upcoming
 // inserts, avoiding incremental rehashing during large ordered merges. It
 // only acts on a still-empty table.
 func (t *Table) grow(n int) {
 	if len(t.Rows) > 0 || n <= 0 {
 		return
 	}
-	t.seen = make(map[value.Key]bool, n)
+	t.first = make(map[uint64]int32, n)
 	t.Rows = make([]data.Tuple, 0, n)
-}
-
-// addKeyed is Add with the row's dedup key precomputed — the parallel
-// executor encodes keys on worker goroutines so the ordered merge only
-// pays for the map insert.
-func (t *Table) addKeyed(row data.Tuple, k value.Key) bool {
-	if t.seen == nil {
-		t.seen = make(map[value.Key]bool)
-	}
-	if t.seen[k] {
-		return false
-	}
-	t.seen[k] = true
-	t.Rows = append(t.Rows, row)
-	return true
 }
 
 // Len returns the number of rows.

@@ -120,13 +120,17 @@ func (sn *snapshot) instance(ctx context.Context, s *schema.Schema) (*data.Insta
 				continue
 			}
 			out := m.Relation(rs.Name)
-			for _, t := range rel.Tuples() {
-				if _, err := out.Insert(t); err != nil {
+			var buf data.Tuple
+			for ri := 0; ri < rel.Len(); ri++ {
+				buf = rel.AppendRow(buf, ri)
+				if _, err := out.Insert(buf); err != nil {
 					return nil, err
 				}
 			}
 		}
 	}
+	// The cached union never mutates; drop its merge-time dedup maps.
+	m.ReleaseDedup()
 	sn.merged = m
 	return m, nil
 }
@@ -240,8 +244,10 @@ func (e *Engine) aligned(c access.Constraint) bool {
 }
 
 // shardOf maps an encoded partition-key value to a shard (FNV-1a: fast,
-// deterministic across processes, good spread on short keys).
-func shardOf(k value.Key, n int) int {
+// deterministic across processes, good spread on short keys). Generic
+// over the key spelling so raw scratch bytes route without a conversion
+// allocation.
+func shardOf[T ~string | ~[]byte](k T, n int) int {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
 	for i := 0; i < len(k); i++ {
@@ -276,8 +282,13 @@ func (e *Engine) Load(d *data.Instance) error {
 		if rel == nil {
 			return fmt.Errorf("shard: instance has no relation %s", rs.Name)
 		}
-		for _, t := range rel.Tuples() {
-			if _, err := insts[e.shardOfTuple(rs.Name, t)].Relation(rs.Name).Insert(t); err != nil {
+		pos := e.parts[rs.Name].pos
+		var buf data.Tuple
+		var kb []byte
+		for ri := 0; ri < rel.Len(); ri++ {
+			buf = rel.AppendRow(buf, ri)
+			kb = rel.AppendKeyAt(kb[:0], ri, pos)
+			if _, err := insts[shardOf(kb, e.k)].Relation(rs.Name).Insert(buf); err != nil {
 				return err
 			}
 		}
@@ -340,6 +351,12 @@ func (e *Engine) Load(d *data.Instance) error {
 			}
 		}
 	}
+	// All K shard instances and the cached union publish read-only;
+	// release their load-time dedup maps (writers clone and rebuild).
+	for _, inst := range insts {
+		inst.ReleaseDedup()
+	}
+	d.ReleaseDedup()
 	e.snap.Store(&snapshot{views: views, size: size, merged: d})
 	e.planner.SetSizeHint(size)
 	return nil
@@ -704,7 +721,7 @@ func (e *Engine) validate(sn *snapshot, staged []*live.Staged, oldGlobal, newGlo
 					}
 					idx := st.Index(ci)
 					for _, k := range st.InsertKeys(ci) {
-						if n := len(idx.FetchKey(k)); n > g {
+						if n := idx.FetchKey(k).Len(); n > g {
 							g = n
 						}
 					}
@@ -758,25 +775,27 @@ func constraintIndexes(views []*access.Indexed, ci int) []*index.Index {
 // global size is the size of their deduplicated union.
 func mergedGroupSize(idxs []*index.Index, k value.Key) int {
 	n := 0
-	var seen map[value.Key]bool
+	var seen map[string]bool
+	var kb []byte
 	for _, idx := range idxs {
 		b := idx.FetchKey(k)
-		if len(b) == 0 {
+		if b.Len() == 0 {
 			continue
 		}
 		if n == 0 && seen == nil {
 			// First shard with data: count without dedup bookkeeping yet.
-			n = len(b)
-			seen = make(map[value.Key]bool, len(b))
-			for _, proj := range b {
-				seen[proj.Key()] = true
+			n = b.Len()
+			seen = make(map[string]bool, b.Len())
+			for i := 0; i < b.Len(); i++ {
+				kb = b.AppendKeyOf(kb[:0], i)
+				seen[string(kb)] = true
 			}
 			continue
 		}
-		for _, proj := range b {
-			pk := proj.Key()
-			if !seen[pk] {
-				seen[pk] = true
+		for i := 0; i < b.Len(); i++ {
+			kb = b.AppendKeyOf(kb[:0], i)
+			if !seen[string(kb)] {
+				seen[string(kb)] = true
 				n++
 			}
 		}
@@ -790,7 +809,7 @@ func mergedGroupSize(idxs []*index.Index, k value.Key) int {
 func mergedMaxGroup(idxs []*index.Index) int {
 	keys := make(map[value.Key]bool)
 	for _, idx := range idxs {
-		idx.Buckets(func(k value.Key, _ []data.Tuple) bool {
+		idx.Buckets(func(k value.Key, _ index.Bucket) bool {
 			keys[k] = true
 			return true
 		})

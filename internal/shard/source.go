@@ -2,11 +2,9 @@ package shard
 
 import (
 	"repro/internal/access"
-	"repro/internal/data"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/plan"
-	"repro/internal/value"
 )
 
 // gatherSource is the plan.Source of one cross-shard snapshot: each
@@ -52,11 +50,11 @@ type routedFetcher struct {
 	sc   *obs.ShardCounters
 }
 
-func (f routedFetcher) FetchKey(k value.Key) []data.Tuple {
+func (f routedFetcher) FetchBytes(k []byte) index.Bucket {
 	i := shardOf(k, len(f.idxs))
-	b := f.idxs[i].FetchKey(k)
+	b := f.idxs[i].FetchBytes(k)
 	if f.sc != nil {
-		f.sc.Route(i, 1, int64(len(b)))
+		f.sc.Route(i, 1, int64(b.Len()))
 	}
 	return b
 }
@@ -72,23 +70,23 @@ type scatterFetcher struct {
 	sc   *obs.ShardCounters
 }
 
-func (f scatterFetcher) FetchKey(k value.Key) []data.Tuple {
-	var first []data.Tuple
-	var parts [][]data.Tuple
+func (f scatterFetcher) FetchBytes(k []byte) index.Bucket {
+	var first index.Bucket
+	var parts []index.Bucket
 	for i, idx := range f.idxs {
-		b := idx.FetchKey(k)
+		b := idx.FetchBytes(k)
 		if f.sc != nil {
-			f.sc.Scatter(i, 1, int64(len(b)))
+			f.sc.Scatter(i, 1, int64(b.Len()))
 		}
-		if len(b) == 0 {
+		if b.Len() == 0 {
 			continue
 		}
-		if first == nil && parts == nil {
+		if first.Len() == 0 && parts == nil {
 			first = b
 			continue
 		}
 		if parts == nil {
-			parts = [][]data.Tuple{first}
+			parts = []index.Bucket{first}
 		}
 		parts = append(parts, b)
 	}
@@ -96,41 +94,5 @@ func (f scatterFetcher) FetchKey(k value.Key) []data.Tuple {
 		// Zero or one shard held the group: serve its bucket as is.
 		return first
 	}
-	return mergeBuckets(parts)
-}
-
-// mergeBuckets K-way-merges canonically sorted buckets, deduplicating
-// Y-projections that distinct tuples on different shards share. The
-// result is in canonical order — byte-identical to the single-node
-// bucket over the union of the shards' tuples.
-func mergeBuckets(parts [][]data.Tuple) []data.Tuple {
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]data.Tuple, 0, total)
-	pos := make([]int, len(parts))
-	for {
-		best := -1
-		var bk value.Key
-		for i, p := range parts {
-			if pos[i] >= len(p) {
-				continue
-			}
-			if k := p[pos[i]].Key(); best < 0 || k < bk {
-				best, bk = i, k
-			}
-		}
-		if best < 0 {
-			return out
-		}
-		out = append(out, parts[best][pos[best]])
-		// Advance every part past bk: within a shard projections are
-		// distinct, so at most the head of each part equals it.
-		for i, p := range parts {
-			if pos[i] < len(p) && p[pos[i]].Key() == bk {
-				pos[i]++
-			}
-		}
-	}
+	return index.MergeBuckets(parts)
 }

@@ -85,42 +85,58 @@ func DecodeKey(k Key) ([]Value, error) {
 // that carve many small value slices out of one arena allocation
 // instead of paying one allocation per key.
 func AppendDecodeKey(dst []Value, k Key) ([]Value, error) {
-	b := string(k)
 	vals := dst
-	for i := 0; i < len(b); {
-		kind := Kind(b[i])
-		i++
-		switch kind {
-		case Null:
-			vals = append(vals, Value{})
-		case Int:
-			u, n := uvarintStr(b, i)
-			if n == 0 {
-				return nil, fmt.Errorf("value: key offset %d: bad varint", i)
-			}
-			i += n
-			// Undo binary.PutVarint's zig-zag mapping.
-			v := int64(u >> 1)
-			if u&1 != 0 {
-				v = ^v
-			}
-			vals = append(vals, NewInt(v))
-		case String:
-			l, n := uvarintStr(b, i)
-			if n == 0 {
-				return nil, fmt.Errorf("value: key offset %d: bad length varint", i)
-			}
-			i += n
-			if l > uint64(len(b)-i) {
-				return nil, fmt.Errorf("value: key offset %d: string length %d overruns key", i, l)
-			}
-			vals = append(vals, NewString(b[i:i+int(l)]))
-			i += int(l)
-		default:
-			return nil, fmt.Errorf("value: key offset %d: unknown kind %d", i-1, uint8(kind))
+	for i := 0; i < len(k); {
+		v, next, err := DecodeKeyCell(k, i)
+		if err != nil {
+			return nil, err
 		}
+		vals = append(vals, v)
+		i = next
 	}
 	return vals, nil
+}
+
+// DecodeKeyCell decodes the single value starting at byte offset i of k,
+// returning it with the offset just past its encoding — the per-cell
+// inverse of AppendValueKey. Bulk restorers use it to stream a key's
+// cells straight into columnar storage without materializing a []Value
+// per tuple. Decoded string values share k's backing memory.
+func DecodeKeyCell(k Key, i int) (Value, int, error) {
+	b := string(k)
+	if i >= len(b) {
+		return Value{}, 0, fmt.Errorf("value: key offset %d: truncated cell", i)
+	}
+	kind := Kind(b[i])
+	i++
+	switch kind {
+	case Null:
+		return Value{}, i, nil
+	case Int:
+		u, n := uvarintStr(b, i)
+		if n == 0 {
+			return Value{}, 0, fmt.Errorf("value: key offset %d: bad varint", i)
+		}
+		i += n
+		// Undo binary.PutVarint's zig-zag mapping.
+		v := int64(u >> 1)
+		if u&1 != 0 {
+			v = ^v
+		}
+		return NewInt(v), i, nil
+	case String:
+		l, n := uvarintStr(b, i)
+		if n == 0 {
+			return Value{}, 0, fmt.Errorf("value: key offset %d: bad length varint", i)
+		}
+		i += n
+		if l > uint64(len(b)-i) {
+			return Value{}, 0, fmt.Errorf("value: key offset %d: string length %d overruns key", i, l)
+		}
+		return NewString(b[i : i+int(l)]), i + int(l), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: key offset %d: unknown kind %d", i-1, uint8(kind))
+	}
 }
 
 // AppendKey appends the Key encoding of vals to dst and returns the
@@ -131,6 +147,50 @@ func AppendDecodeKey(dst []Value, k Key) ([]Value, error) {
 func AppendKey(dst []byte, vals ...Value) []byte {
 	var buf [binary.MaxVarintLen64]byte
 	for _, v := range vals {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case Int:
+			k := binary.PutVarint(buf[:], v.i)
+			dst = append(dst, buf[:k]...)
+		case String:
+			k := binary.PutUvarint(buf[:], uint64(len(v.s)))
+			dst = append(dst, buf[:k]...)
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// AppendValueKey appends the Key encoding of the single value v to dst.
+// It is the per-cell building block of AppendKey for callers that walk a
+// columnar row: a variadic AppendKey(dst, v) call would box v into a
+// fresh one-element slice on every cell.
+//
+//bevet:hotpath
+func AppendValueKey(dst []byte, v Value) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case Int:
+		k := binary.PutVarint(buf[:], v.i)
+		dst = append(dst, buf[:k]...)
+	case String:
+		k := binary.PutUvarint(buf[:], uint64(len(v.s)))
+		dst = append(dst, buf[:k]...)
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// AppendKeyAt appends the Key encoding of the projection of row onto
+// positions cols — AppendKey's positional counterpart, and KeyOfAt for
+// callers reusing one scratch buffer across a scan.
+//
+//bevet:hotpath
+func AppendKeyAt(dst []byte, row []Value, cols []int) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	for _, c := range cols {
+		v := row[c]
 		dst = append(dst, byte(v.kind))
 		switch v.kind {
 		case Int:

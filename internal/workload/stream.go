@@ -75,19 +75,22 @@ func NewAccidentStream(acc *Accidents, cfg AccidentStreamConfig) (*AccidentStrea
 		maxVehicles:     6,
 		accidentsPerDay: 610,
 	}
-	for _, t := range acc.Instance.Relation("Accident").Tuples() {
-		if id := t[0].Int(); id > s.aid {
+	accR := acc.Instance.Relation("Accident")
+	for ri := 0; ri < accR.Len(); ri++ {
+		if id := accR.ValueAt(ri, 0).Int(); id > s.aid {
 			s.aid = id
 		}
-		s.perDay[t[2].Str()]++
+		s.perDay[accR.ValueAt(ri, 2).Str()]++
 	}
-	for _, t := range acc.Instance.Relation("Casualty").Tuples() {
-		if id := t[0].Int(); id > s.cid {
+	casR := acc.Instance.Relation("Casualty")
+	for ri := 0; ri < casR.Len(); ri++ {
+		if id := casR.ValueAt(ri, 0).Int(); id > s.cid {
 			s.cid = id
 		}
 	}
-	for _, t := range acc.Instance.Relation("Vehicle").Tuples() {
-		if id := t[0].Int(); id > s.vid {
+	vehR := acc.Instance.Relation("Vehicle")
+	for ri := 0; ri < vehR.Len(); ri++ {
+		if id := vehR.ValueAt(ri, 0).Int(); id > s.vid {
 			s.vid = id
 		}
 	}
@@ -198,8 +201,9 @@ func NewSocialStream(soc *Social, cfg SocialStreamConfig) (*SocialStream, error)
 		return nil, fmt.Errorf("workload: stream needs InsertPeople, MaxFriends, MaxLikes >= 1")
 	}
 	s := &SocialStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	for _, t := range soc.Instance.Relation("Person").Tuples() {
-		if id := t[0].Int(); id > s.pid {
+	perR := soc.Instance.Relation("Person")
+	for ri := 0; ri < perR.Len(); ri++ {
+		if id := perR.ValueAt(ri, 0).Int(); id > s.pid {
 			s.pid = id
 		}
 	}
