@@ -3,7 +3,7 @@
 // Usage:
 //
 //	bebench                    # run every experiment
-//	bebench -exp e1            # one experiment (e1..e15)
+//	bebench -exp e1            # one experiment (e1..e17)
 //	bebench -exp e11 -workers 8  # serving-layer experiment at 8 workers
 //	bebench -exp e13 -shards 8   # sharding sweep up to 8 shards
 //	bebench -exp e15 -json .     # write BENCH_E15.json next to the tables
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e15) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e17) or all")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max worker goroutines for the e11 parallel-execution sweep")
 	shards := flag.Int("shards", 8, "max shard count for the e13 sharding sweep")
 	jsonDir := flag.String("json", "", "also write BENCH_<ID>.json metric files into this directory")
@@ -141,8 +141,10 @@ func run(exp string, workers, shards int, jsonDir string) error {
 		t, err = bench.E15Durability(40, 30)
 	case "e16":
 		t, err = bench.E16TraceOverhead(40, time.Second)
+	case "e17":
+		t, err = bench.E17DistributedServing(workers, time.Second, []int{2, 4})
 	default:
-		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e17 or all)", exp)
 	}
 	if err != nil {
 		return err

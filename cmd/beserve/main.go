@@ -22,6 +22,23 @@
 // -shards K serves through the hash-partitioned internal/shard engine;
 // the wire behavior is byte-identical to the single-node engine's.
 //
+// Distributed serving (internal/cluster) splits those shards across
+// processes:
+//
+//	beserve -addr :8081 -demo accidents -shard-count 3 -shard-id 0
+//	beserve -addr :8082 -demo accidents -shard-count 3 -shard-id 1
+//	beserve -addr :8083 -demo accidents -shard-count 3 -shard-id 2
+//	beserve -addr :8080 -demo accidents -peers http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// A -shard-id node loads only its hash share of the dataset and serves
+// the public read surface over that share, plus the /v1/internal/*
+// protocol; writes are refused with 421 not_coordinator. A -peers
+// coordinator loads nothing: it attaches to the fleet (retrying until
+// every node is up) and serves the whole dataset — reads route or
+// scatter-gather by partition key, writes run a two-phase staged commit
+// across all nodes. Its wire output is byte-identical to a single-node
+// beserve over the same data.
+//
 // -slow-query-ms N logs every /v1/query slower than N ms as one
 // structured JSON line on stderr (canonical plan-cache key, bound,
 // stats, top-3 spans). -debug-addr serves net/http/pprof on a separate
@@ -48,10 +65,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/durable"
 	"repro/internal/load"
 	"repro/internal/obs"
@@ -82,6 +102,10 @@ type cliConfig struct {
 	people        int
 	workers       int
 	shards        int
+	shardID       int
+	shardCount    int
+	peers         string
+	attachWait    time.Duration
 	maxInFlight   int
 	queueTimeout  time.Duration
 	stallTimeout  time.Duration
@@ -101,6 +125,10 @@ func main() {
 	flag.IntVar(&cfg.people, "people", 2000, "social demo: people")
 	flag.IntVar(&cfg.workers, "workers", 1, "default worker goroutines for plan execution (-1 = GOMAXPROCS)")
 	flag.IntVar(&cfg.shards, "shards", 1, "hash-partition the data across K shards (internal/shard)")
+	flag.IntVar(&cfg.shardID, "shard-id", 0, "this node's shard id when -shard-count is set")
+	flag.IntVar(&cfg.shardCount, "shard-count", 0, "serve as cluster shard node -shard-id of this many; loads only that hash share")
+	flag.StringVar(&cfg.peers, "peers", "", "serve as cluster coordinator over these comma-separated node base URLs (in shard order)")
+	flag.DurationVar(&cfg.attachWait, "attach-wait", 30*time.Second, "how long the coordinator retries attaching to its peers at startup")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", server.DefaultMaxInFlight, "admission cap on concurrent query/apply requests")
 	flag.DurationVar(&cfg.queueTimeout, "queue-timeout", server.DefaultQueueTimeout, "how long a request may wait for an admission slot before 503")
 	flag.DurationVar(&cfg.stallTimeout, "stall-timeout", server.DefaultStallTimeout, "per-I/O deadline evicting stalled clients from their admission slot")
@@ -198,12 +226,16 @@ func build(ctx context.Context, cfg cliConfig) (*server.Server, func() error, er
 	if !loaded {
 		return nil, nil, fmt.Errorf("no data loaded (use -demo, or -file with -data, or -data-dir with recoverable state)")
 	}
-	srv, err := server.New(eng, cat, server.Options{
+	sopts := server.Options{
 		MaxInFlight:  cfg.maxInFlight,
 		QueueTimeout: cfg.queueTimeout,
 		StallTimeout: cfg.stallTimeout,
 		SlowLog:      obs.NewSlowLog(os.Stderr, time.Duration(cfg.slowMS)*time.Millisecond),
-	})
+	}
+	if node, ok := eng.(*cluster.Node); ok {
+		sopts.Internal = node.InternalHandler()
+	}
+	srv, err := server.New(eng, cat, sopts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -244,44 +276,32 @@ func attachDurable(ctx context.Context, eng core.Queryable, dir string) (bool, e
 	return restored, nil
 }
 
-// setup builds the engine and catalog; loaded reports whether data was
-// attached (checked in O(1) — materializing a sharded engine's merged
-// instance just to test for data would copy the whole dataset). With
-// -data-dir, a directory already holding durable state short-circuits
-// the load: the recovered snapshot IS the data.
-func setup(ctx context.Context, cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
-	none := server.Catalog{}
-	opts := core.Options{Exec: plan.ExecOptions{Workers: cfg.workers}}
+// source is the resolved catalog plus a lazy loader for the dataset it
+// describes (nil when the invocation names no data, e.g. -file without
+// -data).
+type source struct {
+	cat  server.Catalog
+	inst func() (*data.Instance, error)
+}
+
+// resolveSource turns the input flags (-file/-data or -demo) into the
+// serving catalog and the dataset loader, shared by all serving modes.
+func resolveSource(cfg cliConfig) (*source, error) {
 	switch {
 	case cfg.file != "":
 		raw, err := os.ReadFile(cfg.file)
 		if err != nil {
-			return nil, none, false, err
+			return nil, err
 		}
 		doc, err := parser.Parse(string(raw))
 		if err != nil {
-			return nil, none, false, err
+			return nil, err
 		}
-		eng, err := shard.NewOrCore(doc.Schema, doc.Access, opts, cfg.shards)
-		if err != nil {
-			return nil, none, false, err
+		src := &source{cat: server.CatalogFromDocument(doc)}
+		if cfg.dataDir != "" {
+			src.inst = func() (*data.Instance, error) { return load.LoadInstance(doc.Schema, cfg.dataDir) }
 		}
-		restored, err := attachDurable(ctx, eng, cfg.durableDir)
-		if err != nil {
-			return nil, none, false, err
-		}
-		loaded := restored
-		if cfg.dataDir != "" && !restored {
-			d, err := load.LoadInstance(doc.Schema, cfg.dataDir)
-			if err != nil {
-				return nil, none, false, err
-			}
-			if err := eng.Load(d); err != nil {
-				return nil, none, false, err
-			}
-			loaded = true
-		}
-		return eng, server.CatalogFromDocument(doc), loaded, nil
+		return src, nil
 	case cfg.demo == "accidents", cfg.demo == "social":
 		var dm *workload.Demo
 		var err error
@@ -291,9 +311,43 @@ func setup(ctx context.Context, cfg cliConfig) (core.Queryable, server.Catalog, 
 			dm, err = workload.SocialDemo(cfg.people)
 		}
 		if err != nil {
+			return nil, err
+		}
+		return &source{
+			cat:  server.Catalog{Schema: dm.Schema, Access: dm.Access, Queries: dm.Queries, Params: dm.Params},
+			inst: func() (*data.Instance, error) { return dm.Instance, nil },
+		}, nil
+	default:
+		return nil, fmt.Errorf("provide -file or -demo accidents|social")
+	}
+}
+
+// setup builds the engine and catalog; loaded reports whether data was
+// attached (checked in O(1) — materializing a sharded engine's merged
+// instance just to test for data would copy the whole dataset). With
+// -data-dir, a directory already holding durable state short-circuits
+// the load: the recovered snapshot IS the data.
+func setup(ctx context.Context, cfg cliConfig) (core.Queryable, server.Catalog, bool, error) {
+	none := server.Catalog{}
+	if cfg.shardCount > 0 && cfg.peers != "" {
+		return nil, none, false, fmt.Errorf("-shard-count and -peers are mutually exclusive")
+	}
+	src, err := resolveSource(cfg)
+	if err != nil {
+		return nil, none, false, err
+	}
+	opts := core.Options{Exec: plan.ExecOptions{Workers: cfg.workers}}
+	switch {
+	case cfg.peers != "":
+		eng, err := setupCoordinator(ctx, cfg, src, opts)
+		if err != nil {
 			return nil, none, false, err
 		}
-		eng, err := shard.NewOrCore(dm.Schema, dm.Access, opts, cfg.shards)
+		return eng, src.cat, true, nil
+	case cfg.shardCount > 0:
+		return setupShardNode(ctx, cfg, src, opts)
+	default:
+		eng, err := shard.NewOrCore(src.cat.Schema, src.cat.Access, opts, cfg.shards)
 		if err != nil {
 			return nil, none, false, err
 		}
@@ -301,13 +355,78 @@ func setup(ctx context.Context, cfg cliConfig) (core.Queryable, server.Catalog, 
 		if err != nil {
 			return nil, none, false, err
 		}
-		if !restored {
-			if err := eng.Load(dm.Instance); err != nil {
+		loaded := restored
+		if src.inst != nil && !restored {
+			d, err := src.inst()
+			if err != nil {
 				return nil, none, false, err
 			}
+			if err := eng.Load(d); err != nil {
+				return nil, none, false, err
+			}
+			loaded = true
 		}
-		return eng, server.Catalog{Schema: dm.Schema, Access: dm.Access, Queries: dm.Queries, Params: dm.Params}, true, nil
-	default:
-		return nil, none, false, fmt.Errorf("provide -file or -demo accidents|social")
+		return eng, src.cat, loaded, nil
 	}
+}
+
+// setupShardNode builds a cluster shard node: it keeps only its hash
+// share of the dataset (the whole dataset may be offered — every node
+// in a fleet can be pointed at the same -demo or -data) and exposes the
+// internal protocol the coordinator drives.
+func setupShardNode(ctx context.Context, cfg cliConfig, src *source, opts core.Options) (core.Queryable, server.Catalog, bool, error) {
+	none := server.Catalog{}
+	node, err := cluster.NewNode(src.cat.Schema, src.cat.Access, cfg.shardID, cfg.shardCount, cluster.Options{Core: opts})
+	if err != nil {
+		return nil, none, false, err
+	}
+	restored, err := attachDurable(ctx, node, cfg.durableDir)
+	if err != nil {
+		return nil, none, false, err
+	}
+	loaded := restored
+	if src.inst != nil && !restored {
+		d, err := src.inst()
+		if err != nil {
+			return nil, none, false, err
+		}
+		if err := node.Load(d); err != nil {
+			return nil, none, false, err
+		}
+		loaded = true
+	}
+	log.Printf("beserve: shard node %d of %d (local size %d)", cfg.shardID, cfg.shardCount, node.Stats().Size)
+	return node, src.cat, loaded, nil
+}
+
+// setupCoordinator builds the scatter-gather coordinator and attaches
+// to the fleet, retrying while the nodes come up. The coordinator loads
+// no data of its own — the nodes' committed state is the dataset — so
+// -data-dir is refused here (durability lives on the nodes).
+func setupCoordinator(ctx context.Context, cfg cliConfig, src *source, opts core.Options) (core.Queryable, error) {
+	if cfg.durableDir != "" {
+		return nil, fmt.Errorf("-data-dir is a shard-node flag; the coordinator holds no data")
+	}
+	urls := strings.Split(cfg.peers, ",")
+	for i := range urls {
+		urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+	}
+	eng, err := cluster.New(src.cat.Schema, src.cat.Access, urls, cluster.Options{Core: opts})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.attachWait)
+	for {
+		err = eng.Attach(ctx)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("attach to peers: %w", err)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	st := eng.Stats()
+	log.Printf("beserve: coordinator over %d shard nodes (size %d, version %d)", eng.Shards(), st.Size, st.Version)
+	return eng, nil
 }

@@ -294,3 +294,27 @@ func TestE15RecoveryBeatsColdIngest(t *testing.T) {
 			speedup, tb.Render())
 	}
 }
+
+// E17's defining shape: the coordinator paths answer the same rows as
+// the in-process path (checked inside the driver, which errors
+// otherwise), and every QPS figure is positive. The fan-out overhead
+// ratios are hardware-dependent, so they are reported, not asserted.
+func TestE17ClusterPathAgrees(t *testing.T) {
+	tb, err := E17DistributedServing(2, 50*time.Millisecond, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// in-process, coordinator K=2, HTTP + coordinator K=2.
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.Render())
+	}
+	for i := range tb.Rows {
+		if cell(t, tb, i, 4) != cell(t, tb, 0, 4) {
+			t.Errorf("row %d: cluster rows differ from in-process:\n%s", i, tb.Render())
+		}
+		qps, err := strconv.ParseFloat(cell(t, tb, i, 2), 64)
+		if err != nil || qps <= 0 {
+			t.Errorf("row %d: bad QPS cell %q:\n%s", i, cell(t, tb, i, 2), tb.Render())
+		}
+	}
+}

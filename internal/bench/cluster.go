@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// E17DistributedServing measures what distribution costs: the same
+// bounded query served (a) in-process by a single-node engine, (b) by a
+// scatter-gather coordinator whose every index fetch is an HTTP RPC to
+// one of K loopback shard nodes, and (c) by that coordinator behind the
+// full /v1/query HTTP surface — the double network hop a real
+// deployment pays (client→coordinator→shard). The bounded plan touches
+// ~10² tuples regardless of |D| or K, so the ratios isolate pure RPC
+// fan-out overhead, not extra engine work.
+func E17DistributedServing(clients int, window time.Duration, ks []int) (*Table, error) {
+	t := &Table{
+		ID:     "E17",
+		Title:  "distributed serving — in-process vs scatter-gather coordinator QPS",
+		Header: []string{"workload", "path", "QPS (concurrent)", "vs in-process", "rows"},
+	}
+	acc, err := workload.GenerateAccidents(workload.AccidentConfig{
+		Days: 30, AccidentsPerDay: 40, MaxVehicles: 6, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := workload.Q0()
+
+	single, err := core.New(acc.Schema, acc.Access, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := single.Load(acc.Instance); err != nil {
+		return nil, err
+	}
+	res, err := single.Query(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	rows := len(res.Rows)
+	inProc, err := concurrentQPS(single, q, clients, window)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("accidents/Q0", "in-process", fmt.Sprintf("%.0f", inProc), "1.00", rows)
+	t.AddMetric("qps_in_process", inProc, "q/s")
+
+	ratio := func(qps float64) float64 {
+		if inProc > 0 {
+			return qps / inProc
+		}
+		return 0
+	}
+
+	var coord *cluster.Engine
+	for _, k := range ks {
+		urls := make([]string, k)
+		closers := make([]func(), 0, k)
+		for i := 0; i < k; i++ {
+			node, err := cluster.NewNode(acc.Schema, acc.Access, i, k, cluster.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ts := httptest.NewServer(node.InternalHandler())
+			closers = append(closers, ts.Close)
+			urls[i] = ts.URL
+		}
+		hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients * 2}}
+		coord, err = cluster.New(acc.Schema, acc.Access, urls, cluster.Options{Client: hc})
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.Load(acc.Instance); err != nil {
+			return nil, err
+		}
+		cres, err := coord.Query(context.Background(), q)
+		if err != nil {
+			return nil, err
+		}
+		if len(cres.Rows) != rows {
+			return nil, fmt.Errorf("bench: E17 coordinator (K=%d) answered %d rows, in-process %d",
+				k, len(cres.Rows), rows)
+		}
+		qps, err := concurrentQPS(coord, q, clients, window)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("accidents/Q0", fmt.Sprintf("coordinator K=%d", k),
+			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2f", ratio(qps)), len(cres.Rows))
+		t.AddMetric(fmt.Sprintf("qps_cluster_k%d", k), qps, "q/s")
+		t.AddMetric(fmt.Sprintf("cluster_ratio_k%d", k), ratio(qps), "x")
+		// Keep the last fleet alive for the wire measurement below; close
+		// the earlier ones now.
+		if k != ks[len(ks)-1] {
+			for _, c := range closers {
+				c()
+			}
+			hc.CloseIdleConnections()
+		} else {
+			defer hc.CloseIdleConnections()
+			for _, c := range closers {
+				defer c()
+			}
+		}
+	}
+
+	// The full deployment shape: clients speak HTTP/NDJSON to a
+	// coordinator that speaks HTTP to its shards.
+	if coord != nil {
+		srv, err := server.New(coord, server.Catalog{
+			Schema:  acc.Schema,
+			Access:  acc.Access,
+			Queries: map[string]*cq.CQ{"Q0": q},
+		}, server.Options{MaxInFlight: clients * 2})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		wire, wireRows, err := httpQPS(ts, `{"query":"Q0"}`, clients, window)
+		if err != nil {
+			return nil, err
+		}
+		if wireRows != rows {
+			return nil, fmt.Errorf("bench: E17 wire answered %d rows, in-process %d", wireRows, rows)
+		}
+		kLast := ks[len(ks)-1]
+		t.AddRow("accidents/Q0", fmt.Sprintf("HTTP + coordinator K=%d", kLast),
+			fmt.Sprintf("%.0f", wire), fmt.Sprintf("%.2f", ratio(wire)), wireRows)
+		t.AddMetric("qps_cluster_wire", wire, "q/s")
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d concurrent clients, %v window, keep-alive connections throughout", clients, window),
+		"every fleet's rows are checked equal to in-process rows before timing — the paths answer identically",
+		"coordinator rows pay one RPC round-trip per index fetch; the wire row adds HTTP framing on top",
+		"loopback transport: ratios bound the best case — real networks only widen the gap")
+	return t, nil
+}

@@ -655,6 +655,7 @@ func All(workers int) ([]*Table, error) {
 		func() (*Table, error) { return E14NetworkServing(workers, 100*time.Millisecond) },
 		func() (*Table, error) { return E15Durability(20, 20) },
 		func() (*Table, error) { return E16TraceOverhead(20, 100*time.Millisecond) },
+		func() (*Table, error) { return E17DistributedServing(workers, 100*time.Millisecond, []int{2, 4}) },
 	}
 	for _, step := range steps {
 		tb, err := step()

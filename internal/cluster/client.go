@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/schema"
+)
+
+// Default failure-handling knobs; Options overrides them.
+const (
+	// DefaultRPCTimeout bounds one request attempt to a peer.
+	DefaultRPCTimeout = 5 * time.Second
+	// DefaultRetries is how many times an idempotent call is retried
+	// after its first failure.
+	DefaultRetries = 2
+	// DefaultBackoff is the delay before the first retry; it doubles per
+	// attempt.
+	DefaultBackoff = 10 * time.Millisecond
+	// DefaultCooldown is how long a peer marked down refuses fast before
+	// the next request is allowed through to re-probe it.
+	DefaultCooldown = time.Second
+)
+
+// peerClient is the coordinator's handle to one shard node: JSON/TSV
+// RPCs with a per-attempt timeout, bounded retries with doubling
+// backoff on idempotent calls, a down-marker circuit so a dead peer
+// costs one timeout rather than one per request, and a per-peer RPC
+// latency histogram for /metrics.
+type peerClient struct {
+	id      int
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	mu        sync.Mutex
+	down      bool
+	downSince time.Time
+	cooldown  time.Duration
+
+	lat *obs.Histogram
+}
+
+func newPeerClient(id int, base string, opts Options) *peerClient {
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	p := &peerClient{
+		id:       id,
+		base:     base,
+		hc:       hc,
+		timeout:  opts.RPCTimeout,
+		retries:  opts.Retries,
+		backoff:  opts.Backoff,
+		cooldown: opts.Cooldown,
+		lat: obs.NewLabeledHistogram("beserve_peer_rpc_latency_seconds",
+			"peer", strconv.Itoa(id), obs.LatencyBuckets()),
+	}
+	if p.timeout <= 0 {
+		p.timeout = DefaultRPCTimeout
+	}
+	if p.retries < 0 {
+		p.retries = DefaultRetries
+	}
+	if p.backoff <= 0 {
+		p.backoff = DefaultBackoff
+	}
+	if p.cooldown <= 0 {
+		p.cooldown = DefaultCooldown
+	}
+	return p
+}
+
+// available reports whether the peer should be tried at all: true when
+// healthy, true once per cooldown window when down (the half-open
+// probe), false in between. The probing caller's success or failure
+// resolves the peer's state.
+func (p *peerClient) available() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.down {
+		return true
+	}
+	if time.Since(p.downSince) >= p.cooldown {
+		// Half-open: let this caller probe; move the window forward so a
+		// burst doesn't all pile onto a dead peer.
+		p.downSince = time.Now()
+		return true
+	}
+	return false
+}
+
+func (p *peerClient) markResult(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err == nil {
+		p.down = false
+		return
+	}
+	if !p.down {
+		p.down = true
+		p.downSince = time.Now()
+	}
+}
+
+// unavailable wraps a transport-level failure.
+func (p *peerClient) unavailable(err error) error {
+	return &UnavailableError{Peer: p.id, Err: err}
+}
+
+// do runs one RPC: POST json/in (or GET when in is nil and method says
+// so), decoding 2xx into out, decoding a structured error envelope into
+// a *PeerError otherwise. body, when non-nil, is sent verbatim instead
+// of JSON (the TSV bulk endpoints). idem enables retries: only calls
+// that are safe to repeat — reads, and the idempotent-by-txn commit —
+// may retry; stage and abort never do.
+func (p *peerClient) do(ctx context.Context, method, path string, in any, body []byte, out any, idem bool) error {
+	var payload []byte
+	ctype := "application/json"
+	if body != nil {
+		payload = body
+		ctype = "text/tab-separated-values"
+	} else if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	attempts := 1
+	if idem {
+		attempts += p.retries
+	}
+	backoff := p.backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return p.unavailable(ctx.Err())
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		err := p.attempt(ctx, method, path, ctype, payload, out)
+		var pe *PeerError
+		if err == nil || (errors.As(err, &pe) && pe.Status < 500) {
+			// Success, or a structured 4xx refusal: the peer is alive and
+			// answered deliberately — never retried.
+			p.markResult(nil)
+			return err
+		}
+		lastErr = err
+	}
+	p.markResult(lastErr)
+	return p.unavailable(lastErr)
+}
+
+// attempt is one timed request.
+func (p *peerClient) attempt(ctx context.Context, method, path, ctype string, payload []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, p.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", ctype)
+	}
+	start := time.Now()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.lat.Observe(time.Since(start).Seconds())
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	p.lat.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var we wireError
+		if jerr := json.Unmarshal(raw, &we); jerr == nil && we.Error.Code != "" {
+			return &PeerError{Peer: p.id, Status: resp.StatusCode, Code: we.Error.Code, Message: we.Error.Message}
+		}
+		return fmt.Errorf("cluster: shard %d answered status %d", p.id, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("cluster: shard %d: bad response: %w", p.id, err)
+		}
+	}
+	return nil
+}
+
+func (p *peerClient) status(ctx context.Context) (*statusResponse, error) {
+	var st statusResponse
+	if err := p.do(ctx, http.MethodGet, "/v1/internal/status", nil, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (p *peerClient) fetch(ctx context.Context, v uint64, ci int, keys []string) (*fetchResponse, error) {
+	var resp fetchResponse
+	err := p.do(ctx, http.MethodPost, "/v1/internal/fetch", fetchRequest{V: v, CI: ci, Keys: keys}, nil, &resp, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Buckets) != len(keys) {
+		return nil, p.unavailable(fmt.Errorf("fetch answered %d buckets for %d keys", len(resp.Buckets), len(keys)))
+	}
+	return &resp, nil
+}
+
+// dump streams the peer's partition at version v into dst.
+func (p *peerClient) dump(ctx context.Context, v uint64, s *schema.Schema, dst *data.Instance) error {
+	attempts := 1 + p.retries
+	backoff := p.backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return p.unavailable(ctx.Err())
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		err := p.dumpOnce(ctx, v, s, dst)
+		var pe *PeerError
+		if err == nil || (errors.As(err, &pe) && pe.Status < 500) {
+			p.markResult(nil)
+			return err
+		}
+		lastErr = err
+	}
+	p.markResult(lastErr)
+	return p.unavailable(lastErr)
+}
+
+func (p *peerClient) dumpOnce(ctx context.Context, v uint64, s *schema.Schema, dst *data.Instance) error {
+	actx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet,
+		p.base+"/v1/internal/dump?v="+strconv.FormatUint(v, 10), nil)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.lat.Observe(time.Since(start).Seconds())
+		return err
+	}
+	defer resp.Body.Close()
+	defer func() { p.lat.Observe(time.Since(start).Seconds()) }()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(resp.Body)
+		var we wireError
+		if jerr := json.Unmarshal(raw, &we); jerr == nil && we.Error.Code != "" {
+			return &PeerError{Peer: p.id, Status: resp.StatusCode, Code: we.Error.Code, Message: we.Error.Message}
+		}
+		return fmt.Errorf("cluster: shard %d dump answered status %d", p.id, resp.StatusCode)
+	}
+	// Decode into a scratch instance and merge only on full success, so
+	// a stream cut mid-dump cannot leave half a partition in dst.
+	scratch := data.NewInstance(s)
+	if err := readInstanceTSV(resp.Body, s, scratch); err != nil {
+		return err
+	}
+	return mergeInstance(s, dst, scratch)
+}
+
+func (p *peerClient) stage(ctx context.Context, txn string, base uint64, d *live.Delta) (*stageResponse, error) {
+	var buf bytes.Buffer
+	if err := live.WriteDeltaTSV(&buf, d); err != nil {
+		return nil, err
+	}
+	var resp stageResponse
+	path := "/v1/internal/stage?txn=" + txn + "&base=" + strconv.FormatUint(base, 10)
+	if err := p.do(ctx, http.MethodPost, path, nil, buf.Bytes(), &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (p *peerClient) maxGroup(ctx context.Context, txn string, v uint64, ci int) (int, error) {
+	var resp maxGroupResponse
+	err := p.do(ctx, http.MethodPost, "/v1/internal/maxgroup", maxGroupRequest{Txn: txn, V: v, CI: ci}, nil, &resp, true)
+	return resp.Max, err
+}
+
+func (p *peerClient) groups(ctx context.Context, req groupsRequest) (*groupsResponse, error) {
+	var resp groupsResponse
+	if err := p.do(ctx, http.MethodPost, "/v1/internal/groups", req, nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (p *peerClient) commit(ctx context.Context, txn string, v uint64) (*commitResponse, error) {
+	var resp commitResponse
+	// Idempotent by transaction id: a retry after a lost response gets
+	// the recorded result, not a double apply.
+	if err := p.do(ctx, http.MethodPost, "/v1/internal/commit", commitRequest{Txn: txn, V: v}, nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (p *peerClient) abort(ctx context.Context, txn string) error {
+	return p.do(ctx, http.MethodPost, "/v1/internal/abort", abortRequest{Txn: txn}, nil, nil, false)
+}
+
+func (p *peerClient) rollback(ctx context.Context, v uint64) (*versionResponse, error) {
+	var resp versionResponse
+	if err := p.do(ctx, http.MethodPost, "/v1/internal/rollback", rollbackRequest{V: v}, nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (p *peerClient) checkpoint(ctx context.Context) (uint64, error) {
+	var resp versionResponse
+	if err := p.do(ctx, http.MethodPost, "/v1/internal/checkpoint", nil, nil, &resp, false); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+func (p *peerClient) loadTSV(ctx context.Context, s *schema.Schema, sub *data.Instance) (*versionResponse, error) {
+	var buf bytes.Buffer
+	if err := writeInstanceTSV(&buf, s, sub); err != nil {
+		return nil, err
+	}
+	var resp versionResponse
+	if err := p.do(ctx, http.MethodPost, "/v1/internal/load", nil, buf.Bytes(), &resp, false); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// mergeInstance inserts every tuple of src into dst.
+func mergeInstance(s *schema.Schema, dst, src *data.Instance) error {
+	for _, rs := range s.Relations() {
+		rel := src.Relation(rs.Name)
+		if rel == nil {
+			continue
+		}
+		out := dst.Relation(rs.Name)
+		var buf data.Tuple
+		for ri := 0; ri < rel.Len(); ri++ {
+			buf = rel.AppendRow(buf, ri)
+			if _, err := out.Insert(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,691 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/cq"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/specialize"
+)
+
+// Options configures a cluster node or coordinator.
+type Options struct {
+	// Core configures the planner engine exactly as for a single-node
+	// engine.
+	Core core.Options
+	// PartitionKeys overrides the per-relation partition key, as in
+	// shard.Options. Every node and the coordinator must agree.
+	PartitionKeys map[string][]schema.Attribute
+	// Client is the HTTP client for peer RPCs (coordinator only). Nil
+	// gets a dedicated client with connection pooling.
+	Client *http.Client
+	// RPCTimeout bounds one request attempt to a peer; Retries and
+	// Backoff shape the retry schedule of idempotent calls; Cooldown is
+	// the circuit breaker's down window. Zero values take the defaults.
+	RPCTimeout time.Duration
+	Retries    int
+	Backoff    time.Duration
+	Cooldown   time.Duration
+}
+
+// clusterSnap is the coordinator's committed cross-cluster version: the
+// version every read pins and the global size bounds are evaluated at.
+type clusterSnap struct {
+	version uint64
+	size    int
+}
+
+// Engine is the scatter-gather coordinator: core.Queryable over K
+// networked shard nodes, so serving code switches between a single-node
+// engine, an in-process sharded engine, and a networked cluster with a
+// constructor change only. It follows internal/shard's design point —
+// exactly one planner plans, admits and serves; the nodes hold data —
+// with the in-process fetch calls replaced by versioned RPCs.
+type Engine struct {
+	Schema *schema.Schema
+	Access *access.Schema
+
+	place   *placement
+	planner *core.Engine
+	peers   []*peerClient
+	// ciOf maps a constraint's canonical spelling to its index in
+	// Access.Constraints — the wire names constraints by index.
+	ciOf map[string]int
+
+	// cur is the committed cluster version (nil before attach/load).
+	// writeMu serializes Load and Apply.
+	cur     atomic.Pointer[clusterSnap]
+	writeMu sync.Mutex
+	applies atomic.Uint64
+	txnSeq  atomic.Uint64
+
+	// merged caches the union instance (the scan fallback and baseline
+	// input) per version.
+	mergeMu sync.Mutex
+	mergedV uint64
+	merged  *data.Instance
+}
+
+var _ core.Queryable = (*Engine)(nil)
+
+// New builds a coordinator over the peer base URLs (one per shard, in
+// shard order: peer i must be the node with -shard-id i). Call Attach
+// before serving to verify the fleet and adopt its committed version.
+func New(s *schema.Schema, a *access.Schema, peerURLs []string, opts Options) (*Engine, error) {
+	place, err := newPlacement(s, a, len(peerURLs), opts.PartitionKeys)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.New(s, a, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Schema:  s,
+		Access:  a,
+		place:   place,
+		planner: planner,
+		ciOf:    make(map[string]int, len(a.Constraints)),
+	}
+	for ci, c := range a.Constraints {
+		e.ciOf[c.String()] = ci
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	e.peers = make([]*peerClient, len(peerURLs))
+	for i, u := range peerURLs {
+		e.peers[i] = newPeerClient(i, u, opts)
+	}
+	return e, nil
+}
+
+func (e *Engine) errNoInstance() error {
+	return fmt.Errorf("cluster: no instance attached (Load data or Attach to a loaded fleet)")
+}
+
+// Attach verifies the fleet — every peer answers, identifies as the
+// expected shard of the expected K, and serves the same catalog — and
+// adopts its committed state: the cluster version is the MINIMUM across
+// peers (a crash mid-commit-fanout leaves some nodes one version ahead;
+// their diverged suffix is rolled back here, mirroring the durable
+// recovery cut of the in-process engine), the global size the sum of
+// the per-node shares at that version.
+func (e *Engine) Attach(ctx context.Context) error {
+	k := len(e.peers)
+	stats := make([]*statusResponse, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			stats[i], errs[i] = p.status(ctx)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	want := catalogHash(e.Schema, e.Access)
+	cut := stats[0].Version
+	for i, st := range stats {
+		if st.Shard != i || st.Shards != k {
+			return fmt.Errorf("cluster: peer %d identifies as shard %d of %d (want %d of %d)",
+				i, st.Shard, st.Shards, i, k)
+		}
+		if st.Catalog != want {
+			return fmt.Errorf("cluster: peer %d serves a different catalog (fingerprint %08x, want %08x)",
+				i, st.Catalog, want)
+		}
+		if st.Version < cut {
+			cut = st.Version
+		}
+	}
+	size := 0
+	for i, st := range stats {
+		if st.Version == cut {
+			size += st.Size
+			continue
+		}
+		// Ahead of the cut: the tail of a commit fanout that never
+		// completed. Nothing at those versions was ever acknowledged, so
+		// roll the node back onto the cluster cut.
+		vr, err := e.peers[i].rollback(ctx, cut)
+		if err != nil {
+			return err
+		}
+		size += vr.Size
+	}
+	e.cur.Store(&clusterSnap{version: cut, size: size})
+	e.planner.SetSizeHint(size)
+	return nil
+}
+
+// Load validates D |= A globally, splits d by partition key, and pushes
+// each node its share, restarting the cluster at version 0. Validation
+// runs locally on the coordinator — it holds the full instance here
+// anyway — so a violating dataset is refused before any node changes.
+func (e *Engine) Load(d *data.Instance) error {
+	_, viols, err := access.BuildIndexed(e.Access, d)
+	if err != nil {
+		return err
+	}
+	if len(viols) > 0 {
+		return fmt.Errorf("cluster: instance violates the access schema: %v (first of %d)", viols[0], len(viols))
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	ctx := context.Background()
+	k := len(e.peers)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range e.peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := e.place.filter(e.Schema, d, i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = e.peers[i].loadTSV(ctx, e.Schema, sub)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	d.ReleaseDedup()
+	e.cur.Store(&clusterSnap{version: 0, size: d.Size()})
+	e.planner.SetSizeHint(d.Size())
+	e.mergeMu.Lock()
+	e.mergedV, e.merged = 0, d
+	e.mergeMu.Unlock()
+	return nil
+}
+
+// mergedInstance is the union of the nodes' partitions at the pinned
+// version — the scan fallback and baseline input — dumped over the wire
+// on first use and cached per version.
+func (e *Engine) mergedInstance(ctx context.Context, sn *clusterSnap) (*data.Instance, error) {
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	if e.merged != nil && e.mergedV == sn.version {
+		return e.merged, nil
+	}
+	k := len(e.peers)
+	parts := make([]*data.Instance, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			parts[i] = data.NewInstance(e.Schema)
+			errs[i] = p.dump(ctx, sn.version, e.Schema, parts[i])
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := data.NewInstance(e.Schema)
+	for _, part := range parts {
+		if err := mergeInstance(e.Schema, m, part); err != nil {
+			return nil, err
+		}
+	}
+	m.ReleaseDedup()
+	e.mergedV, e.merged = sn.version, m
+	return m, nil
+}
+
+// Query serves q through the planner against a scatter-gather view of
+// the fleet at the committed version: identical planning, admission,
+// fallbacks and streaming as a single-node engine; fetches become
+// routed or scattered RPCs. An unreachable node degrades the query to a
+// structured shard_unavailable refusal — never a torn or partial
+// answer: the executor aborts at the first failed fetch (see
+// netSource.FetchErr) and the scan fallback refuses unless every node's
+// dump completes.
+func (e *Engine) Query(ctx context.Context, q core.Query, opts ...core.QueryOption) (*core.Result, error) {
+	sn := e.cur.Load()
+	if sn == nil {
+		return nil, e.errNoInstance()
+	}
+	src := &netSource{e: e, ctx: ctx, version: sn.version}
+	if tr := obs.FromContext(ctx); tr != nil {
+		src.sc = obs.NewPeerCounters(tr, len(e.peers))
+	}
+	v := &core.View{
+		Size:   sn.size,
+		Source: src,
+		Instance: func(ctx context.Context) (*data.Instance, error) {
+			sp := obs.FromContext(ctx).Start("cluster.merge")
+			inst, err := e.mergedInstance(ctx, sn)
+			if inst != nil {
+				sp.SetRows(int64(inst.Size()))
+			}
+			sp.End()
+			return inst, err
+		},
+	}
+	return e.planner.QueryView(ctx, q, v, opts...)
+}
+
+// Apply runs the two-phase protocol over the wire: stage every node's
+// sub-delta (empty ones included, so versions stay in lockstep),
+// validate the staged whole at the global post-delta |D|, then commit
+// everywhere or nowhere. See the package comment for the failure
+// repair; the net effect is that a caller either observes the full
+// delta applied at version V+1, or an error with the cluster still at
+// V — never a half-applied write.
+func (e *Engine) Apply(ctx context.Context, delta *live.Delta) (*live.Result, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("cluster: nil delta")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	sn := e.cur.Load()
+	if sn == nil {
+		return nil, e.errNoInstance()
+	}
+	subs, err := e.place.split(e.Schema, delta)
+	if err != nil {
+		return nil, err
+	}
+	txn := fmt.Sprintf("txn-%d-%d", sn.version+1, e.txnSeq.Add(1))
+	k := len(e.peers)
+	tr := obs.FromContext(ctx)
+
+	// Phase 1: stage everywhere in parallel.
+	sp := tr.Start("apply.stage")
+	stagedResp := make([]*stageResponse, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			stagedResp[i], errs[i] = p.stage(ctx, txn, sn.version, subs[i])
+		}(i, p)
+	}
+	wg.Wait()
+	sp.End()
+	for _, err := range errs {
+		if err != nil {
+			e.abortAll(txn)
+			return nil, err
+		}
+	}
+
+	oldGlobal := sn.size
+	newGlobal := oldGlobal
+	res := &live.Result{}
+	for _, sr := range stagedResp {
+		newGlobal += sr.Size - sr.OldSize
+		res.Inserted += sr.Inserted
+		res.Deleted += sr.Deleted
+	}
+
+	// Phase 2: global validation, mirroring shard.Engine.validate rule
+	// for rule — the group measurements just arrive by RPC.
+	sp = tr.Start("apply.validate")
+	viols, err := e.validate(ctx, txn, sn, stagedResp, oldGlobal, newGlobal)
+	sp.End()
+	if err != nil {
+		e.abortAll(txn)
+		return nil, err
+	}
+	if len(viols) > 0 {
+		e.abortAll(txn)
+		return nil, &live.ViolationError{Violations: viols}
+	}
+
+	// Commit fanout. Commits are idempotent by txn and retried through
+	// transient failures; if a node still cannot be committed, the nodes
+	// that already did are rolled back to the pre-delta version, so the
+	// write fails whole.
+	sp = tr.Start("apply.commit")
+	acked := make([]bool, k)
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			_, err := p.commit(ctx, txn, sn.version)
+			errs[i] = err
+			acked[i] = err == nil
+		}(i, p)
+	}
+	wg.Wait()
+	sp.End()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		rctx, cancel := context.WithTimeout(context.Background(), DefaultRPCTimeout)
+		for i, p := range e.peers {
+			if acked[i] {
+				_, _ = p.rollback(rctx, sn.version)
+			} else {
+				_ = p.abort(rctx, txn)
+			}
+		}
+		cancel()
+		return nil, err
+	}
+
+	e.cur.Store(&clusterSnap{version: sn.version + 1, size: newGlobal})
+	e.planner.SetSizeHint(newGlobal)
+	e.applies.Add(1)
+	return res, nil
+}
+
+// abortAll discards the staged transaction fleet-wide, best-effort: a
+// node that misses the abort discards the leftover itself at the next
+// stage.
+func (e *Engine) abortAll(txn string) {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultRPCTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range e.peers {
+		wg.Add(1)
+		go func(p *peerClient) {
+			defer wg.Done()
+			_ = p.abort(ctx, txn)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// validate applies the same rules as shard.Engine.validate over the
+// wire: bounds at the GLOBAL sizes; aligned constraints check per-node
+// groups (exactly the global groups — stage already reported the
+// insert-touched maxima, the shrink recheck asks each node's post-delta
+// MaxGroup); non-aligned constraints union per-node Y-projection sets
+// to measure true group sizes. Violations come out in constraint order
+// with the same Group numbers a single-node engine applying the unsplit
+// delta would report.
+func (e *Engine) validate(ctx context.Context, txn string, sn *clusterSnap, stagedResp []*stageResponse, oldGlobal, newGlobal int) ([]access.Violation, error) {
+	var viols []access.Violation
+	for ci, c := range e.Access.Constraints {
+		bound := c.Card.Bound(newGlobal)
+		shrunk := !c.Card.IsConst() && bound < c.Card.Bound(oldGlobal)
+		touched := false
+		for _, sr := range stagedResp {
+			if sr.Constraints[ci].Touched {
+				touched = true
+				break
+			}
+		}
+		if !touched && !shrunk {
+			continue
+		}
+		g := 0
+		if e.place.aligned(c) {
+			if shrunk {
+				// The bound dropped with |D|: re-check every group on every
+				// node, staged or not.
+				maxes, err := e.fanMaxGroup(ctx, txn, sn.version, ci)
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range maxes {
+					if m > g {
+						g = m
+					}
+				}
+			} else {
+				// Groups never split across nodes: the stage responses
+				// already carry the insert-touched post-delta maxima.
+				for _, sr := range stagedResp {
+					if m := sr.Constraints[ci].MaxInsert; m > g {
+						g = m
+					}
+				}
+			}
+		} else {
+			var req groupsRequest
+			req.Txn, req.V, req.CI = txn, sn.version, ci
+			if shrunk {
+				req.All = true
+			} else {
+				// Only groups some node's inserts touched can have grown;
+				// measure each by unioning projections across all nodes.
+				seen := make(map[string]bool)
+				for _, sr := range stagedResp {
+					for _, wk := range sr.Constraints[ci].InsertKeys {
+						if !seen[wk] {
+							seen[wk] = true
+							req.Keys = append(req.Keys, wk)
+						}
+					}
+				}
+				if len(req.Keys) == 0 {
+					continue
+				}
+			}
+			m, err := e.fanGroups(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			g = m
+		}
+		if g > bound {
+			viols = append(viols, access.Violation{Constraint: c, Group: g, Bound: bound})
+		}
+	}
+	return viols, nil
+}
+
+// fanMaxGroup asks every node for its post-delta MaxGroup of ci.
+func (e *Engine) fanMaxGroup(ctx context.Context, txn string, v uint64, ci int) ([]int, error) {
+	k := len(e.peers)
+	maxes := make([]int, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			maxes[i], errs[i] = p.maxGroup(ctx, txn, v, ci)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return maxes, nil
+}
+
+// fanGroups asks every node for its post-delta group projections per
+// req, unions them per key, and returns the largest merged group — the
+// cross-node analogue of shard's mergedGroupSize/mergedMaxGroup.
+func (e *Engine) fanGroups(ctx context.Context, req groupsRequest) (int, error) {
+	k := len(e.peers)
+	resps := make([]*groupsResponse, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			resps[i], errs[i] = p.groups(ctx, req)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	groups := make(map[string]map[string]bool)
+	for _, resp := range resps {
+		for _, wg := range resp.Groups {
+			set := groups[wg.Key]
+			if set == nil {
+				set = make(map[string]bool, len(wg.Projs))
+				groups[wg.Key] = set
+			}
+			for _, pr := range wg.Projs {
+				set[pr] = true
+			}
+		}
+	}
+	m := 0
+	for _, set := range groups {
+		if len(set) > m {
+			m = len(set)
+		}
+	}
+	return m, nil
+}
+
+// Explain reports coverage, verdict, plan and bound at the global |D|.
+func (e *Engine) Explain(q *cq.CQ, params []string) (string, error) {
+	size := 0
+	if sn := e.cur.Load(); sn != nil {
+		size = sn.size
+	}
+	return e.planner.ExplainAt(q, params, size)
+}
+
+// IsCovered runs the PTIME covered-query check (data-independent).
+func (e *Engine) IsCovered(q *cq.CQ) (*cover.Result, error) { return e.planner.IsCovered(q) }
+
+// Plan synthesizes the bounded plan at the global |D|.
+func (e *Engine) Plan(q *cq.CQ) (*plan.Plan, plan.Bound, error) {
+	size := 0
+	if sn := e.cur.Load(); sn != nil {
+		size = sn.size
+	}
+	return e.planner.PlanAt(q, size)
+}
+
+// Baseline evaluates q conventionally over the union of the nodes'
+// partitions (dumped and cached per version).
+func (e *Engine) Baseline(q *cq.CQ, mode eval.Mode) (*eval.Result, error) {
+	sn := e.cur.Load()
+	if sn == nil {
+		return nil, e.errNoInstance()
+	}
+	inst, err := e.mergedInstance(context.Background(), sn)
+	if err != nil {
+		return nil, err
+	}
+	return eval.CQ(q, inst, mode)
+}
+
+// Specialize solves QSP (data-independent).
+func (e *Engine) Specialize(q *cq.CQ, X []string, k int) (*specialize.Result, error) {
+	return e.planner.Specialize(q, X, k)
+}
+
+// Instance returns the union instance, or nil before attach or when a
+// node is unreachable.
+func (e *Engine) Instance() *data.Instance {
+	sn := e.cur.Load()
+	if sn == nil {
+		return nil
+	}
+	inst, err := e.mergedInstance(context.Background(), sn)
+	if err != nil {
+		return nil
+	}
+	return inst
+}
+
+// Shards returns K.
+func (e *Engine) Shards() int { return len(e.peers) }
+
+// Stats aggregates across the cluster: global |D|, node count, and the
+// coordinator's serving counters.
+func (e *Engine) Stats() core.EngineStats {
+	size := 0
+	version := uint64(0)
+	if sn := e.cur.Load(); sn != nil {
+		size = sn.size
+		version = sn.version
+	}
+	ps := e.planner.Stats()
+	return core.EngineStats{
+		Size:    size,
+		Shards:  len(e.peers),
+		Queries: ps.Queries,
+		Applies: e.applies.Load(),
+		Fetched: ps.Fetched,
+		Scanned: ps.Scanned,
+		Version: version,
+	}
+}
+
+// CacheStats reports the coordinator planner's plan-cache counters.
+func (e *Engine) CacheStats() core.CacheStats { return e.planner.CacheStats() }
+
+// Checkpoint asks every node to checkpoint its partition, returning the
+// cluster version. A node without durability refuses with not_durable,
+// surfaced as core.ErrNotDurable like the in-process engines.
+func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
+	sn := e.cur.Load()
+	if sn == nil {
+		return 0, e.errNoInstance()
+	}
+	k := len(e.peers)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, p := range e.peers {
+		wg.Add(1)
+		go func(i int, p *peerClient) {
+			defer wg.Done()
+			_, errs[i] = p.checkpoint(ctx)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			var pe *PeerError
+			if errors.As(err, &pe) && pe.Code == "not_durable" {
+				return 0, core.ErrNotDurable
+			}
+			return 0, err
+		}
+	}
+	return sn.version, nil
+}
+
+// WriteMetrics appends the coordinator's per-peer RPC latency
+// histograms to a /metrics exposition (the server calls it through the
+// optional MetricsWriter hook).
+func (e *Engine) WriteMetrics(w io.Writer) {
+	obs.WriteFamilyHeader(w, "beserve_peer_rpc_latency_seconds", "Internal RPC latency to each cluster peer.")
+	for _, p := range e.peers {
+		p.lat.Write(w)
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errPeerDown is the cause recorded when a request short-circuits on a
+// peer whose circuit breaker is open (recent failures, cooldown not yet
+// elapsed) — no RPC was attempted.
+var errPeerDown = errors.New("circuit open (recent failures)")
+
+// UnavailableError reports that a shard node could not be reached (or
+// kept failing past the retry budget), so the request was refused
+// rather than answered from a partial or torn view. It carries the
+// structured code internal/server maps to a 503 refusal with
+// {"error":{"code":"shard_unavailable"}}.
+type UnavailableError struct {
+	Peer int
+	Err  error
+}
+
+func (e *UnavailableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("cluster: shard %d unavailable: %v", e.Peer, e.Err)
+	}
+	return fmt.Sprintf("cluster: shard %d unavailable", e.Peer)
+}
+
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// ErrorCode marks the error for the API envelope (see
+// internal/server/error.go's coded-error mapping).
+func (e *UnavailableError) ErrorCode() string { return "shard_unavailable" }
+
+// NotCoordinatorError is a shard node's refusal of a direct write:
+// /v1/apply must go through the coordinator, which owns the two-phase
+// global validation. Mapped to HTTP 421 (misdirected request).
+type NotCoordinatorError struct {
+	Shard int
+}
+
+func (e *NotCoordinatorError) Error() string {
+	return fmt.Sprintf("cluster: shard %d does not accept direct writes; apply through the coordinator", e.Shard)
+}
+
+func (e *NotCoordinatorError) ErrorCode() string { return "not_coordinator" }
+
+// PeerError is a structured refusal decoded from a peer's internal
+// endpoint: the peer answered, with an error envelope, so this is a
+// protocol-level rejection (version mismatch, unknown transaction,
+// stale snapshot…), not an availability problem — it is never retried.
+type PeerError struct {
+	Peer    int
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: shard %d: %s (%s)", e.Peer, e.Message, e.Code)
+}
+
+// ErrorCode propagates the peer's code into the coordinator's own API
+// envelope.
+func (e *PeerError) ErrorCode() string { return e.Code }

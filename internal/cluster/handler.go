@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/live"
+)
+
+// maxInternalBody bounds internal request bodies (deltas, sub-instance
+// loads). Generous — this surface is coordinator-to-node, not public —
+// but still bounded so a confused peer cannot balloon memory.
+const maxInternalBody = 1 << 30
+
+// InternalHandler returns the /v1/internal/* surface the coordinator
+// drives: status, versioned fetch/dump reads, and the staged two-phase
+// write protocol (stage → commit/abort, plus the group-measurement and
+// rollback endpoints the global validation and failure repair use).
+// Mount it via server.Options.Internal so it shares the node's
+// listener, admission-exempt: internal traffic must not compete with
+// public queries for admission slots, or a busy node would deadlock its
+// own coordinator.
+func (n *Node) InternalHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/internal/status", n.handleStatus)
+	mux.HandleFunc("/v1/internal/fetch", n.handleFetch)
+	mux.HandleFunc("/v1/internal/dump", n.handleDump)
+	mux.HandleFunc("/v1/internal/load", n.handleLoad)
+	mux.HandleFunc("/v1/internal/stage", n.handleStage)
+	mux.HandleFunc("/v1/internal/maxgroup", n.handleMaxGroup)
+	mux.HandleFunc("/v1/internal/groups", n.handleGroups)
+	mux.HandleFunc("/v1/internal/commit", n.handleCommit)
+	mux.HandleFunc("/v1/internal/abort", n.handleAbort)
+	mux.HandleFunc("/v1/internal/rollback", n.handleRollback)
+	mux.HandleFunc("/v1/internal/checkpoint", n.handleCheckpoint)
+	return mux
+}
+
+// writeInternalError renders err in the same {"error":{code,message}}
+// envelope as the public API. PeerErrors carry their own status+code;
+// anything else is an internal error.
+func writeInternalError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		status, code = pe.Status, pe.Code
+	}
+	var we wireError
+	we.Error.Code = code
+	we.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(we)
+}
+
+func writeInternalJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// requirePost guards the mutating endpoints.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeInternalError(w, &PeerError{Status: http.StatusMethodNotAllowed,
+			Code: "method_not_allowed", Message: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeInternalJSON(w, n.status())
+}
+
+func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req fetchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	resp, err := n.fetch(req.V, req.CI, req.Keys)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, resp)
+}
+
+func (n *Node) handleDump(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 64)
+	if err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request",
+			Message: "dump needs ?v=<version>"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if err := n.dump(w, v); err != nil {
+		// Headers may be gone already; best effort. The coordinator
+		// validates the body it got against the expected size anyway.
+		writeInternalError(w, err)
+	}
+}
+
+func (n *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	sub := data.NewInstance(n.Schema)
+	if err := readInstanceTSV(http.MaxBytesReader(w, r.Body, maxInternalBody), n.Schema, sub); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if err := n.LoadOwn(sub); err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, versionResponse{Version: 0, Size: sub.Size()})
+}
+
+func (n *Node) handleStage(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	txn := q.Get("txn")
+	base, err := strconv.ParseUint(q.Get("base"), 10, 64)
+	if txn == "" || err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request",
+			Message: "stage needs ?txn=<id>&base=<version>"})
+		return
+	}
+	d, err := live.ReadDeltaTSV(http.MaxBytesReader(w, r.Body, maxInternalBody), n.Schema)
+	if err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	resp, err := n.stage(r.Context(), txn, base, d)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, resp)
+}
+
+func (n *Node) handleMaxGroup(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req maxGroupRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	m, err := n.maxGroup(req.Txn, req.V, req.CI)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, maxGroupResponse{Max: m})
+}
+
+func (n *Node) handleGroups(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req groupsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	resp, err := n.groups(req.Txn, req.V, req.CI, req.Keys, req.All)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, resp)
+}
+
+func (n *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req commitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	resp, err := n.commit(req.Txn, req.V)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, resp)
+}
+
+func (n *Node) handleAbort(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req abortRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	n.abort(req.Txn)
+	writeInternalJSON(w, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+func (n *Node) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req rollbackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInternalBody)).Decode(&req); err != nil {
+		writeInternalError(w, &PeerError{Status: 400, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	resp, err := n.rollback(req.V)
+	if err != nil {
+		writeInternalError(w, err)
+		return
+	}
+	writeInternalJSON(w, resp)
+}
+
+func (n *Node) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	v, err := n.Checkpoint(r.Context())
+	if errors.Is(err, core.ErrNotDurable) {
+		writeInternalError(w, &PeerError{Peer: n.id, Status: http.StatusPreconditionFailed,
+			Code: "not_durable", Message: "node has no durable store"})
+		return
+	}
+	if err != nil {
+		writeInternalError(w, fmt.Errorf("checkpoint: %w", err))
+		return
+	}
+	writeInternalJSON(w, versionResponse{Version: v})
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/shard"
+)
+
+// netSource is the plan.Source of one cluster-wide snapshot: each fetch
+// step resolves to a routed (partition-aligned, one RPC to the owning
+// node) or scatter-gather (one RPC per node, canonical-order merged)
+// fetcher over the peers' version-pinned indexes. It is pinned to the
+// coordinator's committed version at query start, so a streamed result
+// drained after later Applies still reads its own version — the exact
+// snapshot-isolation contract of the in-process shard engine, held over
+// the wire by the nodes' version history.
+//
+// plan.Fetcher has no error return, so a failed RPC records the first
+// error here and serves an empty bucket; the executor polls FetchErr
+// (the optional plan.Source extension) after every step and aborts the
+// query with a structured error instead of silently returning the rows
+// of a torn snapshot.
+type netSource struct {
+	e       *Engine
+	ctx     context.Context
+	version uint64
+	// sc, when non-nil, is the traced request's per-peer accounting —
+	// fetchers bump it so the profile shows route-vs-scatter RPC traffic
+	// per peer. Nil on every untraced request.
+	sc *obs.ShardCounters
+
+	mu  sync.Mutex
+	err error
+}
+
+var _ plan.Source = (*netSource)(nil)
+
+func (s *netSource) FetcherFor(c access.Constraint) plan.Fetcher {
+	ci, ok := s.e.ciOf[c.String()]
+	if !ok {
+		return nil
+	}
+	if len(s.e.peers) == 1 || s.e.place.aligned(c) {
+		return routedNetFetcher{src: s, ci: ci}
+	}
+	return scatterNetFetcher{src: s, ci: ci}
+}
+
+// FetchErr reports the first RPC failure of this query, if any. The
+// plan executor checks it after every step.
+func (s *netSource) FetchErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// fail records the first failure; later fetches short-circuit.
+func (s *netSource) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *netSource) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// fetchOne runs one single-key fetch RPC against peer i and decodes the
+// bucket. Any failure is recorded on the source and an empty bucket
+// returned.
+func (s *netSource) fetchOne(i, ci int, k []byte) index.Bucket {
+	p := s.e.peers[i]
+	if !p.available() {
+		s.fail(p.unavailable(errPeerDown))
+		return index.Bucket{}
+	}
+	resp, err := p.fetch(s.ctx, s.version, ci, []string{encodeKey(k)})
+	if err != nil {
+		s.fail(err)
+		return index.Bucket{}
+	}
+	b, err := decodeBucket(resp.Buckets[0])
+	if err != nil {
+		s.fail(p.unavailable(err))
+		return index.Bucket{}
+	}
+	return b
+}
+
+// routedNetFetcher serves a constraint whose X equals the relation's
+// partition key (or a one-node cluster): the whole group D_Y(X = ā)
+// lives on node ShardOf(ā), so a fetch is one RPC to one node.
+type routedNetFetcher struct {
+	src *netSource
+	ci  int
+}
+
+func (f routedNetFetcher) FetchBytes(k []byte) index.Bucket {
+	if f.src.failed() {
+		return index.Bucket{}
+	}
+	i := 0
+	if n := len(f.src.e.peers); n > 1 {
+		i = shard.ShardOf(k, n)
+	}
+	b := f.src.fetchOne(i, f.ci, k)
+	f.src.sc.Route(i, 1, int64(b.Len()))
+	return b
+}
+
+// scatterNetFetcher serves a constraint not aligned with the partition
+// key: the group for ā may straddle every node, so the fetch RPCs all K
+// peers in parallel and merges their buckets. Every node serves its
+// part in canonical (key-sorted) order, so the ordered dedup merge
+// reproduces exactly the bucket a single-node index would serve — same
+// projections, same order.
+type scatterNetFetcher struct {
+	src *netSource
+	ci  int
+}
+
+func (f scatterNetFetcher) FetchBytes(k []byte) index.Bucket {
+	if f.src.failed() {
+		return index.Bucket{}
+	}
+	n := len(f.src.e.peers)
+	parts := make([]index.Bucket, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = f.src.fetchOne(i, f.ci, k)
+		}(i)
+	}
+	wg.Wait()
+	if f.src.failed() {
+		return index.Bucket{}
+	}
+	var first index.Bucket
+	var merged []index.Bucket
+	for i, b := range parts {
+		f.src.sc.Scatter(i, 1, int64(b.Len()))
+		if b.Len() == 0 {
+			continue
+		}
+		if first.Len() == 0 && merged == nil {
+			first = b
+			continue
+		}
+		if merged == nil {
+			merged = []index.Bucket{first}
+		}
+		merged = append(merged, b)
+	}
+	if merged == nil {
+		// Zero or one node held the group: serve its bucket as is.
+		return first
+	}
+	return index.MergeBuckets(merged)
+}

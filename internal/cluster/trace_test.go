@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// spanSums walks a span tree accumulating per-operator accounting,
+// keeping the plan-step fetch spans separate from the synthesized
+// per-peer counter spans (which report the SAME traffic pre-merge and
+// would otherwise double-count). This is the cluster twin of
+// internal/shard's trace reconciliation: "peer N" spans replace
+// "shard N" spans, and RPC traffic replaces in-process fetches.
+type spanSums struct {
+	fetched, keys, scanned int64
+	peerFetched            int64
+	peerSpans              int
+	planSpans              int
+}
+
+func sumSpans(s *obs.Span, acc *spanSums) {
+	switch {
+	case strings.HasPrefix(s.Name, "peer "):
+		acc.peerFetched += s.Fetched
+		acc.peerSpans++
+	case s.Name == "plan" || s.Name == "plan.envelope":
+		acc.planSpans++
+	case s.Name == "cluster.merge":
+		// The scan-fallback merge reports rows, not fetches; nothing to
+		// fold into the fetch accounting.
+	default:
+		acc.fetched += s.Fetched
+		acc.keys += s.Keys
+		acc.scanned += s.Scanned
+	}
+	for _, c := range s.Children {
+		sumSpans(c, acc)
+	}
+}
+
+// TestPropertyClusterProfileReconcilesWithStats extends the profile
+// accounting contract over the wire: on a coordinator over 2 and 4
+// networked peers, the span tree's per-operator fetch/scan counts sum
+// to exactly the request's Result.Stats, the per-peer counter spans
+// appear exactly when the request fetched anything, and their pre-merge
+// RPC traffic meets or exceeds the post-merge Stats.Fetched. A drift
+// here means the distributed profile lies about where the request's
+// budget went.
+func TestPropertyClusterProfileReconcilesWithStats(t *testing.T) {
+	tb := accidentsBed(t)
+	qs, _ := tb.queries(t, 30)
+
+	for _, k := range []int{2, 4} {
+		coord, _, _ := startCluster(t, tb, k, testOptions(t))
+		if err := coord.Load(tb.build()); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			tr := obs.NewTrace("query")
+			ctx := obs.NewContext(context.Background(), tr)
+			res, err := coord.Query(ctx, q)
+			root := tr.Finish()
+			if err != nil {
+				continue // refusals and planning errors carry no profile contract
+			}
+			var acc spanSums
+			sumSpans(root, &acc)
+			if acc.fetched != res.Stats.Fetched {
+				t.Errorf("K=%d/%s: fetch spans sum to %d fetched, Stats.Fetched = %d",
+					k, q.Label, acc.fetched, res.Stats.Fetched)
+			}
+			if acc.keys != res.Stats.FetchKeys {
+				t.Errorf("K=%d/%s: fetch spans sum to %d keys, Stats.FetchKeys = %d",
+					k, q.Label, acc.keys, res.Stats.FetchKeys)
+			}
+			if acc.scanned != res.Stats.Scanned {
+				t.Errorf("K=%d/%s: scan spans sum to %d scanned, Stats.Scanned = %d",
+					k, q.Label, acc.scanned, res.Stats.Scanned)
+			}
+			if res.Mode == core.ViaBoundedPlan && acc.planSpans == 0 {
+				t.Errorf("K=%d/%s: bounded-plan request has no plan span", k, q.Label)
+			}
+			if root.ElapsedNS < res.Stats.Elapsed.Nanoseconds() {
+				t.Errorf("K=%d/%s: root span %dns shorter than Stats.Elapsed %dns",
+					k, q.Label, root.ElapsedNS, res.Stats.Elapsed.Nanoseconds())
+			}
+			if res.Stats.Fetched > 0 {
+				if acc.peerSpans == 0 {
+					t.Errorf("K=%d/%s: fetched %d tuples but no per-peer spans",
+						k, q.Label, res.Stats.Fetched)
+				}
+				if acc.peerFetched < res.Stats.Fetched {
+					t.Errorf("K=%d/%s: peer spans carry %d rows < Stats.Fetched %d",
+						k, q.Label, acc.peerFetched, res.Stats.Fetched)
+				}
+			}
+		}
+	}
+}

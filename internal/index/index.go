@@ -140,6 +140,20 @@ func MergeBuckets(parts []Bucket) Bucket {
 	}
 }
 
+// NewBucket wraps cells — len(cells)/stride Y-projections laid out back
+// to back — as an immutable Bucket view. The caller must supply the
+// projections already in canonical (key-sorted) order and must not
+// mutate cells afterwards; the bucket aliases it. This is the decode
+// seam for wire transports (internal/cluster) that receive a remote
+// fetch result and need to re-enter the Bucket contract, e.g. to feed
+// MergeBuckets.
+func NewBucket(cells []value.Value, stride int) Bucket {
+	if stride <= 0 || len(cells) == 0 {
+		return Bucket{}
+	}
+	return Bucket{vals: cells, stride: stride, n: len(cells) / stride}
+}
+
 // bucket is one X-group's storage slot: n Y-projections of stride cells,
 // flattened back to back in vals in canonical order.
 type bucket struct {

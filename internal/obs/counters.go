@@ -16,6 +16,7 @@ import (
 // request. Index by shard; route and scatter are counted separately so
 // a profile shows whether the planner's alignment analysis paid off.
 type ShardCounters struct {
+	label  string // span-name prefix: "shard" in-process, "peer" over the wire
 	shards []shardCell
 }
 
@@ -30,10 +31,22 @@ type shardCell struct {
 // finish hook that turns them into spans on tr. Returns nil (a no-op
 // receiver) when tr is nil.
 func NewShardCounters(tr *Trace, k int) *ShardCounters {
+	return newLabeledCounters(tr, k, "shard")
+}
+
+// NewPeerCounters is NewShardCounters for a networked coordinator: the
+// same route/scatter accounting, emitted as "peer N route" /
+// "peer N scatter" spans so a profile distinguishes in-process shard
+// traffic from RPC traffic to cluster peers.
+func NewPeerCounters(tr *Trace, k int) *ShardCounters {
+	return newLabeledCounters(tr, k, "peer")
+}
+
+func newLabeledCounters(tr *Trace, k int, label string) *ShardCounters {
 	if tr == nil || k <= 0 {
 		return nil
 	}
-	sc := &ShardCounters{shards: make([]shardCell, k)}
+	sc := &ShardCounters{label: label, shards: make([]shardCell, k)}
 	tr.OnFinish(func(t *Trace) { sc.emit(t) })
 	return sc
 }
@@ -64,10 +77,10 @@ func (sc *ShardCounters) emit(t *Trace) {
 	for i := range sc.shards {
 		c := &sc.shards[i]
 		if k, r := c.routeKeys.Load(), c.routeRows.Load(); k > 0 || r > 0 {
-			t.AddCounterSpan("shard "+strconv.Itoa(i)+" route", "", r, r, k)
+			t.AddCounterSpan(sc.label+" "+strconv.Itoa(i)+" route", "", r, r, k)
 		}
 		if k, r := c.scatterKeys.Load(), c.scatterRows.Load(); k > 0 || r > 0 {
-			t.AddCounterSpan("shard "+strconv.Itoa(i)+" scatter", "", r, r, k)
+			t.AddCounterSpan(sc.label+" "+strconv.Itoa(i)+" scatter", "", r, r, k)
 		}
 	}
 }

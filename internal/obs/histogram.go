@@ -19,6 +19,7 @@ import (
 type Histogram struct {
 	name    string
 	help    string
+	labels  string          // extra label pairs, e.g. `peer="0",`; may be empty
 	bounds  []float64       // upper bounds, ascending; +Inf implicit
 	buckets []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
 	count   atomic.Uint64
@@ -39,6 +40,24 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 		bounds:  bounds,
 		buckets: make([]atomic.Uint64, len(bounds)+1),
 	}
+}
+
+// NewLabeledHistogram is NewHistogram with one constant label pair
+// stamped on every exposition line (`name_bucket{peer="0",le="…"}`), so
+// a family of histograms — one per cluster peer — shares a metric name
+// without colliding. HELP/TYPE headers are suppressed here; the family
+// writes one header via WriteFamilyHeader before its members.
+func NewLabeledHistogram(name, label, value string, bounds []float64) *Histogram {
+	h := NewHistogram(name, "", bounds)
+	h.labels = label + "=" + strconv.Quote(value) + ","
+	return h
+}
+
+// WriteFamilyHeader writes the shared HELP/TYPE header for a labeled
+// histogram family.
+func WriteFamilyHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 }
 
 // LatencyBuckets is the bound set shared by the query- and
@@ -81,17 +100,25 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // HELP and TYPE headers, cumulative le buckets ending at +Inf, then
 // _sum and _count.
 func (h *Histogram) Write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	if h.labels == "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.name, h.labels, formatBound(b), cum)
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
-	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, h.labels, cum)
+	if h.labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+		return
+	}
+	braced := "{" + h.labels[:len(h.labels)-1] + "}"
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, braced, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, braced, h.count.Load())
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do:

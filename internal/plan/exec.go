@@ -81,6 +81,9 @@ func ExecuteSource(ctx context.Context, p *Plan, src Source, opts ExecOptions) (
 		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
+		if err := fetchErrOf(src); err != nil {
+			return nil, nil, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
+		}
 		results[i] = t
 		stats.OpsRun++
 		if t.Len() > stats.MaxIntermediate {
@@ -88,6 +91,20 @@ func ExecuteSource(ctx context.Context, p *Plan, src Source, opts ExecOptions) (
 		}
 	}
 	return results[len(results)-1], stats, nil
+}
+
+// fetchErrOf surfaces a deferred fetch failure from sources whose
+// Fetchers cannot report errors inline (the FetchBytes signature is
+// infallible by design — local index fetches cannot fail). A networked
+// source records the first RPC error it swallows and exposes it through
+// the optional FetchErr method; the executor checks it after every step
+// so a lost peer aborts the query with a descriptive error instead of
+// silently computing over partial buckets.
+func fetchErrOf(src Source) error {
+	if fe, ok := src.(interface{ FetchErr() error }); ok {
+		return fe.FetchErr()
+	}
+	return nil
 }
 
 // startStepSpan opens the per-operator profile span for plan step i and
@@ -169,6 +186,9 @@ func ExecuteStreamSource(ctx context.Context, p *Plan, src Source, opts ExecOpti
 		if err != nil {
 			return stats, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
 		}
+		if err := fetchErrOf(src); err != nil {
+			return stats, fmt.Errorf("plan: step T%d (%s): %w", i, op, err)
+		}
 		results[i] = t
 		stats.OpsRun++
 		if t.Len() > stats.MaxIntermediate {
@@ -199,6 +219,9 @@ func ExecuteStreamSource(ctx context.Context, p *Plan, src Source, opts ExecOpti
 		sp.End()
 	}
 	if err != nil {
+		return stats, fmt.Errorf("plan: step T%d (%s): %w", last, p.Steps[last], err)
+	}
+	if err := fetchErrOf(src); err != nil {
 		return stats, fmt.Errorf("plan: step T%d (%s): %w", last, p.Steps[last], err)
 	}
 	stats.OpsRun++

@@ -21,6 +21,12 @@ type Fetcher interface {
 // provides a scatter-gather implementation over hash-partitioned shards.
 // FetcherFor returns nil when the source has no index for c, which fails
 // the fetch step with a descriptive error.
+//
+// A Source may additionally implement FetchErr() error to report fetch
+// failures the infallible FetchBytes signature cannot carry inline
+// (e.g. a networked source losing a peer mid-query). The executor
+// checks it after every plan step and aborts with that error, so a
+// partial fetch never silently produces a wrong answer.
 type Source interface {
 	FetcherFor(c access.Constraint) Fetcher
 }

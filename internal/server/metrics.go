@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 
@@ -153,4 +154,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.applyLatency.Write(w)
 	s.metrics.fetchKeys.Write(w)
 	s.metrics.rowsOut.Write(w)
+	if mw, ok := s.eng.(MetricsWriter); ok {
+		mw.WriteMetrics(w)
+	}
+}
+
+// MetricsWriter is the optional exposition surface of an engine with
+// metrics of its own (the cluster coordinator's per-peer RPC latency
+// histograms). Discovered by assertion, appended after the server's own
+// lines so engines without it keep the exposition byte-stable.
+type MetricsWriter interface {
+	WriteMetrics(w io.Writer)
 }

@@ -107,6 +107,12 @@ type Options struct {
 	// bound, stats, top-3 spans). Requests then carry a trace even
 	// without "profile": true, so the log has spans to digest.
 	SlowLog *obs.SlowLog
+	// Internal, when non-nil, is mounted at /v1/internal/ — the
+	// shard-to-coordinator protocol of a cluster node (see
+	// internal/cluster). It bypasses the admission semaphore: internal
+	// traffic competing with public queries for slots would let a busy
+	// node deadlock its own coordinator.
+	Internal http.Handler
 }
 
 const (
@@ -176,6 +182,9 @@ func New(eng core.Queryable, cat Catalog, opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Internal != nil {
+		mux.Handle("/v1/internal/", opts.Internal)
+	}
 	s.mux = mux
 	return s, nil
 }

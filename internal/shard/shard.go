@@ -197,7 +197,7 @@ func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
 	for _, rs := range s.Relations() {
 		attrs, ok := opts.PartitionKeys[rs.Name]
 		if !ok {
-			attrs = defaultPartitionKey(rs, a)
+			attrs = DefaultPartitionKey(rs, a)
 		}
 		pos, err := rs.Positions(attrs)
 		if err != nil {
@@ -208,12 +208,13 @@ func New(s *schema.Schema, a *access.Schema, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// defaultPartitionKey picks the X of the relation's first access
+// DefaultPartitionKey picks the X of the relation's first access
 // constraint with a nonempty X, so that constraint's indexed fetches
 // route to exactly one shard; a relation with no such constraint is
 // partitioned by all its attributes (an even spread — every access to
-// it scatters anyway).
-func defaultPartitionKey(rs schema.Relation, a *access.Schema) []schema.Attribute {
+// it scatters anyway). Exported so internal/cluster's coordinator and
+// shard nodes derive the identical placement from the same catalog.
+func DefaultPartitionKey(rs schema.Relation, a *access.Schema) []schema.Attribute {
 	for _, c := range a.ForRelation(rs.Name) {
 		if len(c.X) > 0 {
 			return c.X
@@ -222,9 +223,9 @@ func defaultPartitionKey(rs schema.Relation, a *access.Schema) []schema.Attribut
 	return rs.Attrs
 }
 
-// attrsEq is order-sensitive equality: routing relies on the partition
-// key encoding exactly matching the fetch key encoding.
-func attrsEq(a, b []schema.Attribute) bool {
+// AttrsEqual is order-sensitive attribute-list equality: routing relies
+// on the partition key encoding exactly matching the fetch key encoding.
+func AttrsEqual(a, b []schema.Attribute) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -238,16 +239,18 @@ func attrsEq(a, b []schema.Attribute) bool {
 
 // aligned reports whether constraint c's fetch keys coincide with its
 // relation's partition key, i.e. whether each group D_Y(X = ā) lives
-// wholly on shard shardOf(ā).
+// wholly on shard ShardOf(ā).
 func (e *Engine) aligned(c access.Constraint) bool {
-	return attrsEq(e.parts[c.Rel].attrs, c.X)
+	return AttrsEqual(e.parts[c.Rel].attrs, c.X)
 }
 
-// shardOf maps an encoded partition-key value to a shard (FNV-1a: fast,
+// ShardOf maps an encoded partition-key value to a shard (FNV-1a: fast,
 // deterministic across processes, good spread on short keys). Generic
 // over the key spelling so raw scratch bytes route without a conversion
-// allocation.
-func shardOf[T ~string | ~[]byte](k T, n int) int {
+// allocation. Exported because it IS the cluster placement function:
+// a networked coordinator must route a fetch key to the same node this
+// in-process engine routes it to.
+func ShardOf[T ~string | ~[]byte](k T, n int) int {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
 	for i := 0; i < len(k); i++ {
@@ -259,7 +262,7 @@ func shardOf[T ~string | ~[]byte](k T, n int) int {
 
 // shardOfTuple places one tuple of relation rel.
 func (e *Engine) shardOfTuple(rel string, t data.Tuple) int {
-	return shardOf(value.KeyOfAt(t, e.parts[rel].pos), e.k)
+	return ShardOf(value.KeyOfAt(t, e.parts[rel].pos), e.k)
 }
 
 // errNoInstance mirrors core's pre-Load refusal.
@@ -288,7 +291,7 @@ func (e *Engine) Load(d *data.Instance) error {
 		for ri := 0; ri < rel.Len(); ri++ {
 			buf = rel.AppendRow(buf, ri)
 			kb = rel.AppendKeyAt(kb[:0], ri, pos)
-			if _, err := insts[shardOf(kb, e.k)].Relation(rs.Name).Insert(buf); err != nil {
+			if _, err := insts[ShardOf(kb, e.k)].Relation(rs.Name).Insert(buf); err != nil {
 				return err
 			}
 		}
@@ -658,7 +661,7 @@ func (e *Engine) split(d *live.Delta) ([]*live.Delta, error) {
 		if !ok {
 			return fmt.Errorf("shard: delta references unknown relation %s", rel)
 		}
-		i := shardOf(value.KeyOfAt(t, p.pos), e.k)
+		i := ShardOf(value.KeyOfAt(t, p.pos), e.k)
 		if insert {
 			return subs[i].Insert(rel, t...)
 		}

@@ -43,7 +43,7 @@ func (g *gatherSource) FetcherFor(c access.Constraint) plan.Fetcher {
 }
 
 // routedFetcher serves a constraint whose X equals the relation's
-// partition key: the whole group D_Y(X = ā) lives on shard shardOf(ā),
+// partition key: the whole group D_Y(X = ā) lives on shard ShardOf(ā),
 // so a fetch is one lookup on one shard — the same cost as unsharded.
 type routedFetcher struct {
 	idxs []*index.Index
@@ -51,7 +51,7 @@ type routedFetcher struct {
 }
 
 func (f routedFetcher) FetchBytes(k []byte) index.Bucket {
-	i := shardOf(k, len(f.idxs))
+	i := ShardOf(k, len(f.idxs))
 	b := f.idxs[i].FetchBytes(k)
 	if f.sc != nil {
 		f.sc.Route(i, 1, int64(b.Len()))
